@@ -1,0 +1,54 @@
+"""Quickstart: issue a query, ask a why-not question, refine, verify.
+
+Runs against the 539-hotel Hong Kong demonstration dataset (Section 4 of
+the paper) entirely in-process through the public :class:`YaskEngine`
+API — the same engine the HTTP service exposes.
+
+    python examples/quickstart.py
+"""
+
+from repro import Point, YaskEngine
+from repro.datasets import hong_kong_hotels
+
+
+def main() -> None:
+    # 1. Build the engine: loads the database and bulk-builds the
+    #    SetR-tree (top-k + explanations) and KcR-tree (keyword adaption).
+    database = hong_kong_hotels()
+    engine = YaskEngine(database)
+    print(f"database: {len(database)} hotels, "
+          f"{len(database.vocabulary())} distinct keywords\n")
+
+    # 2. Issue a spatial keyword top-3 query near Tsim Sha Tsui with the
+    #    server-default preference weights <0.5, 0.5>.
+    result = engine.top_k(Point(114.1722, 22.2975), {"clean", "comfortable"}, k=3)
+    print("initial result:")
+    print(result.describe())
+
+    # 3. The user expected the Grand Victoria Harbour Hotel.  Ask why it
+    #    is missing and get both refinement models in one call.
+    missing_hotel = "Grand Victoria Harbour Hotel"
+    answer = engine.why_not(result.query, [missing_hotel], lam=0.5)
+
+    print("\nwhy-not explanation:")
+    print(answer.explanation.narrative())
+
+    print("\nrefinements:")
+    print("  preference adjustment:", answer.preference.describe())
+    print("  keyword adaption:     ", answer.keyword.describe())
+    print(f"  lower-penalty model:   {answer.best_model}")
+
+    # 4. Run the winning refined query and verify the hotel is revived.
+    refined = (
+        answer.keyword.refined_query
+        if answer.best_model == "keyword adaption"
+        else answer.preference.refined_query
+    )
+    refined_result = engine.query(refined)
+    revived = refined_result.contains(database.resolve(missing_hotel))
+    print(f"\nrefined result contains {missing_hotel!r}: {revived}")
+    assert revived, "the refined query must revive the missing object"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""The browser-server round trip of Fig. 1 over real HTTP.
+
+Starts the YASK HTTP server on an ephemeral local port, then drives it
+with the Python client exactly as the demonstration GUI would: issue the
+initial top-k query (getting a cached session), ask for the explanation,
+request both refinements, read the query log and close the session.
+
+    python examples/yask_server.py
+"""
+
+from repro import YaskEngine
+from repro.datasets import GRAND_VICTORIA, hong_kong_hotels
+from repro.service.client import YaskClient
+from repro.service.server import YaskHTTPServer
+
+
+def main() -> None:
+    server = YaskHTTPServer(YaskEngine(hong_kong_hotels()))
+    server.start_background()
+    print(f"server up at {server.endpoint}")
+
+    try:
+        client = YaskClient(server.endpoint)
+        print("health:", client.health())
+
+        # Initial query — the server caches it and returns a session id.
+        response = client.query(
+            x=114.1722, y=22.2975, keywords=["clean", "comfortable"], k=3
+        )
+        session_id = response["session_id"]
+        print(f"\nsession {session_id}, "
+              f"server time {response['response_ms']:.2f} ms")
+        for entry in response["result"]["entries"]:
+            obj = entry["object"]
+            print(f"  #{entry['rank']} {obj['name']}  score={entry['score']:.4f}")
+
+        # Why is the Grand Victoria missing?
+        explanation = client.explain(session_id, [GRAND_VICTORIA])
+        first = explanation["explanation"]["objects"][0]
+        print(f"\nexplanation: rank #{first['rank']}, reason: {first['reason']}")
+
+        # Both refinement models.
+        pref = client.refine_preference(session_id, [GRAND_VICTORIA], lam=0.5)
+        print("\npreference adjustment:")
+        print(f"  refined ws={pref['refinement']['refined_query']['ws']:.4f}, "
+              f"k={pref['refinement']['refined_query']['k']}, "
+              f"penalty={pref['refinement']['penalty']:.4f}")
+
+        keywords = client.refine_keywords(session_id, [GRAND_VICTORIA], lam=0.5)
+        print("keyword adaption:")
+        print(f"  added={keywords['refinement']['added']}, "
+              f"k={keywords['refinement']['refined_query']['k']}, "
+              f"penalty={keywords['refinement']['penalty']:.4f}")
+        revived = [
+            entry["object"]["name"]
+            for entry in keywords["refined_result"]["entries"]
+            if entry["object"]["name"] == GRAND_VICTORIA
+        ]
+        print(f"  revived in refined result: {bool(revived)}")
+
+        # The query-log panel (Fig. 4, Panel 5).
+        print("\nquery log:")
+        for entry in client.query_log(session_id):
+            penalty = (
+                f" penalty={entry['penalty']:.4f}" if entry["penalty"] else ""
+            )
+            print(f"  [{entry['sequence']}] {entry['kind']}"
+                  f"{penalty} time={entry['response_ms']:.2f}ms")
+
+        print("\nclosing session:", client.close_session(session_id))
+    finally:
+        server.shutdown()
+        server.server_close()
+        print("server stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no `wheel` package and no network access,
+so pip's PEP 660 editable-install path (which builds a wheel) cannot
+run; this shim lets `pip install -e .` fall back to the legacy
+`setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

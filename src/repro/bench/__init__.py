@@ -1,0 +1,17 @@
+"""Benchmark harness: timing helpers, tables and workload generators."""
+
+from repro.bench.harness import Table, Timing, time_call
+from repro.bench.workloads import (
+    QueryWorkload,
+    WhyNotScenario,
+    generate_whynot_scenarios,
+)
+
+__all__ = [
+    "Table",
+    "Timing",
+    "time_call",
+    "QueryWorkload",
+    "WhyNotScenario",
+    "generate_whynot_scenarios",
+]

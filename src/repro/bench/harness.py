@@ -1,0 +1,127 @@
+"""Experiment harness: timing, aggregation and table rendering.
+
+The benchmark modules under ``benchmarks/`` use these helpers to print
+the rows each experiment of EXPERIMENTS.md reports — aligned text tables
+comparable against the paper's demonstration claims — independent of
+pytest-benchmark's own statistics output.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["Timing", "time_call", "Table"]
+
+
+@dataclass(frozen=True, slots=True)
+class Timing:
+    """Wall-clock statistics of repeated calls (seconds)."""
+
+    best: float
+    median: float
+    mean: float
+    repeats: int
+
+    @property
+    def best_ms(self) -> float:
+        return self.best * 1000.0
+
+    @property
+    def median_ms(self) -> float:
+        return self.median * 1000.0
+
+
+def time_call(
+    fn: Callable[[], Any], *, repeat: int = 5, warmup: int = 1
+) -> tuple[Any, Timing]:
+    """Call ``fn`` repeatedly, returning its result and timing stats.
+
+    ``warmup`` calls are executed first and discarded (cache effects);
+    the returned value comes from the final timed call.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    result: Any = None
+    for _ in range(warmup):
+        result = fn()
+    samples: list[float] = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - started)
+    return result, Timing(
+        best=min(samples),
+        median=statistics.median(samples),
+        mean=statistics.fmean(samples),
+        repeats=repeat,
+    )
+
+
+class Table:
+    """A fixed-column text table with typed formatting.
+
+    >>> table = Table("n", "engine", "ms")
+    >>> table.add_row(1000, "setr", 0.52)
+    >>> print(table.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, *columns: str, title: str | None = None) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self._columns = columns
+        self._rows: list[tuple[str, ...]] = []
+        self._title = title
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._columns
+
+    @property
+    def rows(self) -> list[tuple[str, ...]]:
+        return list(self._rows)
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.001:
+                return f"{value:.3e}"
+            return f"{value:.4f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self._columns):
+            raise ValueError(
+                f"expected {len(self._columns)} values, got {len(values)}"
+            )
+        self._rows.append(tuple(self._format(value) for value in values))
+
+    def render(self) -> str:
+        widths = [len(column) for column in self._columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines: list[str] = []
+        if self._title:
+            lines.append(self._title)
+        header = "  ".join(
+            column.ljust(widths[index])
+            for index, column in enumerate(self._columns)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self._rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print with a leading newline so pytest -s output stays readable."""
+        print("\n" + self.render())

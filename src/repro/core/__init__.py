@@ -1,0 +1,46 @@
+"""Core query model: geometry, objects, scoring (Eqn. 1), top-k engines.
+
+The public names here are the vocabulary of the whole library: build a
+:class:`SpatialDatabase` of :class:`SpatialObject`, pose a
+:class:`SpatialKeywordQuery`, and evaluate it with a
+:class:`Scorer`-backed engine from :mod:`repro.core.topk`.
+"""
+
+from repro.core.geometry import EPSILON, Point, Rect
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.core.query import (
+    DEFAULT_WEIGHTS,
+    QueryResult,
+    RankedObject,
+    SpatialKeywordQuery,
+    Weights,
+)
+from repro.core.scoring import DualPoint, ScoreBreakdown, Scorer
+from repro.core.topk import (
+    BestFirstTopK,
+    BruteForceTopK,
+    SearchStats,
+    SpatioTextualIndex,
+    TopKEngine,
+)
+
+__all__ = [
+    "EPSILON",
+    "Point",
+    "Rect",
+    "SpatialDatabase",
+    "SpatialObject",
+    "DEFAULT_WEIGHTS",
+    "QueryResult",
+    "RankedObject",
+    "SpatialKeywordQuery",
+    "Weights",
+    "DualPoint",
+    "ScoreBreakdown",
+    "Scorer",
+    "BestFirstTopK",
+    "BruteForceTopK",
+    "SearchStats",
+    "SpatioTextualIndex",
+    "TopKEngine",
+]

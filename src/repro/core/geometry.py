@@ -1,0 +1,282 @@
+"""Planar geometry primitives for spatial keyword querying.
+
+The paper (Section 2.1) models each object location as a point in the
+Euclidean plane and computes ``SDist(o, q)`` as the Euclidean distance
+normalised into ``[0, 1]``.  This module provides the two primitives that
+everything else is built on:
+
+* :class:`Point` — an immutable 2-D point with Euclidean metrics.
+* :class:`Rect` — an axis-aligned rectangle used as the minimum bounding
+  rectangle (MBR) of R-tree nodes and as the dataspace extent used for
+  distance normalisation.
+
+Both types are plain, hashable value objects so they can be used as
+dictionary keys and set members in index bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["Point", "Rect", "EPSILON"]
+
+#: Tolerance used when comparing floating point coordinates/scores.
+EPSILON = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the Euclidean plane.
+
+    Parameters
+    ----------
+    x, y:
+        Cartesian coordinates.  For geographic datasets ``x`` is the
+        longitude and ``y`` the latitude; the engines treat the plane as
+        Euclidean exactly as the paper does (Section 2.1: "The distance
+        SDist(o, q) is calculated as the Euclidean distance").
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Return the Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Return the squared Euclidean distance to ``other``.
+
+        Useful for comparisons where the monotone square root can be
+        skipped.
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """Return the L1 distance to ``other`` (used by diagnostics only)."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    ``Rect`` doubles as the MBR type of every R-tree variant in
+    :mod:`repro.index` and as the *dataspace* passed to
+    :class:`repro.core.objects.SpatialDatabase` for distance
+    normalisation.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"degenerate rectangle: ({self.min_x}, {self.min_y}, "
+                f"{self.max_x}, {self.max_y})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_point(point: Point) -> "Rect":
+        """Return the degenerate rectangle covering a single point."""
+        return Rect(point.x, point.y, point.x, point.y)
+
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "Rect":
+        """Return the MBR of a non-empty collection of points."""
+        iterator = iter(points)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("cannot build a Rect from zero points") from None
+        min_x = max_x = first.x
+        min_y = max_y = first.y
+        for point in iterator:
+            min_x = min(min_x, point.x)
+            max_x = max(max_x, point.x)
+            min_y = min(min_y, point.y)
+            max_y = max(max_y, point.y)
+        return Rect(min_x, min_y, max_x, max_y)
+
+    @staticmethod
+    def union_all(rects: Sequence["Rect"]) -> "Rect":
+        """Return the MBR of a non-empty collection of rectangles."""
+        if not rects:
+            raise ValueError("cannot build a Rect from zero rectangles")
+        min_x = min(rect.min_x for rect in rects)
+        min_y = min(rect.min_y for rect in rects)
+        max_x = max(rect.max_x for rect in rects)
+        max_y = max(rect.max_y for rect in rects)
+        return Rect(min_x, min_y, max_x, max_y)
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the rectangle diagonal.
+
+        The dataspace diagonal is the maximum possible Euclidean distance
+        between any two points of the space, so it is the normaliser that
+        maps raw distances into ``[0, 1]`` (Section 2.1 requires
+        ``SDist`` to be a *normalised* spatial distance).
+        """
+        return math.hypot(self.width, self.height)
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, point: Point) -> bool:
+        """Return True when ``point`` lies inside or on the boundary."""
+        return (
+            self.min_x - EPSILON <= point.x <= self.max_x + EPSILON
+            and self.min_y - EPSILON <= point.y <= self.max_y + EPSILON
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Return True when ``other`` is fully inside this rectangle."""
+        return (
+            self.min_x - EPSILON <= other.min_x
+            and self.min_y - EPSILON <= other.min_y
+            and other.max_x <= self.max_x + EPSILON
+            and other.max_y <= self.max_y + EPSILON
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return True when the two rectangles share at least one point."""
+        return not (
+            other.min_x > self.max_x + EPSILON
+            or other.max_x < self.min_x - EPSILON
+            or other.min_y > self.max_y + EPSILON
+            or other.max_y < self.min_y - EPSILON
+        )
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def union(self, other: "Rect") -> "Rect":
+        """Return the smallest rectangle covering both rectangles."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def union_point(self, point: Point) -> "Rect":
+        """Return the smallest rectangle covering this one and ``point``."""
+        return Rect(
+            min(self.min_x, point.x),
+            min(self.min_y, point.y),
+            max(self.max_x, point.x),
+            max(self.max_y, point.y),
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Return the overlap rectangle, or None when disjoint."""
+        min_x = max(self.min_x, other.min_x)
+        min_y = max(self.min_y, other.min_y)
+        max_x = min(self.max_x, other.max_x)
+        max_y = min(self.max_y, other.max_y)
+        if min_x > max_x or min_y > max_y:
+            return None
+        return Rect(min_x, min_y, max_x, max_y)
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to absorb ``other``.
+
+        This is the classic Guttman insertion heuristic used by
+        :class:`repro.index.rtree.RTree` to choose subtrees.
+        """
+        return self.union(other).area - self.area
+
+    def expanded(self, margin: float) -> "Rect":
+        """Return this rectangle grown by ``margin`` on every side."""
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        return Rect(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def min_distance_to_point(self, point: Point) -> float:
+        """MINDIST: smallest distance from ``point`` to the rectangle.
+
+        Zero when the point lies inside.  This is the classic lower bound
+        used by best-first R-tree search.
+        """
+        dx = max(self.min_x - point.x, 0.0, point.x - self.max_x)
+        dy = max(self.min_y - point.y, 0.0, point.y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def max_distance_to_point(self, point: Point) -> float:
+        """MAXDIST: largest distance from ``point`` to the rectangle.
+
+        Achieved at one of the rectangle corners; it upper-bounds the
+        distance from the query point to *any* object inside the node and
+        is needed for the lower-bound side of why-not rank bounding
+        (DESIGN.md Section 3.4).
+        """
+        dx = max(abs(point.x - self.min_x), abs(point.x - self.max_x))
+        dy = max(abs(point.y - self.min_y), abs(point.y - self.max_y))
+        return math.hypot(dx, dy)
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """Return the four rectangle corners (counter-clockwise)."""
+        return (
+            Point(self.min_x, self.min_y),
+            Point(self.max_x, self.min_y),
+            Point(self.max_x, self.max_y),
+            Point(self.min_x, self.max_y),
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)``."""
+        return (self.min_x, self.min_y, self.max_x, self.max_y)

@@ -1,0 +1,222 @@
+"""Spatial objects and the object database ``D``.
+
+Section 2.1 of the paper: "Let D denote a database of spatial objects.
+Each object o ∈ D is defined as a pair (o.loc, o.doc), where o.loc is the
+location of the object and o.doc is a set of keywords that describe the
+object."
+
+:class:`SpatialObject` is that pair (plus an identifier and an optional
+human-readable name used by the demonstration GUI panels), and
+:class:`SpatialDatabase` is ``D`` together with the dataspace rectangle
+that normalises Euclidean distances into ``[0, 1]`` as Eqn. (1) requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.geometry import Point, Rect
+from repro.text.tokenize import document_frequencies
+
+__all__ = ["SpatialObject", "SpatialDatabase"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpatialObject:
+    """A spatial web object ``o = (o.loc, o.doc)``.
+
+    Parameters
+    ----------
+    oid:
+        Unique non-negative identifier within a database.  All engines
+        break score ties deterministically by ascending ``oid`` so that
+        results and ranks are total orders.
+    loc:
+        Object location (``o.loc``).
+    doc:
+        Keyword set (``o.doc``).  Stored as a ``frozenset`` so objects
+        are hashable and keyword sets can never drift under an index.
+    name:
+        Optional display name (e.g. the hotel name); used by the service
+        layer and the demonstration panels, never by ranking.
+    """
+
+    oid: int
+    loc: Point
+    doc: frozenset[str]
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.oid < 0:
+            raise ValueError(f"object id must be non-negative, got {self.oid}")
+        if not isinstance(self.doc, frozenset):
+            # Accept any iterable of keywords for convenience.
+            object.__setattr__(self, "doc", frozenset(self.doc))
+
+    @property
+    def label(self) -> str:
+        """Display label: the name when present, else ``object-<oid>``."""
+        return self.name if self.name is not None else f"object-{self.oid}"
+
+    def describe(self) -> str:
+        """Return a one-line human-readable summary."""
+        keywords = ", ".join(sorted(self.doc))
+        return f"{self.label} @ ({self.loc.x:.4f}, {self.loc.y:.4f}) [{keywords}]"
+
+
+class SpatialDatabase:
+    """The database ``D`` of spatial objects plus its dataspace.
+
+    The dataspace rectangle determines the normalisation constant for
+    ``SDist``: the paper requires a *normalised* spatial distance, and the
+    maximum possible Euclidean distance within a rectangular dataspace is
+    its diagonal.  When no dataspace is given, the MBR of the objects is
+    used (optionally expanded by ``margin`` so query points slightly
+    outside the data extent still normalise below 1).
+
+    The database is immutable after construction; engines and indexes
+    capture it by reference and rely on it never changing.
+    """
+
+    def __init__(
+        self,
+        objects: Iterable[SpatialObject],
+        *,
+        dataspace: Rect | None = None,
+        margin: float = 0.0,
+    ) -> None:
+        self._objects: tuple[SpatialObject, ...] = tuple(objects)
+        if not self._objects:
+            raise ValueError("a SpatialDatabase requires at least one object")
+        self._by_id: dict[int, SpatialObject] = {}
+        self._by_name: dict[str, SpatialObject] = {}
+        for obj in self._objects:
+            if obj.oid in self._by_id:
+                raise ValueError(f"duplicate object id {obj.oid}")
+            self._by_id[obj.oid] = obj
+            if obj.name is not None and obj.name not in self._by_name:
+                self._by_name[obj.name] = obj
+        if dataspace is None:
+            dataspace = Rect.from_points(obj.loc for obj in self._objects)
+            if margin > 0.0:
+                dataspace = dataspace.expanded(margin)
+        self._dataspace = dataspace
+        diagonal = dataspace.diagonal
+        # A degenerate (single-point) dataspace would make every distance
+        # 0/0; treat it as the unit of measure instead so SDist stays 0.
+        self._normaliser = diagonal if diagonal > 0.0 else 1.0
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[SpatialObject]:
+        return iter(self._objects)
+
+    def __contains__(self, obj: object) -> bool:
+        if isinstance(obj, SpatialObject):
+            return self._by_id.get(obj.oid) is obj
+        if isinstance(obj, int):
+            return obj in self._by_id
+        return False
+
+    @property
+    def objects(self) -> tuple[SpatialObject, ...]:
+        """All objects, in insertion order."""
+        return self._objects
+
+    @property
+    def dataspace(self) -> Rect:
+        """The normalisation rectangle."""
+        return self._dataspace
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, oid: int) -> SpatialObject:
+        """Return the object with identifier ``oid``.
+
+        Raises ``KeyError`` for unknown identifiers — a why-not question
+        about an object outside ``D`` is a caller error, not a missing
+        object (Definitions 2 and 3 require ``M ⊂ D``).
+        """
+        try:
+            return self._by_id[oid]
+        except KeyError:
+            raise KeyError(f"no object with id {oid} in database") from None
+
+    def find_by_name(self, name: str) -> SpatialObject | None:
+        """Return the first object carrying ``name``, or None.
+
+        Mirrors the demonstration GUI where "desired hotels can be
+        selected by entering their names" (Section 4).
+        """
+        return self._by_name.get(name)
+
+    def resolve(self, reference: int | str | SpatialObject) -> SpatialObject:
+        """Resolve an object id, name or object instance to an object."""
+        if isinstance(reference, SpatialObject):
+            return self.get(reference.oid)
+        if isinstance(reference, int):
+            return self.get(reference)
+        obj = self.find_by_name(reference)
+        if obj is None:
+            raise KeyError(f"no object named {reference!r} in database")
+        return obj
+
+    # ------------------------------------------------------------------
+    # Distance normalisation
+    # ------------------------------------------------------------------
+    @property
+    def distance_normaliser(self) -> float:
+        """The constant dividing raw Euclidean distances (the diagonal)."""
+        return self._normaliser
+
+    def normalized_distance(self, a: Point, b: Point) -> float:
+        """Return ``SDist`` ∈ [0, 1]: Euclidean distance over the diagonal.
+
+        Distances are clamped at 1 so that query points outside the
+        dataspace cannot produce negative spatial proximity in Eqn. (1).
+        """
+        return min(a.distance_to(b) / self._normaliser, 1.0)
+
+    # ------------------------------------------------------------------
+    # Corpus statistics
+    # ------------------------------------------------------------------
+    def vocabulary(self) -> frozenset[str]:
+        """Union of all object keyword sets."""
+        vocab: set[str] = set()
+        for obj in self._objects:
+            vocab.update(obj.doc)
+        return frozenset(vocab)
+
+    def keyword_document_frequencies(self) -> dict[str, int]:
+        """Keyword → number of objects containing it."""
+        return document_frequencies([obj.doc for obj in self._objects])
+
+    def filter(self, predicate: Callable[[SpatialObject], bool]) -> "SpatialDatabase":
+        """Return a new database over the objects satisfying ``predicate``.
+
+        The dataspace (and therefore distance normalisation) is retained
+        so scores remain comparable across the filtered view.
+        """
+        kept = [obj for obj in self._objects if predicate(obj)]
+        if not kept:
+            raise ValueError("filter removed every object")
+        return SpatialDatabase(kept, dataspace=self._dataspace)
+
+    def summary(self) -> dict[str, float | int]:
+        """Return dataset statistics used by benchmarks and DESIGN docs."""
+        doc_lengths = [len(obj.doc) for obj in self._objects]
+        return {
+            "objects": len(self._objects),
+            "vocabulary": len(self.vocabulary()),
+            "min_doc_len": min(doc_lengths),
+            "max_doc_len": max(doc_lengths),
+            "avg_doc_len": sum(doc_lengths) / len(doc_lengths),
+            "dataspace_width": self._dataspace.width,
+            "dataspace_height": self._dataspace.height,
+        }

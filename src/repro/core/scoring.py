@@ -1,0 +1,233 @@
+"""The ranking function ``ST`` of Eqn. (1) and its score decompositions.
+
+``ST(o, q) = ws · (1 − SDist(o, q)) + wt · TSim(o, q)``
+
+:class:`Scorer` binds a database (for distance normalisation) to a text
+similarity model and exposes:
+
+* per-object scores and their (SDist, TSim) decomposition,
+* the *dual coordinates* ``(a, b) = (1 − SDist, TSim)`` of an object
+  under a query — the representation in which an object's score is the
+  linear function ``w·a + (1−w)·b`` of the spatial weight, which is the
+  foundation of the preference-adjustment module (DESIGN.md §3.3),
+* exact ranking utilities shared by the brute-force engine, the why-not
+  modules and the test oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Sequence
+
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.core.query import QueryResult, RankedObject, SpatialKeywordQuery, Weights
+from repro.text.similarity import JACCARD, TextSimilarityModel
+
+__all__ = ["ScoreBreakdown", "DualPoint", "Scorer"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScoreBreakdown:
+    """An object's score together with its two normalised components."""
+
+    score: float
+    sdist: float
+    tsim: float
+
+
+@dataclass(frozen=True, slots=True)
+class DualPoint:
+    """Dual-space coordinates of an object under a fixed (loc, doc).
+
+    ``a = 1 − SDist(o, q)`` (spatial proximity) and ``b = TSim(o, q)``.
+    Under weights ``⟨w, 1−w⟩`` the object's score is the line
+    ``f(w) = w·a + (1−w)·b``; two objects tie exactly where their lines
+    cross (DESIGN.md §3.3).
+    """
+
+    oid: int
+    a: float
+    b: float
+
+    def score_at(self, ws: float) -> float:
+        """Score under spatial weight ``ws``."""
+        return ws * self.a + (1.0 - ws) * self.b
+
+    @property
+    def slope(self) -> float:
+        """d(score)/d(ws) — used by the rank-update theorem."""
+        return self.a - self.b
+
+    def crossover_with(self, other: "DualPoint") -> float | None:
+        """Spatial weight where the two score lines intersect.
+
+        Returns None when the lines are parallel (identical slope) —
+        such pairs never change relative order, so they contribute no
+        rank-change candidate.
+        """
+        denominator = self.slope - other.slope
+        if denominator == 0.0:
+            return None
+        return (other.b - self.b) / denominator
+
+
+class Scorer:
+    """Evaluator of Eqn. (1) over a fixed database and text model."""
+
+    def __init__(
+        self,
+        database: SpatialDatabase,
+        *,
+        text_model: TextSimilarityModel = JACCARD,
+    ) -> None:
+        self._database = database
+        self._text_model = text_model
+
+    @property
+    def database(self) -> SpatialDatabase:
+        return self._database
+
+    @property
+    def text_model(self) -> TextSimilarityModel:
+        return self._text_model
+
+    # ------------------------------------------------------------------
+    # Component scores
+    # ------------------------------------------------------------------
+    def sdist(self, obj: SpatialObject, query: SpatialKeywordQuery) -> float:
+        """Normalised spatial distance ``SDist(o, q)`` ∈ [0, 1]."""
+        return self._database.normalized_distance(obj.loc, query.loc)
+
+    def tsim(
+        self, obj: SpatialObject, query_doc: AbstractSet[str]
+    ) -> float:
+        """Textual similarity ``TSim(o, q)`` ∈ [0, 1] (Eqn. 2 by default)."""
+        return self._text_model.similarity(obj.doc, query_doc)
+
+    def breakdown(
+        self, obj: SpatialObject, query: SpatialKeywordQuery
+    ) -> ScoreBreakdown:
+        """Score an object, returning the full decomposition."""
+        sdist = self.sdist(obj, query)
+        tsim = self.tsim(obj, query.doc)
+        score = query.ws * (1.0 - sdist) + query.wt * tsim
+        return ScoreBreakdown(score=score, sdist=sdist, tsim=tsim)
+
+    def score(self, obj: SpatialObject, query: SpatialKeywordQuery) -> float:
+        """``ST(o, q)`` — Eqn. (1)."""
+        return self.breakdown(obj, query).score
+
+    # ------------------------------------------------------------------
+    # Dual-space view (preference adjustment substrate)
+    # ------------------------------------------------------------------
+    def dual_point(
+        self, obj: SpatialObject, query: SpatialKeywordQuery
+    ) -> DualPoint:
+        """Map an object to its dual coordinates under ``query``.
+
+        Only ``query.loc`` and ``query.doc`` matter; the weights are the
+        free variable in dual space.
+        """
+        sdist = self.sdist(obj, query)
+        tsim = self.tsim(obj, query.doc)
+        return DualPoint(oid=obj.oid, a=1.0 - sdist, b=tsim)
+
+    def dual_points(self, query: SpatialKeywordQuery) -> list[DualPoint]:
+        """Dual coordinates of every database object under ``query``."""
+        return [self.dual_point(obj, query) for obj in self._database]
+
+    # ------------------------------------------------------------------
+    # Exact ranking (the reference semantics every engine must match)
+    # ------------------------------------------------------------------
+    def rank_all(self, query: SpatialKeywordQuery) -> list[RankedObject]:
+        """Rank the whole database under ``query``.
+
+        Deterministic total order: score descending, then oid ascending.
+        """
+        scored: list[tuple[float, SpatialObject, ScoreBreakdown]] = []
+        for obj in self._database:
+            breakdown = self.breakdown(obj, query)
+            scored.append((breakdown.score, obj, breakdown))
+        scored.sort(key=lambda item: (-item[0], item[1].oid))
+        return [
+            RankedObject(
+                obj=obj, score=breakdown.score, sdist=breakdown.sdist,
+                tsim=breakdown.tsim, rank=position,
+            )
+            for position, (_, obj, breakdown) in enumerate(scored, start=1)
+        ]
+
+    def top_k(self, query: SpatialKeywordQuery) -> QueryResult:
+        """Brute-force top-k: the reference result per Definition 1."""
+        ranking = self.rank_all(query)
+        return QueryResult(query, ranking[: query.k])
+
+    def rank_of(
+        self, obj: SpatialObject, query: SpatialKeywordQuery
+    ) -> int:
+        """Exact rank of one object without materialising the full order.
+
+        Counts objects that beat ``obj`` under the (score desc, oid asc)
+        total order in a single scan — O(n) instead of O(n log n).
+        """
+        target_score = self.score(obj, query)
+        better = 0
+        for other in self._database:
+            if other.oid == obj.oid:
+                continue
+            other_score = self.score(other, query)
+            if other_score > target_score or (
+                other_score == target_score and other.oid < obj.oid
+            ):
+                better += 1
+        return better + 1
+
+    def worst_rank(
+        self,
+        objects: Iterable[SpatialObject],
+        query: SpatialKeywordQuery,
+    ) -> int:
+        """``R(M, q)``: the lowest (largest) rank among ``objects``.
+
+        This is the quantity the penalty functions of Eqns. (3) and (4)
+        are built on — "R(M, q) denotes the lowest rank of the missing
+        objects under the query q".
+        """
+        targets = list(objects)
+        if not targets:
+            raise ValueError("worst_rank requires at least one object")
+        # Single scan: for each database object count how many targets it
+        # beats; equivalently compute each target's rank and take the max.
+        scores = {t.oid: self.score(t, query) for t in targets}
+        better_counts = {t.oid: 0 for t in targets}
+        for other in self._database:
+            other_score = self.score(other, query)
+            for target in targets:
+                if other.oid == target.oid:
+                    continue
+                target_score = scores[target.oid]
+                if other_score > target_score or (
+                    other_score == target_score and other.oid < target.oid
+                ):
+                    better_counts[target.oid] += 1
+        return 1 + max(better_counts.values())
+
+    def result_from_objects(
+        self, query: SpatialKeywordQuery, objects: Sequence[SpatialObject]
+    ) -> QueryResult:
+        """Build a :class:`QueryResult` from already-selected objects.
+
+        Used by index-based engines: the engine supplies the top-k
+        objects, this re-scores them (cheap: k is small) and attaches
+        rank positions.
+        """
+        entries = []
+        for position, obj in enumerate(objects, start=1):
+            breakdown = self.breakdown(obj, query)
+            entries.append(
+                RankedObject(
+                    obj=obj, score=breakdown.score, sdist=breakdown.sdist,
+                    tsim=breakdown.tsim, rank=position,
+                )
+            )
+        return QueryResult(query, entries)

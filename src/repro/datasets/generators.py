@@ -1,0 +1,200 @@
+"""Synthetic spatial-keyword dataset generation.
+
+The paper demonstrates YASK on a real crawl but its engines are
+evaluated (and stress-tested here) on parameterised synthetic data: the
+generators control cardinality, the spatial distribution (uniform or
+Gaussian clusters — real POI data is heavily clustered), vocabulary size
+and the Zipf skew of keyword frequencies (real keyword distributions are
+Zipfian: a few facilities like "wifi" are everywhere, most keywords are
+rare).
+
+Everything is driven by a seeded :class:`random.Random` so datasets are
+reproducible down to the object level, which the benchmark harness
+relies on for comparable runs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.geometry import Point, Rect
+from repro.core.objects import SpatialDatabase, SpatialObject
+
+__all__ = [
+    "zipf_weights",
+    "generate_vocabulary",
+    "SyntheticDatasetBuilder",
+]
+
+#: The unit square: the default dataspace of synthetic datasets.
+UNIT_SPACE = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def zipf_weights(size: int, exponent: float = 1.0) -> list[float]:
+    """Zipf probability weights: ``p(i) ∝ 1 / (i+1)^exponent``.
+
+    ``exponent = 0`` degenerates to the uniform distribution, which the
+    generator tests use to check the sampling plumbing independently of
+    the skew.
+    """
+    if size < 1:
+        raise ValueError("size must be at least 1")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    raw = [1.0 / (rank + 1) ** exponent for rank in range(size)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+def generate_vocabulary(size: int, *, prefix: str = "kw") -> list[str]:
+    """A deterministic synthetic vocabulary ``kw000, kw001, ...``."""
+    if size < 1:
+        raise ValueError("size must be at least 1")
+    width = max(3, len(str(size - 1)))
+    return [f"{prefix}{index:0{width}d}" for index in range(size)]
+
+
+@dataclass(slots=True)
+class _WeightedSampler:
+    """Sampling without replacement from a fixed weighted vocabulary."""
+
+    items: Sequence[str]
+    cumulative: list[float]
+
+    @classmethod
+    def build(cls, items: Sequence[str], weights: Sequence[float]) -> "_WeightedSampler":
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have equal length")
+        cumulative: list[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight
+            cumulative.append(running)
+        return cls(items=items, cumulative=cumulative)
+
+    def sample_distinct(self, count: int, rng: random.Random) -> frozenset[str]:
+        """Draw ``count`` distinct items (rejection sampling on duplicates)."""
+        if count > len(self.items):
+            raise ValueError(
+                f"cannot draw {count} distinct items from {len(self.items)}"
+            )
+        chosen: set[str] = set()
+        total = self.cumulative[-1]
+        # Rejection sampling is fast while count ≪ vocabulary; fall back
+        # to an explicit shuffle when the draw is a large fraction.
+        if count * 3 >= len(self.items):
+            pool = list(self.items)
+            rng.shuffle(pool)
+            return frozenset(pool[:count])
+        while len(chosen) < count:
+            needle = rng.random() * total
+            index = bisect_right(self.cumulative, needle)
+            index = min(index, len(self.items) - 1)
+            chosen.add(self.items[index])
+        return frozenset(chosen)
+
+
+class SyntheticDatasetBuilder:
+    """Reproducible builder of synthetic spatial keyword databases."""
+
+    def __init__(self, seed: int = 42) -> None:
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def build(
+        self,
+        n: int,
+        *,
+        vocabulary_size: int = 200,
+        doc_length: tuple[int, int] = (4, 10),
+        spatial: str = "uniform",
+        clusters: int = 8,
+        cluster_spread: float = 0.05,
+        zipf_exponent: float = 1.0,
+        dataspace: Rect = UNIT_SPACE,
+        name_objects: bool = False,
+    ) -> SpatialDatabase:
+        """Generate a database of ``n`` objects.
+
+        Parameters
+        ----------
+        spatial:
+            ``"uniform"`` spreads locations uniformly over the dataspace;
+            ``"clustered"`` draws them from ``clusters`` Gaussian blobs
+            with standard deviation ``cluster_spread`` (in dataspace
+            units), clipped to the dataspace.
+        doc_length:
+            Inclusive (min, max) keyword-set size per object.
+        zipf_exponent:
+            Skew of the keyword frequency distribution.
+        """
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        min_len, max_len = doc_length
+        if not (1 <= min_len <= max_len):
+            raise ValueError(f"invalid doc_length range {doc_length}")
+        if max_len > vocabulary_size:
+            raise ValueError("doc_length max cannot exceed vocabulary size")
+        if spatial not in ("uniform", "clustered"):
+            raise ValueError(f"unknown spatial distribution {spatial!r}")
+
+        rng = random.Random(self._seed)
+        vocabulary = generate_vocabulary(vocabulary_size)
+        sampler = _WeightedSampler.build(
+            vocabulary, zipf_weights(vocabulary_size, zipf_exponent)
+        )
+
+        centers: list[Point] = []
+        if spatial == "clustered":
+            if clusters < 1:
+                raise ValueError("clusters must be at least 1")
+            centers = [
+                Point(
+                    rng.uniform(dataspace.min_x, dataspace.max_x),
+                    rng.uniform(dataspace.min_y, dataspace.max_y),
+                )
+                for _ in range(clusters)
+            ]
+
+        objects: list[SpatialObject] = []
+        for oid in range(n):
+            if spatial == "uniform":
+                loc = Point(
+                    rng.uniform(dataspace.min_x, dataspace.max_x),
+                    rng.uniform(dataspace.min_y, dataspace.max_y),
+                )
+            else:
+                center = centers[rng.randrange(len(centers))]
+                loc = Point(
+                    self._clip(
+                        rng.gauss(center.x, cluster_spread * dataspace.width),
+                        dataspace.min_x,
+                        dataspace.max_x,
+                    ),
+                    self._clip(
+                        rng.gauss(center.y, cluster_spread * dataspace.height),
+                        dataspace.min_y,
+                        dataspace.max_y,
+                    ),
+                )
+            doc = sampler.sample_distinct(rng.randint(min_len, max_len), rng)
+            objects.append(
+                SpatialObject(
+                    oid=oid,
+                    loc=loc,
+                    doc=doc,
+                    name=f"object-{oid}" if name_objects else None,
+                )
+            )
+        return SpatialDatabase(objects, dataspace=dataspace)
+
+    @staticmethod
+    def _clip(value: float, low: float, high: float) -> float:
+        return min(max(value, low), high)

@@ -1,0 +1,284 @@
+"""The demonstration datasets.
+
+Section 4 of the paper: "we use a small and focussed data set containing
+hotels in Hong Kong for demonstrating the system.  The data set is
+crawled from booking.com and contains some 539 hotels.  The keyword set
+for each hotel is extracted from the facilities and user comments
+relating to the hotel."
+
+The crawl itself is proprietary, so this module synthesises an
+equivalent dataset (DESIGN.md, substitution 1): exactly 539 hotels
+placed in the real Hong Kong bounding box, clustered around the city's
+actual hotel districts, with keyword sets drawn from a facilities +
+comment-adjective vocabulary under a Zipf-like popularity skew.  Names,
+tiers and keyword statistics are deterministic functions of the seed so
+every example, test and benchmark sees the same city.
+
+The module also ships :func:`coffee_shops`, a small downtown dataset
+staging Example 1 of the paper (Bob, the top-3 "coffee" query and the
+missing Starbucks), and guarantees the presence of hotels staging
+Example 2 (Carol's well-known international hotel described by "luxury"
+rather than "clean"/"comfortable").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.geometry import Point, Rect
+from repro.core.objects import SpatialDatabase, SpatialObject
+
+__all__ = [
+    "HONG_KONG_BOUNDS",
+    "HOTEL_COUNT",
+    "hong_kong_hotels",
+    "coffee_shops",
+    "GRAND_VICTORIA",
+    "STARBUCKS_CENTRAL",
+]
+
+#: Longitude/latitude bounding box of Hong Kong (the demo's map extent).
+HONG_KONG_BOUNDS = Rect(113.85, 22.15, 114.41, 22.56)
+
+#: "contains some 539 hotels" (Section 4).
+HOTEL_COUNT = 539
+
+#: Name of the staged "well-known international hotel" of Example 2.
+GRAND_VICTORIA = "Grand Victoria Harbour Hotel"
+
+#: Name of the staged missing cafe of Example 1.
+STARBUCKS_CENTRAL = "Starbucks Central"
+
+#: Hotel districts: (name, lon, lat, spread, share of hotels).
+_DISTRICTS: Sequence[tuple[str, float, float, float, float]] = (
+    ("Central", 114.158, 22.282, 0.008, 0.16),
+    ("Wan Chai", 114.173, 22.277, 0.007, 0.13),
+    ("Causeway Bay", 114.185, 22.280, 0.006, 0.13),
+    ("Tsim Sha Tsui", 114.172, 22.298, 0.007, 0.18),
+    ("Jordan", 114.171, 22.305, 0.006, 0.10),
+    ("Mong Kok", 114.169, 22.319, 0.007, 0.12),
+    ("North Point", 114.200, 22.291, 0.008, 0.07),
+    ("Hung Hom", 114.182, 22.306, 0.008, 0.06),
+    ("Tung Chung", 113.941, 22.289, 0.010, 0.05),
+)
+
+#: Facility keywords ordered by popularity (Zipf-like head first).
+_FACILITIES: Sequence[str] = (
+    "wifi", "aircon", "elevator", "restaurant", "laundry", "bar",
+    "gym", "breakfast", "parking", "concierge", "spa", "pool",
+    "harbourview", "shuttle", "kitchenette", "balcony", "rooftop",
+    "petfriendly", "sauna", "businesscenter",
+)
+
+#: Comment adjectives by hotel tier (extracted "from user comments").
+_TIER_ADJECTIVES: dict[str, Sequence[str]] = {
+    "luxury": ("luxury", "elegant", "spacious", "stylish", "grand"),
+    "business": ("modern", "clean", "comfortable", "convenient", "central"),
+    "boutique": ("cozy", "charming", "quiet", "stylish", "clean"),
+    "budget": ("cheap", "basic", "compact", "clean", "friendly"),
+}
+
+_TIER_SHARES: Sequence[tuple[str, float]] = (
+    ("luxury", 0.12),
+    ("business", 0.34),
+    ("boutique", 0.24),
+    ("budget", 0.30),
+)
+
+_NAME_PREFIXES: Sequence[str] = (
+    "Harbour", "Victoria", "Dragon", "Pearl", "Jade", "Golden", "Lucky",
+    "Royal", "Imperial", "Pacific", "Oriental", "Island", "Garden",
+    "Metro", "City", "Star", "Lotus", "Phoenix", "Bauhinia", "Kowloon",
+)
+
+_NAME_SUFFIXES: dict[str, Sequence[str]] = {
+    "luxury": ("Grand Hotel", "Palace", "Regency", "Hotel & Towers"),
+    "business": ("Hotel", "Plaza", "Gateway", "Hotel Central"),
+    "boutique": ("Boutique Hotel", "House", "Residence", "Lodge"),
+    "budget": ("Inn", "Guesthouse", "Hostel", "Budget Hotel"),
+}
+
+
+def _pick_tier(rng: random.Random) -> str:
+    needle = rng.random()
+    running = 0.0
+    for tier, share in _TIER_SHARES:
+        running += share
+        if needle <= running:
+            return tier
+    return _TIER_SHARES[-1][0]
+
+
+def _pick_district(rng: random.Random) -> tuple[str, float, float, float]:
+    needle = rng.random()
+    running = 0.0
+    for name, lon, lat, spread, share in _DISTRICTS:
+        running += share
+        if needle <= running:
+            return name, lon, lat, spread
+    name, lon, lat, spread, _ = _DISTRICTS[-1]
+    return name, lon, lat, spread
+
+
+def _facility_sample(rng: random.Random, count: int) -> set[str]:
+    """Draw ``count`` distinct facilities with popularity-rank skew."""
+    chosen: set[str] = set()
+    while len(chosen) < count:
+        # Squaring the uniform variate biases draws towards the head of
+        # the popularity-ordered facility list (Zipf-like behaviour).
+        index = int((rng.random() ** 2) * len(_FACILITIES))
+        chosen.add(_FACILITIES[min(index, len(_FACILITIES) - 1)])
+    return chosen
+
+
+def _clip(value: float, low: float, high: float) -> float:
+    return min(max(value, low), high)
+
+
+def _staged_hotels(start_oid: int) -> list[SpatialObject]:
+    """Hand-placed hotels that stage Example 2 deterministically.
+
+    ``GRAND_VICTORIA`` sits a short walk from the Tsim Sha Tsui "conference
+    venue" used by the Carol example but is described by "luxury"
+    vocabulary — not the "clean"/"comfortable" wording of her query — so
+    it misses the result for textual reasons, which keyword adaption
+    fixes (the scenario of Example 2 and reference [6]).
+    """
+    staged = [
+        SpatialObject(
+            oid=start_oid,
+            loc=Point(114.1712, 22.2965),
+            doc=frozenset(
+                {
+                    "luxury", "elegant", "grand", "harbourview", "spa",
+                    "pool", "concierge", "restaurant", "bar", "wifi",
+                }
+            ),
+            name=GRAND_VICTORIA,
+        ),
+        SpatialObject(
+            oid=start_oid + 1,
+            loc=Point(114.1745, 22.2992),
+            doc=frozenset(
+                {"clean", "comfortable", "modern", "wifi", "breakfast", "central"}
+            ),
+            name="Salisbury Business Hotel",
+        ),
+        SpatialObject(
+            oid=start_oid + 2,
+            loc=Point(114.1698, 22.2978),
+            doc=frozenset(
+                {"clean", "comfortable", "compact", "wifi", "aircon", "friendly"}
+            ),
+            name="Kimberley Budget Inn",
+        ),
+        SpatialObject(
+            oid=start_oid + 3,
+            loc=Point(114.1728, 22.2959),
+            doc=frozenset(
+                {"clean", "comfortable", "convenient", "elevator", "laundry", "wifi"}
+            ),
+            name="Granville House",
+        ),
+    ]
+    return staged
+
+
+def hong_kong_hotels(seed: int = 2016) -> SpatialDatabase:
+    """Build the 539-hotel Hong Kong demonstration database.
+
+    Deterministic in ``seed``; the default reproduces the dataset used
+    throughout the examples, tests and benchmarks.  Four of the 539
+    hotels are hand-staged for Example 2 (see :func:`_staged_hotels`);
+    the rest are synthesised per district/tier.
+    """
+    rng = random.Random(seed)
+    staged = _staged_hotels(0)
+    hotels: list[SpatialObject] = list(staged)
+    used_names = {hotel.name for hotel in staged}
+
+    oid = len(staged)
+    while len(hotels) < HOTEL_COUNT:
+        district, lon, lat, spread = _pick_district(rng)
+        tier = _pick_tier(rng)
+
+        prefix = rng.choice(_NAME_PREFIXES)
+        suffix = rng.choice(_NAME_SUFFIXES[tier])
+        name = f"{prefix} {suffix}"
+        if name in used_names:
+            name = f"{name} {district}"
+        if name in used_names:
+            name = f"{name} {oid}"
+        used_names.add(name)
+
+        loc = Point(
+            _clip(rng.gauss(lon, spread), HONG_KONG_BOUNDS.min_x, HONG_KONG_BOUNDS.max_x),
+            _clip(rng.gauss(lat, spread), HONG_KONG_BOUNDS.min_y, HONG_KONG_BOUNDS.max_y),
+        )
+
+        facility_count = {
+            "luxury": rng.randint(6, 9),
+            "business": rng.randint(4, 7),
+            "boutique": rng.randint(3, 6),
+            "budget": rng.randint(2, 4),
+        }[tier]
+        doc = _facility_sample(rng, facility_count)
+        adjectives = _TIER_ADJECTIVES[tier]
+        doc.update(rng.sample(adjectives, k=rng.randint(2, 3)))
+
+        hotels.append(SpatialObject(oid=oid, loc=loc, doc=frozenset(doc), name=name))
+        oid += 1
+
+    return SpatialDatabase(hotels, dataspace=HONG_KONG_BOUNDS)
+
+
+def coffee_shops(seed: int = 7) -> SpatialDatabase:
+    """A downtown cafe dataset staging Example 1 (Bob and the Starbucks).
+
+    ``STARBUCKS_CENTRAL`` is the closest cafe to the canonical query
+    point ``(114.158, 22.282)`` but carries a broad keyword set, so its
+    Jaccard similarity to the single query keyword "coffee" is diluted;
+    under a text-heavy preference it drops out of the top 3 and only a
+    preference adjustment towards spatial proximity revives it — the
+    scenario of Example 1 and reference [5].
+    """
+    rng = random.Random(seed)
+    center = Point(114.158, 22.282)
+    bounds = Rect(114.10, 22.24, 114.22, 22.33)
+
+    shops: list[SpatialObject] = [
+        SpatialObject(
+            oid=0,
+            loc=Point(114.1583, 22.2823),
+            doc=frozenset(
+                {"coffee", "espresso", "wifi", "takeaway", "pastry", "breakfast"}
+            ),
+            name=STARBUCKS_CENTRAL,
+        )
+    ]
+    pure_docs = (
+        frozenset({"coffee"}),
+        frozenset({"coffee", "espresso"}),
+        frozenset({"coffee", "tea"}),
+    )
+    generic_names = (
+        "Kopi House", "Bean Scene", "Cafe Aroma", "Brew Lab", "Mocha Corner",
+        "Cha Chaan Teng", "Latte Story", "Drip Room", "Roast Works", "Cup & Co",
+    )
+    for oid in range(1, 60):
+        loc = Point(
+            _clip(rng.gauss(center.x, 0.015), bounds.min_x, bounds.max_x),
+            _clip(rng.gauss(center.y, 0.015), bounds.min_y, bounds.max_y),
+        )
+        if rng.random() < 0.5:
+            doc = rng.choice(pure_docs)
+        else:
+            extras = rng.sample(
+                ["wifi", "cake", "sandwich", "juice", "brunch", "books", "music"],
+                k=rng.randint(2, 4),
+            )
+            doc = frozenset({"coffee", *extras})
+        name = f"{rng.choice(generic_names)} {oid}"
+        shops.append(SpatialObject(oid=oid, loc=loc, doc=doc, name=name))
+    return SpatialDatabase(shops, dataspace=bounds)

@@ -1,0 +1,120 @@
+"""Dataset persistence: JSON and CSV round-tripping.
+
+The demonstration server loads its hotel crawl from disk (Fig. 1 shows
+the R-tree index sitting on top of the hard disk); these loaders are the
+equivalent ingestion path.  JSON preserves the full object model; CSV is
+provided for interoperability with spreadsheet-style POI exports
+(keywords joined by ``|`` in a single column).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.geometry import Point, Rect
+from repro.core.objects import SpatialDatabase, SpatialObject
+
+__all__ = [
+    "database_to_dict",
+    "database_from_dict",
+    "save_json",
+    "load_json",
+    "save_csv",
+    "load_csv",
+]
+
+
+def database_to_dict(database: SpatialDatabase) -> dict:
+    """Serialise a database (objects + dataspace) to plain data."""
+    return {
+        "dataspace": list(database.dataspace.as_tuple()),
+        "objects": [
+            {
+                "oid": obj.oid,
+                "x": obj.loc.x,
+                "y": obj.loc.y,
+                "keywords": sorted(obj.doc),
+                "name": obj.name,
+            }
+            for obj in database
+        ],
+    }
+
+
+def database_from_dict(payload: dict) -> SpatialDatabase:
+    """Inverse of :func:`database_to_dict`."""
+    try:
+        raw_objects = payload["objects"]
+    except (KeyError, TypeError):
+        raise ValueError("payload must be a dict with an 'objects' list") from None
+    objects = [
+        SpatialObject(
+            oid=int(raw["oid"]),
+            loc=Point(float(raw["x"]), float(raw["y"])),
+            doc=frozenset(raw["keywords"]),
+            name=raw.get("name"),
+        )
+        for raw in raw_objects
+    ]
+    dataspace = None
+    if payload.get("dataspace") is not None:
+        min_x, min_y, max_x, max_y = payload["dataspace"]
+        dataspace = Rect(min_x, min_y, max_x, max_y)
+    return SpatialDatabase(objects, dataspace=dataspace)
+
+
+def save_json(database: SpatialDatabase, path: str | Path) -> None:
+    """Write a database to a JSON file."""
+    Path(path).write_text(
+        json.dumps(database_to_dict(database), indent=2), encoding="utf-8"
+    )
+
+
+def load_json(path: str | Path) -> SpatialDatabase:
+    """Read a database from a JSON file written by :func:`save_json`."""
+    return database_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+_CSV_FIELDS = ("oid", "x", "y", "keywords", "name")
+
+
+def save_csv(database: SpatialDatabase, path: str | Path) -> None:
+    """Write a database to CSV (keywords ``|``-joined; no dataspace).
+
+    Loading a CSV therefore recomputes the dataspace as the MBR of the
+    points — acceptable for interchange, lossy for exact score
+    reproduction when the original dataspace was larger.
+    """
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for obj in database:
+            writer.writerow(
+                {
+                    "oid": obj.oid,
+                    "x": repr(obj.loc.x),
+                    "y": repr(obj.loc.y),
+                    "keywords": "|".join(sorted(obj.doc)),
+                    "name": obj.name or "",
+                }
+            )
+
+
+def load_csv(path: str | Path) -> SpatialDatabase:
+    """Read a database from a CSV file written by :func:`save_csv`."""
+    objects: list[SpatialObject] = []
+    with Path(path).open(newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            keywords = [kw for kw in row["keywords"].split("|") if kw]
+            objects.append(
+                SpatialObject(
+                    oid=int(row["oid"]),
+                    loc=Point(float(row["x"]), float(row["y"])),
+                    doc=frozenset(keywords),
+                    name=row["name"] or None,
+                )
+            )
+    return SpatialDatabase(objects)

@@ -1,0 +1,194 @@
+"""Index persistence: save/load tree structure to disk (Fig. 1).
+
+The architecture diagram places the "R-tree Based Index" on the hard
+disk beneath the query processor; the demonstration server loads it at
+startup rather than rebuilding.  This module persists the *structure* of
+any of the library's tree indexes — which objects sit in which leaf, and
+how leaves group upward — as JSON keyed by object ids.  On load the
+structure is reattached to a database and every node's MBR and summary
+(keyword sets / count maps / impact lists) is recomputed bottom-up, so a
+loaded index is bit-for-bit equivalent to the saved one for every query.
+
+Persisting structure (not derived payloads) keeps files small, makes the
+format independent of summary-representation changes, and guarantees the
+loaded tree can never carry stale summaries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.geometry import Rect
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.index.irtree import IRTree
+from repro.index.kcrtree import KcRTree
+from repro.index.rtree import RTree, RTreeEntry, RTreeNode
+from repro.index.setrtree import SetRTree
+from repro.text.similarity import CosineTfIdfSimilarity, SetSimilarityModel
+
+__all__ = ["IndexPersistenceError", "save_index", "load_index", "index_to_dict", "index_from_dict"]
+
+#: Format version: bump on breaking layout changes.
+_FORMAT_VERSION = 1
+
+_TREE_TYPES = {
+    "SetRTree": SetRTree,
+    "KcRTree": KcRTree,
+    "IRTree": IRTree,
+}
+
+
+class IndexPersistenceError(ValueError):
+    """A malformed or inconsistent persisted index."""
+
+
+def _node_to_dict(node: RTreeNode[SpatialObject]) -> dict[str, Any]:
+    if node.is_leaf:
+        return {"leaf": True, "oids": [entry.item.oid for entry in node.entries]}
+    return {
+        "leaf": False,
+        "children": [_node_to_dict(child) for child in node.children],
+    }
+
+
+def index_to_dict(tree: RTree[SpatialObject]) -> dict[str, Any]:
+    """Serialise a tree's structure (not its derived summaries)."""
+    type_name = type(tree).__name__
+    if type_name not in _TREE_TYPES:
+        raise IndexPersistenceError(
+            f"unsupported index type {type_name!r}; "
+            f"supported: {sorted(_TREE_TYPES)}"
+        )
+    return {
+        "format": _FORMAT_VERSION,
+        "type": type_name,
+        "max_entries": tree.max_entries,
+        "min_entries": tree.min_entries,
+        "size": len(tree),
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def _rebuild_node(
+    payload: dict[str, Any],
+    database: SpatialDatabase,
+    tree: RTree[SpatialObject],
+    seen: set[int],
+) -> RTreeNode[SpatialObject]:
+    if payload.get("leaf"):
+        node = RTreeNode[SpatialObject](is_leaf=True)
+        for oid in payload.get("oids", []):
+            try:
+                obj = database.get(int(oid))
+            except KeyError:
+                raise IndexPersistenceError(
+                    f"persisted index references object {oid} "
+                    "missing from the database"
+                ) from None
+            if obj.oid in seen:
+                raise IndexPersistenceError(
+                    f"object {obj.oid} appears in multiple leaves"
+                )
+            seen.add(obj.oid)
+            node.entries.append(
+                RTreeEntry(rect=Rect.from_point(obj.loc), item=obj)
+            )
+        if not node.entries:
+            raise IndexPersistenceError("persisted leaf node is empty")
+    else:
+        node = RTreeNode[SpatialObject](is_leaf=False)
+        children = payload.get("children", [])
+        if not children:
+            raise IndexPersistenceError("persisted inner node has no children")
+        for child_payload in children:
+            child = _rebuild_node(child_payload, database, tree, seen)
+            child.parent = node
+            node.children.append(child)
+    # Recompute the MBR and summary from the (now complete) members.
+    tree._refresh(node)
+    return node
+
+
+def index_from_dict(
+    payload: dict[str, Any],
+    database: SpatialDatabase,
+    *,
+    text_model: Any | None = None,
+) -> RTree[SpatialObject]:
+    """Rebuild a persisted index over ``database``.
+
+    ``text_model`` applies to SetR-trees (a
+    :class:`~repro.text.similarity.SetSimilarityModel`; Jaccard default)
+    and IR-trees (a :class:`CosineTfIdfSimilarity`; corpus default).
+    """
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise IndexPersistenceError("payload is not a persisted index")
+    if payload.get("format") != _FORMAT_VERSION:
+        raise IndexPersistenceError(
+            f"unsupported format version {payload.get('format')!r}"
+        )
+    type_name = payload["type"]
+    if type_name not in _TREE_TYPES:
+        raise IndexPersistenceError(f"unknown index type {type_name!r}")
+
+    max_entries = int(payload.get("max_entries", 32))
+    min_entries = int(payload.get("min_entries", max_entries // 2))
+    if type_name == "SetRTree":
+        kwargs: dict[str, Any] = {"database": database}
+        if text_model is not None:
+            if not isinstance(text_model, SetSimilarityModel):
+                raise IndexPersistenceError(
+                    "SetRTree requires a set-based text model"
+                )
+            kwargs["text_model"] = text_model
+        tree: RTree[SpatialObject] = SetRTree(
+            max_entries=max_entries, min_entries=min_entries, **kwargs
+        )
+    elif type_name == "KcRTree":
+        tree = KcRTree(
+            database=database, max_entries=max_entries, min_entries=min_entries
+        )
+    else:  # IRTree
+        if text_model is not None and not isinstance(
+            text_model, CosineTfIdfSimilarity
+        ):
+            raise IndexPersistenceError("IRTree requires a cosine text model")
+        tree = IRTree(
+            database=database,
+            text_model=text_model,
+            max_entries=max_entries,
+            min_entries=min_entries,
+        )
+
+    seen: set[int] = set()
+    root = _rebuild_node(payload["root"], database, tree, seen)
+    root.parent = None
+    expected = int(payload.get("size", len(seen)))
+    if len(seen) != expected:
+        raise IndexPersistenceError(
+            f"persisted index claims {expected} objects but holds {len(seen)}"
+        )
+    tree._root = root
+    tree._size = len(seen)
+    return tree
+
+
+def save_index(tree: RTree[SpatialObject], path: str | Path) -> None:
+    """Write a tree's structure to a JSON file."""
+    Path(path).write_text(json.dumps(index_to_dict(tree)), encoding="utf-8")
+
+
+def load_index(
+    path: str | Path,
+    database: SpatialDatabase,
+    *,
+    text_model: Any | None = None,
+) -> RTree[SpatialObject]:
+    """Read a tree written by :func:`save_index` and attach it to ``database``."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise IndexPersistenceError(f"not a persisted index: {exc}") from None
+    return index_from_dict(payload, database, text_model=text_model)

@@ -1,0 +1,659 @@
+"""An in-memory R-tree built from scratch.
+
+Section 3.1 of the paper: "The algorithms inside the engines employ
+R-tree based indexing techniques [4-6]."  This module provides the plain
+R-tree those techniques build on:
+
+* Guttman-style dynamic insertion (choose-leaf by least enlargement,
+  quadratic node split),
+* Sort-Tile-Recursive (STR) bulk loading for fast index construction in
+  benchmarks,
+* deletion with tree condensation and re-insertion,
+* range search / counting, containment queries and best-first k-nearest
+  neighbour search.
+
+The two spatio-textual variants used by YASK — the SetR-tree (top-k and
+explanations) and the KcR-tree (keyword adaption, Fig. 2) — are
+subclasses that attach a per-node *summary* (keyword sets or
+keyword-count maps).  The base class calls :meth:`RTree._summarise_leaf`
+and :meth:`RTree._summarise_inner` whenever a node's composition changes,
+so the variants only implement the summary algebra.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Any, Callable, Generic, Iterable, Iterator, Sequence, TypeVar
+
+from repro.core.geometry import Point, Rect
+
+__all__ = ["RTreeEntry", "RTreeNode", "RTree", "DEFAULT_MAX_ENTRIES"]
+
+T = TypeVar("T")
+
+#: Default fanout.  32 keeps trees shallow for the dataset sizes the
+#: benchmarks sweep (up to 2·10^5 objects) while keeping node scans cheap.
+DEFAULT_MAX_ENTRIES = 32
+
+
+@dataclass(slots=True)
+class RTreeEntry(Generic[T]):
+    """A leaf-level entry: a bounding rectangle and the indexed item."""
+
+    rect: Rect
+    item: T
+
+
+class RTreeNode(Generic[T]):
+    """An R-tree node: either a leaf of entries or an inner node of children.
+
+    ``summary`` is the augmentation slot used by the SetR-tree and
+    KcR-tree subclasses; the plain R-tree leaves it as None.
+    """
+
+    __slots__ = ("is_leaf", "entries", "children", "rect", "summary", "parent")
+
+    def __init__(self, *, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.entries: list[RTreeEntry[T]] = []
+        self.children: list["RTreeNode[T]"] = []
+        self.rect: Rect | None = None
+        self.summary: Any = None
+        self.parent: "RTreeNode[T] | None" = None
+
+    def __len__(self) -> int:
+        return len(self.entries) if self.is_leaf else len(self.children)
+
+    def iter_rects(self) -> Iterator[Rect]:
+        """Iterate the bounding rectangles of this node's members."""
+        if self.is_leaf:
+            for entry in self.entries:
+                yield entry.rect
+        else:
+            for child in self.children:
+                assert child.rect is not None
+                yield child.rect
+
+    def describe(self, indent: int = 0) -> str:
+        """Render the subtree for debugging and documentation examples."""
+        pad = "  " * indent
+        kind = "leaf" if self.is_leaf else "node"
+        lines = [f"{pad}{kind} n={len(self)} rect={self.rect.as_tuple() if self.rect else None}"]
+        if not self.is_leaf:
+            for child in self.children:
+                lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+
+class RTree(Generic[T]):
+    """A dynamic R-tree over rectangle-keyed items.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum node fanout ``M``.
+    min_entries:
+        Minimum fill ``m`` (defaults to ``M // 2``, at least 2 when M
+        allows); underfull nodes after deletion are dissolved and their
+        members re-inserted.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_entries: int | None = None,
+    ) -> None:
+        if max_entries < 2:
+            raise ValueError("max_entries must be at least 2")
+        self._max_entries = max_entries
+        if min_entries is None:
+            min_entries = max(1, max_entries // 2)
+        if not (1 <= min_entries <= max_entries // 2):
+            raise ValueError(
+                f"min_entries must be in [1, max_entries/2], got {min_entries}"
+            )
+        self._min_entries = min_entries
+        self._root: RTreeNode[T] = RTreeNode(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> RTreeNode[T]:
+        return self._root
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    @property
+    def min_entries(self) -> int:
+        return self._min_entries
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def bounds(self) -> Rect | None:
+        """MBR of the whole tree, or None when empty."""
+        return self._root.rect
+
+    def height(self) -> int:
+        """Number of levels (1 for a tree that is just a leaf root)."""
+        levels = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    def node_count(self) -> int:
+        """Total number of nodes (inner + leaf)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return count
+
+    def iter_items(self) -> Iterator[T]:
+        """Iterate every indexed item (arbitrary order)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield entry.item
+            else:
+                stack.extend(node.children)
+
+    def iter_levels(self) -> Iterator[list[RTreeNode[T]]]:
+        """Yield nodes level by level from the root downwards.
+
+        The keyword-adaption module descends all candidates one level at
+        a time (DESIGN.md §3.4); this iterator is its substrate.
+        """
+        level = [self._root]
+        while level:
+            yield level
+            next_level: list[RTreeNode[T]] = []
+            for node in level:
+                if not node.is_leaf:
+                    next_level.extend(node.children)
+            level = next_level
+
+    # ------------------------------------------------------------------
+    # Summary hooks (overridden by SetR-tree / KcR-tree)
+    # ------------------------------------------------------------------
+    def _summarise_leaf(self, entries: Sequence[RTreeEntry[T]]) -> Any:
+        """Compute the augmentation payload of a leaf node."""
+        return None
+
+    def _summarise_inner(self, children: Sequence["RTreeNode[T]"]) -> Any:
+        """Compute the augmentation payload of an inner node."""
+        return None
+
+    def _refresh(self, node: RTreeNode[T]) -> None:
+        """Recompute a node's MBR and summary from its members."""
+        rects = list(node.iter_rects())
+        node.rect = Rect.union_all(rects) if rects else None
+        if node.is_leaf:
+            node.summary = self._summarise_leaf(node.entries)
+        else:
+            node.summary = self._summarise_inner(node.children)
+
+    def _refresh_upwards(self, node: RTreeNode[T] | None) -> None:
+        while node is not None:
+            self._refresh(node)
+            node = node.parent
+
+    # ------------------------------------------------------------------
+    # Bulk loading (STR)
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Iterable[T],
+        *,
+        key: Callable[[T], Rect | Point],
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_entries: int | None = None,
+        **kwargs: Any,
+    ) -> "RTree[T]":
+        """Build a tree with Sort-Tile-Recursive packing.
+
+        ``key`` maps an item to its location (a :class:`Point`) or
+        bounding rectangle.  STR produces near-square leaf tiles, which
+        keeps MINDIST bounds tight for best-first search.
+        """
+        tree = cls(max_entries=max_entries, min_entries=min_entries, **kwargs)
+        entries: list[RTreeEntry[T]] = []
+        for item in items:
+            shape = key(item)
+            rect = Rect.from_point(shape) if isinstance(shape, Point) else shape
+            entries.append(RTreeEntry(rect=rect, item=item))
+        if not entries:
+            return tree
+        leaves = tree._str_pack_leaves(entries)
+        tree._root = tree._build_upper_levels(leaves)
+        tree._root.parent = None
+        tree._size = len(entries)
+        return tree
+
+    @staticmethod
+    def _chunk_evenly(items: list, chunk_count: int) -> list[list]:
+        """Split ``items`` into ``chunk_count`` runs whose sizes differ by ≤ 1.
+
+        Even sizing is what keeps every STR-packed node at least half
+        full: a run of ``n`` members split into ``⌈n/M⌉`` chunks evenly
+        gives chunks of at least ``⌊n/⌈n/M⌉⌋ ≥ M/2`` members (for more
+        than one chunk), satisfying the R-tree min-fill invariant that a
+        naive fixed-stride slicing violates on its final chunk.
+        """
+        base, extra = divmod(len(items), chunk_count)
+        chunks: list[list] = []
+        start = 0
+        for index in range(chunk_count):
+            size = base + (1 if index < extra else 0)
+            chunks.append(items[start : start + size])
+            start += size
+        return chunks
+
+    def _str_pack_leaves(
+        self, entries: list[RTreeEntry[T]]
+    ) -> list[RTreeNode[T]]:
+        capacity = self._max_entries
+        leaf_count = math.ceil(len(entries) / capacity)
+        slab_count = math.ceil(math.sqrt(leaf_count))
+        entries.sort(key=lambda e: (e.rect.center.x, e.rect.center.y))
+        leaves: list[RTreeNode[T]] = []
+        for slab in self._chunk_evenly(entries, slab_count):
+            slab.sort(key=lambda e: (e.rect.center.y, e.rect.center.x))
+            chunk_count = max(1, math.ceil(len(slab) / capacity))
+            for chunk in self._chunk_evenly(slab, chunk_count):
+                if not chunk:
+                    continue
+                leaf = RTreeNode[T](is_leaf=True)
+                leaf.entries = chunk
+                self._refresh(leaf)
+                leaves.append(leaf)
+        return leaves
+
+    def _build_upper_levels(
+        self, nodes: list[RTreeNode[T]]
+    ) -> RTreeNode[T]:
+        capacity = self._max_entries
+        while len(nodes) > 1:
+            group_count = math.ceil(len(nodes) / capacity)
+            slab_count = math.ceil(math.sqrt(group_count))
+            nodes.sort(key=lambda n: (n.rect.center.x, n.rect.center.y))
+            parents: list[RTreeNode[T]] = []
+            for slab in self._chunk_evenly(nodes, slab_count):
+                slab.sort(key=lambda n: (n.rect.center.y, n.rect.center.x))
+                chunk_count = max(1, math.ceil(len(slab) / capacity))
+                for chunk in self._chunk_evenly(slab, chunk_count):
+                    if not chunk:
+                        continue
+                    parent = RTreeNode[T](is_leaf=False)
+                    parent.children = chunk
+                    for child in parent.children:
+                        child.parent = parent
+                    self._refresh(parent)
+                    parents.append(parent)
+            nodes = parents
+        return nodes[0]
+
+    # ------------------------------------------------------------------
+    # Insertion (Guttman)
+    # ------------------------------------------------------------------
+    def insert(self, item: T, shape: Rect | Point) -> None:
+        """Insert an item keyed by a point or rectangle."""
+        rect = Rect.from_point(shape) if isinstance(shape, Point) else shape
+        self._insert_entry(RTreeEntry(rect=rect, item=item))
+        self._size += 1
+
+    def _insert_entry(self, entry: RTreeEntry[T]) -> None:
+        leaf = self._choose_leaf(self._root, entry.rect)
+        leaf.entries.append(entry)
+        self._handle_overflow_and_refresh(leaf)
+
+    def _handle_overflow_and_refresh(self, node: RTreeNode[T]) -> None:
+        """Split overfull nodes upward, refreshing MBRs and summaries."""
+        while True:
+            overfull = len(node) > self._max_entries
+            if overfull:
+                sibling = self._split(node)
+                parent = node.parent
+                if parent is None:
+                    new_root = RTreeNode[T](is_leaf=False)
+                    new_root.children = [node, sibling]
+                    node.parent = new_root
+                    sibling.parent = new_root
+                    self._refresh(node)
+                    self._refresh(sibling)
+                    self._refresh(new_root)
+                    self._root = new_root
+                    return
+                parent.children.append(sibling)
+                sibling.parent = parent
+                self._refresh(node)
+                self._refresh(sibling)
+                node = parent
+            else:
+                self._refresh_upwards(node)
+                return
+
+    def _choose_leaf(self, node: RTreeNode[T], rect: Rect) -> RTreeNode[T]:
+        while not node.is_leaf:
+            best_child: RTreeNode[T] | None = None
+            best_key: tuple[float, float] | None = None
+            for child in node.children:
+                assert child.rect is not None
+                key = (child.rect.enlargement(rect), child.rect.area)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_child = child
+            assert best_child is not None
+            node = best_child
+        return node
+
+    # ------------------------------------------------------------------
+    # Quadratic split
+    # ------------------------------------------------------------------
+    def _split(self, node: RTreeNode[T]) -> RTreeNode[T]:
+        """Split ``node`` in place, returning the new sibling."""
+        members: list[tuple[Rect, Any]]
+        if node.is_leaf:
+            members = [(entry.rect, entry) for entry in node.entries]
+        else:
+            members = [(child.rect, child) for child in node.children]
+
+        seed_a, seed_b = self._pick_seeds([rect for rect, _ in members])
+        group_a: list[tuple[Rect, Any]] = [members[seed_a]]
+        group_b: list[tuple[Rect, Any]] = [members[seed_b]]
+        rect_a = members[seed_a][0]
+        rect_b = members[seed_b][0]
+        remaining = [
+            member
+            for index, member in enumerate(members)
+            if index not in (seed_a, seed_b)
+        ]
+
+        while remaining:
+            # Force-assign when one group must absorb all leftovers to
+            # reach minimum fill.
+            if len(group_a) + len(remaining) == self._min_entries:
+                group_a.extend(remaining)
+                remaining = []
+                break
+            if len(group_b) + len(remaining) == self._min_entries:
+                group_b.extend(remaining)
+                remaining = []
+                break
+            index, prefers_a = self._pick_next(remaining, rect_a, rect_b)
+            rect, member = remaining.pop(index)
+            if prefers_a:
+                group_a.append((rect, member))
+                rect_a = rect_a.union(rect)
+            else:
+                group_b.append((rect, member))
+                rect_b = rect_b.union(rect)
+
+        sibling = RTreeNode[T](is_leaf=node.is_leaf)
+        if node.is_leaf:
+            node.entries = [member for _, member in group_a]
+            sibling.entries = [member for _, member in group_b]
+        else:
+            node.children = [member for _, member in group_a]
+            sibling.children = [member for _, member in group_b]
+            for child in node.children:
+                child.parent = node
+            for child in sibling.children:
+                child.parent = sibling
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(rects: Sequence[Rect]) -> tuple[int, int]:
+        """Quadratic seed pick: the pair wasting the most area together."""
+        worst_pair = (0, 1)
+        worst_waste = -math.inf
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                waste = (
+                    rects[i].union(rects[j]).area - rects[i].area - rects[j].area
+                )
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst_pair = (i, j)
+        return worst_pair
+
+    @staticmethod
+    def _pick_next(
+        remaining: Sequence[tuple[Rect, Any]], rect_a: Rect, rect_b: Rect
+    ) -> tuple[int, bool]:
+        """Pick the member with the strongest group preference."""
+        best_index = 0
+        best_difference = -math.inf
+        prefers_a = True
+        for index, (rect, _) in enumerate(remaining):
+            growth_a = rect_a.enlargement(rect)
+            growth_b = rect_b.enlargement(rect)
+            difference = abs(growth_a - growth_b)
+            if difference > best_difference:
+                best_difference = difference
+                best_index = index
+                prefers_a = growth_a < growth_b
+        return best_index, prefers_a
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, item: T, shape: Rect | Point) -> bool:
+        """Remove one entry matching ``item`` (by equality) at ``shape``.
+
+        Returns True when an entry was removed.  Underfull nodes along
+        the path are dissolved and their members re-inserted (Guttman's
+        CondenseTree).
+        """
+        rect = Rect.from_point(shape) if isinstance(shape, Point) else shape
+        leaf = self._find_leaf(self._root, rect, item)
+        if leaf is None:
+            return False
+        for index, entry in enumerate(leaf.entries):
+            if entry.item == item and entry.rect == rect:
+                del leaf.entries[index]
+                break
+        self._size -= 1
+        self._condense(leaf)
+        return True
+
+    def _find_leaf(
+        self, node: RTreeNode[T], rect: Rect, item: T
+    ) -> RTreeNode[T] | None:
+        if node.rect is None or not node.rect.contains_rect(rect):
+            return None
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.item == item and entry.rect == rect:
+                    return node
+            return None
+        for child in node.children:
+            found = self._find_leaf(child, rect, item)
+            if found is not None:
+                return found
+        return None
+
+    def _condense(self, node: RTreeNode[T]) -> None:
+        orphans: list[RTreeEntry[T]] = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node) < self._min_entries:
+                parent.children.remove(node)
+                orphans.extend(self._collect_entries(node))
+            else:
+                self._refresh(node)
+            node = parent
+        self._refresh(node)
+        # Shrink the root when it has a single inner child.
+        while not self._root.is_leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._root.parent = None
+        if not self._root.is_leaf and not self._root.children:
+            self._root = RTreeNode[T](is_leaf=True)
+        for entry in orphans:
+            self._insert_entry(entry)
+
+    @staticmethod
+    def _collect_entries(node: RTreeNode[T]) -> list[RTreeEntry[T]]:
+        collected: list[RTreeEntry[T]] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                collected.extend(current.entries)
+            else:
+                stack.extend(current.children)
+        return collected
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_search(self, window: Rect) -> list[T]:
+        """Return items whose rectangle intersects ``window``."""
+        results: list[T] = []
+        if self._root.rect is None:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            assert node.rect is not None
+            if not node.rect.intersects(window):
+                continue
+            if node.is_leaf:
+                results.extend(
+                    entry.item
+                    for entry in node.entries
+                    if entry.rect.intersects(window)
+                )
+            else:
+                stack.extend(node.children)
+        return results
+
+    def count_in(self, window: Rect) -> int:
+        """Count items intersecting ``window`` without materialising them."""
+        if self._root.rect is None:
+            return 0
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            assert node.rect is not None
+            if not node.rect.intersects(window):
+                continue
+            if window.contains_rect(node.rect):
+                count += self._subtree_size(node)
+                continue
+            if node.is_leaf:
+                count += sum(
+                    1 for entry in node.entries if entry.rect.intersects(window)
+                )
+            else:
+                stack.extend(node.children)
+        return count
+
+    @staticmethod
+    def _subtree_size(node: RTreeNode[T]) -> int:
+        total = 0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                total += len(current.entries)
+            else:
+                stack.extend(current.children)
+        return total
+
+    def nearest_neighbors(
+        self, point: Point, k: int, *, tie_key: Callable[[T], Any] | None = None
+    ) -> list[T]:
+        """Best-first k-nearest-neighbour search from ``point``.
+
+        ``tie_key`` fixes the order among equidistant items (engines pass
+        the object id for determinism).
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if self._root.rect is None:
+            return []
+        counter = 0
+        # Heap entries: (distance, kind, tie, payload).  kind 0 orders
+        # nodes before items at equal distance so an item is only emitted
+        # once no node that could contain a closer item remains; ``tie``
+        # is the caller's key for items (determinism) and an insertion
+        # counter for nodes (heap stability).
+        heap: list[tuple[float, int, Any, object]] = [
+            (self._root.rect.min_distance_to_point(point), 0, counter, self._root)
+        ]
+        results: list[T] = []
+        while heap and len(results) < k:
+            _, kind, _, payload = heappop(heap)
+            if kind == 1:
+                results.append(payload)  # type: ignore[arg-type]
+                continue
+            node: RTreeNode[T] = payload  # type: ignore[assignment]
+            if node.is_leaf:
+                for entry in node.entries:
+                    counter += 1
+                    tie = tie_key(entry.item) if tie_key is not None else counter
+                    heappush(
+                        heap,
+                        (entry.rect.min_distance_to_point(point), 1, tie, entry.item),
+                    )
+            else:
+                for child in node.children:
+                    assert child.rect is not None
+                    counter += 1
+                    heappush(
+                        heap,
+                        (child.rect.min_distance_to_point(point), 0, counter, child),
+                    )
+        return results
+
+    # ------------------------------------------------------------------
+    # Validation (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises AssertionError on violation."""
+        if self._size == 0:
+            return
+        expected_leaf_depth: int | None = None
+
+        def walk(node: RTreeNode[T], depth: int, is_root: bool) -> int:
+            nonlocal expected_leaf_depth
+            assert node.rect is not None, "non-empty node missing MBR"
+            if not is_root:
+                assert len(node) >= self._min_entries, "underfull node"
+            assert len(node) <= self._max_entries, "overfull node"
+            if node.is_leaf:
+                if expected_leaf_depth is None:
+                    expected_leaf_depth = depth
+                assert depth == expected_leaf_depth, "leaves at different depths"
+                for entry in node.entries:
+                    assert node.rect.contains_rect(entry.rect), "entry outside MBR"
+                return len(node.entries)
+            total = 0
+            for child in node.children:
+                assert child.parent is node, "broken parent pointer"
+                assert child.rect is not None
+                assert node.rect.contains_rect(child.rect), "child outside MBR"
+                total += walk(child, depth + 1, False)
+            return total
+
+        total = walk(self._root, 0, True)
+        assert total == self._size, f"size mismatch: {total} != {self._size}"

@@ -1,0 +1,125 @@
+"""Index introspection: structural quality metrics for the R-tree family.
+
+Downstream users tuning fanout or comparing bulk-loaded against
+incrementally-built trees need to *see* the structure: fill factors,
+leaf-area statistics, sibling overlap, and the size of the spatio-textual
+summaries each variant carries per node.  The E2/E8 benchmarks report
+these numbers; this module computes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.index.irtree import IRSummary
+from repro.index.kcrtree import KcSummary
+from repro.index.rtree import RTree, RTreeNode
+from repro.index.setrtree import SetSummary
+
+__all__ = ["TreeStatistics", "tree_statistics"]
+
+
+@dataclass(frozen=True, slots=True)
+class TreeStatistics:
+    """Structural metrics of one tree."""
+
+    items: int
+    height: int
+    node_count: int
+    leaf_count: int
+    inner_count: int
+    #: Mean members per node over (leaf entries | inner children) / capacity.
+    avg_leaf_fill: float
+    avg_inner_fill: float
+    #: Mean area of leaf MBRs (dead-space indicator for point data).
+    avg_leaf_area: float
+    #: Mean pairwise MBR overlap area among siblings, normalised by the
+    #: mean sibling area; 0 means perfectly disjoint siblings.
+    sibling_overlap_ratio: float
+    #: Mean per-node summary payload size: keyword count for SetR-trees
+    #: (|union|), map entries for KcR-trees, posting entries for IR-trees;
+    #: 0 for plain R-trees.
+    avg_summary_size: float
+
+    def describe(self) -> str:
+        return (
+            f"items={self.items} height={self.height} nodes={self.node_count} "
+            f"(leaves={self.leaf_count}) fill={self.avg_leaf_fill:.2f}/"
+            f"{self.avg_inner_fill:.2f} leaf_area={self.avg_leaf_area:.3g} "
+            f"overlap={self.sibling_overlap_ratio:.3f} "
+            f"summary={self.avg_summary_size:.1f}"
+        )
+
+
+def _summary_size(summary: Any) -> int:
+    if isinstance(summary, SetSummary):
+        return len(summary.union)
+    if isinstance(summary, KcSummary):
+        return len(summary.keyword_counts)
+    if isinstance(summary, IRSummary):
+        return len(summary.max_impacts)
+    return 0
+
+
+def tree_statistics(tree: RTree) -> TreeStatistics:
+    """Compute :class:`TreeStatistics` for any tree of the R-tree family."""
+    if len(tree) == 0:
+        return TreeStatistics(
+            items=0, height=1, node_count=1, leaf_count=1, inner_count=0,
+            avg_leaf_fill=0.0, avg_inner_fill=0.0, avg_leaf_area=0.0,
+            sibling_overlap_ratio=0.0, avg_summary_size=0.0,
+        )
+
+    leaf_fills: list[float] = []
+    inner_fills: list[float] = []
+    leaf_areas: list[float] = []
+    summary_sizes: list[int] = []
+    overlap_total = 0.0
+    sibling_area_total = 0.0
+    sibling_pairs = 0
+    node_count = 0
+
+    stack: list[RTreeNode] = [tree.root]
+    while stack:
+        node = stack.pop()
+        node_count += 1
+        summary_sizes.append(_summary_size(node.summary))
+        if node.is_leaf:
+            leaf_fills.append(len(node.entries) / tree.max_entries)
+            assert node.rect is not None
+            leaf_areas.append(node.rect.area)
+        else:
+            inner_fills.append(len(node.children) / tree.max_entries)
+            children = node.children
+            for i, first in enumerate(children):
+                assert first.rect is not None
+                sibling_area_total += first.rect.area
+                for second in children[i + 1 :]:
+                    assert second.rect is not None
+                    shared = first.rect.intersection(second.rect)
+                    if shared is not None:
+                        overlap_total += shared.area
+                    sibling_pairs += 1
+            stack.extend(children)
+
+    # Normalise accumulated pairwise overlap by total sibling area; both
+    # are sums over the same node population, so the ratio is scale-free.
+    overlap_ratio = (
+        overlap_total / sibling_area_total if sibling_area_total > 0 else 0.0
+    )
+
+    return TreeStatistics(
+        items=len(tree),
+        height=tree.height(),
+        node_count=node_count,
+        leaf_count=len(leaf_fills),
+        inner_count=len(inner_fills),
+        avg_leaf_fill=sum(leaf_fills) / len(leaf_fills),
+        avg_inner_fill=(
+            sum(inner_fills) / len(inner_fills) if inner_fills else 0.0
+        ),
+        avg_leaf_area=sum(leaf_areas) / len(leaf_areas),
+        sibling_overlap_ratio=overlap_ratio,
+        avg_summary_size=sum(summary_sizes) / len(summary_sizes),
+    )

@@ -1,0 +1,40 @@
+"""The browser-server service layer of Fig. 1.
+
+* :class:`repro.service.api.YaskEngine` — the server-side query processor.
+* :class:`repro.service.server.YaskHTTPServer` — JSON-over-HTTP transport.
+* :class:`repro.service.client.YaskClient` — the client counterpart.
+* :mod:`repro.service.session` — initial-query cache and query log.
+* :mod:`repro.service.panels` — text rendering of the GUI panels (Figs. 3-5).
+"""
+
+from repro.service.api import TimedResult, YaskEngine
+from repro.service.client import YaskClient, YaskClientError
+from repro.service.panels import (
+    render_demo_screen,
+    render_explanation_panel,
+    render_map,
+    render_query_details,
+    render_result_window,
+)
+from repro.service.protocol import ProtocolError
+from repro.service.server import YaskHTTPServer, serve_forever
+from repro.service.session import LogEntry, QueryLog, Session, SessionManager
+
+__all__ = [
+    "TimedResult",
+    "YaskEngine",
+    "YaskClient",
+    "YaskClientError",
+    "render_demo_screen",
+    "render_explanation_panel",
+    "render_map",
+    "render_query_details",
+    "render_result_window",
+    "ProtocolError",
+    "YaskHTTPServer",
+    "serve_forever",
+    "LogEntry",
+    "QueryLog",
+    "Session",
+    "SessionManager",
+]

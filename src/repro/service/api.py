@@ -1,0 +1,260 @@
+"""The YASK query processor facade (Fig. 1's server-side "Query Processor").
+
+:class:`YaskEngine` wires together everything the architecture diagram
+shows on the server: the R-tree based indexes built over the object
+database, the spatial keyword top-k query engine, and the why-not engine
+with its explanation generator and two refinement modules.  The HTTP
+server (:mod:`repro.service.server`), the CLI and the examples all drive
+this one class; embedding applications can use it directly without any
+service plumbing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Sequence
+
+from repro.core.geometry import Point
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.core.query import DEFAULT_WEIGHTS, QueryResult, SpatialKeywordQuery, Weights
+from repro.core.scoring import Scorer
+from repro.core.topk import BestFirstTopK, BruteForceTopK, TopKEngine
+from repro.index.irtree import IRTree
+from repro.index.kcrtree import KcRTree
+from repro.index.setrtree import SetRTree
+from repro.text.similarity import (
+    JACCARD,
+    CosineTfIdfSimilarity,
+    JaccardSimilarity,
+    SetSimilarityModel,
+    TextSimilarityModel,
+)
+from repro.whynot.engine import WhyNotAnswer, WhyNotEngine
+from repro.whynot.explanation import WhyNotExplanation
+from repro.whynot.keyword import KeywordRefinement
+from repro.whynot.preference import PreferenceRefinement
+
+__all__ = ["TimedResult", "YaskEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimedResult:
+    """A value paired with its server-side response time (Fig. 4, Panel 5)."""
+
+    value: object
+    response_ms: float
+
+
+class YaskEngine:
+    """The complete YASK server-side query processor.
+
+    Parameters
+    ----------
+    database:
+        The spatial object database ``D``.
+    text_model:
+        Textual similarity model; Jaccard (the paper's Eqn. 2 default)
+        enables the SetR-tree engine and both why-not modules.  A
+        :class:`CosineTfIdfSimilarity` switches the top-k engine to the
+        IR-tree of [4]; the why-not keyword module then falls back to
+        exhaustive ranking (its KcR-tree bounds are Jaccard-specific).
+    default_weights:
+        The server-side preference parameter: "the system ... leaves the
+        weighting vector ~w as a system parameter on the server.  In the
+        default setting ... ⟨0.5, 0.5⟩" (Section 3.2).
+    max_entries:
+        R-tree fanout for every index built.
+    """
+
+    def __init__(
+        self,
+        database: SpatialDatabase,
+        *,
+        text_model: TextSimilarityModel = JACCARD,
+        default_weights: Weights = DEFAULT_WEIGHTS,
+        max_entries: int = 32,
+        use_index: bool = True,
+        max_edit_count: int | None = None,
+        candidate_budget: int | None = None,
+    ) -> None:
+        self._database = database
+        self._text_model = text_model
+        self._default_weights = default_weights
+        self._scorer = Scorer(database, text_model=text_model)
+
+        self._set_rtree: SetRTree | None = None
+        self._ir_tree: IRTree | None = None
+        self._topk_engine: TopKEngine
+        if not use_index:
+            self._topk_engine = BruteForceTopK(self._scorer)
+        elif isinstance(text_model, SetSimilarityModel):
+            self._set_rtree = SetRTree.build(
+                database, text_model=text_model, max_entries=max_entries
+            )
+            self._topk_engine = BestFirstTopK(self._set_rtree, self._scorer)
+        elif isinstance(text_model, CosineTfIdfSimilarity):
+            self._ir_tree = IRTree.build(
+                database, text_model=text_model, max_entries=max_entries
+            )
+            self._topk_engine = BestFirstTopK(self._ir_tree, self._scorer)
+        else:
+            self._topk_engine = BruteForceTopK(self._scorer)
+
+        # The explanation generator's counting queries are served by a
+        # SetR-tree when the ranking model is set-based (the counts must
+        # agree with the ranking model's similarities); otherwise the
+        # generator falls back to database scans.
+        if self._set_rtree is None and isinstance(text_model, SetSimilarityModel):
+            self._set_rtree = SetRTree.build(
+                database, text_model=text_model, max_entries=max_entries
+            )
+
+        self._kcr_tree = KcRTree.build(database, max_entries=max_entries)
+        self._whynot = WhyNotEngine(
+            self._scorer,
+            set_rtree=self._set_rtree,
+            kcr_tree=self._kcr_tree,
+            use_kcr_bounds=isinstance(text_model, JaccardSimilarity),
+            max_edit_count=max_edit_count,
+            candidate_budget=candidate_budget,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> SpatialDatabase:
+        return self._database
+
+    @property
+    def scorer(self) -> Scorer:
+        return self._scorer
+
+    @property
+    def default_weights(self) -> Weights:
+        return self._default_weights
+
+    @property
+    def whynot(self) -> WhyNotEngine:
+        return self._whynot
+
+    @property
+    def set_rtree(self) -> SetRTree | None:
+        return self._set_rtree
+
+    @property
+    def kcr_tree(self) -> KcRTree:
+        return self._kcr_tree
+
+    @property
+    def ir_tree(self) -> IRTree | None:
+        return self._ir_tree
+
+    # ------------------------------------------------------------------
+    # Query construction
+    # ------------------------------------------------------------------
+    def make_query(
+        self,
+        loc: Point,
+        keywords: Iterable[str] | AbstractSet[str],
+        k: int,
+        *,
+        weights: Weights | None = None,
+    ) -> SpatialKeywordQuery:
+        """Build a query, defaulting the weights to the server parameter."""
+        return SpatialKeywordQuery(
+            loc=loc,
+            doc=frozenset(keywords),
+            k=k,
+            weights=weights if weights is not None else self._default_weights,
+        )
+
+    # ------------------------------------------------------------------
+    # Spatial keyword top-k querying
+    # ------------------------------------------------------------------
+    def query(self, query: SpatialKeywordQuery) -> QueryResult:
+        """Execute a prepared spatial keyword top-k query."""
+        return self._topk_engine.search(query)
+
+    def top_k(
+        self,
+        loc: Point,
+        keywords: Iterable[str] | AbstractSet[str],
+        k: int,
+        *,
+        weights: Weights | None = None,
+    ) -> QueryResult:
+        """Convenience: build and execute a top-k query in one step."""
+        return self.query(self.make_query(loc, keywords, k, weights=weights))
+
+    def timed_query(self, query: SpatialKeywordQuery) -> TimedResult:
+        """Execute a query and report the response time (query log panel)."""
+        started = time.perf_counter()
+        result = self.query(query)
+        return TimedResult(
+            value=result, response_ms=(time.perf_counter() - started) * 1000.0
+        )
+
+    def audit(self, result: QueryResult):
+        """Answer "are the returned objects really the best?" (Examples 1-2).
+
+        Re-derives the result with the brute-force Definition-1 oracle
+        and cross-checks objects, order and scores; returns an
+        :class:`repro.service.audit.AuditReport`.
+        """
+        from repro.service.audit import audit_result
+
+        return audit_result(self._scorer, result)
+
+    # ------------------------------------------------------------------
+    # Why-not question answering
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[int | str | SpatialObject],
+    ) -> WhyNotExplanation:
+        """Explain why the referenced objects are missing from the result."""
+        return self._whynot.explain(query, missing)
+
+    def refine_preference(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[int | str | SpatialObject],
+        *,
+        lam: float = 0.5,
+    ) -> PreferenceRefinement:
+        """Preference-adjusted refinement (Definition 2)."""
+        return self._whynot.refine_preference(query, missing, lam=lam)
+
+    def refine_keywords(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[int | str | SpatialObject],
+        *,
+        lam: float = 0.5,
+    ) -> KeywordRefinement:
+        """Keyword-adapted refinement (Definition 3)."""
+        return self._whynot.refine_keywords(query, missing, lam=lam)
+
+    def refine_combined(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[int | str | SpatialObject],
+        *,
+        lam: float = 0.5,
+    ):
+        """Both refinement functions applied together (Section 3.2:
+        "users can apply the two refinement functions simultaneously")."""
+        return self._whynot.refine_combined(query, missing, lam=lam)
+
+    def why_not(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[int | str | SpatialObject],
+        *,
+        lam: float = 0.5,
+    ) -> WhyNotAnswer:
+        """Full why-not answer: explanation plus both refinement models."""
+        return self._whynot.refine_both(query, missing, lam=lam)

@@ -1,0 +1,117 @@
+"""Result auditing: "Are the returned hotels really the best?"
+
+Both motivating examples of the paper have the user doubting the result
+itself (Example 1: "Are there better options? Is something wrong with
+the query so that other good options are also missing?"; Example 2:
+"Are the returned hotels really the best?").  The why-not engine answers
+the *missing-object* half of that doubt; this module answers the
+*result-integrity* half: it re-derives the top-k with the brute-force
+Definition-1 oracle and cross-checks the served result object by object,
+score by score.
+
+In production such an audit guards against index corruption (e.g. a
+stale persisted index reattached to a newer database); in this
+reproduction it doubles as a runtime assertion of the central
+index-equals-oracle theorem the test suite establishes statically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.query import QueryResult, SpatialKeywordQuery
+from repro.core.scoring import Scorer
+
+__all__ = ["AuditFinding", "AuditReport", "audit_result"]
+
+
+@dataclass(frozen=True, slots=True)
+class AuditFinding:
+    """One discrepancy between the served result and the oracle."""
+
+    position: int
+    kind: str
+    detail: str
+
+
+@dataclass(frozen=True, slots=True)
+class AuditReport:
+    """The verdict of one audit."""
+
+    query: SpatialKeywordQuery
+    ok: bool
+    findings: tuple[AuditFinding, ...]
+    checked_entries: int
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"audit ok: the served top-{self.query.k} is exactly the "
+                f"Definition-1 result ({self.checked_entries} entries checked)"
+            )
+        lines = [f"audit FAILED with {len(self.findings)} finding(s):"]
+        lines.extend(
+            f"  [{finding.position}] {finding.kind}: {finding.detail}"
+            for finding in self.findings
+        )
+        return "\n".join(lines)
+
+
+def audit_result(scorer: Scorer, served: QueryResult) -> AuditReport:
+    """Cross-check a served result against the brute-force oracle.
+
+    Checks, in order: result size, object identity per rank position,
+    served scores against recomputed scores, and the Definition-1
+    dominance property (no outside object outranks a returned one under
+    the deterministic total order).
+    """
+    query = served.query
+    findings: list[AuditFinding] = []
+
+    oracle = scorer.top_k(query)
+    expected_size = min(query.k, len(scorer.database))
+    if len(served) != expected_size:
+        findings.append(
+            AuditFinding(
+                position=0,
+                kind="size-mismatch",
+                detail=f"served {len(served)} entries, expected {expected_size}",
+            )
+        )
+
+    for position, (served_entry, oracle_entry) in enumerate(
+        zip(served.entries, oracle.entries), start=1
+    ):
+        if served_entry.obj.oid != oracle_entry.obj.oid:
+            findings.append(
+                AuditFinding(
+                    position=position,
+                    kind="wrong-object",
+                    detail=(
+                        f"served {served_entry.obj.label} (oid "
+                        f"{served_entry.obj.oid}), oracle expects "
+                        f"{oracle_entry.obj.label} (oid {oracle_entry.obj.oid})"
+                    ),
+                )
+            )
+            continue
+        recomputed = scorer.score(served_entry.obj, query)
+        if served_entry.score != recomputed:
+            findings.append(
+                AuditFinding(
+                    position=position,
+                    kind="score-drift",
+                    detail=(
+                        f"served score {served_entry.score!r} != recomputed "
+                        f"{recomputed!r} for {served_entry.obj.label}"
+                    ),
+                )
+            )
+
+    return AuditReport(
+        query=query,
+        ok=not findings,
+        findings=tuple(findings),
+        checked_entries=len(served),
+    )

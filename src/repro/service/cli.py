@@ -1,0 +1,236 @@
+"""The ``yask`` command line interface.
+
+Subcommands:
+
+* ``yask serve [--host --port --dataset]`` — run the HTTP service.
+* ``yask query --x --y --keywords --k [--ws]`` — one-shot top-k query.
+* ``yask whynot --x --y --keywords --k --missing [--lambda --model]`` —
+  one-shot why-not question (explanation + refinement).
+* ``yask demo`` — print the full demonstration screen (Figs. 3-5) for
+  the Carol scenario on the 539-hotel dataset.
+
+Datasets: ``hotels`` (the 539 Hong Kong hotels), ``coffee`` (Example 1's
+cafes) or a path to a JSON file produced by
+:func:`repro.datasets.save_json`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.geometry import Point
+from repro.core.objects import SpatialDatabase
+from repro.core.query import Weights
+from repro.datasets.hotels import GRAND_VICTORIA, coffee_shops, hong_kong_hotels
+from repro.datasets.loaders import load_json
+from repro.service.api import YaskEngine
+from repro.service.panels import render_demo_screen
+from repro.service.protocol import (
+    explanation_to_dict,
+    keyword_refinement_to_dict,
+    preference_refinement_to_dict,
+    result_to_dict,
+)
+from repro.service.server import serve_forever
+from repro.whynot.errors import WhyNotError
+
+__all__ = ["main", "build_parser", "load_dataset"]
+
+
+def load_dataset(spec: str) -> SpatialDatabase:
+    """Resolve a dataset spec: a builtin name or a JSON file path."""
+    if spec == "hotels":
+        return hong_kong_hotels()
+    if spec == "coffee":
+        return coffee_shops()
+    return load_json(spec)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="yask",
+        description=(
+            "YASK: a why-not question answering engine for spatial keyword "
+            "query services (PVLDB 2016 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the HTTP service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--dataset", default="hotels")
+
+    def add_query_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--dataset", default="hotels")
+        command.add_argument("--x", type=float, required=True)
+        command.add_argument("--y", type=float, required=True)
+        command.add_argument(
+            "--keywords", required=True, help="comma-separated query keywords"
+        )
+        command.add_argument("--k", type=int, default=3)
+        command.add_argument(
+            "--ws",
+            type=float,
+            default=None,
+            help="spatial weight (default: server parameter 0.5)",
+        )
+
+    query = sub.add_parser("query", help="run one top-k query")
+    add_query_args(query)
+
+    whynot = sub.add_parser("whynot", help="ask a why-not question")
+    add_query_args(whynot)
+    whynot.add_argument(
+        "--missing",
+        required=True,
+        help="comma-separated object names or ids expected in the result",
+    )
+    whynot.add_argument("--lambda", dest="lam", type=float, default=0.5)
+    whynot.add_argument(
+        "--model",
+        choices=("preference", "keywords", "both"),
+        default="both",
+    )
+
+    demo = sub.add_parser("demo", help="print the demonstration screens")
+    demo.add_argument("--width", type=int, default=64)
+
+    stats = sub.add_parser(
+        "stats", help="print dataset and index structure statistics"
+    )
+    stats.add_argument("--dataset", default="hotels")
+    stats.add_argument("--max-entries", type=int, default=32)
+
+    audit = sub.add_parser(
+        "audit",
+        help="run a top-k query and verify the result against the oracle",
+    )
+    add_query_args(audit)
+
+    return parser
+
+
+def _parse_keywords(raw: str) -> frozenset[str]:
+    keywords = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    if not keywords:
+        raise SystemExit("at least one query keyword is required")
+    return keywords
+
+
+def _parse_missing(raw: str) -> list[int | str]:
+    refs: list[int | str] = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        refs.append(int(part) if part.isdigit() else part)
+    if not refs:
+        raise SystemExit("at least one missing object is required")
+    return refs
+
+
+def _make_engine(args: argparse.Namespace) -> YaskEngine:
+    return YaskEngine(load_dataset(args.dataset))
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    engine = _make_engine(args)
+    weights = Weights.from_spatial(args.ws) if args.ws is not None else None
+    result = engine.top_k(
+        Point(args.x, args.y), _parse_keywords(args.keywords), args.k,
+        weights=weights,
+    )
+    print(json.dumps(result_to_dict(result), indent=2))
+    return 0
+
+
+def _run_whynot(args: argparse.Namespace) -> int:
+    engine = _make_engine(args)
+    weights = Weights.from_spatial(args.ws) if args.ws is not None else None
+    query = engine.make_query(
+        Point(args.x, args.y), _parse_keywords(args.keywords), args.k,
+        weights=weights,
+    )
+    missing = _parse_missing(args.missing)
+    try:
+        payload: dict = {
+            "explanation": explanation_to_dict(engine.explain(query, missing))
+        }
+        if args.model in ("preference", "both"):
+            refinement = engine.refine_preference(query, missing, lam=args.lam)
+            payload["preference"] = preference_refinement_to_dict(refinement)
+        if args.model in ("keywords", "both"):
+            refinement = engine.refine_keywords(query, missing, lam=args.lam)
+            payload["keywords"] = keyword_refinement_to_dict(refinement)
+    except WhyNotError as exc:
+        print(f"why-not error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    database = hong_kong_hotels()
+    engine = YaskEngine(database)
+    venue = Point(114.1722, 22.2975)  # the "conference venue" of Example 2
+    result = engine.top_k(venue, {"clean", "comfortable"}, k=3)
+    answer = engine.why_not(result.query, [GRAND_VICTORIA])
+    print(render_demo_screen(database, result, answer, width=args.width))
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    from repro.index.stats import tree_statistics
+
+    database = load_dataset(args.dataset)
+    engine = YaskEngine(database, max_entries=args.max_entries)
+    print("dataset:")
+    for key, value in database.summary().items():
+        print(f"  {key} = {value}")
+    print("SetR-tree:")
+    print(f"  {tree_statistics(engine.set_rtree).describe()}")
+    print("KcR-tree:")
+    print(f"  {tree_statistics(engine.kcr_tree).describe()}")
+    return 0
+
+
+def _run_audit(args: argparse.Namespace) -> int:
+    engine = _make_engine(args)
+    weights = Weights.from_spatial(args.ws) if args.ws is not None else None
+    result = engine.top_k(
+        Point(args.x, args.y), _parse_keywords(args.keywords), args.k,
+        weights=weights,
+    )
+    report = engine.audit(result)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        serve_forever(
+            YaskEngine(load_dataset(args.dataset)),
+            host=args.host,
+            port=args.port,
+        )
+        return 0
+    if args.command == "query":
+        return _run_query(args)
+    if args.command == "whynot":
+        return _run_whynot(args)
+    if args.command == "demo":
+        return _run_demo(args)
+    if args.command == "stats":
+        return _run_stats(args)
+    if args.command == "audit":
+        return _run_audit(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

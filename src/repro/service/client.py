@@ -1,0 +1,150 @@
+"""A Python client for the YASK HTTP service.
+
+Plays the role of the paper's browser front end (Section 3.2): it issues
+the initial top-k query, keeps the returned ``session_id`` and sends the
+follow-up why-not requests against it.  Transport is the standard
+library's ``urllib`` so the client works wherever the server does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping, Sequence
+from urllib import error, request
+
+__all__ = ["YaskClientError", "YaskClient"]
+
+
+class YaskClientError(RuntimeError):
+    """An error response from the YASK server."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class YaskClient:
+    """Thin JSON-over-HTTP client mirroring the server's endpoints."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self._base_url = base_url.rstrip("/")
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        url = f"{self._base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with request.urlopen(req, timeout=self._timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", exc.reason
+                )
+            except Exception:  # body not JSON
+                message = str(exc.reason)
+            raise YaskClientError(exc.code, message) from None
+        except error.URLError as exc:
+            raise YaskClientError(0, f"connection failed: {exc.reason}") from None
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    def objects(self) -> list[dict[str, Any]]:
+        """All objects — the grey markers of the map panel (Fig. 3)."""
+        return self._call("GET", "/api/objects")["objects"]
+
+    def query(
+        self,
+        x: float,
+        y: float,
+        keywords: Iterable[str],
+        k: int,
+        *,
+        ws: float | None = None,
+    ) -> dict[str, Any]:
+        """Issue an initial top-k query; response carries ``session_id``."""
+        payload: dict[str, Any] = {
+            "x": x,
+            "y": y,
+            "keywords": sorted(set(keywords)),
+            "k": k,
+        }
+        if ws is not None:
+            payload["ws"] = ws
+        return self._call("POST", "/api/query", payload)
+
+    def explain(
+        self, session_id: str, missing: Sequence[int | str]
+    ) -> dict[str, Any]:
+        return self._call(
+            "POST",
+            "/api/whynot/explain",
+            {"session_id": session_id, "missing": list(missing)},
+        )
+
+    def refine_preference(
+        self,
+        session_id: str,
+        missing: Sequence[int | str],
+        *,
+        lam: float = 0.5,
+    ) -> dict[str, Any]:
+        return self._call(
+            "POST",
+            "/api/whynot/preference",
+            {"session_id": session_id, "missing": list(missing), "lambda": lam},
+        )
+
+    def refine_keywords(
+        self,
+        session_id: str,
+        missing: Sequence[int | str],
+        *,
+        lam: float = 0.5,
+    ) -> dict[str, Any]:
+        return self._call(
+            "POST",
+            "/api/whynot/keywords",
+            {"session_id": session_id, "missing": list(missing), "lambda": lam},
+        )
+
+    def refine_combined(
+        self,
+        session_id: str,
+        missing: Sequence[int | str],
+        *,
+        lam: float = 0.5,
+    ) -> dict[str, Any]:
+        """Both refinement functions applied together (Section 3.2)."""
+        return self._call(
+            "POST",
+            "/api/whynot/combined",
+            {"session_id": session_id, "missing": list(missing), "lambda": lam},
+        )
+
+    def query_log(self, session_id: str) -> list[dict[str, Any]]:
+        """The query-log panel of Fig. 4 (Panel 5)."""
+        return self._call("GET", f"/api/log?session_id={session_id}")["entries"]
+
+    def close_session(self, session_id: str) -> bool:
+        response = self._call(
+            "POST", "/api/session/close", {"session_id": session_id}
+        )
+        return bool(response.get("dropped"))

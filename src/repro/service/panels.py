@@ -1,0 +1,173 @@
+"""Text-mode rendering of the demonstration GUI panels (Figs. 3-5).
+
+The paper's client visualises everything on Google Maps; offline, this
+module renders the same information content as fixed-width text
+(DESIGN.md, substitution 3):
+
+* :func:`render_map` — Panel 1: the interactive map.  Grey markers
+  (``.``) for all objects, green (``G``) for result objects, red (``Q``)
+  for the query location and black (``M``) for the user's expected but
+  missing objects, exactly the marker scheme of Section 4.
+* :func:`render_result_window` — Panel 2's result window.
+* :func:`render_explanation_panel` — Panel 4/Fig. 5's explanation panel,
+  including the refinement options.
+* :func:`render_query_details` — Panel 5: refined parameters, penalty
+  and response time from the query log.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.geometry import Rect
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.core.query import QueryResult, SpatialKeywordQuery
+from repro.service.session import LogEntry
+from repro.whynot.engine import WhyNotAnswer
+from repro.whynot.explanation import WhyNotExplanation
+
+__all__ = [
+    "render_map",
+    "render_result_window",
+    "render_explanation_panel",
+    "render_query_details",
+    "render_demo_screen",
+]
+
+_GREY, _GREEN, _QUERY, _MISSING = ".", "G", "Q", "M"
+
+
+def _frame(title: str, body_lines: Sequence[str], width: int) -> str:
+    """Draw a simple box with a title bar around ``body_lines``."""
+    inner = max(width, len(title) + 2, *(len(line) for line in body_lines)) if body_lines else max(width, len(title) + 2)
+    top = f"+-- {title} " + "-" * max(0, inner - len(title) - 3) + "+"
+    framed = [top]
+    for line in body_lines:
+        framed.append(f"| {line.ljust(inner)} |")
+    framed.append("+" + "-" * (inner + 2) + "+")
+    return "\n".join(framed)
+
+
+def render_map(
+    database: SpatialDatabase,
+    *,
+    query: SpatialKeywordQuery | None = None,
+    result: QueryResult | None = None,
+    missing: Iterable[SpatialObject] = (),
+    width: int = 60,
+    height: int = 20,
+) -> str:
+    """Panel 1: the marker map over the database's dataspace."""
+    if width < 10 or height < 5:
+        raise ValueError("map must be at least 10x5 characters")
+    space: Rect = database.dataspace
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def plot(x: float, y: float, marker: str) -> None:
+        if space.width <= 0 or space.height <= 0:
+            col, row = 0, 0
+        else:
+            col = int((x - space.min_x) / space.width * (width - 1))
+            row = int((space.max_y - y) / space.height * (height - 1))
+        col = min(max(col, 0), width - 1)
+        row = min(max(row, 0), height - 1)
+        current = grid[row][col]
+        # Priority: query > missing > result > grey.
+        order = {" ": 0, _GREY: 1, _GREEN: 2, _MISSING: 3, _QUERY: 4}
+        if order.get(marker, 0) >= order.get(current, 0):
+            grid[row][col] = marker
+
+    for obj in database:
+        plot(obj.loc.x, obj.loc.y, _GREY)
+    if result is not None:
+        for entry in result:
+            plot(entry.obj.loc.x, entry.obj.loc.y, _GREEN)
+    for obj in missing:
+        plot(obj.loc.x, obj.loc.y, _MISSING)
+    if query is not None:
+        plot(query.loc.x, query.loc.y, _QUERY)
+
+    lines = ["".join(row) for row in grid]
+    legend = (
+        f"legend: {_QUERY}=query location  {_GREEN}=result  "
+        f"{_MISSING}=missing  {_GREY}=object"
+    )
+    lines.append(legend)
+    return _frame("Panel 1: map", lines, width)
+
+
+def render_result_window(result: QueryResult, *, width: int = 60) -> str:
+    """Panel 2's result window: the ranked result list."""
+    lines = [result.query.describe(), ""]
+    if not len(result):
+        lines.append("(empty result)")
+    for entry in result:
+        lines.append(
+            f"#{entry.rank} {entry.obj.label}  score={entry.score:.4f} "
+            f"SDist={entry.sdist:.3f} TSim={entry.tsim:.3f}"
+        )
+    return _frame("Panel 2: results", lines, width)
+
+
+def render_explanation_panel(
+    explanation: WhyNotExplanation, *, width: int = 60
+) -> str:
+    """Panel 4 / Fig. 5: reasons for each missing object + model options."""
+    lines: list[str] = []
+    for obj_explanation in explanation.explanations:
+        lines.extend(obj_explanation.narrative().splitlines())
+        lines.append("")
+    lines.append("Refinement options:")
+    lines.append("  [1] adjust the distance/keyword preference weights")
+    lines.append("  [2] adapt the query keywords")
+    lines.append(f"Suggested first: {explanation.suggested_model}")
+    return _frame("Panel 4: why-not explanation", lines, width)
+
+
+def render_query_details(
+    entries: Sequence[LogEntry], *, width: int = 60
+) -> str:
+    """Panel 5: query log with parameters, penalties and response times."""
+    lines = [entry.describe() for entry in entries] or ["(no queries yet)"]
+    return _frame("Panel 5: query log", lines, width)
+
+
+def render_demo_screen(
+    database: SpatialDatabase,
+    result: QueryResult,
+    answer: WhyNotAnswer | None = None,
+    log_entries: Sequence[LogEntry] = (),
+    *,
+    width: int = 60,
+) -> str:
+    """Compose the full demo screen the examples print (Figs. 3-4)."""
+    missing = (
+        [expl.obj for expl in answer.explanation.explanations]
+        if answer is not None
+        else []
+    )
+    sections = [
+        render_map(
+            database,
+            query=result.query,
+            result=result,
+            missing=missing,
+            width=width,
+        ),
+        render_result_window(result, width=width),
+    ]
+    if answer is not None:
+        sections.append(
+            render_explanation_panel(answer.explanation, width=width)
+        )
+        lines = []
+        if answer.preference is not None:
+            lines.append("preference adjustment: " + answer.preference.describe())
+        if answer.keyword is not None:
+            lines.append("keyword adaption:      " + answer.keyword.describe())
+        if answer.best_model is not None:
+            lines.append(f"lower-penalty model:   {answer.best_model}")
+        sections.append(_frame("Refined queries", lines, width))
+    if log_entries:
+        sections.append(render_query_details(log_entries, width=width))
+    return "\n\n".join(sections)

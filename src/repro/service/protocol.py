@@ -1,0 +1,213 @@
+"""JSON wire protocol of the YASK service.
+
+Section 3.2: "All queries are sent to the server using the standard
+HTTP post method."  This module defines the (de)serialisation between
+the engine's value objects and the JSON payloads exchanged with the
+client — one function pair per message type, kept dependency-free so
+the protocol can be reused by non-HTTP transports (the CLI pipes the
+same dicts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.geometry import Point
+from repro.core.objects import SpatialObject
+from repro.core.query import (
+    DEFAULT_WEIGHTS,
+    QueryResult,
+    RankedObject,
+    SpatialKeywordQuery,
+    Weights,
+)
+from repro.whynot.combined import CombinedRefinement
+from repro.whynot.explanation import ObjectExplanation, WhyNotExplanation
+from repro.whynot.keyword import KeywordRefinement
+from repro.whynot.preference import PreferenceRefinement
+
+__all__ = [
+    "ProtocolError",
+    "query_to_dict",
+    "query_from_dict",
+    "object_to_dict",
+    "result_to_dict",
+    "explanation_to_dict",
+    "preference_refinement_to_dict",
+    "keyword_refinement_to_dict",
+    "combined_refinement_to_dict",
+]
+
+
+class ProtocolError(ValueError):
+    """A malformed request payload."""
+
+
+def _require(payload: Mapping[str, Any], key: str) -> Any:
+    try:
+        return payload[key]
+    except KeyError:
+        raise ProtocolError(f"missing required field {key!r}") from None
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+def query_to_dict(query: SpatialKeywordQuery) -> dict[str, Any]:
+    return {
+        "x": query.loc.x,
+        "y": query.loc.y,
+        "keywords": sorted(query.doc),
+        "k": query.k,
+        "ws": query.weights.ws,
+        "wt": query.weights.wt,
+    }
+
+
+def query_from_dict(
+    payload: Mapping[str, Any], *, default_weights: Weights = DEFAULT_WEIGHTS
+) -> SpatialKeywordQuery:
+    """Parse a query request; weights are optional (server parameter)."""
+    try:
+        loc = Point(float(_require(payload, "x")), float(_require(payload, "y")))
+        keywords = _require(payload, "keywords")
+        if isinstance(keywords, str) or not hasattr(keywords, "__iter__"):
+            raise ProtocolError("'keywords' must be a list of strings")
+        k = int(_require(payload, "k"))
+        if "ws" in payload:
+            ws = float(payload["ws"])
+            wt = float(payload.get("wt", 1.0 - ws))
+            weights = Weights(ws, wt)
+        else:
+            weights = default_weights
+        return SpatialKeywordQuery(
+            loc=loc, doc=frozenset(str(kw) for kw in keywords), k=k, weights=weights
+        )
+    except ProtocolError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed query payload: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def object_to_dict(obj: SpatialObject) -> dict[str, Any]:
+    return {
+        "oid": obj.oid,
+        "name": obj.name,
+        "x": obj.loc.x,
+        "y": obj.loc.y,
+        "keywords": sorted(obj.doc),
+    }
+
+
+def _entry_to_dict(entry: RankedObject) -> dict[str, Any]:
+    return {
+        "rank": entry.rank,
+        "score": entry.score,
+        "sdist": entry.sdist,
+        "tsim": entry.tsim,
+        "object": object_to_dict(entry.obj),
+    }
+
+
+def result_to_dict(result: QueryResult) -> dict[str, Any]:
+    return {
+        "query": query_to_dict(result.query),
+        "entries": [_entry_to_dict(entry) for entry in result.entries],
+    }
+
+
+# ----------------------------------------------------------------------
+# Why-not answers
+# ----------------------------------------------------------------------
+def _object_explanation_to_dict(explanation: ObjectExplanation) -> dict[str, Any]:
+    return {
+        "object": object_to_dict(explanation.obj),
+        "rank": explanation.rank,
+        "k": explanation.k,
+        "ranks_behind": explanation.ranks_behind,
+        "score": explanation.breakdown.score,
+        "sdist": explanation.breakdown.sdist,
+        "tsim": explanation.breakdown.tsim,
+        "closer_objects": explanation.closer_objects,
+        "more_similar_objects": explanation.more_similar_objects,
+        "reason": explanation.reason.value,
+        "viable_ws_intervals": (
+            [list(interval) for interval in explanation.viable_ws_intervals]
+            if explanation.viable_ws_intervals is not None
+            else None
+        ),
+        "fixable_by_weights_alone": explanation.fixable_by_weights_alone,
+        "narrative": explanation.narrative(),
+    }
+
+
+def explanation_to_dict(explanation: WhyNotExplanation) -> dict[str, Any]:
+    return {
+        "query": query_to_dict(explanation.query),
+        "worst_rank": explanation.worst_rank,
+        "suggested_model": explanation.suggested_model,
+        "objects": [
+            _object_explanation_to_dict(entry)
+            for entry in explanation.explanations
+        ],
+    }
+
+
+def preference_refinement_to_dict(
+    refinement: PreferenceRefinement,
+) -> dict[str, Any]:
+    return {
+        "model": "preference-adjustment",
+        "refined_query": query_to_dict(refinement.refined_query),
+        "penalty": refinement.penalty,
+        "delta_k": refinement.delta_k,
+        "delta_w": refinement.delta_w,
+        "refined_worst_rank": refinement.refined_worst_rank,
+        "initial_worst_rank": refinement.initial_worst_rank,
+        "lambda": refinement.lam,
+        "method": refinement.method,
+    }
+
+
+def keyword_refinement_to_dict(refinement: KeywordRefinement) -> dict[str, Any]:
+    return {
+        "model": "keyword-adaption",
+        "refined_query": query_to_dict(refinement.refined_query),
+        "penalty": refinement.penalty,
+        "delta_k": refinement.delta_k,
+        "delta_doc": refinement.delta_doc,
+        "added": sorted(refinement.added),
+        "removed": sorted(refinement.removed),
+        "refined_worst_rank": refinement.refined_worst_rank,
+        "initial_worst_rank": refinement.initial_worst_rank,
+        "lambda": refinement.lam,
+        "method": refinement.method,
+    }
+
+
+def combined_refinement_to_dict(refinement: CombinedRefinement) -> dict[str, Any]:
+    return {
+        "model": "combined",
+        "order": refinement.order,
+        "refined_query": query_to_dict(refinement.refined_query),
+        "penalty": refinement.penalty,
+        "delta_k": refinement.delta_k,
+        "delta_w": refinement.delta_w,
+        "delta_doc": refinement.delta_doc,
+        "refined_worst_rank": refinement.refined_worst_rank,
+        "initial_worst_rank": refinement.initial_worst_rank,
+        "lambda": refinement.lam,
+        "keyword_stage": (
+            keyword_refinement_to_dict(refinement.keyword_stage)
+            if refinement.keyword_stage is not None
+            else None
+        ),
+        "preference_stage": (
+            preference_refinement_to_dict(refinement.preference_stage)
+            if refinement.preference_stage is not None
+            else None
+        ),
+    }

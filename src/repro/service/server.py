@@ -1,0 +1,364 @@
+"""The YASK HTTP server (the browser–server model of Fig. 1).
+
+The paper's server side "is built on Apache Tomcat, and its query
+engines are implemented in Java"; the reproduction substitutes Python's
+threading ``http.server`` (DESIGN.md, substitution 2) with the same
+request flow:
+
+* ``POST /api/query`` — issue an initial spatial keyword top-k query;
+  the server caches it in a session and returns a ``session_id`` for
+  follow-up why-not questions.
+* ``POST /api/whynot/explain`` — the explanation generator.
+* ``POST /api/whynot/preference`` — preference-adjusted refinement; the
+  refined query is executed and its result returned alongside.
+* ``POST /api/whynot/keywords`` — keyword-adapted refinement, ditto.
+* ``POST /api/session/close`` — the user "gave up asking" (drops the cache).
+* ``GET /api/objects`` — every object (the grey markers of Fig. 3).
+* ``GET /api/log?session_id=…`` — the query-log panel (Fig. 4, Panel 5).
+* ``GET /healthz`` — liveness probe.
+
+Every why-not response carries the fields the demonstration GUI shows:
+the refined parameters, the penalty against the initial query and the
+server-side response time.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.api import YaskEngine
+from repro.service.protocol import (
+    ProtocolError,
+    combined_refinement_to_dict,
+    explanation_to_dict,
+    keyword_refinement_to_dict,
+    object_to_dict,
+    preference_refinement_to_dict,
+    query_from_dict,
+    result_to_dict,
+)
+from repro.service.session import SessionManager
+from repro.whynot.errors import WhyNotError
+
+__all__ = ["YaskHTTPServer", "serve_forever"]
+
+_MAX_BODY_BYTES = 1 << 20  # defensive cap on request bodies
+
+
+class _RequestError(Exception):
+    """An error with an HTTP status code attached."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class YaskHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to a YaskEngine and SessionManager."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        engine: YaskEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        session_capacity: int = 256,
+    ) -> None:
+        self.engine = engine
+        self.sessions = SessionManager(capacity=session_capacity)
+        super().__init__((host, port), _YaskRequestHandler)
+
+    @property
+    def endpoint(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> threading.Thread:
+        """Serve requests on a daemon thread (tests and examples)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+
+class _YaskRequestHandler(BaseHTTPRequestHandler):
+    server: YaskHTTPServer  # narrowed type
+
+    # Silence per-request stderr logging; the query log panel is the
+    # user-visible log.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/healthz":
+                self._send_json(200, {"status": "ok", "objects": len(self.server.engine.database)})
+            elif parsed.path == "/api/objects":
+                payload = {
+                    "objects": [
+                        object_to_dict(obj)
+                        for obj in self.server.engine.database
+                    ]
+                }
+                self._send_json(200, payload)
+            elif parsed.path == "/api/log":
+                params = parse_qs(parsed.query)
+                session_id = params.get("session_id", [""])[0]
+                session = self._get_session(session_id)
+                entries = [
+                    {
+                        "sequence": entry.sequence,
+                        "kind": entry.kind,
+                        "params": dict(entry.params),
+                        "penalty": entry.penalty,
+                        "response_ms": entry.response_ms,
+                    }
+                    for entry in session.log.entries
+                ]
+                self._send_json(200, {"session_id": session_id, "entries": entries})
+            else:
+                self._send_json(404, {"error": f"unknown path {parsed.path}"})
+        except _RequestError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        handlers: Mapping[str, Callable[[Mapping[str, Any]], tuple[int, dict]]] = {
+            "/api/query": self._handle_query,
+            "/api/whynot/explain": self._handle_explain,
+            "/api/whynot/preference": self._handle_preference,
+            "/api/whynot/keywords": self._handle_keywords,
+            "/api/whynot/combined": self._handle_combined,
+            "/api/session/close": self._handle_close,
+        }
+        handler = handlers.get(parsed.path)
+        if handler is None:
+            self._send_json(404, {"error": f"unknown path {parsed.path}"})
+            return
+        try:
+            payload = self._read_json()
+            status, body = handler(payload)
+            self._send_json(status, body)
+        except _RequestError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except ProtocolError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except WhyNotError as exc:
+            self._send_json(422, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _handle_query(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        engine = self.server.engine
+        query = query_from_dict(payload, default_weights=engine.default_weights)
+        started = time.perf_counter()
+        result = engine.query(query)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        session = self.server.sessions.create(query, result)
+        session.log.record(
+            "top-k query",
+            {"k": query.k, "keywords": ",".join(sorted(query.doc))},
+            elapsed_ms,
+        )
+        return 200, {
+            "session_id": session.session_id,
+            "response_ms": elapsed_ms,
+            "result": result_to_dict(result),
+        }
+
+    def _handle_explain(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        session = self._get_session(str(payload.get("session_id", "")))
+        missing = self._missing_refs(payload)
+        engine = self.server.engine
+        started = time.perf_counter()
+        explanation = engine.explain(session.initial_query, missing)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        session.log.record(
+            "why-not explanation", {"missing": len(missing)}, elapsed_ms
+        )
+        return 200, {
+            "session_id": session.session_id,
+            "response_ms": elapsed_ms,
+            "explanation": explanation_to_dict(explanation),
+        }
+
+    def _handle_preference(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        session = self._get_session(str(payload.get("session_id", "")))
+        missing = self._missing_refs(payload)
+        lam = self._lambda(payload)
+        engine = self.server.engine
+        started = time.perf_counter()
+        refinement = engine.refine_preference(
+            session.initial_query, missing, lam=lam
+        )
+        refined_result = engine.query(refinement.refined_query)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        session.log.record(
+            "preference adjustment",
+            {
+                "missing": len(missing),
+                "lambda": lam,
+                "refined_ws": refinement.refined_query.ws,
+                "refined_k": refinement.refined_query.k,
+            },
+            elapsed_ms,
+            penalty=refinement.penalty,
+        )
+        return 200, {
+            "session_id": session.session_id,
+            "response_ms": elapsed_ms,
+            "refinement": preference_refinement_to_dict(refinement),
+            "refined_result": result_to_dict(refined_result),
+        }
+
+    def _handle_keywords(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        session = self._get_session(str(payload.get("session_id", "")))
+        missing = self._missing_refs(payload)
+        lam = self._lambda(payload)
+        engine = self.server.engine
+        started = time.perf_counter()
+        refinement = engine.refine_keywords(
+            session.initial_query, missing, lam=lam
+        )
+        refined_result = engine.query(refinement.refined_query)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        session.log.record(
+            "keyword adaption",
+            {
+                "missing": len(missing),
+                "lambda": lam,
+                "added": ",".join(sorted(refinement.added)),
+                "removed": ",".join(sorted(refinement.removed)),
+                "refined_k": refinement.refined_query.k,
+            },
+            elapsed_ms,
+            penalty=refinement.penalty,
+        )
+        return 200, {
+            "session_id": session.session_id,
+            "response_ms": elapsed_ms,
+            "refinement": keyword_refinement_to_dict(refinement),
+            "refined_result": result_to_dict(refined_result),
+        }
+
+    def _handle_combined(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        session = self._get_session(str(payload.get("session_id", "")))
+        missing = self._missing_refs(payload)
+        lam = self._lambda(payload)
+        engine = self.server.engine
+        started = time.perf_counter()
+        refinement = engine.refine_combined(
+            session.initial_query, missing, lam=lam
+        )
+        refined_result = engine.query(refinement.refined_query)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        session.log.record(
+            "combined refinement",
+            {
+                "missing": len(missing),
+                "lambda": lam,
+                "order": refinement.order,
+                "refined_k": refinement.refined_query.k,
+            },
+            elapsed_ms,
+            penalty=refinement.penalty,
+        )
+        return 200, {
+            "session_id": session.session_id,
+            "response_ms": elapsed_ms,
+            "refinement": combined_refinement_to_dict(refinement),
+            "refined_result": result_to_dict(refined_result),
+        }
+
+    def _handle_close(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        session_id = str(payload.get("session_id", ""))
+        dropped = self.server.sessions.drop(session_id)
+        return 200, {"session_id": session_id, "dropped": dropped}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _read_json(self) -> Mapping[str, Any]:
+        length = int(self.headers.get("Content-Length", "0") or "0")
+        if length <= 0:
+            raise _RequestError(400, "request body required")
+        if length > _MAX_BODY_BYTES:
+            raise _RequestError(413, "request body too large")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _RequestError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "request body must be a JSON object")
+        return payload
+
+    def _get_session(self, session_id: str):
+        if not session_id:
+            raise _RequestError(400, "session_id required")
+        try:
+            return self.server.sessions.get(session_id)
+        except KeyError as exc:
+            raise _RequestError(404, str(exc)) from None
+
+    @staticmethod
+    def _missing_refs(payload: Mapping[str, Any]) -> list[int | str]:
+        missing = payload.get("missing")
+        if not isinstance(missing, list) or not missing:
+            raise _RequestError(
+                400, "'missing' must be a non-empty list of ids or names"
+            )
+        refs: list[int | str] = []
+        for item in missing:
+            if isinstance(item, bool) or not isinstance(item, (int, str)):
+                raise _RequestError(
+                    400, "'missing' entries must be object ids or names"
+                )
+            refs.append(item)
+        return refs
+
+    @staticmethod
+    def _lambda(payload: Mapping[str, Any]) -> float:
+        raw = payload.get("lambda", 0.5)
+        try:
+            lam = float(raw)
+        except (TypeError, ValueError):
+            raise _RequestError(400, "'lambda' must be a number") from None
+        if not 0.0 <= lam <= 1.0:
+            raise _RequestError(400, "'lambda' must lie in [0, 1]")
+        return lam
+
+    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def serve_forever(
+    engine: YaskEngine, *, host: str = "127.0.0.1", port: int = 8080
+) -> None:
+    """Blocking entry point used by ``yask serve``."""
+    server = YaskHTTPServer(engine, host=host, port=port)
+    print(f"YASK server listening on {server.endpoint}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,156 @@
+"""Server-side sessions and the query log.
+
+Section 3.3 of the paper: "The server caches users' initial spatial
+keyword queries until users give up asking follow-up 'why-not'
+questions."  A :class:`Session` is one such cached initial query (plus
+its result, so follow-up requests never recompute it), created when a
+top-k query arrives and dropped explicitly or by LRU eviction.
+
+Section 4 / Fig. 4 (Panel 5): "users can find the detailed parameter
+settings for the refined query, its penalty against users' initial
+queries, as well as the query response time" — :class:`QueryLog` records
+exactly those fields for every request handled in a session.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.core.query import QueryResult, SpatialKeywordQuery
+
+__all__ = ["LogEntry", "QueryLog", "Session", "SessionManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class LogEntry:
+    """One line of the demonstration's query-log panel."""
+
+    sequence: int
+    kind: str
+    params: Mapping[str, object]
+    response_ms: float
+    penalty: float | None = None
+
+    def describe(self) -> str:
+        parts = [f"[{self.sequence}] {self.kind}"]
+        for key, value in self.params.items():
+            parts.append(f"{key}={value}")
+        if self.penalty is not None:
+            parts.append(f"penalty={self.penalty:.4f}")
+        parts.append(f"time={self.response_ms:.2f}ms")
+        return " ".join(parts)
+
+
+class QueryLog:
+    """Append-only log of requests within one session."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        kind: str,
+        params: Mapping[str, object],
+        response_ms: float,
+        *,
+        penalty: float | None = None,
+    ) -> LogEntry:
+        with self._lock:
+            entry = LogEntry(
+                sequence=next(self._counter),
+                kind=kind,
+                params=dict(params),
+                response_ms=response_ms,
+                penalty=penalty,
+            )
+            self._entries.append(entry)
+            return entry
+
+    @property
+    def entries(self) -> tuple[LogEntry, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self.entries)
+
+    def describe(self) -> str:
+        return "\n".join(entry.describe() for entry in self.entries)
+
+
+@dataclass(slots=True)
+class Session:
+    """A cached initial query with its result and per-session log."""
+
+    session_id: str
+    initial_query: SpatialKeywordQuery
+    initial_result: QueryResult
+    log: QueryLog = field(default_factory=QueryLog)
+
+
+class SessionManager:
+    """LRU-bounded registry of active sessions.
+
+    Thread-safe: the HTTP server handles requests from a thread pool.
+    """
+
+    def __init__(self, *, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._capacity = capacity
+        self._sessions: "OrderedDict[str, Session]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def create(
+        self, query: SpatialKeywordQuery, result: QueryResult
+    ) -> Session:
+        """Cache an initial query, evicting the stalest session if full."""
+        with self._lock:
+            session_id = f"s{next(self._counter):06d}"
+            session = Session(
+                session_id=session_id, initial_query=query, initial_result=result
+            )
+            self._sessions[session_id] = session
+            while len(self._sessions) > self._capacity:
+                self._sessions.popitem(last=False)
+            return session
+
+    def get(self, session_id: str) -> Session:
+        """Fetch a session, refreshing its LRU position.
+
+        Raises ``KeyError`` for unknown/expired ids — the client must
+        re-issue the initial query ("until users give up asking").
+        """
+        with self._lock:
+            try:
+                session = self._sessions.pop(session_id)
+            except KeyError:
+                raise KeyError(
+                    f"unknown or expired session {session_id!r}"
+                ) from None
+            self._sessions[session_id] = session
+            return session
+
+    def drop(self, session_id: str) -> bool:
+        """Forget a session (the user gave up asking why-not questions)."""
+        with self._lock:
+            return self._sessions.pop(session_id, None) is not None
+
+    def active_ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._sessions)

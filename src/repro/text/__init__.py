@@ -1,0 +1,42 @@
+"""Text processing substrate: tokenisation and similarity models.
+
+See :mod:`repro.text.similarity` for the ranking models (Jaccard is the
+paper's default, Eqn. 2) and :mod:`repro.text.tokenize` for the keyword
+extraction pipeline used by the dataset builders.
+"""
+
+from repro.text.similarity import (
+    JACCARD,
+    CosineTfIdfSimilarity,
+    DiceSimilarity,
+    JaccardSimilarity,
+    OverlapSimilarity,
+    SetSimilarityModel,
+    TextSimilarityModel,
+    WeightedJaccardSimilarity,
+)
+from repro.text.tokenize import (
+    DEFAULT_STOPWORDS,
+    document_frequencies,
+    keyword_set,
+    normalize_keyword,
+    tokenize,
+    vocabulary,
+)
+
+__all__ = [
+    "JACCARD",
+    "CosineTfIdfSimilarity",
+    "DiceSimilarity",
+    "JaccardSimilarity",
+    "OverlapSimilarity",
+    "SetSimilarityModel",
+    "TextSimilarityModel",
+    "WeightedJaccardSimilarity",
+    "DEFAULT_STOPWORDS",
+    "document_frequencies",
+    "keyword_set",
+    "normalize_keyword",
+    "tokenize",
+    "vocabulary",
+]

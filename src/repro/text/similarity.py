@@ -1,0 +1,402 @@
+"""Textual similarity models for spatial keyword ranking.
+
+The paper adopts the Jaccard similarity model (Eqn. (2)) "without loss of
+generality" and notes that "other textual similarity models can also be
+supported" (Section 2.1, footnote 1).  This module implements:
+
+* :class:`JaccardSimilarity` — the paper's default (Eqn. 2),
+* :class:`WeightedJaccardSimilarity` — Jaccard over per-keyword weights,
+* :class:`DiceSimilarity` and :class:`OverlapSimilarity` — classic set
+  coefficients sharing Jaccard's bounding structure,
+* :class:`CosineTfIdfSimilarity` — the IR model used by the Cong et al.
+  top-k algorithm [4] which YASK builds on; it requires corpus statistics
+  and is served by the IR-tree rather than the SetR-tree.
+
+Every model maps a (object keyword set, query keyword set) pair into
+``[0, 1]`` so that Eqn. (1) stays a convex combination of two unit-range
+components.
+
+Set models additionally expose *interval bounds* given only partial
+knowledge of an object's keyword set — namely that it is sandwiched
+between a node's intersection set and union set.  This is exactly the
+information a SetR-tree node carries (Section 3.3: "each SetR-tree node
+has pointers to the intersection set and the union set of the keyword
+sets of all objects indexed by the node") and is what makes best-first
+top-k search and why-not rank bounding possible without touching the
+objects below a node.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import AbstractSet, Mapping
+
+__all__ = [
+    "TextSimilarityModel",
+    "SetSimilarityModel",
+    "JaccardSimilarity",
+    "WeightedJaccardSimilarity",
+    "DiceSimilarity",
+    "OverlapSimilarity",
+    "CosineTfIdfSimilarity",
+    "JACCARD",
+]
+
+Keywords = AbstractSet[str]
+
+
+class TextSimilarityModel(ABC):
+    """Interface of every textual relevance model.
+
+    Implementations must be pure functions of their arguments (plus any
+    frozen corpus statistics captured at construction) so engines may
+    cache scores freely.
+    """
+
+    #: Short identifier used in benchmark output and the JSON protocol.
+    name: str = "abstract"
+
+    @abstractmethod
+    def similarity(self, object_keywords: Keywords, query_keywords: Keywords) -> float:
+        """Return the textual similarity ``TSim(o, q)`` in ``[0, 1]``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SetSimilarityModel(TextSimilarityModel):
+    """A similarity defined purely on keyword sets.
+
+    Subclasses get interval-bound support for SetR-tree style indexing:
+    given that ``intersection ⊆ o.doc ⊆ union`` for every object ``o``
+    under a node, :meth:`upper_bound` / :meth:`lower_bound` must bracket
+    ``similarity(o.doc, q.doc)``.
+    """
+
+    @abstractmethod
+    def upper_bound(
+        self,
+        intersection: Keywords,
+        union: Keywords,
+        query_keywords: Keywords,
+        *,
+        min_doc_len: int | None = None,
+        max_doc_len: int | None = None,
+    ) -> float:
+        """Upper bound of the similarity of any ``o.doc`` between the sets.
+
+        ``min_doc_len``/``max_doc_len`` optionally bound ``|o.doc|`` over
+        the group (the SetR-tree stores them alongside the two sets);
+        models may use them to tighten the bound and must stay valid
+        when they are None.
+        """
+
+    @abstractmethod
+    def lower_bound(
+        self,
+        intersection: Keywords,
+        union: Keywords,
+        query_keywords: Keywords,
+        *,
+        min_doc_len: int | None = None,
+        max_doc_len: int | None = None,
+    ) -> float:
+        """Lower bound of the similarity of any ``o.doc`` between the sets."""
+
+
+class JaccardSimilarity(SetSimilarityModel):
+    """Jaccard similarity — Eqn. (2) of the paper.
+
+    ``TSim(o, q) = |o.doc ∩ q.doc| / |o.doc ∪ q.doc|``
+
+    The empty-by-empty corner case (both sets empty) is defined as 0,
+    matching the intuition that an object with no description carries no
+    textual relevance signal.
+    """
+
+    name = "jaccard"
+
+    def similarity(self, object_keywords: Keywords, query_keywords: Keywords) -> float:
+        if not object_keywords and not query_keywords:
+            return 0.0
+        shared = len(object_keywords & query_keywords)
+        if shared == 0:
+            return 0.0
+        return shared / (len(object_keywords) + len(query_keywords) - shared)
+
+    def upper_bound(
+        self,
+        intersection: Keywords,
+        union: Keywords,
+        query_keywords: Keywords,
+        *,
+        min_doc_len: int | None = None,
+        max_doc_len: int | None = None,
+    ) -> float:
+        """Maximise the numerator and minimise the denominator independently.
+
+        For any ``o.doc`` with ``intersection ⊆ o.doc ⊆ union``:
+
+        * ``|o.doc ∩ q.doc| ≤ x := |union ∩ q.doc|``
+        * ``|o.doc ∪ q.doc| ≥ max(|intersection ∪ q.doc|, x)``, and with a
+          document-length floor also
+          ``|o.doc ∪ q.doc| = |o.doc| + |q.doc| − |o.doc ∩ q.doc|
+          ≥ min_doc_len + |q.doc| − x`` (Jaccard is increasing in the
+          overlap for a fixed document size, so the overlap maximiser
+          ``x`` also minimises the denominator term).
+
+        The bound is valid for every member and exact for singleton leaf
+        groups (intersection == union).
+        """
+        numerator = len(union & query_keywords)
+        if numerator == 0:
+            return 0.0
+        denominator = max(len(intersection | query_keywords), numerator)
+        if min_doc_len is not None:
+            denominator = max(
+                denominator, min_doc_len + len(query_keywords) - numerator
+            )
+        return min(1.0, numerator / denominator)
+
+    def lower_bound(
+        self,
+        intersection: Keywords,
+        union: Keywords,
+        query_keywords: Keywords,
+        *,
+        min_doc_len: int | None = None,
+        max_doc_len: int | None = None,
+    ) -> float:
+        """Minimise the numerator and maximise the denominator independently.
+
+        With a document-length ceiling the denominator is additionally
+        capped by ``max_doc_len + |q.doc| − |intersection ∩ q.doc|``.
+        """
+        numerator = len(intersection & query_keywords)
+        if numerator == 0:
+            return 0.0
+        denominator = len(union | query_keywords)
+        if max_doc_len is not None:
+            denominator = min(
+                denominator, max_doc_len + len(query_keywords) - numerator
+            )
+        return numerator / max(denominator, numerator)
+
+
+class WeightedJaccardSimilarity(SetSimilarityModel):
+    """Jaccard generalised with non-negative per-keyword weights.
+
+    Keywords missing from the weight table get ``default_weight``.  With
+    all weights equal to one this degenerates to plain Jaccard, which is
+    exercised by the test suite as a consistency property.
+    """
+
+    name = "weighted-jaccard"
+
+    def __init__(
+        self, weights: Mapping[str, float], *, default_weight: float = 1.0
+    ) -> None:
+        if default_weight < 0:
+            raise ValueError("default_weight must be non-negative")
+        for keyword, weight in weights.items():
+            if weight < 0:
+                raise ValueError(f"negative weight for keyword {keyword!r}")
+        self._weights = dict(weights)
+        self._default = default_weight
+
+    def weight(self, keyword: str) -> float:
+        """Return the weight of a single keyword."""
+        return self._weights.get(keyword, self._default)
+
+    def _mass(self, keywords: Keywords) -> float:
+        return sum(self.weight(keyword) for keyword in keywords)
+
+    def similarity(self, object_keywords: Keywords, query_keywords: Keywords) -> float:
+        shared = self._mass(object_keywords & query_keywords)
+        total = self._mass(object_keywords | query_keywords)
+        if total <= 0.0:
+            return 0.0
+        return shared / total
+
+    def upper_bound(
+        self,
+        intersection: Keywords,
+        union: Keywords,
+        query_keywords: Keywords,
+        *,
+        min_doc_len: int | None = None,
+        max_doc_len: int | None = None,
+    ) -> float:
+        numerator = self._mass(union & query_keywords)
+        if numerator <= 0.0:
+            return 0.0
+        denominator = max(self._mass(intersection | query_keywords), numerator)
+        if denominator <= 0.0:
+            return 0.0
+        return min(1.0, numerator / denominator)
+
+    def lower_bound(
+        self,
+        intersection: Keywords,
+        union: Keywords,
+        query_keywords: Keywords,
+        *,
+        min_doc_len: int | None = None,
+        max_doc_len: int | None = None,
+    ) -> float:
+        numerator = self._mass(intersection & query_keywords)
+        if numerator <= 0.0:
+            return 0.0
+        denominator = self._mass(union | query_keywords)
+        if denominator <= 0.0:
+            return 0.0
+        return numerator / denominator
+
+
+class DiceSimilarity(SetSimilarityModel):
+    """Sørensen–Dice coefficient: ``2|A∩B| / (|A| + |B|)``."""
+
+    name = "dice"
+
+    def similarity(self, object_keywords: Keywords, query_keywords: Keywords) -> float:
+        shared = len(object_keywords & query_keywords)
+        if shared == 0:
+            return 0.0
+        return 2.0 * shared / (len(object_keywords) + len(query_keywords))
+
+    def upper_bound(
+        self,
+        intersection: Keywords,
+        union: Keywords,
+        query_keywords: Keywords,
+        *,
+        min_doc_len: int | None = None,
+        max_doc_len: int | None = None,
+    ) -> float:
+        shared = len(union & query_keywords)
+        if shared == 0:
+            return 0.0
+        # Smallest possible |o.doc| is max(|intersection|, shared).
+        smallest_doc = max(len(intersection), shared)
+        return min(1.0, 2.0 * shared / (smallest_doc + len(query_keywords)))
+
+    def lower_bound(
+        self,
+        intersection: Keywords,
+        union: Keywords,
+        query_keywords: Keywords,
+        *,
+        min_doc_len: int | None = None,
+        max_doc_len: int | None = None,
+    ) -> float:
+        shared = len(intersection & query_keywords)
+        if shared == 0:
+            return 0.0
+        return 2.0 * shared / (len(union) + len(query_keywords))
+
+
+class OverlapSimilarity(SetSimilarityModel):
+    """Overlap coefficient: ``|A∩B| / min(|A|, |B|)``."""
+
+    name = "overlap"
+
+    def similarity(self, object_keywords: Keywords, query_keywords: Keywords) -> float:
+        shared = len(object_keywords & query_keywords)
+        if shared == 0:
+            return 0.0
+        return shared / min(len(object_keywords), len(query_keywords))
+
+    def upper_bound(
+        self,
+        intersection: Keywords,
+        union: Keywords,
+        query_keywords: Keywords,
+        *,
+        min_doc_len: int | None = None,
+        max_doc_len: int | None = None,
+    ) -> float:
+        shared = len(union & query_keywords)
+        if shared == 0:
+            return 0.0
+        if not query_keywords:
+            return 0.0
+        # |o.doc| >= max(|intersection|, 1); overlap maximised by the
+        # smallest denominator min(|o.doc|, |q.doc|) >= 1.
+        return min(1.0, shared / min(max(len(intersection), 1), len(query_keywords)))
+
+    def lower_bound(
+        self,
+        intersection: Keywords,
+        union: Keywords,
+        query_keywords: Keywords,
+        *,
+        min_doc_len: int | None = None,
+        max_doc_len: int | None = None,
+    ) -> float:
+        shared = len(intersection & query_keywords)
+        if shared == 0 or not query_keywords:
+            return 0.0
+        return shared / max(min(len(union), len(query_keywords)), 1)
+
+
+class CosineTfIdfSimilarity(TextSimilarityModel):
+    """Cosine similarity over idf-weighted keyword vectors.
+
+    This is the IR model of the Cong et al. algorithm [4] that YASK's
+    top-k engine descends from.  Because the paper's objects are keyword
+    *sets*, term frequency is binary and the model reduces to idf-weighted
+    set cosine:
+
+    ``TSim(o, q) = Σ_{t ∈ o∩q} idf(t)² / (‖o‖ ‖q‖)``
+
+    with ``idf(t) = ln(1 + N / df(t))`` and ``‖d‖ = sqrt(Σ_{t∈d} idf(t)²)``.
+
+    Corpus statistics (document frequencies and corpus size) are frozen at
+    construction; unseen keywords receive the maximum idf, i.e. they are
+    treated as appearing in a single virtual document.
+    """
+
+    name = "cosine-tfidf"
+
+    def __init__(self, document_frequencies: Mapping[str, int], corpus_size: int) -> None:
+        if corpus_size <= 0:
+            raise ValueError("corpus_size must be positive")
+        for keyword, frequency in document_frequencies.items():
+            if frequency <= 0:
+                raise ValueError(f"non-positive document frequency for {keyword!r}")
+        self._df = dict(document_frequencies)
+        self._n = corpus_size
+
+    def idf(self, keyword: str) -> float:
+        """Return the inverse document frequency weight of ``keyword``."""
+        frequency = self._df.get(keyword, 1)
+        return math.log(1.0 + self._n / frequency)
+
+    def _norm(self, keywords: Keywords) -> float:
+        return math.sqrt(sum(self.idf(keyword) ** 2 for keyword in keywords))
+
+    def similarity(self, object_keywords: Keywords, query_keywords: Keywords) -> float:
+        shared = object_keywords & query_keywords
+        if not shared:
+            return 0.0
+        dot = sum(self.idf(keyword) ** 2 for keyword in shared)
+        norm_product = self._norm(object_keywords) * self._norm(query_keywords)
+        if norm_product <= 0.0:
+            return 0.0
+        return min(1.0, dot / norm_product)
+
+    def max_impact(self, keyword: str, min_doc_len: int = 1) -> float:
+        """Upper bound of ``idf(t)·idf(t)/‖o‖`` contribution per keyword.
+
+        Used by the IR-tree's per-node inverted lists: the contribution of
+        keyword ``t`` to the (un-normalised by query) cosine score of any
+        object containing it is at most ``idf(t)`` because
+        ``‖o‖ ≥ idf(t)`` whenever ``t ∈ o``.
+        """
+        del min_doc_len  # binary tf: the bound is independent of length
+        return self.idf(keyword)
+
+
+#: Module-level singleton for the paper's default model.
+JACCARD = JaccardSimilarity()

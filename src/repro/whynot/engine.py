@@ -1,0 +1,173 @@
+"""The why-not question answering engine (Fig. 1, right-hand engine).
+
+Combines the three modules of Section 3.3 — the explanation generator,
+the preference-adjusted module and the keyword-adapted module — behind
+one facade that resolves missing-object references, validates the
+question and dispatches to the chosen refinement model.  "Users can
+apply the two refinement functions simultaneously to find better
+solutions" (Section 3.2): :meth:`WhyNotEngine.refine_both` runs both
+models and reports them side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.core.query import SpatialKeywordQuery
+from repro.core.scoring import Scorer
+from repro.index.kcrtree import KcRTree
+from repro.index.setrtree import SetRTree
+from repro.whynot.combined import CombinedRefinement, CombinedRefiner
+from repro.whynot.errors import UnknownObjectError
+from repro.whynot.explanation import ExplanationGenerator, WhyNotExplanation
+from repro.whynot.keyword import KeywordAdapter, KeywordRefinement
+from repro.whynot.preference import PreferenceAdjuster, PreferenceRefinement
+
+__all__ = ["WhyNotAnswer", "WhyNotEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class WhyNotAnswer:
+    """A combined answer: explanation plus the available refinements."""
+
+    explanation: WhyNotExplanation
+    preference: PreferenceRefinement | None = None
+    keyword: KeywordRefinement | None = None
+
+    @property
+    def best_model(self) -> str | None:
+        """Which executed model produced the lower penalty."""
+        if self.preference is None and self.keyword is None:
+            return None
+        if self.keyword is None:
+            return "preference adjustment"
+        if self.preference is None:
+            return "keyword adaption"
+        if self.preference.penalty <= self.keyword.penalty:
+            return "preference adjustment"
+        return "keyword adaption"
+
+
+class WhyNotEngine:
+    """Server-side why-not engine over one database and text model."""
+
+    def __init__(
+        self,
+        scorer: Scorer,
+        *,
+        set_rtree: SetRTree | None,
+        kcr_tree: KcRTree,
+        use_dual_index: bool = True,
+        use_kcr_bounds: bool = True,
+        max_edit_count: int | None = None,
+        candidate_budget: int | None = None,
+    ) -> None:
+        self._scorer = scorer
+        self._preference = PreferenceAdjuster(
+            scorer, use_dual_index=use_dual_index
+        )
+        self._explainer = ExplanationGenerator(
+            scorer, set_rtree, preference_adjuster=self._preference
+        )
+        self._keyword = KeywordAdapter(
+            scorer,
+            kcr_tree,
+            use_bounds=use_kcr_bounds,
+            max_edit_count=max_edit_count,
+            candidate_budget=candidate_budget,
+        )
+        self._combined = CombinedRefiner(scorer, self._preference, self._keyword)
+
+    @property
+    def database(self) -> SpatialDatabase:
+        return self._scorer.database
+
+    @property
+    def scorer(self) -> Scorer:
+        return self._scorer
+
+    # ------------------------------------------------------------------
+    # Missing-object resolution
+    # ------------------------------------------------------------------
+    def resolve_missing(
+        self, references: Sequence[int | str | SpatialObject]
+    ) -> list[SpatialObject]:
+        """Resolve ids/names/objects to database objects (``M ⊂ D``).
+
+        Duplicates collapse; unknown references raise
+        :class:`UnknownObjectError`.
+        """
+        resolved: list[SpatialObject] = []
+        seen: set[int] = set()
+        for reference in references:
+            try:
+                obj = self._scorer.database.resolve(reference)
+            except KeyError:
+                raise UnknownObjectError(reference) from None
+            if obj.oid not in seen:
+                seen.add(obj.oid)
+                resolved.append(obj)
+        return resolved
+
+    # ------------------------------------------------------------------
+    # The three modules
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[int | str | SpatialObject],
+    ) -> WhyNotExplanation:
+        """Run the explanation generator for the missing set."""
+        return self._explainer.explain(query, self.resolve_missing(missing))
+
+    def refine_preference(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[int | str | SpatialObject],
+        *,
+        lam: float = 0.5,
+    ) -> PreferenceRefinement:
+        """Run the preference-adjusted refinement model (Definition 2)."""
+        return self._preference.refine(
+            query, self.resolve_missing(missing), lam=lam
+        )
+
+    def refine_keywords(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[int | str | SpatialObject],
+        *,
+        lam: float = 0.5,
+    ) -> KeywordRefinement:
+        """Run the keyword-adapted refinement model (Definition 3)."""
+        return self._keyword.refine(
+            query, self.resolve_missing(missing), lam=lam
+        )
+
+    def refine_combined(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[int | str | SpatialObject],
+        *,
+        lam: float = 0.5,
+    ) -> CombinedRefinement:
+        """Apply both refinement functions together (Section 3.2)."""
+        return self._combined.refine(query, self.resolve_missing(missing), lam=lam)
+
+    def refine_both(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[int | str | SpatialObject],
+        *,
+        lam: float = 0.5,
+    ) -> WhyNotAnswer:
+        """Explanation plus both refinement models side by side."""
+        resolved = self.resolve_missing(missing)
+        explanation = self._explainer.explain(query, resolved)
+        preference = self._preference.refine(query, resolved, lam=lam)
+        keyword = self._keyword.refine(query, resolved, lam=lam)
+        return WhyNotAnswer(
+            explanation=explanation, preference=preference, keyword=keyword
+        )

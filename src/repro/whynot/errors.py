@@ -1,0 +1,39 @@
+"""Error types of the why-not engine."""
+
+from __future__ import annotations
+
+__all__ = ["WhyNotError", "NotMissingError", "UnknownObjectError"]
+
+
+class WhyNotError(Exception):
+    """Base class for why-not engine failures."""
+
+
+class NotMissingError(WhyNotError):
+    """Raised when a 'missing' object is already in the query result.
+
+    Definitions 2 and 3 presuppose ``M`` contains objects absent from the
+    initial result (``R(M, q) > q.k``); asking why-not about a returned
+    object has no answer and the penalty normaliser ``R(M,q) − q.k``
+    would degenerate to zero.
+    """
+
+    def __init__(self, object_ids: list[int]) -> None:
+        self.object_ids = object_ids
+        listed = ", ".join(str(oid) for oid in object_ids)
+        super().__init__(
+            f"object(s) {listed} already appear in the top-k result; "
+            "nothing is missing to explain"
+        )
+
+
+class UnknownObjectError(WhyNotError):
+    """Raised when a why-not question references an object outside ``D``.
+
+    The models require ``M ⊂ D`` — YASK can only explain the exclusion of
+    objects the database knows about.
+    """
+
+    def __init__(self, reference: object) -> None:
+        self.reference = reference
+        super().__init__(f"object {reference!r} is not in the database")

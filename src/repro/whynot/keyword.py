@@ -1,0 +1,517 @@
+"""Keyword-adapted why-not refinement (Definition 3, Eqn. 4).
+
+Section 3.3 of the paper: "The keyword-adapted why-not module is
+implemented using an optimized bound and prune algorithm [6].  The
+algorithm is based on ... the KcR-tree ... Given a KcR-tree node N, for
+a query keyword set q.doc, we can estimate the upper and lower bounds on
+the number of objects in N that rank higher than a missing object, and
+thus we can estimate the upper and lower bounds of the ranks of missing
+objects and the penalties of the corresponding refined query. ...  We
+generate the candidate query keyword sets and then traverse the KcR-tree
+starting from the root.  For each candidate refined keyword set q'.doc,
+we maintain its penalty upper and lower bounds according to the ranking
+bounds derived from KcR-tree nodes.  When traversing the KcR-tree
+downwards, we get tighter bounds.  We prune the keyword sets whose
+penalty bounds exceed the currently seen best one."
+
+Reconstruction (DESIGN.md §3.4):
+
+* **Candidates** are ``S = (q.doc \\ D) ∪ A`` with ``D ⊆ q.doc`` and
+  ``A ⊆ M.doc \\ q.doc``, enumerated in increasing edit count
+  ``Δdoc = |D| + |A|``.  Only keywords of the missing objects are worth
+  adding — any other keyword lowers every missing object's Jaccard
+  similarity *and* costs an edit.
+* **Admissible cut:** a candidate with ``Δdoc = e`` has penalty at least
+  ``(1−λ)·e / |q.doc ∪ M.doc|``; once that floor reaches the best
+  penalty seen, every remaining (larger-edit) candidate is pruned and
+  enumeration stops.
+* **Bound and prune per candidate:** a candidate only needs its exact
+  worst rank if that rank is small enough to beat the best penalty; the
+  KcR-tree descent accumulates guaranteed beaters (rank lower bound) and
+  abandons the candidate as soon as the bound crosses the useful-rank
+  cap, resolving nodes to exact counts only where the node bounds
+  straddle the missing object's score.
+
+The node-level count bounds come from the KcR-tree payload of Fig. 2
+(keyword-count map + ``cnt``, plus the min/max doc length reconstruction
+detail) combined with MINDIST/MAXDIST on the node MBR — see
+:meth:`KeywordAdapter._node_beater_bounds`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import AbstractSet, Callable, Iterator, Sequence
+
+from repro.core.objects import SpatialObject
+from repro.core.query import SpatialKeywordQuery
+from repro.core.scoring import Scorer
+from repro.index.kcrtree import KcRTree, KcSummary
+from repro.index.rtree import RTreeNode
+from repro.text.similarity import JaccardSimilarity
+from repro.whynot.errors import NotMissingError
+from repro.whynot.penalty import KeywordPenalty
+
+__all__ = ["KeywordRefinement", "KeywordAdapter", "AdaptionStats"]
+
+#: Safety margin when comparing derived float bounds against exact scores.
+_BOUND_MARGIN = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class KeywordRefinement:
+    """The answer to a keyword-adapted why-not question.
+
+    ``refined_query`` differs from the initial query only in its keyword
+    set and (possibly) its ``k`` (Definition 3: ``q' = (loc, doc', k', ~w)``).
+    """
+
+    refined_query: SpatialKeywordQuery
+    penalty: float
+    delta_k: int
+    delta_doc: int
+    added: frozenset[str]
+    removed: frozenset[str]
+    refined_worst_rank: int
+    initial_worst_rank: int
+    lam: float
+    stats: "AdaptionStats"
+    method: str = "kcr-bound-prune"
+
+    @property
+    def k_only(self) -> bool:
+        """True when the refinement keeps q.doc and only enlarges k."""
+        return self.delta_doc == 0
+
+    def describe(self) -> str:
+        added = ", ".join(sorted(self.added)) or "-"
+        removed = ", ".join(sorted(self.removed)) or "-"
+        return (
+            f"refined keywords={sorted(self.refined_query.doc)} "
+            f"(+[{added}] -[{removed}]), k={self.refined_query.k} "
+            f"(Δk={self.delta_k}, Δdoc={self.delta_doc}), penalty={self.penalty:.4f}"
+        )
+
+
+@dataclass(slots=True)
+class AdaptionStats:
+    """Work counters of one adaption run (the E5 pruning-ratio metrics)."""
+
+    candidates_generated: int = 0
+    candidates_pruned: int = 0
+    candidates_evaluated: int = 0
+    edit_levels_explored: int = 0
+    nodes_expanded: int = 0
+    nodes_resolved_by_bounds: int = 0
+    objects_scored: int = 0
+
+    @property
+    def prune_ratio(self) -> float:
+        """Fraction of generated candidates abandoned before exact ranking."""
+        if self.candidates_generated == 0:
+            return 0.0
+        return self.candidates_pruned / self.candidates_generated
+
+
+class KeywordAdapter:
+    """The keyword-adaption module of YASK's why-not engine."""
+
+    def __init__(
+        self,
+        scorer: Scorer,
+        index: KcRTree,
+        *,
+        use_bounds: bool = True,
+        max_edit_count: int | None = None,
+        candidate_budget: int | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        scorer:
+            Shared Eqn. (1) evaluator.  The KcR-tree bounds are derived
+            for the Jaccard model; ``use_bounds=True`` therefore requires
+            it (Eqn. 2 is the paper's default model).
+        index:
+            A :class:`KcRTree` over the scorer's database.
+        use_bounds:
+            When False, every candidate's worst rank is computed by a
+            full database scan — the exhaustive baseline of experiment
+            E5/E8.
+        max_edit_count:
+            Optional hard cap on ``Δdoc`` (None = bounded only by the
+            admissible penalty cut).
+        candidate_budget:
+            Optional hard cap on generated candidates, for defensive use
+            with extreme ``λ`` values where the Δdoc term vanishes.
+        """
+        if use_bounds and not isinstance(scorer.text_model, JaccardSimilarity):
+            raise ValueError(
+                "KcR-tree rank bounds are derived for the Jaccard model; "
+                "use use_bounds=False for other text models"
+            )
+        if index.database is not scorer.database:
+            raise ValueError("index and scorer must share the same database")
+        if candidate_budget is not None and candidate_budget < 1:
+            raise ValueError("candidate_budget must be at least 1")
+        self._scorer = scorer
+        self._index = index
+        self._use_bounds = use_bounds
+        self._max_edit_count = max_edit_count
+        self._candidate_budget = candidate_budget
+
+    @property
+    def scorer(self) -> Scorer:
+        return self._scorer
+
+    @property
+    def index(self) -> KcRTree:
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def refine(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[SpatialObject],
+        *,
+        lam: float = 0.5,
+    ) -> KeywordRefinement:
+        """Answer Definition 3 for missing set ``missing`` under ``λ``."""
+        if not missing:
+            raise ValueError("the missing object set M must not be empty")
+        initial_worst = self._scorer.worst_rank(missing, query)
+        if initial_worst <= query.k:
+            ranks = [
+                obj.oid
+                for obj in missing
+                if self._scorer.rank_of(obj, query) <= query.k
+            ]
+            raise NotMissingError(ranks)
+
+        penalty = KeywordPenalty(query, missing, initial_worst, lam)
+        stats = AdaptionStats()
+
+        # Spatial proximities are shared by every candidate: cache them.
+        proximity = {
+            obj.oid: 1.0 - self._scorer.sdist(obj, query)
+            for obj in self._scorer.database
+        }
+
+        best_doc: frozenset[str] | None = None
+        best_worst: int | None = None
+        best_penalty = math.inf
+
+        for edit_count, candidate in self._enumerate_candidates(
+            query, missing, penalty, lambda: best_penalty, stats
+        ):
+            rank_cap = self._useful_rank_cap(
+                penalty, edit_count, best_penalty, query.k
+            )
+            worst = self._worst_rank_capped(
+                query, candidate, missing, proximity, rank_cap, stats
+            )
+            if worst is None:
+                stats.candidates_pruned += 1
+                continue
+            stats.candidates_evaluated += 1
+            pen = penalty(worst, candidate)
+            if self._improves(
+                pen, candidate, best_penalty, best_doc, query.doc
+            ):
+                best_penalty = pen
+                best_doc = candidate
+                best_worst = worst
+
+        assert best_doc is not None and best_worst is not None  # e=0 candidate
+        refined_k = penalty.refined_k(best_worst)
+        refined_query = query.with_doc(best_doc).with_k(refined_k)
+        return KeywordRefinement(
+            refined_query=refined_query,
+            penalty=best_penalty,
+            delta_k=penalty.delta_k(best_worst),
+            delta_doc=penalty.delta_doc(best_doc),
+            added=frozenset(best_doc - query.doc),
+            removed=frozenset(query.doc - best_doc),
+            refined_worst_rank=best_worst,
+            initial_worst_rank=initial_worst,
+            lam=lam,
+            stats=stats,
+            method="kcr-bound-prune" if self._use_bounds else "exhaustive-scan",
+        )
+
+    # ------------------------------------------------------------------
+    # Candidate generation
+    # ------------------------------------------------------------------
+    def _enumerate_candidates(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Sequence[SpatialObject],
+        penalty: KeywordPenalty,
+        best_penalty: Callable[[], float],
+        stats: AdaptionStats,
+    ) -> Iterator[tuple[int, frozenset[str]]]:
+        """Yield ``(edit_count, candidate_doc)`` in increasing edit count.
+
+        Stops as soon as the admissible keyword-term floor of the next
+        edit level reaches the best penalty seen so far (read through the
+        ``best_penalty`` thunk, which tracks the caller's running best).
+        """
+        original = sorted(query.doc)
+        addition_pool = sorted(penalty.missing_doc - query.doc)
+        max_edits = len(original) + len(addition_pool)
+        if self._max_edit_count is not None:
+            max_edits = min(max_edits, self._max_edit_count)
+
+        for edit_count in range(0, max_edits + 1):
+            if penalty.modification_term_for_edits(edit_count) >= best_penalty():
+                return
+            stats.edit_levels_explored += 1
+            for deletions in range(
+                max(0, edit_count - len(addition_pool)),
+                min(edit_count, len(original)) + 1,
+            ):
+                additions = edit_count - deletions
+                for removed in combinations(original, deletions):
+                    kept = query.doc - frozenset(removed)
+                    for added in combinations(addition_pool, additions):
+                        candidate = kept | frozenset(added)
+                        if not candidate:
+                            continue
+                        if (
+                            self._candidate_budget is not None
+                            and stats.candidates_generated
+                            >= self._candidate_budget
+                        ):
+                            return
+                        stats.candidates_generated += 1
+                        yield edit_count, candidate
+
+    @staticmethod
+    def _useful_rank_cap(
+        penalty: KeywordPenalty, edit_count: int, best_penalty: float, k: int
+    ) -> int | None:
+        """Largest worst-rank that could still beat ``best_penalty``.
+
+        Solving Eqn. (4) for ``R(M, q')`` given the candidate's fixed
+        keyword term.  None means unbounded (λ = 0 or no best yet).
+        """
+        if math.isinf(best_penalty):
+            return None
+        if penalty.lam == 0.0:
+            return None
+        headroom = best_penalty - penalty.modification_term_for_edits(edit_count)
+        if headroom <= 0.0:
+            return k  # only an in-result rank could tie; Δk=0 candidates
+        max_delta_k = headroom * (penalty.initial_worst_rank - k) / penalty.lam
+        return k + math.ceil(max_delta_k)
+
+    @staticmethod
+    def _improves(
+        pen: float,
+        candidate: frozenset[str],
+        best_penalty: float,
+        best_doc: frozenset[str] | None,
+        original_doc: frozenset[str],
+    ) -> bool:
+        """Deterministic better-than test: penalty, then Δdoc, then lexicographic."""
+        if pen < best_penalty - 1e-15:
+            return True
+        if pen > best_penalty + 1e-15:
+            return False
+        if best_doc is None:
+            return True
+        candidate_edits = len(original_doc ^ candidate)
+        best_edits = len(original_doc ^ best_doc)
+        if candidate_edits != best_edits:
+            return candidate_edits < best_edits
+        return sorted(candidate) < sorted(best_doc)
+
+    # ------------------------------------------------------------------
+    # Worst-rank computation (bound-and-prune or exhaustive)
+    # ------------------------------------------------------------------
+    def _worst_rank_capped(
+        self,
+        query: SpatialKeywordQuery,
+        candidate: frozenset[str],
+        missing: Sequence[SpatialObject],
+        proximity: dict[int, float],
+        rank_cap: int | None,
+        stats: AdaptionStats,
+    ) -> int | None:
+        """``R(M, q')`` for the candidate doc, or None when provably ≥ cap."""
+        worst = 0
+        for obj in missing:
+            if self._use_bounds:
+                rank = self._rank_via_kcrtree(
+                    query, candidate, obj, proximity, rank_cap, stats
+                )
+            else:
+                rank = self._rank_via_scan(
+                    query, candidate, obj, proximity, stats
+                )
+            if rank is None:
+                return None
+            if rank > worst:
+                worst = rank
+        return worst
+
+    def _candidate_score(
+        self,
+        query: SpatialKeywordQuery,
+        candidate: AbstractSet[str],
+        obj: SpatialObject,
+        proximity: dict[int, float],
+    ) -> float:
+        """``ST(o, q')`` with the candidate keyword set (cached proximity)."""
+        tsim = self._scorer.text_model.similarity(obj.doc, candidate)
+        return query.ws * proximity[obj.oid] + query.wt * tsim
+
+    def _rank_via_scan(
+        self,
+        query: SpatialKeywordQuery,
+        candidate: frozenset[str],
+        missing_obj: SpatialObject,
+        proximity: dict[int, float],
+        stats: AdaptionStats,
+    ) -> int:
+        """Exact rank by scoring the whole database (baseline path)."""
+        theta = self._candidate_score(query, candidate, missing_obj, proximity)
+        beaters = 0
+        for other in self._scorer.database:
+            if other.oid == missing_obj.oid:
+                continue
+            stats.objects_scored += 1
+            score = self._candidate_score(query, candidate, other, proximity)
+            if score > theta or (score == theta and other.oid < missing_obj.oid):
+                beaters += 1
+        return beaters + 1
+
+    def _rank_via_kcrtree(
+        self,
+        query: SpatialKeywordQuery,
+        candidate: frozenset[str],
+        missing_obj: SpatialObject,
+        proximity: dict[int, float],
+        rank_cap: int | None,
+        stats: AdaptionStats,
+    ) -> int | None:
+        """Exact rank via KcR-tree descent, or None once provably ≥ cap.
+
+        Nodes whose beater bounds coincide are credited without descent;
+        leaves in the uncertain band are scored exactly.  ``beaters`` is
+        a monotone lower bound of the final count throughout, so the cap
+        check is sound at every step.
+        """
+        theta = self._candidate_score(query, candidate, missing_obj, proximity)
+        beaters = 0
+        stack: list[RTreeNode[SpatialObject]] = [self._index.root]
+        while stack:
+            node = stack.pop()
+            if node.rect is None:
+                continue
+            lower, upper = self._node_beater_bounds(
+                node, query, candidate, theta
+            )
+            if upper == 0:
+                stats.nodes_resolved_by_bounds += 1
+                continue
+            if lower == upper:
+                stats.nodes_resolved_by_bounds += 1
+                beaters += lower
+            elif node.is_leaf:
+                for entry in node.entries:
+                    other = entry.item
+                    if other.oid == missing_obj.oid:
+                        continue
+                    stats.objects_scored += 1
+                    score = self._candidate_score(
+                        query, candidate, other, proximity
+                    )
+                    if score > theta or (
+                        score == theta and other.oid < missing_obj.oid
+                    ):
+                        beaters += 1
+            else:
+                stats.nodes_expanded += 1
+                stack.extend(node.children)
+            if rank_cap is not None and beaters + 1 > rank_cap:
+                return None
+        return beaters + 1
+
+    def _node_beater_bounds(
+        self,
+        node: RTreeNode[SpatialObject],
+        query: SpatialKeywordQuery,
+        candidate: frozenset[str],
+        theta: float,
+    ) -> tuple[int, int]:
+        """Bounds on how many objects under ``node`` outrank the missing object.
+
+        Upper bound: an object can reach score ``θ`` only with
+        ``TSim ≥ τ = (θ − ws·proxmax)/wt``; under Jaccard
+        ``TSim(o) ≤ |o.doc ∩ S| / max(min_len, |S|)``, so a beater needs
+        at least ``c = ⌈τ·max(min_len, |S|)⌉`` of the candidate keywords,
+        and the keyword-count map caps how many objects can hold ``c``
+        incidences (Fig. 2's payload at work).
+
+        Lower bound: the ``Σ KC[t] − (|S|−1)·cnt`` objects guaranteed to
+        contain *all* candidate keywords have ``TSim ≥ |S|/max_len``;
+        when even the node's worst proximity pushes them past ``θ`` they
+        all outrank the missing object.
+        """
+        summary: KcSummary = node.summary
+        prox_min, prox_max = self._index.proximity_bounds(node, query.loc)
+        ws, wt = query.ws, query.wt
+
+        # ---------------- upper bound ----------------
+        best_overlap = summary.max_possible_overlap(candidate)
+        candidate_len = len(candidate)
+        # |o.doc ∪ S| ≥ max(min_len, |S|, |o.doc ∩ S|, min_len + |S| − |o.doc ∩ S|)
+        # — the last term from |o∪S| = |o| + |S| − |o∩S| with |o| ≥ min_len.
+        denom_floor = max(
+            summary.min_doc_len,
+            candidate_len,
+            best_overlap,
+            summary.min_doc_len + candidate_len - best_overlap,
+        )
+        tsim_node_ub = best_overlap / denom_floor if denom_floor else 0.0
+        if ws * prox_max + wt * tsim_node_ub < theta - _BOUND_MARGIN:
+            return (0, 0)
+        tau = (theta - ws * prox_max) / wt if wt > 0.0 else 0.0
+        if tau <= 0.0:
+            upper = summary.cnt
+        else:
+            # Two valid necessary overlap conditions for TSim(o, S) ≥ τ;
+            # take the stronger:
+            #   x ≥ τ·max(min_len, |S|)          (from |o∪S| ≥ max(min_len,|S|))
+            #   x ≥ τ·(min_len + |S|)/(1 + τ)    (from |o∪S| = |o|+|S|−x)
+            required = math.ceil(
+                max(
+                    tau * max(summary.min_doc_len, candidate_len),
+                    tau * (summary.min_doc_len + candidate_len) / (1.0 + tau),
+                )
+                - _BOUND_MARGIN
+            )
+            if required > best_overlap:
+                upper = 0
+            else:
+                upper = summary.count_with_overlap_at_least(
+                    candidate, max(required, 1)
+                )
+        if upper == 0:
+            return (0, 0)
+
+        # ---------------- lower bound ----------------
+        lower = 0
+        full = summary.count_containing_all(candidate)
+        if full > 0 and summary.max_doc_len > 0:
+            guaranteed_tsim = len(candidate) / max(
+                summary.max_doc_len, len(candidate)
+            )
+            if ws * prox_min + wt * guaranteed_tsim > theta + _BOUND_MARGIN:
+                lower = full
+        return (min(lower, upper), upper)

@@ -1,0 +1,226 @@
+"""The penalty functions of Eqns. (3) and (4).
+
+Both refinement models score a refined query ``q'`` by how far it
+departs from the user's initial query ``q``:
+
+* **Preference adjustment** (Eqn. 3)::
+
+      Penalty(q, q')_w = λ · Δk / (R(M, q) − q.k)
+                       + (1 − λ) · Δ~w / sqrt(1 + q.ws² + q.wt²)
+
+* **Keyword adaption** (Eqn. 4)::
+
+      Penalty(q, q')_doc = λ · Δk / (R(M, q) − q.k)
+                         + (1 − λ) · Δdoc / |q.doc ∪ M.doc|
+
+with ``Δk = max(0, R(M, q') − q.k)`` (the paper: "if R(M, q') > q.k,
+q'.k should be set to R(M, q') to achieve the lowest penalty; otherwise,
+q.k does not need to be modified"), ``Δ~w = ||q.~w − q'.~w||₂`` and
+``Δdoc`` the edit distance between keyword sets (insertions/deletions).
+
+``λ`` expresses the user's relative tolerance for enlarging ``k`` versus
+modifying the weights/keywords; its effect is the subject of the paper's
+"Query Refinement Effectiveness" demonstration (experiment E6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable
+
+from repro.core.objects import SpatialObject
+from repro.core.query import SpatialKeywordQuery, Weights
+
+__all__ = [
+    "missing_doc_union",
+    "keyword_edit_distance",
+    "PreferencePenalty",
+    "KeywordPenalty",
+]
+
+
+def missing_doc_union(missing: Iterable[SpatialObject]) -> frozenset[str]:
+    """``M.doc = ∪_{o ∈ M} o.doc`` (Eqn. 4's normalisation constant)."""
+    union: set[str] = set()
+    for obj in missing:
+        union |= obj.doc
+    return frozenset(union)
+
+
+def keyword_edit_distance(
+    original: AbstractSet[str], refined: AbstractSet[str]
+) -> int:
+    """``Δdoc``: minimum insertions/deletions turning one set into the other.
+
+    For sets this is exactly the symmetric difference size — each missing
+    keyword needs one insertion, each extra keyword one deletion.
+    """
+    return len(original ^ refined)
+
+
+def _validate_lambda(lam: float) -> None:
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError(f"λ must lie in [0, 1], got {lam}")
+
+
+@dataclass(frozen=True, slots=True)
+class PenaltyBreakdown:
+    """A penalty value with its two weighted components."""
+
+    total: float
+    k_component: float
+    modification_component: float
+    delta_k: int
+
+
+class PreferencePenalty:
+    """Evaluator of Eqn. (3) for a fixed initial query and why-not question.
+
+    Frozen at construction: the initial query, ``R(M, q)`` (the lowest
+    rank of the missing objects under the initial query — must exceed
+    ``q.k`` for the question to be well posed) and ``λ``.
+    """
+
+    def __init__(
+        self,
+        query: SpatialKeywordQuery,
+        initial_worst_rank: int,
+        lam: float = 0.5,
+    ) -> None:
+        _validate_lambda(lam)
+        if initial_worst_rank <= query.k:
+            raise ValueError(
+                "R(M, q) must exceed q.k for a why-not question "
+                f"(got R={initial_worst_rank}, k={query.k})"
+            )
+        self._query = query
+        self._initial_worst_rank = initial_worst_rank
+        self._lam = lam
+        self._k_normaliser = float(initial_worst_rank - query.k)
+        self._w_normaliser = query.weights.penalty_normaliser
+
+    @property
+    def lam(self) -> float:
+        return self._lam
+
+    @property
+    def initial_worst_rank(self) -> int:
+        return self._initial_worst_rank
+
+    def delta_k(self, refined_worst_rank: int) -> int:
+        """``Δk = max(0, R(M, q') − q.k)``."""
+        return max(0, refined_worst_rank - self._query.k)
+
+    def refined_k(self, refined_worst_rank: int) -> int:
+        """The k the refined query must use to cover all of ``M``."""
+        return max(self._query.k, refined_worst_rank)
+
+    def breakdown(
+        self, refined_worst_rank: int, refined_weights: Weights
+    ) -> PenaltyBreakdown:
+        """Evaluate Eqn. (3) with full component attribution."""
+        delta_k = self.delta_k(refined_worst_rank)
+        delta_w = self._query.weights.distance_to(refined_weights)
+        k_component = self._lam * delta_k / self._k_normaliser
+        modification = (1.0 - self._lam) * delta_w / self._w_normaliser
+        return PenaltyBreakdown(
+            total=k_component + modification,
+            k_component=k_component,
+            modification_component=modification,
+            delta_k=delta_k,
+        )
+
+    def __call__(
+        self, refined_worst_rank: int, refined_weights: Weights
+    ) -> float:
+        return self.breakdown(refined_worst_rank, refined_weights).total
+
+    def modification_term(self, refined_weights: Weights) -> float:
+        """The weight-change term alone — a lower bound on the penalty."""
+        delta_w = self._query.weights.distance_to(refined_weights)
+        return (1.0 - self._lam) * delta_w / self._w_normaliser
+
+
+class KeywordPenalty:
+    """Evaluator of Eqn. (4) for a fixed initial query and why-not question.
+
+    ``Δdoc`` is normalised by ``|q.doc ∪ M.doc|``, "the maximum possible
+    number of edit operations needed to modify q.doc to a keyword set
+    that ... retrieves all missing objects in M".
+    """
+
+    def __init__(
+        self,
+        query: SpatialKeywordQuery,
+        missing: Iterable[SpatialObject],
+        initial_worst_rank: int,
+        lam: float = 0.5,
+    ) -> None:
+        _validate_lambda(lam)
+        if initial_worst_rank <= query.k:
+            raise ValueError(
+                "R(M, q) must exceed q.k for a why-not question "
+                f"(got R={initial_worst_rank}, k={query.k})"
+            )
+        self._query = query
+        self._missing_doc = missing_doc_union(missing)
+        self._initial_worst_rank = initial_worst_rank
+        self._lam = lam
+        self._k_normaliser = float(initial_worst_rank - query.k)
+        self._doc_normaliser = float(len(query.doc | self._missing_doc))
+
+    @property
+    def lam(self) -> float:
+        return self._lam
+
+    @property
+    def initial_worst_rank(self) -> int:
+        return self._initial_worst_rank
+
+    @property
+    def missing_doc(self) -> frozenset[str]:
+        """``M.doc`` — the union keyword set of the missing objects."""
+        return self._missing_doc
+
+    @property
+    def doc_normaliser(self) -> float:
+        return self._doc_normaliser
+
+    def delta_k(self, refined_worst_rank: int) -> int:
+        return max(0, refined_worst_rank - self._query.k)
+
+    def refined_k(self, refined_worst_rank: int) -> int:
+        return max(self._query.k, refined_worst_rank)
+
+    def delta_doc(self, refined_doc: AbstractSet[str]) -> int:
+        return keyword_edit_distance(self._query.doc, refined_doc)
+
+    def breakdown(
+        self, refined_worst_rank: int, refined_doc: AbstractSet[str]
+    ) -> PenaltyBreakdown:
+        """Evaluate Eqn. (4) with full component attribution."""
+        delta_k = self.delta_k(refined_worst_rank)
+        delta_doc = self.delta_doc(refined_doc)
+        k_component = self._lam * delta_k / self._k_normaliser
+        modification = (1.0 - self._lam) * delta_doc / self._doc_normaliser
+        return PenaltyBreakdown(
+            total=k_component + modification,
+            k_component=k_component,
+            modification_component=modification,
+            delta_k=delta_k,
+        )
+
+    def __call__(
+        self, refined_worst_rank: int, refined_doc: AbstractSet[str]
+    ) -> float:
+        return self.breakdown(refined_worst_rank, refined_doc).total
+
+    def modification_term_for_edits(self, edit_count: int) -> float:
+        """Keyword-term lower bound for any candidate with ``edit_count`` edits.
+
+        This is the admissible bound behind the enumeration cut-off of
+        the adaption algorithm: a candidate with ``Δdoc = e`` can never
+        have penalty below ``(1 − λ)·e / |q.doc ∪ M.doc|``.
+        """
+        return (1.0 - self._lam) * edit_count / self._doc_normaliser

@@ -1,0 +1,115 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.harness import Table, time_call
+
+
+class TestTimeCall:
+    def test_returns_result_and_timing(self):
+        result, timing = time_call(lambda: 42, repeat=3, warmup=1)
+        assert result == 42
+        assert timing.repeats == 3
+        assert timing.best <= timing.median <= timing.mean * 3  # sanity
+        assert timing.best_ms == pytest.approx(timing.best * 1000.0)
+
+    def test_counts_calls(self):
+        calls = []
+        time_call(lambda: calls.append(1), repeat=4, warmup=2)
+        assert len(calls) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeat=0)
+        with pytest.raises(ValueError):
+            time_call(lambda: None, warmup=-1)
+
+
+class TestTable:
+    def test_render_aligned(self):
+        table = Table("name", "value")
+        table.add_row("alpha", 1)
+        table.add_row("b", 23456)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("name")
+        assert len(set(len(line) for line in lines if line)) <= 2
+
+    def test_title(self):
+        table = Table("x", title="My experiment")
+        table.add_row(1)
+        assert table.render().splitlines()[0] == "My experiment"
+
+    def test_row_width_validated(self):
+        table = Table("a", "b")
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = Table("v")
+        table.add_row(0.123456)
+        table.add_row(1234567.0)
+        table.add_row(0.00000012)
+        rendered = table.render()
+        assert "0.1235" in rendered
+        assert "e+06" in rendered
+        assert "e-07" in rendered
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table()
+
+
+class TestWorkloads:
+    def test_query_workload_deterministic(self, small_db):
+        from repro.bench.workloads import QueryWorkload
+
+        a = list(QueryWorkload(small_db, seed=1).queries(5))
+        b = list(QueryWorkload(small_db, seed=1).queries(5))
+        assert [q.doc for q in a] == [q.doc for q in b]
+        assert [q.loc for q in a] == [q.loc for q in b]
+
+    def test_query_keywords_from_vocabulary(self, small_db):
+        from repro.bench.workloads import QueryWorkload
+
+        vocabulary = small_db.vocabulary()
+        for q in QueryWorkload(small_db, seed=2).queries(10):
+            assert q.doc <= vocabulary
+
+    def test_query_locations_in_dataspace(self, small_db):
+        from repro.bench.workloads import QueryWorkload
+
+        for q in QueryWorkload(small_db, seed=3).queries(10):
+            assert small_db.dataspace.contains_point(q.loc)
+
+    def test_scenarios_have_genuinely_missing_objects(self, small_scorer):
+        from repro.bench.workloads import generate_whynot_scenarios
+
+        scenarios = generate_whynot_scenarios(
+            small_scorer, count=3, k=5, missing_count=2, seed=4, rank_window=30
+        )
+        for s in scenarios:
+            result = small_scorer.top_k(s.query)
+            for missing, rank in zip(s.missing, s.missing_ranks):
+                assert not result.contains(missing)
+                assert s.query.k < rank <= s.query.k + 30
+                assert small_scorer.rank_of(missing, s.query) == rank
+            assert s.worst_rank == max(s.missing_ranks)
+
+    def test_scenario_generation_fails_loudly(self, small_scorer):
+        from repro.bench.workloads import generate_whynot_scenarios
+
+        with pytest.raises(RuntimeError):
+            # Impossible: more missing objects than the window holds.
+            generate_whynot_scenarios(
+                small_scorer, count=1, k=5, missing_count=50, seed=5,
+                rank_window=10,
+            )
+
+    def test_workload_validation(self, small_db):
+        from repro.bench.workloads import QueryWorkload
+
+        with pytest.raises(ValueError):
+            QueryWorkload(small_db, keywords_per_query=(0, 2))
+        with pytest.raises(ValueError):
+            QueryWorkload(small_db, keywords_per_query=(3, 2))

@@ -1,0 +1,44 @@
+"""Tests for the workload keyword-bias regimes used by E3/E7."""
+
+import pytest
+
+from repro.bench.workloads import QueryWorkload
+
+
+class TestKeywordBias:
+    def test_invalid_bias_rejected(self, small_db):
+        with pytest.raises(ValueError):
+            QueryWorkload(small_db, keyword_bias="zipf")
+
+    def test_frequency_bias_prefers_common_keywords(self, medium_db):
+        frequencies = medium_db.keyword_document_frequencies()
+        ranked = sorted(frequencies, key=frequencies.get, reverse=True)
+        head = set(ranked[: max(1, len(ranked) // 10)])
+
+        def head_share(bias):
+            workload = QueryWorkload(
+                medium_db, seed=5, keyword_bias=bias,
+                keywords_per_query=(1, 1),
+            )
+            drawn = [next(iter(q.doc)) for q in workload.queries(300)]
+            return sum(1 for kw in drawn if kw in head) / len(drawn)
+
+        # The top-decile keywords should dominate frequency-biased draws
+        # and be roughly proportionate under uniform draws.
+        assert head_share("frequency") > head_share("uniform") + 0.1
+
+    def test_uniform_bias_covers_tail(self, medium_db):
+        vocabulary = sorted(medium_db.vocabulary())
+        workload = QueryWorkload(
+            medium_db, seed=6, keyword_bias="uniform", keywords_per_query=(1, 1)
+        )
+        drawn = {next(iter(q.doc)) for q in workload.queries(400)}
+        # A uniform sampler over ~80 keywords hits well over half of them
+        # in 400 draws.
+        assert len(drawn) > len(vocabulary) // 2
+
+    def test_both_regimes_deterministic(self, small_db):
+        for bias in ("frequency", "uniform"):
+            a = [q.doc for q in QueryWorkload(small_db, seed=7, keyword_bias=bias).queries(5)]
+            b = [q.doc for q in QueryWorkload(small_db, seed=7, keyword_bias=bias).queries(5)]
+            assert a == b

@@ -1,0 +1,174 @@
+"""Unit tests for :mod:`repro.core.geometry`."""
+
+import math
+
+import pytest
+
+from repro.core.geometry import Point, Rect
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-0.5, 7.25)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, 3.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_squared_distance_matches_distance(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance_to(Point(3, -4)) == 7.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(0.5, -1.0) == Point(1.5, 1.0)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(1.0, 2.0)
+        assert p.as_tuple() == (1.0, 2.0)
+        assert tuple(p) == (1.0, 2.0)
+
+    def test_points_are_hashable_value_objects(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+
+class TestRectConstruction:
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 1.0, 1.0, 0.0)
+
+    def test_point_rect_allowed(self):
+        rect = Rect(1.0, 2.0, 1.0, 2.0)
+        assert rect.area == 0.0
+        assert rect.diagonal == 0.0
+
+    def test_from_point(self):
+        rect = Rect.from_point(Point(3, 4))
+        assert rect.as_tuple() == (3, 4, 3, 4)
+
+    def test_from_points(self):
+        rect = Rect.from_points([Point(1, 5), Point(3, 2), Point(-1, 4)])
+        assert rect.as_tuple() == (-1, 2, 3, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_union_all(self):
+        rect = Rect.union_all([Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)])
+        assert rect.as_tuple() == (0, -1, 3, 1)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.union_all([])
+
+
+class TestRectMeasures:
+    def test_width_height_area_perimeter(self):
+        rect = Rect(1, 2, 4, 8)
+        assert rect.width == 3
+        assert rect.height == 6
+        assert rect.area == 18
+        assert rect.perimeter == 18
+
+    def test_diagonal(self):
+        assert Rect(0, 0, 3, 4).diagonal == 5.0
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_corners(self):
+        corners = Rect(0, 0, 1, 2).corners()
+        assert corners == (Point(0, 0), Point(1, 0), Point(1, 2), Point(0, 2))
+
+
+class TestRectPredicates:
+    def test_contains_point_inside_and_boundary(self):
+        rect = Rect(0, 0, 2, 2)
+        assert rect.contains_point(Point(1, 1))
+        assert rect.contains_point(Point(0, 0))
+        assert rect.contains_point(Point(2, 2))
+        assert not rect.contains_point(Point(2.1, 1))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 11, 9))
+
+    def test_intersects(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.intersects(Rect(1, 1, 3, 3))
+        assert a.intersects(Rect(2, 2, 3, 3))  # corner touch
+        assert not a.intersects(Rect(3, 3, 4, 4))
+
+    def test_intersects_is_symmetric(self):
+        a, b = Rect(0, 0, 2, 2), Rect(1.5, -1, 5, 0.5)
+        assert a.intersects(b) == b.intersects(a)
+
+
+class TestRectCombination:
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)).as_tuple() == (0, 0, 3, 3)
+
+    def test_union_point(self):
+        assert Rect(0, 0, 1, 1).union_point(Point(-1, 2)).as_tuple() == (-1, 0, 1, 2)
+
+    def test_intersection_overlap(self):
+        overlap = Rect(0, 0, 2, 2).intersection(Rect(1, 1, 3, 3))
+        assert overlap is not None
+        assert overlap.as_tuple() == (1, 1, 2, 2)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_enlargement(self):
+        base = Rect(0, 0, 2, 2)
+        assert base.enlargement(Rect(1, 1, 2, 2)) == 0.0
+        assert base.enlargement(Rect(0, 0, 4, 2)) == pytest.approx(4.0)
+
+    def test_expanded(self):
+        assert Rect(0, 0, 1, 1).expanded(0.5).as_tuple() == (-0.5, -0.5, 1.5, 1.5)
+
+    def test_expanded_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).expanded(-0.1)
+
+
+class TestRectDistances:
+    def test_min_distance_inside_is_zero(self):
+        assert Rect(0, 0, 2, 2).min_distance_to_point(Point(1, 1)) == 0.0
+
+    def test_min_distance_axis_aligned(self):
+        assert Rect(0, 0, 2, 2).min_distance_to_point(Point(5, 1)) == 3.0
+        assert Rect(0, 0, 2, 2).min_distance_to_point(Point(1, -2)) == 2.0
+
+    def test_min_distance_corner(self):
+        assert Rect(0, 0, 2, 2).min_distance_to_point(Point(5, 6)) == 5.0
+
+    def test_max_distance_reaches_far_corner(self):
+        rect = Rect(0, 0, 2, 2)
+        assert rect.max_distance_to_point(Point(0, 0)) == pytest.approx(math.hypot(2, 2))
+        assert rect.max_distance_to_point(Point(1, 1)) == pytest.approx(math.hypot(1, 1))
+
+    def test_min_le_max_everywhere(self):
+        rect = Rect(-1, -2, 3, 4)
+        for point in (Point(0, 0), Point(10, 10), Point(-5, 1), Point(3, 4)):
+            assert rect.min_distance_to_point(point) <= rect.max_distance_to_point(point)
+
+    def test_distance_bounds_bracket_member_points(self):
+        rect = Rect(0, 0, 4, 4)
+        query = Point(7, -3)
+        for member in (Point(0, 0), Point(4, 4), Point(2, 1), Point(3.9, 0.1)):
+            distance = query.distance_to(member)
+            assert rect.min_distance_to_point(query) <= distance + 1e-12
+            assert distance <= rect.max_distance_to_point(query) + 1e-12

@@ -1,0 +1,139 @@
+"""Unit tests for :mod:`repro.core.query` (Weights, queries, results)."""
+
+import math
+
+import pytest
+
+from repro.core.geometry import Point
+from repro.core.objects import SpatialObject
+from repro.core.query import (
+    DEFAULT_WEIGHTS,
+    QueryResult,
+    RankedObject,
+    SpatialKeywordQuery,
+    Weights,
+)
+
+
+class TestWeights:
+    def test_valid_interior_weights(self):
+        w = Weights(0.3, 0.7)
+        assert w.ws == 0.3 and w.wt == 0.7
+
+    @pytest.mark.parametrize("ws,wt", [(0.0, 1.0), (1.0, 0.0), (-0.1, 1.1), (1.1, -0.1)])
+    def test_boundary_and_outside_rejected(self, ws, wt):
+        with pytest.raises(ValueError):
+            Weights(ws, wt)
+
+    def test_sum_must_be_one(self):
+        with pytest.raises(ValueError):
+            Weights(0.4, 0.4)
+
+    def test_from_spatial(self):
+        w = Weights.from_spatial(0.25)
+        assert w.ws == 0.25
+        assert w.wt == 0.75
+
+    def test_balanced_is_paper_default(self):
+        assert Weights.balanced() == DEFAULT_WEIGHTS == Weights(0.5, 0.5)
+
+    def test_distance_is_l2(self):
+        a, b = Weights.from_spatial(0.2), Weights.from_spatial(0.6)
+        # Both components move by 0.4 in opposite directions.
+        assert a.distance_to(b) == pytest.approx(0.4 * math.sqrt(2))
+
+    def test_distance_symmetric_and_zero_on_self(self):
+        a, b = Weights.from_spatial(0.3), Weights.from_spatial(0.8)
+        assert a.distance_to(b) == b.distance_to(a)
+        assert a.distance_to(a) == 0.0
+
+    def test_penalty_normaliser_formula(self):
+        w = Weights(0.5, 0.5)
+        assert w.penalty_normaliser == pytest.approx(math.sqrt(1.5))
+
+    def test_penalty_normaliser_bounds_any_weight_change(self):
+        # Eqn. (3): Δw is provably ≤ sqrt(1 + ws² + wt²); check over a grid.
+        base = Weights.from_spatial(0.5)
+        for ws in (0.01, 0.25, 0.5, 0.75, 0.99):
+            other = Weights.from_spatial(ws)
+            assert base.distance_to(other) <= base.penalty_normaliser
+
+    def test_iteration_and_tuple(self):
+        assert tuple(Weights(0.4, 0.6)) == (0.4, 0.6)
+        assert Weights(0.4, 0.6).as_tuple() == (0.4, 0.6)
+
+
+class TestSpatialKeywordQuery:
+    def test_construction_and_accessors(self):
+        q = SpatialKeywordQuery(Point(1, 2), frozenset({"a"}), 3, Weights(0.6, 0.4))
+        assert q.ws == 0.6 and q.wt == 0.4
+        assert q.k == 3
+
+    def test_doc_coercion(self):
+        q = SpatialKeywordQuery(Point(0, 0), {"a", "b"}, 1)
+        assert isinstance(q.doc, frozenset)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpatialKeywordQuery(Point(0, 0), frozenset({"a"}), 0)
+
+    def test_empty_doc_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialKeywordQuery(Point(0, 0), frozenset(), 1)
+
+    def test_with_k_with_weights_with_doc_are_copies(self):
+        q = SpatialKeywordQuery(Point(0, 0), frozenset({"a"}), 1)
+        q2 = q.with_k(5)
+        q3 = q.with_weights(Weights.from_spatial(0.9))
+        q4 = q.with_doc({"x", "y"})
+        assert q.k == 1 and q2.k == 5
+        assert q3.ws == 0.9 and q.ws == 0.5
+        assert q4.doc == frozenset({"x", "y"}) and q.doc == frozenset({"a"})
+
+    def test_describe_mentions_parameters(self):
+        q = SpatialKeywordQuery(Point(0.5, 0.25), frozenset({"b", "a"}), 7)
+        text = q.describe()
+        assert "top-7" in text and "[a, b]" in text
+
+
+def _entry(oid, score, rank):
+    o = SpatialObject(oid, Point(0, 0), frozenset({"a"}))
+    return RankedObject(obj=o, score=score, sdist=0.0, tsim=0.0, rank=rank)
+
+
+class TestQueryResult:
+    def _query(self, k=3):
+        return SpatialKeywordQuery(Point(0, 0), frozenset({"a"}), k)
+
+    def test_entries_must_be_rank_ordered(self):
+        with pytest.raises(ValueError):
+            QueryResult(self._query(), [_entry(0, 1.0, 2)])
+
+    def test_accessors(self):
+        entries = [_entry(4, 0.9, 1), _entry(2, 0.8, 2)]
+        result = QueryResult(self._query(), entries)
+        assert len(result) == 2
+        assert result[0].obj.oid == 4
+        assert result.objects[1].oid == 2
+        assert result.object_ids == frozenset({2, 4})
+        assert [e.rank for e in result] == [1, 2]
+
+    def test_contains_by_oid_and_object(self):
+        result = QueryResult(self._query(), [_entry(4, 0.9, 1)])
+        assert result.contains(4)
+        assert result.contains(SpatialObject(4, Point(0, 0), frozenset({"a"})))
+        assert not result.contains(5)
+
+    def test_kth_score(self):
+        result = QueryResult(self._query(), [_entry(0, 0.9, 1), _entry(1, 0.7, 2)])
+        assert result.kth_score == 0.7
+
+    def test_kth_score_empty(self):
+        result = QueryResult(self._query(), [])
+        assert result.kth_score == -math.inf
+
+    def test_sort_key_orders_by_score_then_oid(self):
+        high = _entry(9, 0.9, 1)
+        tied_small = _entry(1, 0.5, 1)
+        tied_large = _entry(2, 0.5, 1)
+        assert high.sort_key < tied_small.sort_key < tied_large.sort_key

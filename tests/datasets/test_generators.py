@@ -1,0 +1,111 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.datasets.generators import (
+    SyntheticDatasetBuilder,
+    generate_vocabulary,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        weights = zipf_weights(100, 1.0)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert all(w == pytest.approx(0.1) for w in weights)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        vocab = generate_vocabulary(500)
+        assert len(vocab) == 500
+        assert len(set(vocab)) == 500
+
+    def test_prefix(self):
+        assert generate_vocabulary(3, prefix="tag")[0] == "tag000"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_vocabulary(0)
+
+
+class TestBuilder:
+    def test_deterministic_per_seed(self):
+        a = SyntheticDatasetBuilder(seed=5).build(50)
+        b = SyntheticDatasetBuilder(seed=5).build(50)
+        assert [o.loc for o in a] == [o.loc for o in b]
+        assert [o.doc for o in a] == [o.doc for o in b]
+
+    def test_different_seeds_differ(self):
+        a = SyntheticDatasetBuilder(seed=5).build(50)
+        b = SyntheticDatasetBuilder(seed=6).build(50)
+        assert [o.loc for o in a] != [o.loc for o in b]
+
+    def test_doc_length_range_respected(self):
+        db = SyntheticDatasetBuilder(seed=7).build(200, doc_length=(2, 5))
+        for obj in db:
+            assert 2 <= len(obj.doc) <= 5
+
+    def test_locations_inside_dataspace(self):
+        space = Rect(10, 20, 30, 40)
+        db = SyntheticDatasetBuilder(seed=8).build(100, dataspace=space)
+        for obj in db:
+            assert space.contains_point(obj.loc)
+
+    def test_clustered_distribution_clusters(self):
+        db = SyntheticDatasetBuilder(seed=9).build(
+            400, spatial="clustered", clusters=3, cluster_spread=0.01
+        )
+        # With tight clusters, average pairwise distance is far below the
+        # uniform expectation (~0.52 for the unit square).
+        objs = db.objects[:100]
+        total, pairs = 0.0, 0
+        for i, a in enumerate(objs):
+            for b in objs[i + 1 :]:
+                total += a.loc.distance_to(b.loc)
+                pairs += 1
+        assert total / pairs < 0.45
+
+    def test_zipf_skew_in_keyword_frequencies(self):
+        db = SyntheticDatasetBuilder(seed=10).build(
+            500, vocabulary_size=100, zipf_exponent=1.0
+        )
+        frequencies = sorted(
+            db.keyword_document_frequencies().values(), reverse=True
+        )
+        # Head keyword much more frequent than the tail.
+        assert frequencies[0] > 5 * frequencies[-1]
+
+    def test_named_objects(self):
+        db = SyntheticDatasetBuilder(seed=11).build(5, name_objects=True)
+        assert all(o.name for o in db)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0},
+            {"n": 10, "doc_length": (0, 3)},
+            {"n": 10, "doc_length": (5, 3)},
+            {"n": 10, "doc_length": (3, 500), "vocabulary_size": 100},
+            {"n": 10, "spatial": "hexagonal"},
+            {"n": 10, "spatial": "clustered", "clusters": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticDatasetBuilder(seed=1).build(**kwargs)

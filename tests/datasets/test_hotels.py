@@ -1,0 +1,105 @@
+"""Tests for the demonstration datasets (Section 4 of the paper)."""
+
+import pytest
+
+from repro.core.geometry import Point
+from repro.datasets.hotels import (
+    GRAND_VICTORIA,
+    HONG_KONG_BOUNDS,
+    HOTEL_COUNT,
+    STARBUCKS_CENTRAL,
+    coffee_shops,
+    hong_kong_hotels,
+)
+
+
+class TestHongKongHotels:
+    def test_exactly_539_hotels(self, hotels_db):
+        # "contains some 539 hotels" (Section 4).
+        assert len(hotels_db) == HOTEL_COUNT == 539
+
+    def test_deterministic(self):
+        a = hong_kong_hotels()
+        b = hong_kong_hotels()
+        assert [o.name for o in a] == [o.name for o in b]
+        assert [o.doc for o in a] == [o.doc for o in b]
+
+    def test_all_inside_hong_kong(self, hotels_db):
+        for hotel in hotels_db:
+            assert HONG_KONG_BOUNDS.contains_point(hotel.loc)
+
+    def test_unique_names(self, hotels_db):
+        names = [hotel.name for hotel in hotels_db]
+        assert len(set(names)) == len(names)
+
+    def test_keyword_sets_nonempty(self, hotels_db):
+        assert all(hotel.doc for hotel in hotels_db)
+
+    def test_facility_vocabulary_shared(self, hotels_db):
+        # "wifi" is the head facility; most hotels should carry it.
+        df = hotels_db.keyword_document_frequencies()
+        assert df["wifi"] > len(hotels_db) * 0.4
+
+    def test_staged_example2_hotel_present(self, hotels_db):
+        hotel = hotels_db.resolve(GRAND_VICTORIA)
+        assert "luxury" in hotel.doc
+        assert "clean" not in hotel.doc and "comfortable" not in hotel.doc
+
+    def test_example2_scenario_holds(self, hotels_db):
+        # The Grand Victoria must be missing from Carol's top-3 yet
+        # spatially competitive (the premise of Example 2).
+        from repro.core.scoring import Scorer
+        from repro.core.query import SpatialKeywordQuery
+
+        scorer = Scorer(hotels_db)
+        query = SpatialKeywordQuery(
+            Point(114.1722, 22.2975), frozenset({"clean", "comfortable"}), 3
+        )
+        result = scorer.top_k(query)
+        hotel = hotels_db.resolve(GRAND_VICTORIA)
+        assert not result.contains(hotel)
+        closer = sum(
+            1
+            for other in hotels_db
+            if other.loc.distance_to(query.loc) < hotel.loc.distance_to(query.loc)
+        )
+        assert closer <= 5  # among the closest hotels to the venue
+
+    def test_custom_seed_changes_synthetic_hotels_only(self):
+        alternative = hong_kong_hotels(seed=99)
+        assert len(alternative) == HOTEL_COUNT
+        assert alternative.resolve(GRAND_VICTORIA).doc == (
+            hong_kong_hotels().resolve(GRAND_VICTORIA).doc
+        )
+
+
+class TestCoffeeShops:
+    def test_size_and_determinism(self, coffee_db):
+        assert len(coffee_db) == 60
+        assert [o.doc for o in coffee_db] == [o.doc for o in coffee_shops()]
+
+    def test_starbucks_is_closest_to_canonical_query(self, coffee_db):
+        starbucks = coffee_db.resolve(STARBUCKS_CENTRAL)
+        query_loc = Point(114.158, 22.282)
+        for other in coffee_db:
+            if other.oid != starbucks.oid:
+                assert (
+                    starbucks.loc.distance_to(query_loc)
+                    < other.loc.distance_to(query_loc)
+                )
+
+    def test_example1_scenario_holds(self, coffee_db):
+        # Text-heavy weights push the Starbucks out of the top 3.
+        from repro.core.scoring import Scorer
+        from repro.core.query import SpatialKeywordQuery, Weights
+
+        scorer = Scorer(coffee_db)
+        query = SpatialKeywordQuery(
+            Point(114.158, 22.282), frozenset({"coffee"}), 3,
+            Weights.from_spatial(0.15),
+        )
+        result = scorer.top_k(query)
+        assert not result.contains(coffee_db.resolve(STARBUCKS_CENTRAL))
+
+    def test_every_shop_serves_coffee(self, coffee_db):
+        assert all("coffee" in shop.doc for shop in coffee_db)

@@ -1,0 +1,66 @@
+"""Unit tests for :mod:`repro.index.dualspace` — the two range queries."""
+
+from repro.core.scoring import Scorer
+from repro.index.dualspace import DualSpaceIndex
+
+from tests.conftest import random_queries
+
+
+def build_index(scorer: Scorer, query):
+    duals = scorer.dual_points(query)
+    return DualSpaceIndex(duals), duals
+
+
+class TestCrossingCandidates:
+    def test_matches_linear_scan(self, small_db, small_scorer):
+        for q in random_queries(small_db, 5, seed=51, k=3):
+            index, duals = build_index(small_scorer, q)
+            for missing in duals[:10]:
+                via_index = {
+                    d.oid for d in index.crossing_candidates(missing)
+                }
+                via_scan = {
+                    d.oid
+                    for d in DualSpaceIndex.crossing_candidates_linear(duals, missing)
+                }
+                assert via_index == via_scan
+
+    def test_crossing_is_opposite_quadrants(self, small_db, small_scorer):
+        q = random_queries(small_db, 1, seed=52, k=3)[0]
+        index, duals = build_index(small_scorer, q)
+        missing = duals[0]
+        for dual in index.crossing_candidates(missing):
+            assert (dual.a - missing.a) * (dual.b - missing.b) < 0.0
+
+    def test_crossing_excludes_self_and_equal_points(self, small_db, small_scorer):
+        q = random_queries(small_db, 1, seed=53, k=3)[0]
+        index, duals = build_index(small_scorer, q)
+        missing = duals[3]
+        oids = {d.oid for d in index.crossing_candidates(missing)}
+        assert missing.oid not in oids
+
+    def test_every_candidate_yields_interior_or_boundary_crossover(
+        self, small_db, small_scorer
+    ):
+        # Opposite-quadrant pairs always produce a crossover weight in
+        # (0, 1) in exact arithmetic; verify the float computation agrees.
+        q = random_queries(small_db, 1, seed=54, k=3)[0]
+        index, duals = build_index(small_scorer, q)
+        missing = duals[7]
+        for dual in index.crossing_candidates(missing):
+            w = missing.crossover_with(dual)
+            assert w is not None
+            assert 0.0 < w < 1.0
+
+    def test_symmetry_of_crossing_relation(self, small_db, small_scorer):
+        q = random_queries(small_db, 1, seed=55, k=3)[0]
+        index, duals = build_index(small_scorer, q)
+        a, b = duals[0], duals[1]
+        a_crosses_b = any(d.oid == b.oid for d in index.crossing_candidates(a))
+        b_crosses_a = any(d.oid == a.oid for d in index.crossing_candidates(b))
+        assert a_crosses_b == b_crosses_a
+
+    def test_index_covers_all_points(self, small_db, small_scorer):
+        q = random_queries(small_db, 1, seed=56, k=3)[0]
+        index, duals = build_index(small_scorer, q)
+        assert len(index) == len(duals) == len(small_db)

@@ -1,0 +1,53 @@
+"""Unit tests for :mod:`repro.index.inverted`."""
+
+from repro.index.inverted import InvertedIndex
+
+
+class TestInvertedIndex:
+    def test_postings_match_scan(self, small_db):
+        index = InvertedIndex.build(small_db)
+        for keyword in sorted(small_db.vocabulary()):
+            expected = frozenset(
+                obj.oid for obj in small_db if keyword in obj.doc
+            )
+            assert index.postings(keyword) == expected
+
+    def test_unknown_keyword_empty_postings(self, small_db):
+        index = InvertedIndex.build(small_db)
+        assert index.postings("not-a-keyword") == frozenset()
+        assert index.document_frequency("not-a-keyword") == 0
+
+    def test_len_counts_objects(self, small_db):
+        assert len(InvertedIndex.build(small_db)) == len(small_db)
+
+    def test_document_frequencies_match_database(self, small_db):
+        index = InvertedIndex.build(small_db)
+        assert dict(index.document_frequencies()) == (
+            small_db.keyword_document_frequencies()
+        )
+
+    def test_containing_any_is_union(self, small_db):
+        index = InvertedIndex.build(small_db)
+        vocabulary = sorted(small_db.vocabulary())
+        keywords = frozenset(vocabulary[:3])
+        expected = frozenset(
+            obj.oid for obj in small_db if obj.doc & keywords
+        )
+        assert index.objects_containing_any(keywords) == expected
+
+    def test_containing_all_is_intersection(self, small_db):
+        index = InvertedIndex.build(small_db)
+        vocabulary = sorted(small_db.vocabulary())
+        keywords = frozenset(vocabulary[:2])
+        expected = frozenset(
+            obj.oid for obj in small_db if keywords <= obj.doc
+        )
+        assert index.objects_containing_all(keywords) == expected
+
+    def test_containing_all_empty_keywords(self, small_db):
+        index = InvertedIndex.build(small_db)
+        assert index.objects_containing_all(frozenset()) == frozenset()
+
+    def test_vocabulary_property(self, small_db):
+        index = InvertedIndex.build(small_db)
+        assert index.vocabulary == small_db.vocabulary()

@@ -1,0 +1,84 @@
+"""Unit tests for :mod:`repro.index.irtree` (the Cong et al. [4] substrate)."""
+
+import pytest
+
+from repro.core.scoring import Scorer
+from repro.index.irtree import IRSummary, IRTree
+from repro.text.similarity import CosineTfIdfSimilarity
+
+from tests.conftest import random_queries
+
+
+def walk_nodes(tree):
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if not node.is_leaf:
+            stack.extend(node.children)
+
+
+def objects_under(node):
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            for entry in current.entries:
+                yield entry.item
+        else:
+            stack.extend(current.children)
+
+
+@pytest.fixture(scope="module")
+def ir_tree(small_db):
+    return IRTree.build(small_db, max_entries=8)
+
+
+@pytest.fixture(scope="module")
+def cosine_scorer(small_db, ir_tree):
+    return Scorer(small_db, text_model=ir_tree.text_model)
+
+
+class TestConstruction:
+    def test_default_model_built_from_corpus(self, small_db, ir_tree):
+        assert isinstance(ir_tree.text_model, CosineTfIdfSimilarity)
+        assert len(ir_tree) == len(small_db)
+
+    def test_every_node_has_inverted_file(self, ir_tree):
+        for node in walk_nodes(ir_tree):
+            assert isinstance(node.summary, IRSummary)
+            assert node.summary.count == sum(1 for _ in objects_under(node))
+
+    def test_node_vocabulary_covers_subtree(self, ir_tree):
+        for node in walk_nodes(ir_tree):
+            subtree_vocab = set()
+            for obj in objects_under(node):
+                subtree_vocab |= obj.doc
+            assert subtree_vocab == set(node.summary.max_impacts)
+
+    def test_parent_impacts_dominate_children(self, ir_tree):
+        for node in walk_nodes(ir_tree):
+            if node.is_leaf:
+                continue
+            for child in node.children:
+                for keyword, impact in child.summary.max_impacts.items():
+                    assert node.summary.max_impacts[keyword] >= impact - 1e-12
+
+
+class TestScoreBound:
+    def test_upper_bound_dominates_descendant_scores(
+        self, small_db, ir_tree, cosine_scorer
+    ):
+        for q in random_queries(small_db, 8, seed=41, k=3):
+            for node in walk_nodes(ir_tree):
+                bound = ir_tree.score_upper_bound(node, q)
+                for obj in objects_under(node):
+                    assert cosine_scorer.score(obj, q) <= bound + 1e-9
+
+    def test_tsim_bound_unreachable_keywords_is_zero(self, ir_tree):
+        summary: IRSummary = ir_tree.root.summary
+        assert summary.tsim_upper_bound(frozenset({"no-such-keyword"}), 1.0) == 0.0
+
+    def test_tsim_bound_zero_norm_is_zero(self, ir_tree):
+        summary: IRSummary = ir_tree.root.summary
+        assert summary.tsim_upper_bound(frozenset({"kw000"}), 0.0) == 0.0

@@ -1,0 +1,191 @@
+"""Unit tests for :mod:`repro.index.kcrtree`, including the exact Fig. 2 tree.
+
+Experiment E2 (DESIGN.md): Fig. 2 of the paper draws a KcR-tree over
+five objects — leaf R1 = {o1, o2, o3} with keyword-count map
+{Chinese: 2, restaurant: 3}, cnt = 3; leaf R2 = {o4, o5} with
+{Spanish: 2, restaurant: 2}, cnt = 2; root R3 with
+{Chinese: 2, Spanish: 2, restaurant: 5}, cnt = 5.
+``TestFig2Reproduction`` rebuilds that exact tree and checks every
+number in the figure.
+"""
+
+import pytest
+
+from repro.core.geometry import Point, Rect
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.index.kcrtree import KcRTree, KcSummary
+
+
+def walk_nodes(tree):
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if not node.is_leaf:
+            stack.extend(node.children)
+
+
+def objects_under(node):
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            for entry in current.entries:
+                yield entry.item
+        else:
+            stack.extend(current.children)
+
+
+class TestFig2Reproduction:
+    """Rebuild the exact example KcR-tree of Fig. 2."""
+
+    @pytest.fixture()
+    def fig2_tree(self):
+        # o1-o3: Chinese restaurants in one spatial cluster (o3 lacks
+        # "Chinese" so that R1's map reads {Chinese: 2, restaurant: 3});
+        # o4-o5: Spanish restaurants in another cluster.
+        objects = [
+            SpatialObject(1, Point(0.10, 0.10), frozenset({"Chinese", "restaurant"}), "o1"),
+            SpatialObject(2, Point(0.15, 0.20), frozenset({"Chinese", "restaurant"}), "o2"),
+            SpatialObject(3, Point(0.20, 0.15), frozenset({"restaurant"}), "o3"),
+            SpatialObject(4, Point(0.80, 0.85), frozenset({"Spanish", "restaurant"}), "o4"),
+            SpatialObject(5, Point(0.85, 0.80), frozenset({"Spanish", "restaurant"}), "o5"),
+        ]
+        database = SpatialDatabase(objects, dataspace=Rect(0, 0, 1, 1))
+        # Fanout 3 forces exactly the two leaves + root of the figure.
+        return KcRTree.build(database, max_entries=3, min_entries=1)
+
+    def test_tree_shape_matches_figure(self, fig2_tree):
+        root = fig2_tree.root
+        assert not root.is_leaf
+        assert len(root.children) == 2
+        assert all(child.is_leaf for child in root.children)
+
+    def test_leaf_r1_payload(self, fig2_tree):
+        leaves = sorted(
+            fig2_tree.root.children, key=lambda n: n.summary.cnt, reverse=True
+        )
+        r1: KcSummary = leaves[0].summary
+        assert dict(r1.keyword_counts) == {"Chinese": 2, "restaurant": 3}
+        assert r1.cnt == 3
+
+    def test_leaf_r2_payload(self, fig2_tree):
+        leaves = sorted(
+            fig2_tree.root.children, key=lambda n: n.summary.cnt, reverse=True
+        )
+        r2: KcSummary = leaves[1].summary
+        assert dict(r2.keyword_counts) == {"Spanish": 2, "restaurant": 2}
+        assert r2.cnt == 2
+
+    def test_root_r3_payload(self, fig2_tree):
+        r3: KcSummary = fig2_tree.root.summary
+        assert dict(r3.keyword_counts) == {
+            "Chinese": 2,
+            "Spanish": 2,
+            "restaurant": 5,
+        }
+        assert r3.cnt == 5
+
+    def test_fig2_render_mentions_all_counts(self, fig2_tree):
+        rendered = fig2_tree.describe_fig2_style()
+        assert "restaurant 5" in rendered
+        assert "Chinese 2" in rendered
+        assert "Spanish 2" in rendered
+        assert "cnt=5" in rendered
+
+
+class TestSummaryInvariants:
+    def test_counts_equal_true_keyword_frequencies(self, small_kcrtree):
+        for node in walk_nodes(small_kcrtree):
+            docs = [obj.doc for obj in objects_under(node)]
+            expected: dict[str, int] = {}
+            for doc in docs:
+                for keyword in doc:
+                    expected[keyword] = expected.get(keyword, 0) + 1
+            summary: KcSummary = node.summary
+            assert dict(summary.keyword_counts) == expected
+            assert summary.cnt == len(docs)
+
+    def test_parent_map_is_sum_of_children(self, medium_kcrtree):
+        for node in walk_nodes(medium_kcrtree):
+            if node.is_leaf:
+                continue
+            merged: dict[str, int] = {}
+            for child in node.children:
+                for keyword, count in child.summary.keyword_counts.items():
+                    merged[keyword] = merged.get(keyword, 0) + count
+            assert dict(node.summary.keyword_counts) == merged
+            assert node.summary.cnt == sum(c.summary.cnt for c in node.children)
+
+    def test_doc_length_range(self, small_kcrtree):
+        for node in walk_nodes(small_kcrtree):
+            lengths = [len(obj.doc) for obj in objects_under(node)]
+            assert node.summary.min_doc_len == min(lengths)
+            assert node.summary.max_doc_len == max(lengths)
+
+    def test_maintained_under_insert_and_delete(self, small_db):
+        tree = KcRTree(database=small_db, max_entries=4)
+        objects = small_db.objects[:40]
+        for obj in objects:
+            tree.insert(obj, obj.loc)
+        for obj in objects[:15]:
+            assert tree.delete(obj, obj.loc)
+        for node in walk_nodes(tree):
+            docs = [o.doc for o in objects_under(node)]
+            expected: dict[str, int] = {}
+            for doc in docs:
+                for keyword in doc:
+                    expected[keyword] = expected.get(keyword, 0) + 1
+            assert dict(node.summary.keyword_counts) == expected
+
+
+class TestCountBounds:
+    """The keyword-adaption rank bounds rest on these three counting facts."""
+
+    def _check_node(self, node, keywords):
+        summary: KcSummary = node.summary
+        docs = [obj.doc for obj in objects_under(node)]
+        for min_overlap in (1, 2, len(keywords)):
+            actual = sum(1 for doc in docs if len(doc & keywords) >= min_overlap)
+            assert actual <= summary.count_with_overlap_at_least(
+                keywords, min_overlap
+            )
+        containing_all = sum(1 for doc in docs if keywords <= doc)
+        assert summary.count_containing_all(keywords) <= containing_all
+        containing_any = sum(1 for doc in docs if doc & keywords)
+        assert containing_any <= summary.count_containing_any_upper(keywords)
+        best = max((len(doc & keywords) for doc in docs), default=0)
+        assert best <= summary.max_possible_overlap(keywords)
+
+    def test_bounds_hold_on_random_nodes(self, small_db, small_kcrtree):
+        import random
+
+        rng = random.Random(77)
+        vocabulary = sorted(small_db.vocabulary())
+        for _ in range(10):
+            keywords = frozenset(rng.sample(vocabulary, k=rng.randint(1, 4)))
+            for node in walk_nodes(small_kcrtree):
+                self._check_node(node, keywords)
+
+    def test_overlap_zero_returns_cnt(self, small_kcrtree):
+        summary: KcSummary = small_kcrtree.root.summary
+        assert summary.count_with_overlap_at_least(frozenset({"kw000"}), 0) == summary.cnt
+
+    def test_unknown_keywords_give_zero_mass(self, small_kcrtree):
+        summary: KcSummary = small_kcrtree.root.summary
+        unknown = frozenset({"definitely-not-present"})
+        assert summary.incidence_mass(unknown) == 0
+        assert summary.count_with_overlap_at_least(unknown, 1) == 0
+        assert summary.count_containing_all(unknown) == 0
+        assert summary.max_possible_overlap(unknown) == 0
+
+
+class TestProximityBounds:
+    def test_bounds_bracket_member_proximities(self, small_db, small_kcrtree):
+        query_loc = Point(0.3, 0.7)
+        for node in walk_nodes(small_kcrtree):
+            low, high = small_kcrtree.proximity_bounds(node, query_loc)
+            assert low <= high + 1e-12
+            for obj in objects_under(node):
+                proximity = 1.0 - small_db.normalized_distance(obj.loc, query_loc)
+                assert low - 1e-9 <= proximity <= high + 1e-9

@@ -1,0 +1,193 @@
+"""Tests for index persistence (:mod:`repro.index.persistence`)."""
+
+import json
+
+import pytest
+
+from repro.core.scoring import Scorer
+from repro.core.topk import BestFirstTopK
+from repro.index.irtree import IRTree
+from repro.index.kcrtree import KcRTree
+from repro.index.persistence import (
+    IndexPersistenceError,
+    index_from_dict,
+    index_to_dict,
+    load_index,
+    save_index,
+)
+from repro.index.setrtree import SetRTree
+
+from tests.conftest import random_queries
+
+
+def walk(tree):
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if not node.is_leaf:
+            stack.extend(node.children)
+
+
+class TestRoundTrip:
+    def test_setrtree_round_trip_identical_structure(self, small_db, tmp_path):
+        original = SetRTree.build(small_db, max_entries=8)
+        path = tmp_path / "set.json"
+        save_index(original, path)
+        loaded = load_index(path, small_db)
+        assert isinstance(loaded, SetRTree)
+        assert len(loaded) == len(original)
+        original_nodes = sorted(
+            (node.rect.as_tuple(), node.is_leaf) for node in walk(original)
+        )
+        loaded_nodes = sorted(
+            (node.rect.as_tuple(), node.is_leaf) for node in walk(loaded)
+        )
+        assert loaded_nodes == original_nodes
+
+    def test_loaded_setrtree_answers_queries_identically(self, small_db, tmp_path):
+        scorer = Scorer(small_db)
+        original = SetRTree.build(small_db, max_entries=8)
+        path = tmp_path / "set.json"
+        save_index(original, path)
+        loaded = load_index(path, small_db)
+        for q in random_queries(small_db, 8, seed=230, k=5):
+            a = BestFirstTopK(original, scorer).search(q)
+            b = BestFirstTopK(loaded, scorer).search(q)
+            assert [e.obj.oid for e in a] == [e.obj.oid for e in b]
+
+    def test_kcrtree_round_trip_summaries_recomputed(self, small_db, tmp_path):
+        original = KcRTree.build(small_db, max_entries=8)
+        path = tmp_path / "kcr.json"
+        save_index(original, path)
+        loaded = load_index(path, small_db)
+        assert isinstance(loaded, KcRTree)
+        assert dict(loaded.root.summary.keyword_counts) == dict(
+            original.root.summary.keyword_counts
+        )
+        assert loaded.root.summary.cnt == original.root.summary.cnt
+
+    def test_irtree_round_trip(self, small_db, tmp_path):
+        original = IRTree.build(small_db, max_entries=8)
+        path = tmp_path / "ir.json"
+        save_index(original, path)
+        loaded = load_index(path, small_db, text_model=original.text_model)
+        assert isinstance(loaded, IRTree)
+        assert loaded.root.summary.max_impacts == original.root.summary.max_impacts
+
+    def test_incrementally_built_tree_round_trips(self, small_db, tmp_path):
+        tree = SetRTree(database=small_db, max_entries=4)
+        for obj in small_db.objects[:60]:
+            tree.insert(obj, obj.loc)
+        path = tmp_path / "partial.json"
+        save_index(tree, path)
+        loaded = load_index(path, small_db)
+        assert len(loaded) == 60
+        assert sorted(o.oid for o in loaded.iter_items()) == sorted(
+            o.oid for o in small_db.objects[:60]
+        )
+
+    def test_invariants_hold_after_load(self, small_db, tmp_path):
+        original = SetRTree.build(small_db, max_entries=8)
+        path = tmp_path / "inv.json"
+        save_index(original, path)
+        loaded = load_index(path, small_db)
+        loaded.check_invariants()
+
+    def test_loaded_tree_supports_further_inserts(self, small_db, tmp_path):
+        tree = SetRTree(database=small_db, max_entries=4)
+        for obj in small_db.objects[:50]:
+            tree.insert(obj, obj.loc)
+        path = tmp_path / "grow.json"
+        save_index(tree, path)
+        loaded = load_index(path, small_db)
+        for obj in small_db.objects[50:70]:
+            loaded.insert(obj, obj.loc)
+        loaded.check_invariants()
+        assert len(loaded) == 70
+
+
+class TestErrorHandling:
+    def test_unknown_type_rejected(self, small_db):
+        with pytest.raises(IndexPersistenceError):
+            index_from_dict(
+                {"format": 1, "type": "BTree", "root": {}}, small_db
+            )
+
+    def test_wrong_format_version(self, small_db):
+        payload = {"format": 99, "type": "SetRTree", "root": {"leaf": True, "oids": [0]}}
+        with pytest.raises(IndexPersistenceError):
+            index_from_dict(payload, small_db)
+
+    def test_missing_object_reference(self, small_db):
+        payload = {
+            "format": 1,
+            "type": "SetRTree",
+            "max_entries": 8,
+            "min_entries": 4,
+            "size": 1,
+            "root": {"leaf": True, "oids": [999999]},
+        }
+        with pytest.raises(IndexPersistenceError):
+            index_from_dict(payload, small_db)
+
+    def test_duplicate_object_rejected(self, small_db):
+        payload = {
+            "format": 1,
+            "type": "SetRTree",
+            "max_entries": 8,
+            "min_entries": 4,
+            "size": 2,
+            "root": {
+                "leaf": False,
+                "children": [
+                    {"leaf": True, "oids": [0]},
+                    {"leaf": True, "oids": [0]},
+                ],
+            },
+        }
+        with pytest.raises(IndexPersistenceError):
+            index_from_dict(payload, small_db)
+
+    def test_size_mismatch_rejected(self, small_db):
+        payload = {
+            "format": 1,
+            "type": "SetRTree",
+            "max_entries": 8,
+            "min_entries": 4,
+            "size": 5,
+            "root": {"leaf": True, "oids": [0, 1]},
+        }
+        with pytest.raises(IndexPersistenceError):
+            index_from_dict(payload, small_db)
+
+    def test_corrupt_file(self, small_db, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(IndexPersistenceError):
+            load_index(path, small_db)
+
+    def test_plain_rtree_not_supported(self, small_db):
+        from repro.index.rtree import RTree
+
+        tree = RTree.bulk_load(
+            small_db.objects, key=lambda o: o.loc, max_entries=8
+        )
+        with pytest.raises(IndexPersistenceError):
+            index_to_dict(tree)
+
+    def test_setrtree_requires_set_model(self, small_db, tmp_path):
+        original = SetRTree.build(small_db, max_entries=8)
+        path = tmp_path / "model.json"
+        save_index(original, path)
+        from repro.text.similarity import CosineTfIdfSimilarity
+
+        cosine = CosineTfIdfSimilarity(
+            small_db.keyword_document_frequencies(), len(small_db)
+        )
+        with pytest.raises(IndexPersistenceError):
+            load_index(path, small_db, text_model=cosine)
+
+    def test_payload_is_json_safe(self, small_db):
+        payload = index_to_dict(SetRTree.build(small_db, max_entries=8))
+        json.dumps(payload)

@@ -1,0 +1,212 @@
+"""Unit tests for the from-scratch R-tree (:mod:`repro.index.rtree`)."""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Point, Rect
+from repro.index.rtree import RTree
+
+
+def random_points(n, seed, lo=0.0, hi=100.0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(lo, hi), rng.uniform(lo, hi)) for _ in range(n)]
+
+
+def brute_range(points, window):
+    return sorted(
+        i for i, p in enumerate(points) if window.contains_point(p)
+    )
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.bounds is None
+        assert tree.range_search(Rect(0, 0, 1, 1)) == []
+        assert tree.nearest_neighbors(Point(0, 0), 3) == []
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)  # > M/2
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=0)
+
+    def test_bulk_load_sizes(self):
+        for n in (0, 1, 5, 33, 200):
+            points = random_points(n, seed=n)
+            tree = RTree.bulk_load(
+                list(range(n)), key=lambda i: points[i], max_entries=8
+            )
+            assert len(tree) == n
+            if n:
+                tree.check_invariants()
+                assert sorted(tree.iter_items()) == list(range(n))
+
+    def test_bulk_load_bounds_cover_all_points(self):
+        points = random_points(64, seed=3)
+        tree = RTree.bulk_load(points, key=lambda p: p, max_entries=8)
+        for point in points:
+            assert tree.bounds.contains_point(point)
+
+
+class TestInsertion:
+    def test_incremental_insert_preserves_invariants(self):
+        tree = RTree(max_entries=4)
+        points = random_points(120, seed=4)
+        for index, point in enumerate(points):
+            tree.insert(index, point)
+            tree.check_invariants()
+        assert len(tree) == 120
+
+    def test_insert_matches_bulk_load_semantics(self):
+        points = random_points(80, seed=5)
+        incremental = RTree(max_entries=8)
+        for index, point in enumerate(points):
+            incremental.insert(index, point)
+        bulk = RTree.bulk_load(
+            list(range(80)), key=lambda i: points[i], max_entries=8
+        )
+        window = Rect(20, 20, 70, 70)
+        assert sorted(incremental.range_search(window)) == sorted(
+            bulk.range_search(window)
+        )
+
+    def test_duplicate_points_allowed(self):
+        tree = RTree(max_entries=4)
+        for index in range(10):
+            tree.insert(index, Point(1.0, 1.0))
+        tree.check_invariants()
+        assert sorted(tree.range_search(Rect(0, 0, 2, 2))) == list(range(10))
+
+    def test_height_grows_logarithmically(self):
+        points = random_points(500, seed=6)
+        tree = RTree.bulk_load(points, key=lambda p: p, max_entries=8)
+        assert tree.height() <= 5
+        assert tree.node_count() >= len(points) / 8
+
+
+class TestRangeSearch:
+    @pytest.mark.parametrize("n", [10, 100, 400])
+    def test_matches_brute_force(self, n):
+        points = random_points(n, seed=n + 1)
+        tree = RTree.bulk_load(
+            list(range(n)), key=lambda i: points[i], max_entries=8
+        )
+        rng = random.Random(n)
+        for _ in range(15):
+            x1, x2 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+            y1, y2 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+            window = Rect(x1, y1, x2, y2)
+            assert sorted(tree.range_search(window)) == brute_range(points, window)
+
+    def test_count_matches_range_search(self):
+        points = random_points(200, seed=9)
+        tree = RTree.bulk_load(
+            list(range(200)), key=lambda i: points[i], max_entries=8
+        )
+        for window in (Rect(0, 0, 50, 50), Rect(25, 25, 75, 75), Rect(90, 90, 99, 99)):
+            assert tree.count_in(window) == len(tree.range_search(window))
+
+    def test_empty_window_region(self):
+        points = [Point(0, 0), Point(1, 1)]
+        tree = RTree.bulk_load(points, key=lambda p: p)
+        assert tree.range_search(Rect(10, 10, 20, 20)) == []
+        assert tree.count_in(Rect(10, 10, 20, 20)) == 0
+
+
+class TestNearestNeighbors:
+    def test_matches_brute_force(self):
+        points = random_points(150, seed=13)
+        tree = RTree.bulk_load(
+            list(range(150)), key=lambda i: points[i], max_entries=8
+        )
+        rng = random.Random(14)
+        for _ in range(10):
+            q = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            expected = sorted(
+                range(150), key=lambda i: (q.distance_to(points[i]), i)
+            )[:7]
+            actual = tree.nearest_neighbors(q, 7, tie_key=lambda i: i)
+            assert actual == expected
+
+    def test_k_exceeds_size(self):
+        points = random_points(5, seed=15)
+        tree = RTree.bulk_load(
+            list(range(5)), key=lambda i: points[i], max_entries=4
+        )
+        assert len(tree.nearest_neighbors(Point(0, 0), 50)) == 5
+
+    def test_invalid_k(self):
+        tree = RTree.bulk_load([Point(0, 0)], key=lambda p: p)
+        with pytest.raises(ValueError):
+            tree.nearest_neighbors(Point(0, 0), 0)
+
+
+class TestDeletion:
+    def test_delete_existing(self):
+        points = random_points(60, seed=16)
+        tree = RTree.bulk_load(
+            list(range(60)), key=lambda i: points[i], max_entries=4
+        )
+        for index in range(0, 60, 2):
+            assert tree.delete(index, points[index])
+            tree.check_invariants()
+        assert len(tree) == 30
+        remaining = sorted(tree.iter_items())
+        assert remaining == list(range(1, 60, 2))
+
+    def test_delete_missing_returns_false(self):
+        points = random_points(10, seed=17)
+        tree = RTree.bulk_load(
+            list(range(10)), key=lambda i: points[i], max_entries=4
+        )
+        assert not tree.delete(99, Point(0, 0))
+        assert len(tree) == 10
+
+    def test_delete_all_then_reuse(self):
+        points = random_points(25, seed=18)
+        tree = RTree.bulk_load(
+            list(range(25)), key=lambda i: points[i], max_entries=4
+        )
+        for index in range(25):
+            assert tree.delete(index, points[index])
+        assert len(tree) == 0
+        tree.insert(0, Point(1, 1))
+        assert tree.range_search(Rect(0, 0, 2, 2)) == [0]
+
+    def test_queries_stay_correct_under_churn(self):
+        rng = random.Random(19)
+        tree = RTree(max_entries=4)
+        alive: dict[int, Point] = {}
+        next_id = 0
+        for step in range(300):
+            if alive and rng.random() < 0.4:
+                victim = rng.choice(sorted(alive))
+                assert tree.delete(victim, alive.pop(victim))
+            else:
+                point = Point(rng.uniform(0, 50), rng.uniform(0, 50))
+                tree.insert(next_id, point)
+                alive[next_id] = point
+                next_id += 1
+            if step % 50 == 0:
+                tree.check_invariants()
+                window = Rect(10, 10, 40, 40)
+                expected = sorted(
+                    i for i, p in alive.items() if window.contains_point(p)
+                )
+                assert sorted(tree.range_search(window)) == expected
+
+
+class TestLevelIteration:
+    def test_iter_levels_partitions_nodes(self):
+        points = random_points(100, seed=20)
+        tree = RTree.bulk_load(points, key=lambda p: p, max_entries=4)
+        levels = list(tree.iter_levels())
+        assert levels[0] == [tree.root]
+        assert sum(len(level) for level in levels) == tree.node_count()
+        # Last level is all leaves.
+        assert all(node.is_leaf for node in levels[-1])

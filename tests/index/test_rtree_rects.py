@@ -1,0 +1,89 @@
+"""R-tree over rectangle-keyed items (the generic, non-point path).
+
+The spatial-keyword engines index points, but the R-tree substrate
+supports arbitrary rectangles (e.g. region objects); this keeps that
+path honest.
+"""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Point, Rect
+from repro.index.rtree import RTree
+
+
+def random_rects(n, seed, extent=100.0, max_size=10.0):
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(n):
+        x = rng.uniform(0, extent - max_size)
+        y = rng.uniform(0, extent - max_size)
+        rects.append(
+            Rect(x, y, x + rng.uniform(0, max_size), y + rng.uniform(0, max_size))
+        )
+    return rects
+
+
+class TestRectEntries:
+    def test_range_search_uses_intersection_semantics(self):
+        rects = random_rects(200, seed=301)
+        tree = RTree.bulk_load(
+            list(range(200)), key=lambda i: rects[i], max_entries=8
+        )
+        rng = random.Random(302)
+        for _ in range(10):
+            x1, x2 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+            y1, y2 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+            window = Rect(x1, y1, x2, y2)
+            expected = sorted(
+                i for i, rect in enumerate(rects) if rect.intersects(window)
+            )
+            assert sorted(tree.range_search(window)) == expected
+
+    def test_incremental_insert_of_rects(self):
+        rects = random_rects(80, seed=303)
+        tree = RTree(max_entries=4)
+        for index, rect in enumerate(rects):
+            tree.insert(index, rect)
+            tree.check_invariants()
+        assert len(tree) == 80
+
+    def test_delete_rect_entries(self):
+        rects = random_rects(50, seed=304)
+        tree = RTree.bulk_load(
+            list(range(50)), key=lambda i: rects[i], max_entries=4
+        )
+        for index in range(0, 50, 3):
+            assert tree.delete(index, rects[index])
+            tree.check_invariants()
+        survivors = sorted(tree.iter_items())
+        assert survivors == [i for i in range(50) if i % 3 != 0]
+
+    def test_count_in_with_containment_shortcut(self):
+        rects = random_rects(150, seed=305)
+        tree = RTree.bulk_load(
+            list(range(150)), key=lambda i: rects[i], max_entries=8
+        )
+        whole = Rect(-1, -1, 101, 101)
+        assert tree.count_in(whole) == 150
+
+    def test_nearest_neighbors_by_mindist(self):
+        rects = random_rects(60, seed=306)
+        tree = RTree.bulk_load(
+            list(range(60)), key=lambda i: rects[i], max_entries=8
+        )
+        query = Point(50.0, 50.0)
+        expected = sorted(
+            range(60),
+            key=lambda i: (rects[i].min_distance_to_point(query), i),
+        )[:5]
+        assert tree.nearest_neighbors(query, 5, tie_key=lambda i: i) == expected
+
+    def test_mixed_point_and_rect_entries(self):
+        tree = RTree(max_entries=4)
+        tree.insert("point", Point(5.0, 5.0))
+        tree.insert("rect", Rect(0.0, 0.0, 2.0, 2.0))
+        tree.check_invariants()
+        assert sorted(tree.range_search(Rect(4, 4, 6, 6))) == ["point"]
+        assert sorted(tree.range_search(Rect(1, 1, 6, 6))) == ["point", "rect"]

@@ -1,0 +1,61 @@
+"""Tests for :mod:`repro.index.stats`."""
+
+import pytest
+
+from repro.index.irtree import IRTree
+from repro.index.kcrtree import KcRTree
+from repro.index.rtree import RTree
+from repro.index.setrtree import SetRTree
+from repro.index.stats import tree_statistics
+
+
+class TestTreeStatistics:
+    def test_counts_consistent(self, small_db, small_setrtree):
+        stats = tree_statistics(small_setrtree)
+        assert stats.items == len(small_db)
+        assert stats.node_count == small_setrtree.node_count()
+        assert stats.leaf_count + stats.inner_count == stats.node_count
+        assert stats.height == small_setrtree.height()
+
+    def test_fill_factors_in_range(self, medium_setrtree):
+        stats = tree_statistics(medium_setrtree)
+        assert 0.0 < stats.avg_leaf_fill <= 1.0
+        assert 0.0 < stats.avg_inner_fill <= 1.0
+        # STR packing keeps nodes well above minimum fill on average.
+        assert stats.avg_leaf_fill >= 0.5
+
+    def test_bulk_load_tighter_than_incremental(self, small_db):
+        bulk = SetRTree.build(small_db, max_entries=8)
+        incremental = SetRTree(database=small_db, max_entries=8)
+        for obj in small_db:
+            incremental.insert(obj, obj.loc)
+        bulk_stats = tree_statistics(bulk)
+        incremental_stats = tree_statistics(incremental)
+        # STR packs tighter: fewer nodes for the same data.
+        assert bulk_stats.node_count <= incremental_stats.node_count
+
+    def test_summary_sizes_per_variant(self, small_db):
+        set_stats = tree_statistics(SetRTree.build(small_db, max_entries=8))
+        kcr_stats = tree_statistics(KcRTree.build(small_db, max_entries=8))
+        ir_stats = tree_statistics(IRTree.build(small_db, max_entries=8))
+        plain = RTree.bulk_load(
+            small_db.objects, key=lambda o: o.loc, max_entries=8
+        )
+        plain_stats = tree_statistics(plain)
+        assert plain_stats.avg_summary_size == 0.0
+        for stats in (set_stats, kcr_stats, ir_stats):
+            assert stats.avg_summary_size > 0.0
+
+    def test_empty_tree(self):
+        stats = tree_statistics(RTree(max_entries=8))
+        assert stats.items == 0
+        assert stats.node_count == 1
+        assert stats.avg_leaf_fill == 0.0
+
+    def test_overlap_ratio_nonnegative(self, medium_setrtree):
+        stats = tree_statistics(medium_setrtree)
+        assert stats.sibling_overlap_ratio >= 0.0
+
+    def test_describe_mentions_key_fields(self, small_setrtree):
+        text = tree_statistics(small_setrtree).describe()
+        assert "items=" in text and "height=" in text and "overlap=" in text

@@ -1,0 +1,61 @@
+"""The shipped examples must run clean — they are executable documentation."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_at_least_three_examples_shipped():
+    assert len(ALL_EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs_clean(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+def test_quickstart_revives_missing_hotel():
+    result = run_example("quickstart.py")
+    assert "refined result contains" in result.stdout
+    assert "True" in result.stdout
+
+
+def test_bob_example_shows_preference_fix():
+    result = run_example("bob_coffee.py")
+    assert "Starbucks Central revived: True" in result.stdout
+    assert "preference adjustment" in result.stdout
+
+
+def test_carol_example_shows_lambda_sweep():
+    result = run_example("carol_hotels.py")
+    assert "keyword adaption" in result.stdout
+    assert "lambda" in result.stdout
+
+
+def test_demo_renders_all_panels():
+    result = run_example("hk_hotels_demo.py")
+    for panel in ("Panel 1: map", "Panel 2: results",
+                  "Panel 4: why-not explanation", "Panel 5: query log"):
+        assert panel in result.stdout
+
+
+def test_server_example_round_trips():
+    result = run_example("yask_server.py")
+    assert "revived in refined result: True" in result.stdout
+    assert "server stopped" in result.stdout

@@ -1,0 +1,66 @@
+"""The public API surface: everything advertised must import and work."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_subpackages_import(self):
+        for module in (
+            "repro.core", "repro.text", "repro.index", "repro.whynot",
+            "repro.service", "repro.datasets", "repro.bench",
+        ):
+            importlib.import_module(module)
+
+    def test_subpackage_alls_resolve(self):
+        for module_name in (
+            "repro.core", "repro.text", "repro.index", "repro.whynot",
+            "repro.service", "repro.datasets", "repro.bench",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+class TestDocumentation:
+    def test_every_public_module_has_docstring(self):
+        import pkgutil
+
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a module docstring"
+
+    def test_public_classes_documented(self):
+        for name in repro.__all__:
+            member = getattr(repro, name)
+            if inspect.isclass(member):
+                assert member.__doc__, f"repro.{name} lacks a docstring"
+
+    def test_quickstart_snippet_from_readme_runs(self):
+        # The README's quickstart, verbatim in spirit.
+        from repro import Point, YaskEngine
+        from repro.datasets import hong_kong_hotels
+
+        engine = YaskEngine(hong_kong_hotels())
+        result = engine.top_k(
+            Point(114.1722, 22.2975), {"clean", "comfortable"}, k=3
+        )
+        answer = engine.why_not(result.query, ["Grand Victoria Harbour Hotel"])
+        assert answer.explanation.narrative()
+        refined = engine.query(answer.keyword.refined_query)
+        assert refined.contains(
+            engine.database.resolve("Grand Victoria Harbour Hotel")
+        )

@@ -1,0 +1,50 @@
+"""Shared hypothesis strategies for the property-based test suite."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.geometry import Point, Rect
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.core.query import SpatialKeywordQuery, Weights
+
+#: A compact keyword alphabet keeps intersections/unions non-trivial.
+ALPHABET = [f"t{i}" for i in range(12)]
+
+coordinates = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+points = st.builds(Point, coordinates, coordinates)
+
+docs = st.sets(st.sampled_from(ALPHABET), min_size=1, max_size=6).map(frozenset)
+
+
+@st.composite
+def databases(draw, min_size: int = 2, max_size: int = 40) -> SpatialDatabase:
+    """A random database over the unit square with alphabet keywords."""
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    objects = []
+    for oid in range(size):
+        objects.append(
+            SpatialObject(oid=oid, loc=draw(points), doc=draw(docs))
+        )
+    return SpatialDatabase(objects, dataspace=Rect(0.0, 0.0, 1.0, 1.0))
+
+
+@st.composite
+def queries(draw, k_max: int = 10) -> SpatialKeywordQuery:
+    """A random query over the same alphabet and unit square."""
+    doc = draw(st.sets(st.sampled_from(ALPHABET), min_size=1, max_size=4))
+    ws = draw(st.floats(min_value=0.05, max_value=0.95))
+    return SpatialKeywordQuery(
+        loc=draw(points),
+        doc=frozenset(doc),
+        k=draw(st.integers(min_value=1, max_value=k_max)),
+        weights=Weights.from_spatial(ws),
+    )
+
+
+@st.composite
+def databases_with_queries(draw, min_size: int = 2, max_size: int = 40):
+    return draw(databases(min_size=min_size, max_size=max_size)), draw(queries())

@@ -1,0 +1,120 @@
+"""Property-based tests: index summaries stay exact under arbitrary churn.
+
+The SetR-tree and KcR-tree summaries are the foundation of every bound
+in the system; these tests subject the maintenance code (insert, split,
+delete, condense, re-insert) to hypothesis-generated operation sequences
+and verify every node's summary against a from-scratch recomputation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Rect
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.index.kcrtree import KcRTree, KcSummary
+from repro.index.setrtree import SetRTree, SetSummary
+
+from tests.properties.strategies import databases
+
+
+def walk_nodes(tree):
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node.rect is not None:
+            yield node
+        if not node.is_leaf:
+            stack.extend(node.children)
+
+
+def objects_under(node):
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            for entry in current.entries:
+                yield entry.item
+        else:
+            stack.extend(current.children)
+
+
+def check_set_summaries(tree: SetRTree) -> None:
+    for node in walk_nodes(tree):
+        docs = [obj.doc for obj in objects_under(node)]
+        if not docs:
+            continue
+        expected_union = frozenset().union(*docs)
+        expected_intersection = docs[0]
+        for doc in docs[1:]:
+            expected_intersection &= doc
+        summary: SetSummary = node.summary
+        assert summary.union == expected_union
+        assert summary.intersection == expected_intersection
+        assert summary.count == len(docs)
+        assert summary.min_doc_len == min(len(d) for d in docs)
+        assert summary.max_doc_len == max(len(d) for d in docs)
+
+
+def check_kc_summaries(tree: KcRTree) -> None:
+    for node in walk_nodes(tree):
+        docs = [obj.doc for obj in objects_under(node)]
+        if not docs:
+            continue
+        expected: dict[str, int] = {}
+        for doc in docs:
+            for keyword in doc:
+                expected[keyword] = expected.get(keyword, 0) + 1
+        summary: KcSummary = node.summary
+        assert dict(summary.keyword_counts) == expected
+        assert summary.cnt == len(docs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(databases(min_size=5, max_size=35), st.data())
+def test_setrtree_summaries_exact_under_churn(database, data):
+    tree = SetRTree(database=database, max_entries=4)
+    inserted: list[SpatialObject] = []
+    for obj in database:
+        tree.insert(obj, obj.loc)
+        inserted.append(obj)
+    check_set_summaries(tree)
+
+    victims = data.draw(
+        st.lists(
+            st.sampled_from(inserted), unique_by=lambda o: o.oid,
+            max_size=len(inserted) - 1,
+        )
+    )
+    for victim in victims:
+        assert tree.delete(victim, victim.loc)
+    tree.check_invariants()
+    check_set_summaries(tree)
+
+
+@settings(max_examples=25, deadline=None)
+@given(databases(min_size=5, max_size=35), st.data())
+def test_kcrtree_summaries_exact_under_churn(database, data):
+    tree = KcRTree(database=database, max_entries=4)
+    inserted: list[SpatialObject] = []
+    for obj in database:
+        tree.insert(obj, obj.loc)
+        inserted.append(obj)
+    check_kc_summaries(tree)
+
+    victims = data.draw(
+        st.lists(
+            st.sampled_from(inserted), unique_by=lambda o: o.oid,
+            max_size=len(inserted) - 1,
+        )
+    )
+    for victim in victims:
+        assert tree.delete(victim, victim.loc)
+    tree.check_invariants()
+    check_kc_summaries(tree)
+
+
+@settings(max_examples=25, deadline=None)
+@given(databases(min_size=2, max_size=40))
+def test_bulk_loaded_summaries_exact(database):
+    check_set_summaries(SetRTree.build(database, max_entries=4))
+    check_kc_summaries(KcRTree.build(database, max_entries=4))

@@ -1,0 +1,111 @@
+"""Property-based tests for the penalty functions (Eqns. 3 and 4)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Point
+from repro.core.objects import SpatialObject
+from repro.core.query import SpatialKeywordQuery, Weights
+from repro.whynot.penalty import KeywordPenalty, PreferencePenalty
+
+from tests.properties.strategies import ALPHABET
+
+lams = st.floats(min_value=0.0, max_value=1.0)
+ws_values = st.floats(min_value=0.05, max_value=0.95)
+query_docs = st.sets(st.sampled_from(ALPHABET), min_size=1, max_size=4)
+missing_docs = st.lists(
+    st.sets(st.sampled_from(ALPHABET), min_size=1, max_size=6),
+    min_size=1,
+    max_size=3,
+)
+
+
+@st.composite
+def preference_setups(draw):
+    k = draw(st.integers(min_value=1, max_value=10))
+    worst = draw(st.integers(min_value=k + 1, max_value=k + 50))
+    query = SpatialKeywordQuery(
+        Point(0, 0), frozenset(draw(query_docs)), k,
+        Weights.from_spatial(draw(ws_values)),
+    )
+    return query, worst, draw(lams)
+
+
+@settings(max_examples=100, deadline=None)
+@given(preference_setups(), ws_values, st.integers(min_value=1, max_value=80))
+def test_preference_penalty_unit_range_when_rank_improves(setup, refined_ws, rank):
+    query, worst, lam = setup
+    penalty = PreferencePenalty(query, worst, lam)
+    if rank <= worst:  # Δk never exceeds its normaliser for such ranks
+        value = penalty(rank, Weights.from_spatial(refined_ws))
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(preference_setups(), ws_values)
+def test_preference_penalty_monotone_in_rank(setup, refined_ws):
+    query, worst, lam = setup
+    penalty = PreferencePenalty(query, worst, lam)
+    weights = Weights.from_spatial(refined_ws)
+    values = [penalty(rank, weights) for rank in range(1, worst + 5)]
+    assert values == sorted(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(preference_setups())
+def test_preference_penalty_monotone_in_weight_distance(setup):
+    query, worst, lam = setup
+    penalty = PreferencePenalty(query, worst, lam)
+    base = query.ws
+    # Walk away from the initial weight on one side.
+    steps = [w for w in (base, base + 0.01, base + 0.02, base + 0.04) if w < 1.0]
+    values = [penalty(worst, Weights.from_spatial(w)) for w in steps]
+    assert values == sorted(values)
+
+
+@st.composite
+def keyword_setups(draw):
+    k = draw(st.integers(min_value=1, max_value=10))
+    worst = draw(st.integers(min_value=k + 1, max_value=k + 50))
+    query = SpatialKeywordQuery(
+        Point(0, 0), frozenset(draw(query_docs)), k,
+    )
+    missing = [
+        SpatialObject(oid, Point(0.5, 0.5), frozenset(doc))
+        for oid, doc in enumerate(draw(missing_docs))
+    ]
+    return query, missing, worst, draw(lams)
+
+
+@settings(max_examples=100, deadline=None)
+@given(keyword_setups(), st.sets(st.sampled_from(ALPHABET), min_size=1, max_size=6))
+def test_keyword_penalty_unit_range_for_in_space_candidates(setup, candidate):
+    query, missing, worst, lam = setup
+    penalty = KeywordPenalty(query, missing, worst, lam=lam)
+    candidate_set = frozenset(candidate) & (
+        query.doc | penalty.missing_doc
+    )
+    if not candidate_set:
+        return
+    for rank in (1, query.k, worst):
+        value = penalty(rank, candidate_set)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(keyword_setups())
+def test_keyword_penalty_monotone_in_edits(setup):
+    query, missing, worst, lam = setup
+    penalty = KeywordPenalty(query, missing, worst, lam=lam)
+    values = [penalty.modification_term_for_edits(e) for e in range(6)]
+    assert values == sorted(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(keyword_setups())
+def test_keyword_delta_doc_symmetric_difference(setup):
+    query, missing, worst, lam = setup
+    penalty = KeywordPenalty(query, missing, worst, lam=lam)
+    for candidate in (query.doc, penalty.missing_doc, query.doc | penalty.missing_doc):
+        if candidate:
+            assert penalty.delta_doc(candidate) == len(query.doc ^ candidate)

@@ -1,0 +1,81 @@
+"""Property-based tests: R-tree queries ≡ brute force on arbitrary data."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Point, Rect
+from repro.index.rtree import RTree
+
+from tests.properties.strategies import coordinates, points
+
+
+@st.composite
+def point_sets(draw, max_size=60):
+    return draw(st.lists(points, min_size=1, max_size=max_size))
+
+
+@st.composite
+def windows(draw):
+    x1, x2 = sorted((draw(coordinates), draw(coordinates)))
+    y1, y2 = sorted((draw(coordinates), draw(coordinates)))
+    return Rect(x1, y1, x2, y2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(point_sets(), windows(), st.integers(min_value=2, max_value=6))
+def test_range_search_equals_brute_force(pts, window, fanout):
+    tree = RTree.bulk_load(
+        list(range(len(pts))), key=lambda i: pts[i], max_entries=fanout * 2,
+        min_entries=fanout,
+    )
+    expected = sorted(
+        i for i, p in enumerate(pts) if window.contains_point(p)
+    )
+    assert sorted(tree.range_search(window)) == expected
+    assert tree.count_in(window) == len(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(point_sets(), points, st.integers(min_value=1, max_value=10))
+def test_knn_equals_brute_force(pts, query, k):
+    tree = RTree.bulk_load(
+        list(range(len(pts))), key=lambda i: pts[i], max_entries=8
+    )
+    expected = sorted(
+        range(len(pts)), key=lambda i: (query.distance_to(pts[i]), i)
+    )[:k]
+    assert tree.nearest_neighbors(query, k, tie_key=lambda i: i) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(point_sets(max_size=40), st.data())
+def test_invariants_under_mixed_operations(pts, data):
+    tree = RTree(max_entries=4)
+    alive: dict[int, Point] = {}
+    for index, point in enumerate(pts):
+        tree.insert(index, point)
+        alive[index] = point
+    tree.check_invariants()
+    # Delete a random subset, checking structure after each removal.
+    victims = data.draw(
+        st.lists(st.sampled_from(sorted(alive)), unique=True, max_size=len(alive))
+    )
+    for victim in victims:
+        assert tree.delete(victim, alive.pop(victim))
+        tree.check_invariants()
+    assert sorted(tree.iter_items()) == sorted(alive)
+
+
+@settings(max_examples=40, deadline=None)
+@given(point_sets(max_size=50))
+def test_bulk_load_and_incremental_have_same_content(pts):
+    bulk = RTree.bulk_load(
+        list(range(len(pts))), key=lambda i: pts[i], max_entries=6,
+        min_entries=3,
+    )
+    incremental = RTree(max_entries=6, min_entries=3)
+    for index, point in enumerate(pts):
+        incremental.insert(index, point)
+    assert sorted(bulk.iter_items()) == sorted(incremental.iter_items())
+    bulk.check_invariants()
+    incremental.check_invariants()

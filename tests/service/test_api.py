@@ -1,0 +1,114 @@
+"""Tests for the YaskEngine facade (:mod:`repro.service.api`)."""
+
+import pytest
+
+from repro.core.geometry import Point
+from repro.core.query import Weights
+from repro.core.scoring import Scorer
+from repro.core.topk import BruteForceTopK
+from repro.service.api import YaskEngine
+from repro.text.similarity import CosineTfIdfSimilarity, DiceSimilarity
+
+
+@pytest.fixture(scope="module")
+def engine(small_db):
+    return YaskEngine(small_db, max_entries=8)
+
+
+class TestTopK:
+    def test_matches_brute_force(self, small_db, engine):
+        scorer = Scorer(small_db)
+        oracle = BruteForceTopK(scorer)
+        from tests.conftest import random_queries
+
+        for q in random_queries(small_db, 10, seed=160, k=5):
+            assert [e.obj.oid for e in engine.query(q)] == [
+                e.obj.oid for e in oracle.search(q)
+            ]
+
+    def test_top_k_convenience(self, small_db, engine):
+        loc = small_db.objects[0].loc
+        keywords = set(list(small_db.vocabulary())[:2])
+        result = engine.top_k(loc, keywords, 4)
+        assert len(result) == 4
+        assert result.query.weights == engine.default_weights
+
+    def test_make_query_uses_server_default_weights(self, small_db):
+        engine = YaskEngine(small_db, default_weights=Weights.from_spatial(0.7))
+        q = engine.make_query(Point(0.5, 0.5), {"kw000"}, 3)
+        assert q.ws == 0.7
+
+    def test_explicit_weights_override_default(self, engine):
+        q = engine.make_query(
+            Point(0.5, 0.5), {"kw000"}, 3, weights=Weights.from_spatial(0.9)
+        )
+        assert q.ws == 0.9
+
+    def test_timed_query_reports_milliseconds(self, small_db, engine):
+        q = engine.make_query(Point(0.5, 0.5), {"kw000"}, 3)
+        timed = engine.timed_query(q)
+        assert timed.response_ms >= 0.0
+        assert len(timed.value) == 3
+
+
+class TestEngineVariants:
+    def test_unindexed_engine_matches_indexed(self, small_db):
+        indexed = YaskEngine(small_db, max_entries=8)
+        brute = YaskEngine(small_db, use_index=False)
+        q = indexed.make_query(Point(0.4, 0.6), {"kw001", "kw002"}, 5)
+        assert [e.obj.oid for e in indexed.query(q)] == [
+            e.obj.oid for e in brute.query(q)
+        ]
+        assert brute.set_rtree is None or brute.set_rtree is not None  # smoke
+
+    def test_cosine_model_uses_ir_tree(self, small_db):
+        model = CosineTfIdfSimilarity(
+            small_db.keyword_document_frequencies(), len(small_db)
+        )
+        engine = YaskEngine(small_db, text_model=model)
+        assert engine.ir_tree is not None
+        q = engine.make_query(Point(0.5, 0.5), {"kw000"}, 3)
+        scorer = Scorer(small_db, text_model=model)
+        assert [e.obj.oid for e in engine.query(q)] == [
+            e.obj.oid for e in BruteForceTopK(scorer).search(q)
+        ]
+
+    def test_dice_model_falls_back_gracefully(self, small_db):
+        engine = YaskEngine(small_db, text_model=DiceSimilarity())
+        q = engine.make_query(Point(0.5, 0.5), {"kw000"}, 3)
+        assert len(engine.query(q)) == 3
+
+    def test_indexes_exposed(self, engine, small_db):
+        assert engine.kcr_tree is not None
+        assert len(engine.kcr_tree) == len(small_db)
+        assert engine.set_rtree is not None
+
+
+class TestWhyNotIntegration:
+    def _scenario(self, small_db, engine):
+        from repro.bench.workloads import generate_whynot_scenarios
+
+        return generate_whynot_scenarios(
+            engine.scorer, count=1, k=5, missing_count=1, seed=161,
+            rank_window=25,
+        )[0]
+
+    def test_full_why_not_flow(self, small_db, engine):
+        s = self._scenario(small_db, engine)
+        answer = engine.why_not(s.query, [m.oid for m in s.missing])
+        assert answer.preference is not None and answer.keyword is not None
+        for refinement in (answer.preference, answer.keyword):
+            refined = engine.query(refinement.refined_query)
+            assert all(refined.contains(m) for m in s.missing)
+
+    def test_explain_only(self, small_db, engine):
+        s = self._scenario(small_db, engine)
+        explanation = engine.explain(s.query, [m.oid for m in s.missing])
+        assert explanation.worst_rank > s.query.k
+
+    def test_single_model_calls(self, small_db, engine):
+        s = self._scenario(small_db, engine)
+        missing_ids = [m.oid for m in s.missing]
+        pref = engine.refine_preference(s.query, missing_ids, lam=0.3)
+        kw = engine.refine_keywords(s.query, missing_ids, lam=0.3)
+        assert pref.lam == 0.3 and kw.lam == 0.3

@@ -1,0 +1,117 @@
+"""Tests for the ``yask`` CLI (:mod:`repro.service.cli`)."""
+
+import json
+
+import pytest
+
+from repro.service.cli import build_parser, load_dataset, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_args(self):
+        args = build_parser().parse_args(
+            ["query", "--x", "1.0", "--y", "2.0", "--keywords", "a,b", "--k", "4"]
+        )
+        assert args.command == "query"
+        assert args.k == 4
+
+    def test_whynot_args(self):
+        args = build_parser().parse_args(
+            [
+                "whynot", "--x", "1", "--y", "2", "--keywords", "a",
+                "--missing", "Grand Victoria Harbour Hotel", "--lambda", "0.3",
+            ]
+        )
+        assert args.lam == 0.3
+        assert args.model == "both"
+
+
+class TestDatasets:
+    def test_builtin_names(self):
+        assert len(load_dataset("hotels")) == 539
+        assert len(load_dataset("coffee")) == 60
+
+    def test_json_path(self, tmp_path, small_db):
+        from repro.datasets.loaders import save_json
+
+        path = tmp_path / "db.json"
+        save_json(small_db, path)
+        assert len(load_dataset(str(path))) == len(small_db)
+
+
+class TestCommands:
+    def test_query_command_outputs_json(self, capsys):
+        code = main(
+            [
+                "query", "--dataset", "coffee", "--x", "114.158", "--y", "22.282",
+                "--keywords", "coffee", "--k", "3",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["entries"]) == 3
+
+    def test_whynot_command_both_models(self, capsys):
+        code = main(
+            [
+                "whynot", "--dataset", "coffee", "--x", "114.158", "--y", "22.282",
+                "--keywords", "coffee", "--k", "3", "--ws", "0.15",
+                "--missing", "Starbucks Central",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "explanation" in payload
+        assert "preference" in payload
+        assert "keywords" in payload
+        assert payload["preference"]["penalty"] <= 0.5 + 1e-12
+
+    def test_whynot_not_missing_exits_2(self, capsys):
+        # Ask why-not about an object that is already in the result.
+        code = main(
+            [
+                "whynot", "--dataset", "coffee", "--x", "114.158", "--y", "22.282",
+                "--keywords", "coffee", "--k", "60",
+                "--missing", "Starbucks Central",
+            ]
+        )
+        assert code == 2
+        assert "why-not error" in capsys.readouterr().err
+
+    def test_demo_command_renders_panels(self, capsys):
+        assert main(["demo", "--width", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Panel 1: map" in out
+        assert "Refined queries" in out
+
+    def test_whynot_missing_by_id(self, capsys):
+        code = main(
+            [
+                "whynot", "--dataset", "coffee", "--x", "114.158", "--y", "22.282",
+                "--keywords", "coffee", "--k", "3", "--ws", "0.15",
+                "--missing", "0", "--model", "preference",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "preference" in payload and "keywords" not in payload
+
+    def test_stats_command(self, capsys):
+        assert main(["stats", "--dataset", "coffee"]) == 0
+        out = capsys.readouterr().out
+        assert "SetR-tree:" in out and "KcR-tree:" in out
+        assert "objects = 60" in out
+
+    def test_audit_command_passes_on_clean_engine(self, capsys):
+        code = main(
+            [
+                "audit", "--dataset", "coffee", "--x", "114.158", "--y", "22.282",
+                "--keywords", "coffee", "--k", "5",
+            ]
+        )
+        assert code == 0
+        assert "audit ok" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Tests for the text-panel GUI substitute (:mod:`repro.service.panels`)."""
+
+import pytest
+
+from repro.service.panels import (
+    render_demo_screen,
+    render_explanation_panel,
+    render_map,
+    render_query_details,
+    render_result_window,
+)
+from repro.service.session import QueryLog
+
+
+@pytest.fixture(scope="module")
+def demo_parts(hotels_db):
+    from repro.core.geometry import Point
+    from repro.service.api import YaskEngine
+    from repro.datasets.hotels import GRAND_VICTORIA
+
+    engine = YaskEngine(hotels_db)
+    result = engine.top_k(Point(114.1722, 22.2975), {"clean", "comfortable"}, 3)
+    answer = engine.why_not(result.query, [GRAND_VICTORIA])
+    return engine, result, answer
+
+
+class TestMap:
+    def test_marker_priorities(self, demo_parts, hotels_db):
+        engine, result, answer = demo_parts
+        missing = [e.obj for e in answer.explanation.explanations]
+        rendered = render_map(
+            hotels_db, query=result.query, result=result, missing=missing,
+            width=60, height=20,
+        )
+        assert "Q" in rendered           # red query marker
+        assert "." in rendered           # grey objects
+        assert "legend:" in rendered
+
+    def test_plain_map_has_only_grey(self, hotels_db):
+        rendered = render_map(hotels_db, width=40, height=12)
+        assert "Q" not in rendered.replace("Q=query", "")
+        assert "." in rendered
+
+    def test_size_validation(self, hotels_db):
+        with pytest.raises(ValueError):
+            render_map(hotels_db, width=5, height=3)
+
+    def test_all_lines_boxed(self, hotels_db):
+        rendered = render_map(hotels_db, width=40, height=10)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("+--")
+        assert lines[-1].startswith("+")
+        assert all(line.startswith(("|", "+")) for line in lines)
+
+
+class TestPanels:
+    def test_result_window_lists_all_entries(self, demo_parts):
+        _, result, _ = demo_parts
+        rendered = render_result_window(result)
+        for entry in result:
+            assert entry.obj.label in rendered
+        assert "#1" in rendered
+
+    def test_explanation_panel_mentions_models(self, demo_parts):
+        _, _, answer = demo_parts
+        rendered = render_explanation_panel(answer.explanation)
+        assert "adjust the distance/keyword preference weights" in rendered
+        assert "adapt the query keywords" in rendered
+        assert "Suggested first:" in rendered
+
+    def test_query_details_renders_log(self):
+        log = QueryLog()
+        log.record("top-k query", {"k": 3}, 1.25)
+        rendered = render_query_details(log.entries)
+        assert "top-k query" in rendered
+        assert "time=1.25ms" in rendered
+
+    def test_query_details_empty_log(self):
+        rendered = render_query_details([])
+        assert "(no queries yet)" in rendered
+
+
+class TestDemoScreen:
+    def test_full_screen_composition(self, demo_parts, hotels_db):
+        _, result, answer = demo_parts
+        log = QueryLog()
+        log.record("top-k query", {"k": 3}, 0.8)
+        rendered = render_demo_screen(
+            hotels_db, result, answer, log.entries, width=70
+        )
+        assert "Panel 1: map" in rendered
+        assert "Panel 2: results" in rendered
+        assert "Panel 4: why-not explanation" in rendered
+        assert "Panel 5: query log" in rendered
+        assert "Refined queries" in rendered
+        assert "lower-penalty model" in rendered
+
+    def test_screen_without_answer(self, demo_parts, hotels_db):
+        _, result, _ = demo_parts
+        rendered = render_demo_screen(hotels_db, result, width=70)
+        assert "Panel 4" not in rendered
+        assert "Panel 2: results" in rendered

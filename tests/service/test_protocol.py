@@ -1,0 +1,125 @@
+"""Tests for the JSON protocol (:mod:`repro.service.protocol`)."""
+
+import json
+
+import pytest
+
+from repro.core.geometry import Point
+from repro.core.query import DEFAULT_WEIGHTS, SpatialKeywordQuery, Weights
+from repro.service.protocol import (
+    ProtocolError,
+    explanation_to_dict,
+    keyword_refinement_to_dict,
+    preference_refinement_to_dict,
+    query_from_dict,
+    query_to_dict,
+    result_to_dict,
+)
+
+
+class TestQueryRoundTrip:
+    def test_round_trip_preserves_fields(self):
+        q = SpatialKeywordQuery(
+            Point(1.25, -2.5), frozenset({"b", "a"}), 7, Weights.from_spatial(0.3)
+        )
+        parsed = query_from_dict(query_to_dict(q))
+        assert parsed.loc == q.loc
+        assert parsed.doc == q.doc
+        assert parsed.k == q.k
+        assert parsed.weights.ws == pytest.approx(q.weights.ws)
+
+    def test_payload_is_json_serialisable(self):
+        q = SpatialKeywordQuery(Point(0, 0), frozenset({"a"}), 1)
+        json.dumps(query_to_dict(q))
+
+    def test_weights_default_to_server_parameter(self):
+        parsed = query_from_dict({"x": 0, "y": 0, "keywords": ["a"], "k": 1})
+        assert parsed.weights == DEFAULT_WEIGHTS
+
+    def test_custom_default_weights(self):
+        parsed = query_from_dict(
+            {"x": 0, "y": 0, "keywords": ["a"], "k": 1},
+            default_weights=Weights.from_spatial(0.7),
+        )
+        assert parsed.ws == 0.7
+
+    def test_ws_only_implies_wt(self):
+        parsed = query_from_dict(
+            {"x": 0, "y": 0, "keywords": ["a"], "k": 1, "ws": 0.25}
+        )
+        assert parsed.wt == 0.75
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"x": 0, "y": 0, "k": 1},                        # no keywords
+            {"x": 0, "y": 0, "keywords": "abc", "k": 1},     # keywords not a list
+            {"x": 0, "y": 0, "keywords": ["a"]},             # no k
+            {"x": "no", "y": 0, "keywords": ["a"], "k": 1},  # bad type
+            {"x": 0, "y": 0, "keywords": ["a"], "k": 0},     # invalid k
+            {"x": 0, "y": 0, "keywords": [], "k": 1},        # empty keywords
+            {"x": 0, "y": 0, "keywords": ["a"], "k": 1, "ws": 1.5},
+        ],
+    )
+    def test_malformed_payload_raises_protocol_error(self, payload):
+        with pytest.raises(ProtocolError):
+            query_from_dict(payload)
+
+
+class TestResponseSerialisation:
+    @pytest.fixture(scope="class")
+    def scenario(self, small_scorer):
+        from repro.bench.workloads import generate_whynot_scenarios
+
+        return generate_whynot_scenarios(
+            small_scorer, count=1, k=5, missing_count=1, seed=150, rank_window=25
+        )[0]
+
+    def test_result_to_dict_shape(self, small_scorer, scenario):
+        result = small_scorer.top_k(scenario.query)
+        payload = result_to_dict(result)
+        json.dumps(payload)
+        assert len(payload["entries"]) == len(result)
+        first = payload["entries"][0]
+        assert first["rank"] == 1
+        assert set(first) == {"rank", "score", "sdist", "tsim", "object"}
+
+    def test_explanation_to_dict_shape(
+        self, small_scorer, small_setrtree, scenario
+    ):
+        from repro.whynot.explanation import ExplanationGenerator
+
+        generator = ExplanationGenerator(small_scorer, small_setrtree)
+        explanation = generator.explain(scenario.query, scenario.missing)
+        payload = explanation_to_dict(explanation)
+        json.dumps(payload)
+        assert payload["worst_rank"] == explanation.worst_rank
+        assert payload["objects"][0]["reason"] in {
+            "too-far", "low-text-relevance", "too-far-and-low-relevance",
+            "preference-imbalance",
+        }
+
+    def test_preference_refinement_to_dict(self, small_scorer, scenario):
+        from repro.whynot.preference import PreferenceAdjuster
+
+        refinement = PreferenceAdjuster(small_scorer).refine(
+            scenario.query, scenario.missing
+        )
+        payload = preference_refinement_to_dict(refinement)
+        json.dumps(payload)
+        assert payload["model"] == "preference-adjustment"
+        assert payload["penalty"] == pytest.approx(refinement.penalty)
+
+    def test_keyword_refinement_to_dict(
+        self, small_scorer, small_kcrtree, scenario
+    ):
+        from repro.whynot.keyword import KeywordAdapter
+
+        refinement = KeywordAdapter(small_scorer, small_kcrtree).refine(
+            scenario.query, scenario.missing
+        )
+        payload = keyword_refinement_to_dict(refinement)
+        json.dumps(payload)
+        assert payload["model"] == "keyword-adaption"
+        assert payload["added"] == sorted(refinement.added)

@@ -1,0 +1,197 @@
+"""End-to-end HTTP tests: the browser-server round trip of Fig. 1.
+
+A real YaskHTTPServer is started on an ephemeral localhost port and
+driven through the YaskClient, covering every endpoint and the error
+paths (bad JSON, unknown sessions, not-missing objects).
+"""
+
+import json
+from urllib import request
+
+import pytest
+
+from repro.service.api import YaskEngine
+from repro.service.client import YaskClient, YaskClientError
+from repro.service.server import YaskHTTPServer
+
+
+@pytest.fixture(scope="module")
+def server(small_db):
+    server = YaskHTTPServer(YaskEngine(small_db, max_entries=8))
+    server.start_background()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return YaskClient(server.endpoint)
+
+
+@pytest.fixture(scope="module")
+def scenario(small_db):
+    from repro.core.scoring import Scorer
+    from repro.bench.workloads import generate_whynot_scenarios
+
+    return generate_whynot_scenarios(
+        Scorer(small_db), count=1, k=5, missing_count=1, seed=170,
+        rank_window=25,
+    )[0]
+
+
+def open_session(client, scenario):
+    q = scenario.query
+    return client.query(
+        q.loc.x, q.loc.y, sorted(q.doc), q.k, ws=q.ws
+    )
+
+
+class TestBasicEndpoints:
+    def test_health(self, client, small_db):
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["objects"] == len(small_db)
+
+    def test_objects_lists_all_markers(self, client, small_db):
+        objects = client.objects()
+        assert len(objects) == len(small_db)
+        assert {"oid", "name", "x", "y", "keywords"} <= set(objects[0])
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(YaskClientError) as exc:
+            YaskClient(server.endpoint)._call("GET", "/api/nope")
+        assert exc.value.status == 404
+
+
+class TestQueryEndpoint:
+    def test_query_returns_session_and_result(self, client, scenario):
+        response = open_session(client, scenario)
+        assert response["session_id"].startswith("s")
+        assert len(response["result"]["entries"]) == scenario.query.k
+        assert response["response_ms"] >= 0.0
+
+    def test_result_entries_are_rank_ordered(self, client, scenario):
+        response = open_session(client, scenario)
+        ranks = [entry["rank"] for entry in response["result"]["entries"]]
+        assert ranks == sorted(ranks)
+
+    def test_malformed_body_is_400(self, server):
+        req = request.Request(
+            f"{server.endpoint}/api/query",
+            data=b"this is not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(Exception) as exc:
+            request.urlopen(req)
+        assert exc.value.code == 400
+
+    def test_missing_fields_is_400(self, client):
+        with pytest.raises(YaskClientError) as exc:
+            client._call("POST", "/api/query", {"x": 0})
+        assert exc.value.status == 400
+
+    def test_empty_body_is_400(self, server):
+        req = request.Request(f"{server.endpoint}/api/query", data=b"", method="POST")
+        with pytest.raises(Exception) as exc:
+            request.urlopen(req)
+        assert exc.value.code == 400
+
+
+class TestWhyNotEndpoints:
+    def test_explain_flow(self, client, scenario):
+        session_id = open_session(client, scenario)["session_id"]
+        response = client.explain(
+            session_id, [m.oid for m in scenario.missing]
+        )
+        explanation = response["explanation"]
+        assert explanation["worst_rank"] > scenario.query.k
+        assert explanation["objects"][0]["rank"] == scenario.missing_ranks[0]
+
+    def test_preference_flow_revives_missing(self, client, scenario):
+        session_id = open_session(client, scenario)["session_id"]
+        response = client.refine_preference(
+            session_id, [m.oid for m in scenario.missing], lam=0.5
+        )
+        refined_ids = {
+            entry["object"]["oid"]
+            for entry in response["refined_result"]["entries"]
+        }
+        assert {m.oid for m in scenario.missing} <= refined_ids
+        assert 0.0 <= response["refinement"]["penalty"] <= 1.0
+
+    def test_keyword_flow_revives_missing(self, client, scenario):
+        session_id = open_session(client, scenario)["session_id"]
+        response = client.refine_keywords(
+            session_id, [m.oid for m in scenario.missing], lam=0.5
+        )
+        refined_ids = {
+            entry["object"]["oid"]
+            for entry in response["refined_result"]["entries"]
+        }
+        assert {m.oid for m in scenario.missing} <= refined_ids
+
+    def test_not_missing_object_is_422(self, client, scenario):
+        response = open_session(client, scenario)
+        session_id = response["session_id"]
+        top_oid = response["result"]["entries"][0]["object"]["oid"]
+        with pytest.raises(YaskClientError) as exc:
+            client.explain(session_id, [top_oid])
+        assert exc.value.status == 422
+
+    def test_unknown_session_is_404(self, client):
+        with pytest.raises(YaskClientError) as exc:
+            client.explain("s999999", [1])
+        assert exc.value.status == 404
+
+    def test_bad_lambda_is_400(self, client, scenario):
+        session_id = open_session(client, scenario)["session_id"]
+        with pytest.raises(YaskClientError) as exc:
+            client._call(
+                "POST",
+                "/api/whynot/preference",
+                {"session_id": session_id, "missing": [1], "lambda": 3.0},
+            )
+        assert exc.value.status == 400
+
+    def test_empty_missing_is_400(self, client, scenario):
+        session_id = open_session(client, scenario)["session_id"]
+        with pytest.raises(YaskClientError) as exc:
+            client._call(
+                "POST",
+                "/api/whynot/explain",
+                {"session_id": session_id, "missing": []},
+            )
+        assert exc.value.status == 400
+
+
+class TestSessionLifecycle:
+    def test_query_log_records_interactions(self, client, scenario):
+        session_id = open_session(client, scenario)["session_id"]
+        client.explain(session_id, [m.oid for m in scenario.missing])
+        client.refine_preference(session_id, [m.oid for m in scenario.missing])
+        log = client.query_log(session_id)
+        kinds = [entry["kind"] for entry in log]
+        assert kinds[0] == "top-k query"
+        assert "why-not explanation" in kinds
+        assert "preference adjustment" in kinds
+        refinement_entries = [e for e in log if e["kind"] == "preference adjustment"]
+        assert refinement_entries[0]["penalty"] is not None
+
+    def test_close_session(self, client, scenario):
+        session_id = open_session(client, scenario)["session_id"]
+        assert client.close_session(session_id)
+        with pytest.raises(YaskClientError) as exc:
+            client.explain(session_id, [1])
+        assert exc.value.status == 404
+
+    def test_sessions_are_isolated(self, client, scenario):
+        first = open_session(client, scenario)["session_id"]
+        second = open_session(client, scenario)["session_id"]
+        assert first != second
+        client.explain(first, [m.oid for m in scenario.missing])
+        assert all(
+            entry["kind"] != "why-not explanation"
+            for entry in client.query_log(second)
+        )

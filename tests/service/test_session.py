@@ -1,0 +1,109 @@
+"""Tests for sessions, the query cache and the query log."""
+
+import threading
+
+import pytest
+
+from repro.core.geometry import Point
+from repro.core.query import QueryResult, SpatialKeywordQuery
+from repro.service.session import QueryLog, SessionManager
+
+
+def query(k=3):
+    return SpatialKeywordQuery(Point(0, 0), frozenset({"a"}), k)
+
+
+def empty_result(q):
+    return QueryResult(q, [])
+
+
+class TestQueryLog:
+    def test_sequence_numbers_increment(self):
+        log = QueryLog()
+        first = log.record("top-k query", {"k": 3}, 1.5)
+        second = log.record("why-not explanation", {}, 2.5)
+        assert (first.sequence, second.sequence) == (1, 2)
+
+    def test_entries_are_snapshots(self):
+        log = QueryLog()
+        log.record("a", {}, 1.0)
+        snapshot = log.entries
+        log.record("b", {}, 1.0)
+        assert len(snapshot) == 1
+        assert len(log.entries) == 2
+
+    def test_describe_includes_penalty_and_time(self):
+        log = QueryLog()
+        log.record("keyword adaption", {"lambda": 0.5}, 12.25, penalty=0.125)
+        text = log.describe()
+        assert "penalty=0.1250" in text
+        assert "time=12.25ms" in text
+        assert "lambda=0.5" in text
+
+    def test_concurrent_records_unique_sequences(self):
+        log = QueryLog()
+
+        def worker():
+            for _ in range(50):
+                log.record("x", {}, 0.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sequences = [entry.sequence for entry in log.entries]
+        assert len(sequences) == 200
+        assert len(set(sequences)) == 200
+
+
+class TestSessionManager:
+    def test_create_and_get(self):
+        manager = SessionManager()
+        q = query()
+        session = manager.create(q, empty_result(q))
+        assert manager.get(session.session_id) is session
+        assert session.initial_query is q
+
+    def test_unknown_session_raises(self):
+        manager = SessionManager()
+        with pytest.raises(KeyError):
+            manager.get("nope")
+
+    def test_drop(self):
+        manager = SessionManager()
+        q = query()
+        session = manager.create(q, empty_result(q))
+        assert manager.drop(session.session_id)
+        assert not manager.drop(session.session_id)
+        with pytest.raises(KeyError):
+            manager.get(session.session_id)
+
+    def test_capacity_evicts_stalest(self):
+        manager = SessionManager(capacity=2)
+        q = query()
+        first = manager.create(q, empty_result(q))
+        second = manager.create(q, empty_result(q))
+        manager.get(first.session_id)  # refresh first → second is stalest
+        third = manager.create(q, empty_result(q))
+        assert len(manager) == 2
+        with pytest.raises(KeyError):
+            manager.get(second.session_id)
+        assert manager.get(first.session_id) is first
+        assert manager.get(third.session_id) is third
+
+    def test_session_ids_unique(self):
+        manager = SessionManager()
+        q = query()
+        ids = {manager.create(q, empty_result(q)).session_id for _ in range(20)}
+        assert len(ids) == 20
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SessionManager(capacity=0)
+
+    def test_active_ids(self):
+        manager = SessionManager()
+        q = query()
+        session = manager.create(q, empty_result(q))
+        assert session.session_id in manager.active_ids()

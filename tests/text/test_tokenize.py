@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.text.tokenize`."""
+
+import pytest
+
+from repro.text.tokenize import (
+    DEFAULT_STOPWORDS,
+    document_frequencies,
+    keyword_set,
+    normalize_keyword,
+    tokenize,
+    vocabulary,
+)
+
+
+class TestNormalizeKeyword:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("WiFi", "wifi"),
+            ("  Pool  ", "pool"),
+            ("harbour-view", "harbour"),
+            ("don't", "dont"),
+            ("24h", "24h"),
+            ("***", ""),
+            ("", ""),
+        ],
+    )
+    def test_normalisation(self, raw, expected):
+        assert normalize_keyword(raw) == expected
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Clean AND Comfortable rooms") == [
+            "clean", "comfortable", "rooms",
+        ]
+
+    def test_removes_stopwords(self):
+        tokens = tokenize("the hotel is very clean")
+        assert "the" not in tokens and "is" not in tokens and "very" not in tokens
+        assert tokens == ["hotel", "clean"]
+
+    def test_preserves_duplicates_and_order(self):
+        assert tokenize("clean rooms clean lobby") == [
+            "clean", "rooms", "clean", "lobby",
+        ]
+
+    def test_custom_stopwords(self):
+        tokens = tokenize("clean hotel", stopwords=frozenset({"clean"}))
+        assert tokens == ["hotel"]
+
+    def test_punctuation_stripped(self):
+        assert tokenize("pool, gym & spa!") == ["pool", "gym", "spa"]
+
+
+class TestKeywordSet:
+    def test_from_text_deduplicates(self):
+        assert keyword_set("clean clean Comfortable") == frozenset(
+            {"clean", "comfortable"}
+        )
+
+    def test_from_token_iterable(self):
+        assert keyword_set(["WiFi", "POOL", "the", ""]) == frozenset({"wifi", "pool"})
+
+    def test_empty_input(self):
+        assert keyword_set("") == frozenset()
+        assert keyword_set([]) == frozenset()
+
+    def test_result_is_frozenset(self):
+        assert isinstance(keyword_set("a b"), frozenset)
+
+
+class TestCorpusHelpers:
+    def test_vocabulary_union(self):
+        docs = [{"a", "b"}, {"b", "c"}]
+        assert vocabulary(docs) == frozenset({"a", "b", "c"})
+
+    def test_document_frequencies_counts_documents_not_tokens(self):
+        docs = [["a", "a", "b"], ["b"], ["b", "c"]]
+        assert document_frequencies(docs) == {"a": 1, "b": 3, "c": 1}
+
+    def test_stopword_list_is_lowercase(self):
+        assert all(word == word.lower() for word in DEFAULT_STOPWORDS)

@@ -1,0 +1,86 @@
+"""Tests for the combined why-not engine facade."""
+
+import pytest
+
+from repro.whynot.engine import WhyNotEngine
+from repro.whynot.errors import UnknownObjectError
+
+
+def scenario(scorer, seed=140, k=5):
+    from repro.bench.workloads import generate_whynot_scenarios
+
+    return generate_whynot_scenarios(
+        scorer, count=1, k=k, missing_count=1, seed=seed, rank_window=25
+    )[0]
+
+
+@pytest.fixture(scope="module")
+def engine(small_scorer, small_setrtree, small_kcrtree):
+    return WhyNotEngine(
+        small_scorer, set_rtree=small_setrtree, kcr_tree=small_kcrtree
+    )
+
+
+class TestResolution:
+    def test_resolve_by_id(self, engine, small_db):
+        assert engine.resolve_missing([3])[0].oid == 3
+
+    def test_resolve_by_object(self, engine, small_db):
+        obj = small_db.get(5)
+        assert engine.resolve_missing([obj])[0] is obj
+
+    def test_duplicates_collapse(self, engine):
+        assert len(engine.resolve_missing([3, 3, 3])) == 1
+
+    def test_unknown_id_raises(self, engine):
+        with pytest.raises(UnknownObjectError):
+            engine.resolve_missing([99999])
+
+    def test_unknown_name_raises(self, engine):
+        with pytest.raises(UnknownObjectError):
+            engine.resolve_missing(["No Such Hotel"])
+
+
+class TestDispatch:
+    def test_explain(self, engine, small_scorer):
+        s = scenario(small_scorer)
+        explanation = engine.explain(s.query, [m.oid for m in s.missing])
+        assert explanation.worst_rank > s.query.k
+
+    def test_refine_preference(self, engine, small_scorer):
+        s = scenario(small_scorer, seed=141)
+        refinement = engine.refine_preference(s.query, [m.oid for m in s.missing])
+        assert refinement.penalty <= 0.5 + 1e-12
+
+    def test_refine_keywords(self, engine, small_scorer):
+        s = scenario(small_scorer, seed=142)
+        refinement = engine.refine_keywords(s.query, [m.oid for m in s.missing])
+        assert refinement.penalty <= 0.5 + 1e-12
+
+    def test_refine_both_returns_all_parts(self, engine, small_scorer):
+        s = scenario(small_scorer, seed=143)
+        answer = engine.refine_both(s.query, [m.oid for m in s.missing])
+        assert answer.explanation is not None
+        assert answer.preference is not None
+        assert answer.keyword is not None
+        assert answer.best_model in ("preference adjustment", "keyword adaption")
+
+    def test_best_model_picks_lower_penalty(self, engine, small_scorer):
+        s = scenario(small_scorer, seed=144)
+        answer = engine.refine_both(s.query, [m.oid for m in s.missing])
+        if answer.best_model == "preference adjustment":
+            assert answer.preference.penalty <= answer.keyword.penalty
+        else:
+            assert answer.keyword.penalty < answer.preference.penalty
+
+    def test_best_model_with_partial_answers(self, engine, small_scorer):
+        from repro.whynot.engine import WhyNotAnswer
+
+        s = scenario(small_scorer, seed=145)
+        explanation = engine.explain(s.query, [m.oid for m in s.missing])
+        assert WhyNotAnswer(explanation).best_model is None
+        pref = engine.refine_preference(s.query, [m.oid for m in s.missing])
+        assert (
+            WhyNotAnswer(explanation, preference=pref).best_model
+            == "preference adjustment"
+        )

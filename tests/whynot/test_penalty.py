@@ -1,0 +1,160 @@
+"""Unit tests for :mod:`repro.whynot.penalty` — Eqns. (3) and (4)."""
+
+import math
+
+import pytest
+
+from repro.core.geometry import Point
+from repro.core.objects import SpatialObject
+from repro.core.query import SpatialKeywordQuery, Weights
+from repro.whynot.penalty import (
+    KeywordPenalty,
+    PreferencePenalty,
+    keyword_edit_distance,
+    missing_doc_union,
+)
+
+
+def query(k=3, ws=0.5, doc=("a", "b")):
+    return SpatialKeywordQuery(
+        Point(0, 0), frozenset(doc), k, Weights.from_spatial(ws)
+    )
+
+
+def missing_obj(oid, doc):
+    return SpatialObject(oid, Point(0.5, 0.5), frozenset(doc))
+
+
+class TestHelpers:
+    def test_missing_doc_union(self):
+        objs = [missing_obj(0, ("a", "b")), missing_obj(1, ("b", "c"))]
+        assert missing_doc_union(objs) == frozenset({"a", "b", "c"})
+
+    @pytest.mark.parametrize(
+        "original,refined,expected",
+        [
+            ({"a"}, {"a"}, 0),
+            ({"a"}, {"b"}, 2),
+            ({"a", "b"}, {"a"}, 1),
+            ({"a"}, {"a", "b", "c"}, 2),
+            (set(), {"a"}, 1),
+        ],
+    )
+    def test_keyword_edit_distance(self, original, refined, expected):
+        assert keyword_edit_distance(frozenset(original), frozenset(refined)) == expected
+
+
+class TestPreferencePenalty:
+    def test_eqn3_value(self):
+        q = query(k=3, ws=0.5)
+        penalty = PreferencePenalty(q, initial_worst_rank=13, lam=0.5)
+        refined = Weights.from_spatial(0.7)
+        delta_w = q.weights.distance_to(refined)
+        expected = 0.5 * 5 / 10 + 0.5 * delta_w / math.sqrt(1.5)
+        assert penalty(8, refined) == pytest.approx(expected)
+
+    def test_delta_k_clamped_at_zero(self):
+        penalty = PreferencePenalty(query(k=3), 13, lam=0.5)
+        assert penalty.delta_k(2) == 0
+        assert penalty.delta_k(3) == 0
+        assert penalty.delta_k(4) == 1
+
+    def test_refined_k_covers_worst_rank(self):
+        penalty = PreferencePenalty(query(k=3), 13)
+        assert penalty.refined_k(2) == 3   # never shrink k
+        assert penalty.refined_k(13) == 13
+
+    def test_zero_when_nothing_changes_within_k(self):
+        penalty = PreferencePenalty(query(k=3, ws=0.5), 13, lam=0.5)
+        assert penalty(3, Weights.from_spatial(0.5)) == 0.0
+
+    def test_pure_k_enlargement_penalty_is_lambda(self):
+        # Δk = R(M,q) − k normalised by itself → the k-term is exactly λ.
+        q = query(k=3)
+        for lam in (0.0, 0.25, 0.5, 1.0):
+            penalty = PreferencePenalty(q, 20, lam=lam)
+            assert penalty(20, q.weights) == pytest.approx(lam)
+
+    def test_penalty_in_unit_interval_for_reachable_ranks(self):
+        q = query(k=3)
+        penalty = PreferencePenalty(q, 30, lam=0.4)
+        for rank in (1, 3, 15, 30):
+            for ws in (0.1, 0.5, 0.9):
+                value = penalty(rank, Weights.from_spatial(ws))
+                assert 0.0 <= value <= 1.0 + 1e-12
+
+    def test_lambda_validation(self):
+        with pytest.raises(ValueError):
+            PreferencePenalty(query(), 10, lam=-0.1)
+        with pytest.raises(ValueError):
+            PreferencePenalty(query(), 10, lam=1.1)
+
+    def test_not_missing_rank_rejected(self):
+        with pytest.raises(ValueError):
+            PreferencePenalty(query(k=5), 5)
+        with pytest.raises(ValueError):
+            PreferencePenalty(query(k=5), 3)
+
+    def test_breakdown_components_sum(self):
+        penalty = PreferencePenalty(query(k=3), 13, lam=0.3)
+        breakdown = penalty.breakdown(10, Weights.from_spatial(0.8))
+        assert breakdown.total == pytest.approx(
+            breakdown.k_component + breakdown.modification_component
+        )
+        assert breakdown.delta_k == 7
+
+    def test_modification_term_is_lower_bound(self):
+        penalty = PreferencePenalty(query(k=3), 13, lam=0.3)
+        refined = Weights.from_spatial(0.9)
+        assert penalty.modification_term(refined) <= penalty(20, refined)
+
+
+class TestKeywordPenalty:
+    def _penalty(self, k=3, worst=13, lam=0.5, q_doc=("a", "b"), m_docs=(("c", "d"),)):
+        q = query(k=k, doc=q_doc)
+        missing = [missing_obj(i, doc) for i, doc in enumerate(m_docs)]
+        return KeywordPenalty(q, missing, worst, lam=lam), q
+
+    def test_eqn4_value(self):
+        penalty, q = self._penalty()
+        # |q.doc ∪ M.doc| = |{a,b,c,d}| = 4.
+        refined = frozenset({"a", "b", "c"})  # one insertion
+        expected = 0.5 * 5 / 10 + 0.5 * 1 / 4
+        assert penalty(8, refined) == pytest.approx(expected)
+
+    def test_doc_normaliser_is_union_size(self):
+        penalty, _ = self._penalty(q_doc=("a", "b"), m_docs=(("b", "c"), ("d",)))
+        assert penalty.doc_normaliser == 4  # {a, b, c, d}
+        assert penalty.missing_doc == frozenset({"b", "c", "d"})
+
+    def test_pure_k_enlargement_penalty_is_lambda(self):
+        penalty, q = self._penalty(lam=0.7)
+        assert penalty(13, q.doc) == pytest.approx(0.7)
+
+    def test_delta_doc_counts_both_edit_kinds(self):
+        penalty, _ = self._penalty()
+        assert penalty.delta_doc(frozenset({"a", "c"})) == 2  # -b +c
+
+    def test_penalty_in_unit_interval(self):
+        penalty, q = self._penalty(worst=30)
+        for rank in (1, 3, 10, 30):
+            for refined in (q.doc, frozenset({"c"}), frozenset({"a", "c", "d"})):
+                assert 0.0 <= penalty(rank, refined) <= 1.0 + 1e-12
+
+    def test_modification_term_for_edits_monotone(self):
+        penalty, _ = self._penalty(lam=0.25)
+        values = [penalty.modification_term_for_edits(e) for e in range(5)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+
+    def test_not_missing_rank_rejected(self):
+        with pytest.raises(ValueError):
+            self._penalty(k=5, worst=5)
+
+    def test_breakdown_components(self):
+        penalty, _ = self._penalty(lam=0.4)
+        breakdown = penalty.breakdown(10, frozenset({"a", "b", "c", "d"}))
+        assert breakdown.delta_k == 7
+        assert breakdown.total == pytest.approx(
+            breakdown.k_component + breakdown.modification_component
+        )

@@ -1,0 +1,206 @@
+"""Tests for the preference-adjusted why-not module (Definition 2).
+
+Central contracts:
+
+1. **Containment:** the refined query's result contains every missing
+   object (Definition 2 requires it).
+2. **Optimality:** no alternative weight — sampled densely or taken from
+   the exhaustive crossover set — achieves a lower Eqn. (3) penalty.
+3. **Consistency:** the linear-scan ablation returns the same answer as
+   the dual-space R-tree path, and the sweep's incremental ranks agree
+   with from-scratch ranking.
+"""
+
+import math
+
+import pytest
+
+from repro.core.query import Weights
+from repro.core.scoring import Scorer
+from repro.core.topk import BruteForceTopK
+from repro.whynot.errors import NotMissingError
+from repro.whynot.penalty import PreferencePenalty
+from repro.whynot.preference import PreferenceAdjuster
+
+from tests.conftest import random_queries
+
+
+def scenarios(scorer, *, count, k, missing_count=1, seed=60):
+    from repro.bench.workloads import generate_whynot_scenarios
+
+    return generate_whynot_scenarios(
+        scorer, count=count, k=k, missing_count=missing_count, seed=seed,
+        rank_window=30,
+    )
+
+
+def exact_optimum_by_enumeration(scorer, query, missing, lam):
+    """Slow exact oracle: evaluate Eqn. (3) at every crossover weight.
+
+    Enumerates every pairwise crossover of the missing objects' score
+    lines with all other objects' lines (plus one-ulp neighbours and the
+    initial weight) and computes exact float ranks at each — O(n² )-ish
+    but indisputable.
+    """
+    duals = scorer.dual_points(query)
+    by_oid = {d.oid: d for d in duals}
+    missing_duals = [by_oid[m.oid] for m in missing]
+
+    initial_worst = max(
+        PreferenceAdjuster._ranks_at_weights(query.weights, missing_duals, duals).values()
+    )
+    penalty = PreferencePenalty(query, initial_worst, lam)
+
+    candidate_ws = {query.ws}
+    for m_dual in missing_duals:
+        for other in duals:
+            if other.oid == m_dual.oid:
+                continue
+            w = m_dual.crossover_with(other)
+            if w is None or not (0.0 < w < 1.0 and 0.0 < 1.0 - w < 1.0):
+                continue
+            candidate_ws.add(w)
+            for neighbour in (math.nextafter(w, 0.0), math.nextafter(w, 1.0)):
+                if 0.0 < neighbour < 1.0 and 0.0 < 1.0 - neighbour < 1.0:
+                    candidate_ws.add(neighbour)
+
+    best = math.inf
+    for w in sorted(candidate_ws):
+        weights = query.weights if w == query.ws else Weights.from_spatial(w)
+        worst = max(
+            PreferenceAdjuster._ranks_at_weights(weights, missing_duals, duals).values()
+        )
+        best = min(best, penalty(worst, weights))
+    return best
+
+
+class TestContainment:
+    @pytest.mark.parametrize("lam", [0.1, 0.5, 0.9])
+    def test_refined_query_revives_missing(self, small_scorer, lam):
+        adjuster = PreferenceAdjuster(small_scorer)
+        oracle = BruteForceTopK(small_scorer)
+        for scenario in scenarios(small_scorer, count=6, k=5):
+            refinement = adjuster.refine(scenario.query, scenario.missing, lam=lam)
+            result = oracle.search(refinement.refined_query)
+            for missing in scenario.missing:
+                assert result.contains(missing), (
+                    f"missing object {missing.oid} not revived "
+                    f"(lam={lam}, refined={refinement.describe()})"
+                )
+
+    def test_multiple_missing_objects(self, small_scorer):
+        adjuster = PreferenceAdjuster(small_scorer)
+        oracle = BruteForceTopK(small_scorer)
+        for scenario in scenarios(small_scorer, count=4, k=5, missing_count=3, seed=61):
+            refinement = adjuster.refine(scenario.query, scenario.missing)
+            result = oracle.search(refinement.refined_query)
+            assert all(result.contains(m) for m in scenario.missing)
+
+    def test_medium_database(self, medium_scorer):
+        adjuster = PreferenceAdjuster(medium_scorer)
+        oracle = BruteForceTopK(medium_scorer)
+        for scenario in scenarios(medium_scorer, count=3, k=10, seed=62):
+            refinement = adjuster.refine(scenario.query, scenario.missing)
+            result = oracle.search(refinement.refined_query)
+            assert all(result.contains(m) for m in scenario.missing)
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("lam", [0.2, 0.5, 0.8])
+    def test_beats_exhaustive_crossover_enumeration(self, small_scorer, lam):
+        adjuster = PreferenceAdjuster(small_scorer)
+        for scenario in scenarios(small_scorer, count=4, k=5, seed=63):
+            refinement = adjuster.refine(scenario.query, scenario.missing, lam=lam)
+            oracle = exact_optimum_by_enumeration(
+                small_scorer, scenario.query, scenario.missing, lam
+            )
+            assert refinement.penalty <= oracle + 1e-9
+
+    def test_beats_dense_sampling(self, small_scorer):
+        from repro.whynot.baselines import SamplingPreferenceAdjuster
+
+        adjuster = PreferenceAdjuster(small_scorer)
+        sampler = SamplingPreferenceAdjuster(small_scorer, samples=500)
+        for scenario in scenarios(small_scorer, count=4, k=5, seed=64):
+            exact = adjuster.refine(scenario.query, scenario.missing)
+            sampled = sampler.refine(scenario.query, scenario.missing)
+            assert exact.penalty <= sampled.penalty + 1e-9
+
+    def test_penalty_never_exceeds_lambda(self, small_scorer):
+        # The pure k-enlargement candidate always achieves penalty = λ.
+        adjuster = PreferenceAdjuster(small_scorer)
+        for lam in (0.0, 0.3, 0.7, 1.0):
+            for scenario in scenarios(small_scorer, count=3, k=5, seed=65):
+                refinement = adjuster.refine(scenario.query, scenario.missing, lam=lam)
+                assert refinement.penalty <= lam + 1e-12
+
+
+class TestReportedFields:
+    def test_refined_k_covers_worst_rank(self, small_scorer):
+        adjuster = PreferenceAdjuster(small_scorer)
+        for scenario in scenarios(small_scorer, count=4, k=5, seed=66):
+            refinement = adjuster.refine(scenario.query, scenario.missing)
+            assert refinement.refined_query.k == max(
+                scenario.query.k, refinement.refined_worst_rank
+            )
+
+    def test_delta_w_matches_weights(self, small_scorer):
+        adjuster = PreferenceAdjuster(small_scorer)
+        for scenario in scenarios(small_scorer, count=4, k=5, seed=67):
+            refinement = adjuster.refine(scenario.query, scenario.missing)
+            assert refinement.delta_w == pytest.approx(
+                scenario.query.weights.distance_to(refinement.refined_query.weights)
+            )
+
+    def test_initial_worst_rank_matches_scorer(self, small_scorer):
+        adjuster = PreferenceAdjuster(small_scorer)
+        for scenario in scenarios(small_scorer, count=4, k=5, seed=68):
+            refinement = adjuster.refine(scenario.query, scenario.missing)
+            assert refinement.initial_worst_rank == small_scorer.worst_rank(
+                scenario.missing, scenario.query
+            )
+
+    def test_loc_doc_unchanged_only_weights_and_k_move(self, small_scorer):
+        # Definition 2: q' = (loc, doc, k', ~w').
+        adjuster = PreferenceAdjuster(small_scorer)
+        for scenario in scenarios(small_scorer, count=3, k=5, seed=69):
+            refined = adjuster.refine(scenario.query, scenario.missing).refined_query
+            assert refined.loc == scenario.query.loc
+            assert refined.doc == scenario.query.doc
+
+
+class TestAblationsAndErrors:
+    def test_linear_scan_equals_dual_index(self, small_scorer):
+        indexed = PreferenceAdjuster(small_scorer, use_dual_index=True)
+        linear = PreferenceAdjuster(small_scorer, use_dual_index=False)
+        for scenario in scenarios(small_scorer, count=4, k=5, seed=70):
+            a = indexed.refine(scenario.query, scenario.missing)
+            b = linear.refine(scenario.query, scenario.missing)
+            assert a.penalty == pytest.approx(b.penalty, abs=1e-12)
+            assert a.refined_query.k == b.refined_query.k
+            assert a.refined_query.ws == pytest.approx(b.refined_query.ws)
+
+    def test_not_missing_raises(self, small_scorer):
+        adjuster = PreferenceAdjuster(small_scorer)
+        q = random_queries(small_scorer.database, 1, seed=71, k=5)[0]
+        top = small_scorer.top_k(q)
+        with pytest.raises(NotMissingError):
+            adjuster.refine(q, [top.entries[0].obj])
+
+    def test_empty_missing_rejected(self, small_scorer):
+        adjuster = PreferenceAdjuster(small_scorer)
+        q = random_queries(small_scorer.database, 1, seed=72, k=5)[0]
+        with pytest.raises(ValueError):
+            adjuster.refine(q, [])
+
+    def test_invalid_verification_window(self, small_scorer):
+        with pytest.raises(ValueError):
+            PreferenceAdjuster(small_scorer, verification_window=0)
+
+    def test_stats_reported(self, small_scorer):
+        adjuster = PreferenceAdjuster(small_scorer)
+        scenario = scenarios(small_scorer, count=1, k=5, seed=73)[0]
+        refinement = adjuster.refine(scenario.query, scenario.missing)
+        assert refinement.candidates_evaluated >= 1
+        assert refinement.crossovers >= 0
+        assert refinement.method == "weight-sweep"
