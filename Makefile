@@ -1,0 +1,29 @@
+# Developer entry points for the YASK reproduction.
+#
+#   make test        — the tier-1 suite (ROADMAP.md's verify command)
+#   make bench-smoke — the E9 executor experiment (fast, asserts the
+#                      cold/warm and batch/sequential speedup floors)
+#   make docs-check  — every GET/POST route in server.py must appear
+#                      in docs/API.md
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke docs-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py -q
+
+docs-check:
+	@missing=0; \
+	for route in $$(grep -oE '"/(healthz|api/[a-z/]+)"' src/repro/service/server.py | tr -d '"' | sort -u); do \
+		if ! grep -q -- "$$route" docs/API.md; then \
+			echo "docs-check: route $$route is not documented in docs/API.md"; \
+			missing=1; \
+		fi; \
+	done; \
+	if [ $$missing -ne 0 ]; then exit 1; fi; \
+	echo "docs-check ok: every server route is documented in docs/API.md"

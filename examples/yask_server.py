@@ -4,6 +4,8 @@ Starts the YASK HTTP server on an ephemeral local port, then drives it
 with the Python client exactly as the demonstration GUI would: issue the
 initial top-k query (getting a cached session), ask for the explanation,
 request both refinements, read the query log and close the session.
+Finishes with the serving-tier additions: a batched query request and
+the executor's cache statistics.
 
     python examples/yask_server.py
 """
@@ -68,6 +70,29 @@ def main() -> None:
                   f"{penalty} time={entry['response_ms']:.2f}ms")
 
         print("\nclosing session:", client.close_session(session_id))
+
+        # The batch endpoint: many queries per round trip, deduplicated
+        # and cached by the server's QueryExecutor.  The first payload
+        # repeats the initial query, so it comes back as a cache hit.
+        batch = client.query_batch(
+            [
+                {"x": 114.1722, "y": 22.2975,
+                 "keywords": ["clean", "comfortable"], "k": 3},
+                {"x": 114.1722, "y": 22.2975, "keywords": ["harbour"], "k": 2},
+                {"x": 114.1722, "y": 22.2975,
+                 "keywords": ["clean", "comfortable"], "k": 3},
+            ]
+        )
+        print(f"\nbatch of {batch['count']} queries "
+              f"in {batch['total_ms']:.2f} ms:")
+        for index, entry in enumerate(batch["results"]):
+            top = entry["result"]["entries"][0]["object"]["name"]
+            print(f"  [{index}] top-1 {top!r}  source={entry['source']}  "
+                  f"time={entry['response_ms']:.2f} ms")
+
+        stats = client.stats()
+        print(f"executor cache: {stats['hits']} hits, {stats['misses']} misses, "
+              f"hit rate {stats['hit_rate']:.0%}")
     finally:
         server.shutdown()
         server.server_close()

@@ -1,11 +1,22 @@
-"""Setuptools shim.
+"""Setuptools entry point.
 
 The execution environment has no `wheel` package and no network access,
 so pip's PEP 660 editable-install path (which builds a wheel) cannot
-run; this shim lets `pip install -e .` fall back to the legacy
-`setup.py develop` path.  All metadata lives in pyproject.toml.
+run; keeping the metadata here (rather than in pyproject.toml) lets
+`pip install -e .` fall back to the legacy `setup.py develop` path.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="yask-repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of YASK: a why-not question answering engine for "
+        "spatial keyword query services (PVLDB 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["yask = repro.service.cli:main"]},
+)

@@ -10,7 +10,7 @@ those constraints as validated value types.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.geometry import EPSILON, Point

@@ -1,6 +1,8 @@
 """The browser-server service layer of Fig. 1.
 
 * :class:`repro.service.api.YaskEngine` — the server-side query processor.
+* :class:`repro.service.executor.QueryExecutor` — caching/deduplicating/
+  batching execution tier shared by every transport.
 * :class:`repro.service.server.YaskHTTPServer` — JSON-over-HTTP transport.
 * :class:`repro.service.client.YaskClient` — the client counterpart.
 * :mod:`repro.service.session` — initial-query cache and query log.
@@ -9,6 +11,13 @@
 
 from repro.service.api import TimedResult, YaskEngine
 from repro.service.client import YaskClient, YaskClientError
+from repro.service.executor import (
+    BatchExecution,
+    CacheStats,
+    Execution,
+    QueryExecutor,
+    query_fingerprint,
+)
 from repro.service.panels import (
     render_demo_screen,
     render_explanation_panel,
@@ -25,6 +34,11 @@ __all__ = [
     "YaskEngine",
     "YaskClient",
     "YaskClientError",
+    "BatchExecution",
+    "CacheStats",
+    "Execution",
+    "QueryExecutor",
+    "query_fingerprint",
     "render_demo_screen",
     "render_explanation_panel",
     "render_map",

@@ -12,6 +12,7 @@ service plumbing.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import AbstractSet, Iterable, Sequence
 
@@ -187,6 +188,30 @@ class YaskEngine:
     ) -> QueryResult:
         """Convenience: build and execute a top-k query in one step."""
         return self.query(self.make_query(loc, keywords, k, weights=weights))
+
+    def query_batch(
+        self,
+        queries: Sequence[SpatialKeywordQuery],
+        *,
+        max_workers: int = 8,
+    ) -> list[TimedResult]:
+        """Execute many queries against a one-shot worker pool, in order.
+
+        The cache-free batch entry point for embedding applications that
+        drive the engine directly; every index is immutable after
+        construction, so concurrent traversals are safe.  Each
+        :class:`TimedResult` carries that query's own execution time.
+        The service does not use this: its transports share a
+        :class:`repro.service.executor.QueryExecutor`, which adds
+        result caching and in-flight dedup over a persistent pool.
+        """
+        if not queries:
+            return []
+        workers = min(max_workers, len(queries))
+        if workers <= 1:
+            return [self.timed_query(query) for query in queries]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.timed_query, queries))
 
     def timed_query(self, query: SpatialKeywordQuery) -> TimedResult:
         """Execute a query and report the response time (query log panel)."""

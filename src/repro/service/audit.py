@@ -23,7 +23,7 @@ from typing import Sequence
 from repro.core.query import QueryResult, SpatialKeywordQuery
 from repro.core.scoring import Scorer
 
-__all__ = ["AuditFinding", "AuditReport", "audit_result"]
+__all__ = ["AuditFinding", "AuditReport", "audit_execution", "audit_result"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -115,3 +115,15 @@ def audit_result(scorer: Scorer, served: QueryResult) -> AuditReport:
         findings=tuple(findings),
         checked_entries=len(served),
     )
+
+
+def audit_execution(scorer: Scorer, execution) -> AuditReport:
+    """Audit an executor :class:`~repro.service.executor.Execution`.
+
+    The caching tier adds a new way for a served result to go stale — a
+    cache entry outliving the dataset it was computed from — so the
+    audit applies to cached responses exactly as to fresh ones.  The
+    ``execution`` is duck-typed (anything with a ``.result``) to keep
+    this module importable without the executor.
+    """
+    return audit_result(scorer, execution.result)

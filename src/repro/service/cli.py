@@ -4,6 +4,9 @@ Subcommands:
 
 * ``yask serve [--host --port --dataset]`` — run the HTTP service.
 * ``yask query --x --y --keywords --k [--ws]`` — one-shot top-k query.
+* ``yask batch --file queries.json [--workers --repeat]`` — execute a
+  file (or stdin) of query payloads through the caching
+  :class:`~repro.service.executor.QueryExecutor`.
 * ``yask whynot --x --y --keywords --k --missing [--lambda --model]`` —
   one-shot why-not question (explanation + refinement).
 * ``yask demo`` — print the full demonstration screen (Figs. 3-5) for
@@ -27,8 +30,12 @@ from repro.core.query import Weights
 from repro.datasets.hotels import GRAND_VICTORIA, coffee_shops, hong_kong_hotels
 from repro.datasets.loaders import load_json
 from repro.service.api import YaskEngine
+from repro.service.executor import QueryExecutor
 from repro.service.panels import render_demo_screen
 from repro.service.protocol import (
+    ProtocolError,
+    batch_execution_to_dict,
+    batch_queries_from_dict,
     explanation_to_dict,
     keyword_refinement_to_dict,
     preference_refinement_to_dict,
@@ -81,6 +88,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="run one top-k query")
     add_query_args(query)
+
+    batch = sub.add_parser(
+        "batch",
+        help="execute a JSON file of top-k queries through the executor",
+    )
+    batch.add_argument("--dataset", default="hotels")
+    batch.add_argument(
+        "--file",
+        required=True,
+        help="path to a JSON list of query payloads "
+        '([{"x", "y", "keywords", "k", "ws"?}, ...]), or "-" for stdin',
+    )
+    batch.add_argument(
+        "--workers", type=int, default=8, help="worker-pool width"
+    )
+    batch.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="execute the workload this many times (repeats hit the cache)",
+    )
 
     whynot = sub.add_parser("whynot", help="ask a why-not question")
     add_query_args(whynot)
@@ -140,11 +168,66 @@ def _make_engine(args: argparse.Namespace) -> YaskEngine:
 def _run_query(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     weights = Weights.from_spatial(args.ws) if args.ws is not None else None
-    result = engine.top_k(
+    query = engine.make_query(
         Point(args.x, args.y), _parse_keywords(args.keywords), args.k,
         weights=weights,
     )
-    print(json.dumps(result_to_dict(result), indent=2))
+    timed = engine.timed_query(query)
+    print(json.dumps(result_to_dict(timed.value), indent=2))
+    print(f"executed in {timed.response_ms:.2f} ms", file=sys.stderr)
+    return 0
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    if args.repeat < 1:
+        raise SystemExit("--repeat must be at least 1")
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.file == "-":
+        raw = sys.stdin.read()
+    else:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.file}: {exc}")
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"invalid JSON in {args.file}: {exc}")
+    # Accept both the bare list and the HTTP batch envelope.
+    if isinstance(payload, list):
+        payload = {"queries": payload}
+    engine = _make_engine(args)
+    try:
+        queries = batch_queries_from_dict(
+            payload, default_weights=engine.default_weights
+        )
+    except ProtocolError as exc:
+        raise SystemExit(f"bad batch payload: {exc}")
+    executor = QueryExecutor(engine, max_workers=args.workers)
+    try:
+        batches = [
+            executor.execute_batch(queries) for _ in range(args.repeat)
+        ]
+    finally:
+        executor.close()
+    stats = executor.stats()
+    print(
+        json.dumps(
+            {
+                "batches": [batch_execution_to_dict(batch) for batch in batches],
+                "cache": stats.to_dict(),
+            },
+            indent=2,
+        )
+    )
+    print(
+        f"{args.repeat} batch(es) of {len(queries)} queries: "
+        f"{stats.hits + stats.inflight_waits} served without execution "
+        f"(hit rate {stats.hit_rate:.0%})",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -221,6 +304,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "query":
         return _run_query(args)
+    if args.command == "batch":
+        return _run_batch(args)
     if args.command == "whynot":
         return _run_whynot(args)
     if args.command == "demo":

@@ -90,6 +90,25 @@ class YaskClient:
             payload["ws"] = ws
         return self._call("POST", "/api/query", payload)
 
+    def query_batch(
+        self, queries: Sequence[Mapping[str, Any]]
+    ) -> dict[str, Any]:
+        """Execute many top-k queries in one round trip (stateless).
+
+        Each element is a single-query payload — ``{"x", "y",
+        "keywords", "k"}`` plus optional ``"ws"`` — and the response
+        carries one entry per query, in order, with ``cached`` marking
+        results the server cache (or in-flight dedup) served without a
+        fresh execution.
+        """
+        return self._call(
+            "POST", "/api/query/batch", {"queries": [dict(q) for q in queries]}
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """The server executor's cache counters (hits, misses, ...)."""
+        return self._call("GET", "/api/stats")["cache"]
+
     def explain(
         self, session_id: str, missing: Sequence[int | str]
     ) -> dict[str, Any]:

@@ -1,0 +1,406 @@
+"""Shared query execution: request dedup, result caching and batching.
+
+The paper's server caches only the per-session *initial* query
+(Section 3.3): two users asking the same top-k question — or one user
+asking it twice — pay the full index traversal every time, and the HTTP
+layer moves exactly one query per request.  This module adds the serving
+tier the ROADMAP's "heavy traffic from millions of users" north star
+needs on top of the unchanged :class:`repro.service.api.YaskEngine`:
+
+* :func:`query_fingerprint` — a canonical, order-insensitive key for a
+  :class:`~repro.core.query.SpatialKeywordQuery`; two queries with the
+  same location, keyword set, ``k`` and weights share one fingerprint.
+* :class:`QueryExecutor` — a thread-safe front of the engine that
+  (1) serves repeated queries from a bounded LRU result cache,
+  (2) collapses identical *in-flight* queries so concurrent duplicates
+  execute the index traversal once, and (3) fans query batches across a
+  worker pool.  Hit/miss/eviction counters are exposed as
+  :class:`CacheStats` and the cache can be invalidated explicitly when
+  the dataset changes.
+
+Cacheability rests on the same immutability the session cache already
+relies on: the database, the indexes and :class:`QueryResult` are all
+frozen after construction, so a cached result is exactly the result a
+fresh traversal would produce until :meth:`QueryExecutor.invalidate`
+declares otherwise.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.core.query import QueryResult, SpatialKeywordQuery
+
+__all__ = [
+    "BatchExecution",
+    "CacheStats",
+    "Execution",
+    "QueryExecutor",
+    "query_fingerprint",
+]
+
+
+def query_fingerprint(query: SpatialKeywordQuery) -> str:
+    """Canonical cache key: location, sorted keywords, ``k`` and weights.
+
+    ``repr`` round-trips floats exactly and quotes each keyword, so
+    queries only share a fingerprint when every parameter is
+    bit-identical — the cache never conflates "nearby" queries, and
+    keywords containing separator characters (HTTP payloads carry
+    arbitrary unnormalised strings) cannot collide with a multi-keyword
+    query.
+    """
+    return repr(
+        (
+            query.loc.x,
+            query.loc.y,
+            query.k,
+            query.ws,
+            query.wt,
+            tuple(sorted(query.doc)),
+        )
+    )
+
+
+class SupportsQuery(Protocol):
+    """The slice of :class:`~repro.service.api.YaskEngine` the executor needs."""
+
+    def query(self, query: SpatialKeywordQuery) -> QueryResult: ...
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """A point-in-time snapshot of the executor's cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    inflight_waits: int
+    size: int
+    capacity: int
+
+    @property
+    def requests(self) -> int:
+        """Total queries handled, regardless of how they were served."""
+        return self.hits + self.misses + self.inflight_waits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served without an engine execution."""
+        if self.requests == 0:
+            return 0.0
+        return (self.hits + self.inflight_waits) / self.requests
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "inflight_waits": self.inflight_waits,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class Execution:
+    """One executed query with its provenance and server-side latency.
+
+    ``source`` is ``"engine"`` (a fresh index traversal), ``"cache"``
+    (served from the LRU cache) or ``"inflight"`` (piggy-backed on an
+    identical concurrent execution).
+    """
+
+    query: SpatialKeywordQuery
+    result: QueryResult
+    response_ms: float
+    source: str
+    fingerprint: str
+
+    @property
+    def cached(self) -> bool:
+        """True when no engine execution was charged to this request."""
+        return self.source != "engine"
+
+
+@dataclass(frozen=True, slots=True)
+class BatchExecution:
+    """The outcome of one batch: per-query executions plus wall time."""
+
+    executions: tuple[Execution, ...]
+    total_ms: float
+
+    @property
+    def results(self) -> tuple[QueryResult, ...]:
+        return tuple(execution.result for execution in self.executions)
+
+    def __len__(self) -> int:
+        return len(self.executions)
+
+    def __iter__(self):
+        return iter(self.executions)
+
+
+class _Inflight:
+    """Rendezvous for threads waiting on one in-flight execution.
+
+    ``generation`` records the cache generation the execution started
+    under; a request arriving after an invalidation must not join a
+    flight from the previous generation (its result may reflect the
+    old dataset).
+    """
+
+    __slots__ = ("event", "result", "error", "generation")
+
+    def __init__(self, generation: int) -> None:
+        self.event = threading.Event()
+        self.result: QueryResult | None = None
+        self.error: BaseException | None = None
+        self.generation = generation
+
+
+class QueryExecutor:
+    """Thread-safe caching/deduplicating/batching front of a query engine.
+
+    Parameters
+    ----------
+    engine:
+        Any object with a ``query(SpatialKeywordQuery) -> QueryResult``
+        method — in the service, the :class:`YaskEngine`.
+    cache_capacity:
+        Maximum number of cached results; the least recently *used*
+        entry is evicted first.  ``0`` disables caching (in-flight
+        dedup still applies).
+    max_workers:
+        Worker-pool width for :meth:`execute_batch`.
+    """
+
+    def __init__(
+        self,
+        engine: SupportsQuery,
+        *,
+        cache_capacity: int = 1024,
+        max_workers: int = 8,
+    ) -> None:
+        if cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self._engine = engine
+        self._capacity = cache_capacity
+        self._max_workers = max_workers
+        # One pool for the executor's lifetime (threads spawn lazily on
+        # first use), not one per batch: a per-request pool would pay
+        # thread startup/teardown on the serving hot path.
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="yask-executor"
+            )
+            if max_workers > 1
+            else None
+        )
+        self._lock = threading.Lock()
+        self._cache: "OrderedDict[str, QueryResult]" = OrderedDict()
+        self._inflight: dict[str, _Inflight] = {}
+        # Bumped by invalidate(); an execution started under an older
+        # generation must not populate the cache with a stale result.
+        self._generation = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._inflight_waits = 0
+
+    @property
+    def engine(self) -> SupportsQuery:
+        return self._engine
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    # ------------------------------------------------------------------
+    # Single-query execution
+    # ------------------------------------------------------------------
+    def execute(self, query: SpatialKeywordQuery) -> Execution:
+        """Execute a query through the cache and in-flight dedup layers."""
+        fingerprint = query_fingerprint(query)
+        started = time.perf_counter()
+        with self._lock:
+            cached = self._cache.get(fingerprint)
+            if cached is not None:
+                self._cache.move_to_end(fingerprint)
+                self._hits += 1
+                return Execution(
+                    query=query,
+                    result=cached,
+                    response_ms=(time.perf_counter() - started) * 1000.0,
+                    source="cache",
+                    fingerprint=fingerprint,
+                )
+            flight = self._inflight.get(fingerprint)
+            if flight is None or flight.generation != self._generation:
+                # No flight, or only one from before an invalidation —
+                # its result may reflect the old dataset, so this
+                # request starts a fresh execution (stale waiters keep
+                # their reference and still get the old flight's result,
+                # which was current when *they* asked).
+                flight = _Inflight(self._generation)
+                self._inflight[fingerprint] = flight
+                leader = True
+            else:
+                leader = False
+
+        if leader:
+            return self._execute_as_leader(query, fingerprint, flight, started)
+        return self._wait_for_leader(query, fingerprint, flight, started)
+
+    def _execute_as_leader(
+        self,
+        query: SpatialKeywordQuery,
+        fingerprint: str,
+        flight: _Inflight,
+        started: float,
+    ) -> Execution:
+        try:
+            result = self._engine.query(query)
+        except BaseException as exc:
+            with self._lock:
+                if self._inflight.get(fingerprint) is flight:
+                    del self._inflight[fingerprint]
+            flight.error = exc
+            flight.event.set()
+            raise
+        with self._lock:
+            self._misses += 1
+            # Only cache when no invalidation raced this execution: a
+            # result computed against the old dataset must not survive.
+            if self._capacity > 0 and flight.generation == self._generation:
+                self._cache[fingerprint] = result
+                self._cache.move_to_end(fingerprint)
+                while len(self._cache) > self._capacity:
+                    self._cache.popitem(last=False)
+                    self._evictions += 1
+            # A post-invalidation request may have replaced this flight
+            # with a fresh-generation one; only deregister our own.
+            if self._inflight.get(fingerprint) is flight:
+                del self._inflight[fingerprint]
+        flight.result = result
+        flight.event.set()
+        return Execution(
+            query=query,
+            result=result,
+            response_ms=(time.perf_counter() - started) * 1000.0,
+            source="engine",
+            fingerprint=fingerprint,
+        )
+
+    def _wait_for_leader(
+        self,
+        query: SpatialKeywordQuery,
+        fingerprint: str,
+        flight: _Inflight,
+        started: float,
+    ) -> Execution:
+        flight.event.wait()
+        if flight.error is not None or flight.result is None:
+            # The leader failed; this follower retries on its own rather
+            # than reporting a failure it did not cause.
+            return self.execute(query)
+        with self._lock:
+            self._inflight_waits += 1
+        return Execution(
+            query=query,
+            result=flight.result,
+            response_ms=(time.perf_counter() - started) * 1000.0,
+            source="inflight",
+            fingerprint=fingerprint,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self, queries: Sequence[SpatialKeywordQuery]
+    ) -> BatchExecution:
+        """Fan a list of queries across the worker pool, order-preserving.
+
+        Duplicates inside a batch flow through the same cache and
+        in-flight dedup as everything else, so a batch of one popular
+        query repeated a hundred times costs one index traversal.
+        """
+        started = time.perf_counter()
+        if not queries:
+            return BatchExecution(executions=(), total_ms=0.0)
+        if self._pool is None or len(queries) == 1:
+            executions = tuple(self.execute(query) for query in queries)
+        else:
+            executions = tuple(self._pool.map(self.execute, queries))
+        return BatchExecution(
+            executions=executions,
+            total_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the cache survives)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Cache management and introspection
+    # ------------------------------------------------------------------
+    def invalidate(self) -> int:
+        """Drop every cached result (the dataset changed); returns count.
+
+        Executions already in flight complete normally but are barred
+        from (re)populating the cache.
+        """
+        with self._lock:
+            dropped = len(self._cache)
+            self._cache.clear()
+            self._generation += 1
+            self._invalidations += 1
+            return dropped
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                inflight_waits=self._inflight_waits,
+                size=len(self._cache),
+                capacity=self._capacity,
+            )
+
+    def cached_fingerprints(self) -> tuple[str, ...]:
+        """Cached keys in eviction order (least recently used first)."""
+        with self._lock:
+            return tuple(self._cache)
+
+    def audit(self, query: SpatialKeywordQuery):
+        """Execute (possibly from cache) and cross-check against the oracle.
+
+        Extends :meth:`YaskEngine.audit`'s "are the returned objects
+        really the best?" guarantee to the caching tier: a stale or
+        corrupted cached result fails the audit exactly like a corrupted
+        index would.  Returns the ``(execution, report)`` pair.
+        """
+        from repro.service.audit import audit_execution
+
+        scorer = getattr(self._engine, "scorer", None)
+        if scorer is None:
+            raise TypeError(
+                "executor.audit() requires an engine exposing a .scorer"
+            )
+        execution = self.execute(query)
+        return execution, audit_execution(scorer, execution)

@@ -10,7 +10,7 @@ same dicts).
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.geometry import Point
 from repro.core.objects import SpatialObject
@@ -26,17 +26,28 @@ from repro.whynot.explanation import ObjectExplanation, WhyNotExplanation
 from repro.whynot.keyword import KeywordRefinement
 from repro.whynot.preference import PreferenceRefinement
 
+if TYPE_CHECKING:  # imported lazily to keep the protocol transport-free
+    from repro.service.executor import BatchExecution, Execution
+
 __all__ = [
+    "MAX_BATCH_QUERIES",
     "ProtocolError",
     "query_to_dict",
     "query_from_dict",
+    "batch_queries_from_dict",
     "object_to_dict",
     "result_to_dict",
+    "execution_to_dict",
+    "batch_execution_to_dict",
     "explanation_to_dict",
     "preference_refinement_to_dict",
     "keyword_refinement_to_dict",
     "combined_refinement_to_dict",
 ]
+
+#: Defensive cap on the number of queries in one batch request; keeps a
+#: single request from monopolising the server's worker pool.
+MAX_BATCH_QUERIES = 256
 
 
 class ProtocolError(ValueError):
@@ -89,6 +100,35 @@ def query_from_dict(
         raise ProtocolError(f"malformed query payload: {exc}") from None
 
 
+def batch_queries_from_dict(
+    payload: Mapping[str, Any],
+    *,
+    default_weights: Weights = DEFAULT_WEIGHTS,
+    max_queries: int = MAX_BATCH_QUERIES,
+) -> list[SpatialKeywordQuery]:
+    """Parse a ``POST /api/query/batch`` body: ``{"queries": [...]}``.
+
+    Each element uses the same shape as a single ``/api/query`` body; a
+    malformed element reports its index so clients can repair the batch.
+    """
+    raw = _require(payload, "queries")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("'queries' must be a non-empty list of query objects")
+    if len(raw) > max_queries:
+        raise ProtocolError(
+            f"batch too large: {len(raw)} queries exceeds the cap of {max_queries}"
+        )
+    queries: list[SpatialKeywordQuery] = []
+    for index, item in enumerate(raw):
+        if not isinstance(item, Mapping):
+            raise ProtocolError(f"queries[{index}] must be a JSON object")
+        try:
+            queries.append(query_from_dict(item, default_weights=default_weights))
+        except ProtocolError as exc:
+            raise ProtocolError(f"queries[{index}]: {exc}") from None
+    return queries
+
+
 # ----------------------------------------------------------------------
 # Results
 # ----------------------------------------------------------------------
@@ -116,6 +156,27 @@ def result_to_dict(result: QueryResult) -> dict[str, Any]:
     return {
         "query": query_to_dict(result.query),
         "entries": [_entry_to_dict(entry) for entry in result.entries],
+    }
+
+
+# ----------------------------------------------------------------------
+# Executor responses
+# ----------------------------------------------------------------------
+def execution_to_dict(execution: "Execution") -> dict[str, Any]:
+    """Serialise one executor :class:`Execution` (single or batch member)."""
+    return {
+        "response_ms": execution.response_ms,
+        "cached": execution.cached,
+        "source": execution.source,
+        "result": result_to_dict(execution.result),
+    }
+
+
+def batch_execution_to_dict(batch: "BatchExecution") -> dict[str, Any]:
+    return {
+        "count": len(batch),
+        "total_ms": batch.total_ms,
+        "results": [execution_to_dict(execution) for execution in batch],
     }
 
 

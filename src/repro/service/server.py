@@ -8,6 +8,9 @@ request flow:
 * ``POST /api/query`` — issue an initial spatial keyword top-k query;
   the server caches it in a session and returns a ``session_id`` for
   follow-up why-not questions.
+* ``POST /api/query/batch`` — execute a list of top-k queries in one
+  request through the shared :class:`QueryExecutor` (worker-pool
+  fan-out, result cache, in-flight dedup); stateless, no sessions.
 * ``POST /api/whynot/explain`` — the explanation generator.
 * ``POST /api/whynot/preference`` — preference-adjusted refinement; the
   refined query is executed and its result returned alongside.
@@ -15,7 +18,13 @@ request flow:
 * ``POST /api/session/close`` — the user "gave up asking" (drops the cache).
 * ``GET /api/objects`` — every object (the grey markers of Fig. 3).
 * ``GET /api/log?session_id=…`` — the query-log panel (Fig. 4, Panel 5).
+* ``GET /api/stats`` — the executor's cache hit/miss/eviction counters.
 * ``GET /healthz`` — liveness probe.
+
+All top-k executions — single and batch — flow through one
+:class:`repro.service.executor.QueryExecutor`, so a repeated query is a
+cache hit regardless of which user or endpoint issued it first; the
+query log marks such responses as cache hits.
 
 Every why-not response carries the fields the demonstration GUI shows:
 the refined parameters, the penalty against the initial query and the
@@ -32,8 +41,11 @@ from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs, urlparse
 
 from repro.service.api import YaskEngine
+from repro.service.executor import QueryExecutor
 from repro.service.protocol import (
     ProtocolError,
+    batch_execution_to_dict,
+    batch_queries_from_dict,
     combined_refinement_to_dict,
     explanation_to_dict,
     keyword_refinement_to_dict,
@@ -70,8 +82,13 @@ class YaskHTTPServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         session_capacity: int = 256,
+        cache_capacity: int = 1024,
+        batch_workers: int = 8,
     ) -> None:
         self.engine = engine
+        self.executor = QueryExecutor(
+            engine, cache_capacity=cache_capacity, max_workers=batch_workers
+        )
         self.sessions = SessionManager(capacity=session_capacity)
         super().__init__((host, port), _YaskRequestHandler)
 
@@ -85,6 +102,10 @@ class YaskHTTPServer(ThreadingHTTPServer):
         thread = threading.Thread(target=self.serve_forever, daemon=True)
         thread.start()
         return thread
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.executor.close()
 
 
 class _YaskRequestHandler(BaseHTTPRequestHandler):
@@ -122,10 +143,15 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
                         "params": dict(entry.params),
                         "penalty": entry.penalty,
                         "response_ms": entry.response_ms,
+                        "cached": entry.cached,
                     }
                     for entry in session.log.entries
                 ]
                 self._send_json(200, {"session_id": session_id, "entries": entries})
+            elif parsed.path == "/api/stats":
+                self._send_json(
+                    200, {"cache": self.server.executor.stats().to_dict()}
+                )
             else:
                 self._send_json(404, {"error": f"unknown path {parsed.path}"})
         except _RequestError as exc:
@@ -135,6 +161,7 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         handlers: Mapping[str, Callable[[Mapping[str, Any]], tuple[int, dict]]] = {
             "/api/query": self._handle_query,
+            "/api/query/batch": self._handle_query_batch,
             "/api/whynot/explain": self._handle_explain,
             "/api/whynot/preference": self._handle_preference,
             "/api/whynot/keywords": self._handle_keywords,
@@ -164,20 +191,28 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
     def _handle_query(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         engine = self.server.engine
         query = query_from_dict(payload, default_weights=engine.default_weights)
-        started = time.perf_counter()
-        result = engine.query(query)
-        elapsed_ms = (time.perf_counter() - started) * 1000.0
-        session = self.server.sessions.create(query, result)
+        execution = self.server.executor.execute(query)
+        session = self.server.sessions.create(query, execution.result)
         session.log.record(
             "top-k query",
             {"k": query.k, "keywords": ",".join(sorted(query.doc))},
-            elapsed_ms,
+            execution.response_ms,
+            cached=execution.cached,
         )
         return 200, {
             "session_id": session.session_id,
-            "response_ms": elapsed_ms,
-            "result": result_to_dict(result),
+            "response_ms": execution.response_ms,
+            "cached": execution.cached,
+            "result": result_to_dict(execution.result),
         }
+
+    def _handle_query_batch(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        engine = self.server.engine
+        queries = batch_queries_from_dict(
+            payload, default_weights=engine.default_weights
+        )
+        batch = self.server.executor.execute_batch(queries)
+        return 200, batch_execution_to_dict(batch)
 
     def _handle_explain(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         session = self._get_session(str(payload.get("session_id", "")))

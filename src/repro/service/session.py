@@ -34,6 +34,10 @@ class LogEntry:
     params: Mapping[str, object]
     response_ms: float
     penalty: float | None = None
+    #: True when the response was served by the QueryExecutor's result
+    #: cache (or piggy-backed on an identical in-flight execution)
+    #: instead of a fresh index traversal.
+    cached: bool = False
 
     def describe(self) -> str:
         parts = [f"[{self.sequence}] {self.kind}"]
@@ -42,6 +46,8 @@ class LogEntry:
         if self.penalty is not None:
             parts.append(f"penalty={self.penalty:.4f}")
         parts.append(f"time={self.response_ms:.2f}ms")
+        if self.cached:
+            parts.append("(cache hit)")
         return " ".join(parts)
 
 
@@ -60,6 +66,7 @@ class QueryLog:
         response_ms: float,
         *,
         penalty: float | None = None,
+        cached: bool = False,
     ) -> LogEntry:
         with self._lock:
             entry = LogEntry(
@@ -68,6 +75,7 @@ class QueryLog:
                 params=dict(params),
                 response_ms=response_ms,
                 penalty=penalty,
+                cached=cached,
             )
             self._entries.append(entry)
             return entry

@@ -166,6 +166,90 @@ class TestWhyNotEndpoints:
         assert exc.value.status == 400
 
 
+class TestBatchEndpoint:
+    def make_payloads(self, scenario, count=3):
+        q = scenario.query
+        payloads = [
+            {
+                "x": q.loc.x + 0.001 * i,
+                "y": q.loc.y,
+                "keywords": sorted(q.doc),
+                "k": q.k,
+                "ws": q.ws,
+            }
+            for i in range(count)
+        ]
+        return payloads
+
+    def test_batch_returns_per_query_results_in_order(self, client, scenario):
+        payloads = self.make_payloads(scenario)
+        response = client.query_batch(payloads)
+        assert response["count"] == len(payloads)
+        assert response["total_ms"] >= 0.0
+        assert len(response["results"]) == len(payloads)
+        for payload, entry in zip(payloads, response["results"]):
+            assert entry["result"]["query"]["x"] == payload["x"]
+            assert len(entry["result"]["entries"]) == payload["k"]
+            assert entry["response_ms"] >= 0.0
+            assert entry["source"] in ("engine", "cache", "inflight")
+
+    def test_batch_duplicates_share_one_execution(self, client, scenario):
+        payload = self.make_payloads(scenario, count=1)[0]
+        payload["x"] += 7.0  # a location no other test queries
+        response = client.query_batch([payload] * 4)
+        cached = [entry["cached"] for entry in response["results"]]
+        assert cached.count(False) == 1  # one engine execution, three reuses
+        oids = [
+            [e["object"]["oid"] for e in entry["result"]["entries"]]
+            for entry in response["results"]
+        ]
+        assert all(o == oids[0] for o in oids)
+
+    def test_repeat_single_query_is_cache_hit(self, client, scenario):
+        payload = self.make_payloads(scenario, count=1)[0]
+        payload["y"] += 5.0  # unique to this test
+        first = client.query(
+            payload["x"], payload["y"], payload["keywords"], payload["k"],
+            ws=payload["ws"],
+        )
+        second = client.query(
+            payload["x"], payload["y"], payload["keywords"], payload["k"],
+            ws=payload["ws"],
+        )
+        assert first["cached"] is False
+        assert second["cached"] is True
+        log = client.query_log(second["session_id"])
+        assert log[0]["cached"] is True
+
+    def test_stats_endpoint_reports_counters(self, client, scenario):
+        stats = client.stats()
+        assert {"hits", "misses", "evictions", "size", "capacity"} <= set(stats)
+        before = stats["hits"]
+        payload = self.make_payloads(scenario, count=1)[0]
+        payload["x"] += 11.0
+        client.query_batch([payload])
+        client.query_batch([payload])
+        after = client.stats()
+        assert after["hits"] >= before + 1
+
+    def test_empty_batch_is_400(self, client):
+        with pytest.raises(YaskClientError) as exc:
+            client.query_batch([])
+        assert exc.value.status == 400
+
+    def test_malformed_batch_element_is_400_with_index(self, client):
+        with pytest.raises(YaskClientError) as exc:
+            client.query_batch([{"x": 1.0}])
+        assert exc.value.status == 400
+        assert "queries[0]" in str(exc.value)
+
+    def test_oversized_batch_is_400(self, client, scenario):
+        payload = self.make_payloads(scenario, count=1)[0]
+        with pytest.raises(YaskClientError) as exc:
+            client.query_batch([payload] * 300)
+        assert exc.value.status == 400
+
+
 class TestSessionLifecycle:
     def test_query_log_records_interactions(self, client, scenario):
         session_id = open_session(client, scenario)["session_id"]
