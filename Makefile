@@ -1,21 +1,29 @@
 # Developer entry points for the YASK reproduction.
 #
 #   make test        — the tier-1 suite (ROADMAP.md's verify command)
-#   make bench-smoke — the E9 executor experiment (fast, asserts the
-#                      cold/warm and batch/sequential speedup floors)
+#   make bench-smoke — the E9 + E10 executor experiments (fast, assert
+#                      the cold/warm and batch/sequential speedup floors
+#                      for both top-k queries and why-not questions)
+#   make lint        — byte-compile every source, test and benchmark
+#                      file (catches import-time and syntax breakage
+#                      without third-party tools)
 #   make docs-check  — every GET/POST route in server.py must appear
 #                      in docs/API.md
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke docs-check
+.PHONY: test bench-smoke lint docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py -q
+	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py benchmarks/bench_e10_whynot_executor.py -q
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@echo "lint ok: all sources byte-compile"
 
 docs-check:
 	@missing=0; \

@@ -4,8 +4,9 @@ Starts the YASK HTTP server on an ephemeral local port, then drives it
 with the Python client exactly as the demonstration GUI would: issue the
 initial top-k query (getting a cached session), ask for the explanation,
 request both refinements, read the query log and close the session.
-Finishes with the serving-tier additions: a batched query request and
-the executor's cache statistics.
+Finishes with the serving-tier additions: a batched query request, a
+batched why-not request (cached, deduplicated, reusing the top-k
+cache) and both executors' cache statistics.
 
     python examples/yask_server.py
 """
@@ -93,6 +94,32 @@ def main() -> None:
         stats = client.stats()
         print(f"executor cache: {stats['hits']} hits, {stats['misses']} misses, "
               f"hit rate {stats['hit_rate']:.0%}")
+
+        # The why-not batch endpoint: independent questions in one round
+        # trip.  The first asks the session's question again (cache hit —
+        # the session flow already computed it), the second asks for the
+        # preference model only, at a different λ.
+        whynot = client.whynot_batch(
+            [
+                {"x": 114.1722, "y": 22.2975,
+                 "keywords": ["clean", "comfortable"], "k": 3,
+                 "missing": [GRAND_VICTORIA], "model": "explain"},
+                {"x": 114.1722, "y": 22.2975,
+                 "keywords": ["clean", "comfortable"], "k": 3,
+                 "missing": [GRAND_VICTORIA], "model": "preference",
+                 "lambda": 0.3},
+            ]
+        )
+        print(f"\nwhy-not batch of {whynot['count']} questions "
+              f"in {whynot['total_ms']:.2f} ms:")
+        for index, entry in enumerate(whynot["results"]):
+            print(f"  [{index}] model={entry['model']} source={entry['source']} "
+                  f"topk_source={entry['topk_source']} "
+                  f"time={entry['response_ms']:.2f} ms")
+
+        wstats = client.whynot_stats()
+        print(f"why-not cache: {wstats['hits']} hits, {wstats['misses']} misses, "
+              f"hit rate {wstats['hit_rate']:.0%}")
     finally:
         server.shutdown()
         server.server_close()

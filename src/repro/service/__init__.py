@@ -3,6 +3,8 @@
 * :class:`repro.service.api.YaskEngine` — the server-side query processor.
 * :class:`repro.service.executor.QueryExecutor` — caching/deduplicating/
   batching execution tier shared by every transport.
+* :class:`repro.service.executor.WhyNotExecutor` — the same tier for
+  why-not answering (shared invalidation, top-k result reuse).
 * :class:`repro.service.server.YaskHTTPServer` — JSON-over-HTTP transport.
 * :class:`repro.service.client.YaskClient` — the client counterpart.
 * :mod:`repro.service.session` — initial-query cache and query log.
@@ -16,7 +18,12 @@ from repro.service.executor import (
     CacheStats,
     Execution,
     QueryExecutor,
+    WhyNotBatchExecution,
+    WhyNotExecution,
+    WhyNotExecutor,
+    WhyNotQuestion,
     query_fingerprint,
+    whynot_fingerprint,
 )
 from repro.service.panels import (
     render_demo_screen,
@@ -38,7 +45,12 @@ __all__ = [
     "CacheStats",
     "Execution",
     "QueryExecutor",
+    "WhyNotBatchExecution",
+    "WhyNotExecution",
+    "WhyNotExecutor",
+    "WhyNotQuestion",
     "query_fingerprint",
+    "whynot_fingerprint",
     "render_demo_screen",
     "render_explanation_panel",
     "render_map",

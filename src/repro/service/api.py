@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import AbstractSet, Iterable, Sequence
+from typing import TYPE_CHECKING, AbstractSet, Iterable, Sequence
 
 from repro.core.geometry import Point
 from repro.core.objects import SpatialDatabase, SpatialObject
@@ -32,6 +32,9 @@ from repro.text.similarity import (
     TextSimilarityModel,
 )
 from repro.whynot.engine import WhyNotAnswer, WhyNotEngine
+
+if TYPE_CHECKING:  # imported lazily: the executor fronts this module
+    from repro.service.executor import WhyNotQuestion
 from repro.whynot.explanation import WhyNotExplanation
 from repro.whynot.keyword import KeywordRefinement
 from repro.whynot.preference import PreferenceRefinement
@@ -141,6 +144,11 @@ class YaskEngine:
         return self._whynot
 
     @property
+    def topk_engine(self) -> TopKEngine:
+        """The active top-k engine (BestFirstTopK exposes ``.stats``)."""
+        return self._topk_engine
+
+    @property
     def set_rtree(self) -> SetRTree | None:
         return self._set_rtree
 
@@ -239,9 +247,15 @@ class YaskEngine:
         self,
         query: SpatialKeywordQuery,
         missing: Sequence[int | str | SpatialObject],
+        *,
+        initial_result: QueryResult | None = None,
     ) -> WhyNotExplanation:
-        """Explain why the referenced objects are missing from the result."""
-        return self._whynot.explain(query, missing)
+        """Explain why the referenced objects are missing from the result.
+
+        Pass ``initial_result`` (the query's cached top-k result) to
+        spare the generator from re-deriving it.
+        """
+        return self._whynot.explain(query, missing, initial_result=initial_result)
 
     def refine_preference(
         self,
@@ -280,6 +294,88 @@ class YaskEngine:
         missing: Sequence[int | str | SpatialObject],
         *,
         lam: float = 0.5,
+        initial_result: QueryResult | None = None,
     ) -> WhyNotAnswer:
-        """Full why-not answer: explanation plus both refinement models."""
-        return self._whynot.refine_both(query, missing, lam=lam)
+        """Full why-not answer: explanation plus both refinement models.
+
+        Pass ``initial_result`` (the query's cached top-k result) to
+        spare the explanation generator from re-deriving it.
+        """
+        return self._whynot.refine_both(
+            query, missing, lam=lam, initial_result=initial_result
+        )
+
+    # ------------------------------------------------------------------
+    # Why-not dispatch and batching (executor/service substrate)
+    # ------------------------------------------------------------------
+    def resolve_missing_oids(
+        self, references: Sequence[int | str]
+    ) -> tuple[int, ...]:
+        """Resolve missing-object references to sorted, deduplicated ids.
+
+        The canonical form behind why-not fingerprints: a question
+        naming an object and one using its id address the same cache
+        entry.  Raises :class:`~repro.whynot.errors.UnknownObjectError`
+        for references outside the database.
+        """
+        resolved = self._whynot.resolve_missing(references)
+        return tuple(sorted(obj.oid for obj in resolved))
+
+    def answer_whynot(
+        self,
+        question: "WhyNotQuestion",
+        *,
+        initial_result: QueryResult | None = None,
+    ):
+        """Dispatch one :class:`WhyNotQuestion` to its module.
+
+        ``initial_result`` (the cached top-k result for the question's
+        query) feeds the explanation-bearing models ("full", "explain");
+        the pure refiners rank in dual space and ignore it.
+        """
+        query, missing, lam = question.query, question.missing, question.lam
+        if question.model == "full":
+            return self.why_not(
+                query, missing, lam=lam, initial_result=initial_result
+            )
+        if question.model == "explain":
+            return self.explain(query, missing, initial_result=initial_result)
+        if question.model == "preference":
+            return self.refine_preference(query, missing, lam=lam)
+        if question.model == "keywords":
+            return self.refine_keywords(query, missing, lam=lam)
+        if question.model == "combined":
+            return self.refine_combined(query, missing, lam=lam)
+        raise ValueError(f"unknown why-not model {question.model!r}")
+
+    def whynot_batch(
+        self,
+        questions: Sequence["WhyNotQuestion"],
+        *,
+        max_workers: int = 8,
+    ) -> list[TimedResult]:
+        """Answer many why-not questions against a one-shot pool, in order.
+
+        The cache-free batch entry point for embedding applications
+        (mirror of :meth:`query_batch`); every index is immutable after
+        construction, so concurrent why-not answering is safe.  The
+        service does not use this: its transports share a
+        :class:`repro.service.executor.WhyNotExecutor`, which adds
+        answer caching, in-flight dedup and top-k result reuse.
+        """
+        if not questions:
+            return []
+
+        def timed(question: "WhyNotQuestion") -> TimedResult:
+            started = time.perf_counter()
+            answer = self.answer_whynot(question)
+            return TimedResult(
+                value=answer,
+                response_ms=(time.perf_counter() - started) * 1000.0,
+            )
+
+        workers = min(max_workers, len(questions))
+        if workers <= 1:
+            return [timed(question) for question in questions]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(timed, questions))

@@ -23,7 +23,13 @@ from typing import Sequence
 from repro.core.query import QueryResult, SpatialKeywordQuery
 from repro.core.scoring import Scorer
 
-__all__ = ["AuditFinding", "AuditReport", "audit_execution", "audit_result"]
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "audit_execution",
+    "audit_refinement",
+    "audit_result",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -114,6 +120,50 @@ def audit_result(scorer: Scorer, served: QueryResult) -> AuditReport:
         ok=not findings,
         findings=tuple(findings),
         checked_entries=len(served),
+    )
+
+
+def audit_refinement(
+    scorer: Scorer, refinement, missing_oids: Sequence[int]
+) -> AuditReport:
+    """Cross-check a why-not refinement: does it revive the missing set?
+
+    Definitions 2 and 3 require the refined query to contain *every*
+    missing object in its top-k'; a cached refinement served after the
+    dataset changed (or a bug in a refiner's bound reasoning) would
+    break exactly this contract, so the check re-derives the refined
+    result with the brute-force oracle.  The ``refinement`` is
+    duck-typed: anything with a ``refined_query`` and a ``penalty``.
+    """
+    refined_query = refinement.refined_query
+    findings: list[AuditFinding] = []
+    oracle = scorer.top_k(refined_query)
+    returned = {entry.obj.oid for entry in oracle.entries}
+    for position, oid in enumerate(sorted(missing_oids), start=1):
+        if oid not in returned:
+            findings.append(
+                AuditFinding(
+                    position=position,
+                    kind="not-revived",
+                    detail=(
+                        f"object {oid} is still outside the refined "
+                        f"top-{refined_query.k}"
+                    ),
+                )
+            )
+    if not 0.0 <= refinement.penalty <= 1.0:
+        findings.append(
+            AuditFinding(
+                position=0,
+                kind="penalty-out-of-range",
+                detail=f"penalty {refinement.penalty!r} outside [0, 1]",
+            )
+        )
+    return AuditReport(
+        query=refined_query,
+        ok=not findings,
+        findings=tuple(findings),
+        checked_entries=len(missing_oids),
     )
 
 

@@ -9,6 +9,9 @@ Subcommands:
   :class:`~repro.service.executor.QueryExecutor`.
 * ``yask whynot --x --y --keywords --k --missing [--lambda --model]`` —
   one-shot why-not question (explanation + refinement).
+* ``yask whynot-batch --file questions.json [--workers --repeat]`` —
+  answer a file (or stdin) of why-not question payloads through the
+  caching :class:`~repro.service.executor.WhyNotExecutor`.
 * ``yask demo`` — print the full demonstration screen (Figs. 3-5) for
   the Carol scenario on the 539-hotel dataset.
 
@@ -30,16 +33,18 @@ from repro.core.query import Weights
 from repro.datasets.hotels import GRAND_VICTORIA, coffee_shops, hong_kong_hotels
 from repro.datasets.loaders import load_json
 from repro.service.api import YaskEngine
-from repro.service.executor import QueryExecutor
+from repro.service.executor import QueryExecutor, WhyNotExecutor
 from repro.service.panels import render_demo_screen
 from repro.service.protocol import (
     ProtocolError,
     batch_execution_to_dict,
     batch_queries_from_dict,
+    batch_whynot_questions_from_dict,
     explanation_to_dict,
     keyword_refinement_to_dict,
     preference_refinement_to_dict,
     result_to_dict,
+    whynot_batch_execution_to_dict,
 )
 from repro.service.server import serve_forever
 from repro.whynot.errors import WhyNotError
@@ -110,6 +115,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute the workload this many times (repeats hit the cache)",
     )
 
+    whynot_batch = sub.add_parser(
+        "whynot-batch",
+        help="answer a JSON file of why-not questions through the executor",
+    )
+    whynot_batch.add_argument("--dataset", default="hotels")
+    whynot_batch.add_argument(
+        "--file",
+        required=True,
+        help="path to a JSON list of why-not question payloads "
+        '([{"x", "y", "keywords", "k", "missing", "model"?, "lambda"?, '
+        '"ws"?}, ...]), or "-" for stdin',
+    )
+    whynot_batch.add_argument(
+        "--workers", type=int, default=8, help="worker-pool width"
+    )
+    whynot_batch.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="answer the workload this many times (repeats hit the cache)",
+    )
+
     whynot = sub.add_parser("whynot", help="ask a why-not question")
     add_query_args(whynot)
     whynot.add_argument(
@@ -178,7 +205,12 @@ def _run_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_batch(args: argparse.Namespace) -> int:
+def _load_workload(args: argparse.Namespace, envelope_key: str) -> dict:
+    """Read a JSON workload file (or stdin) for the batch subcommands.
+
+    Accepts both the bare list and the HTTP batch envelope
+    (``{envelope_key: [...]}``).
+    """
     if args.repeat < 1:
         raise SystemExit("--repeat must be at least 1")
     if args.workers < 1:
@@ -195,9 +227,13 @@ def _run_batch(args: argparse.Namespace) -> int:
         payload = json.loads(raw)
     except json.JSONDecodeError as exc:
         raise SystemExit(f"invalid JSON in {args.file}: {exc}")
-    # Accept both the bare list and the HTTP batch envelope.
     if isinstance(payload, list):
-        payload = {"queries": payload}
+        payload = {envelope_key: payload}
+    return payload
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    payload = _load_workload(args, "queries")
     engine = _make_engine(args)
     try:
         queries = batch_queries_from_dict(
@@ -226,6 +262,47 @@ def _run_batch(args: argparse.Namespace) -> int:
         f"{args.repeat} batch(es) of {len(queries)} queries: "
         f"{stats.hits + stats.inflight_waits} served without execution "
         f"(hit rate {stats.hit_rate:.0%})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_whynot_batch(args: argparse.Namespace) -> int:
+    payload = _load_workload(args, "questions")
+    engine = _make_engine(args)
+    try:
+        questions = batch_whynot_questions_from_dict(
+            payload, default_weights=engine.default_weights
+        )
+    except ProtocolError as exc:
+        raise SystemExit(f"bad batch payload: {exc}")
+    topk = QueryExecutor(engine, max_workers=args.workers)
+    executor = WhyNotExecutor(engine, topk, max_workers=args.workers)
+    try:
+        batches = [
+            executor.execute_batch(questions) for _ in range(args.repeat)
+        ]
+    finally:
+        executor.close()
+        topk.close()
+    stats = executor.stats()
+    print(
+        json.dumps(
+            {
+                "batches": [
+                    whynot_batch_execution_to_dict(batch) for batch in batches
+                ],
+                "cache": topk.stats().to_dict(),
+                "whynot_cache": stats.to_dict(),
+            },
+            indent=2,
+        )
+    )
+    errors = sum(1 for batch in batches for e in batch if not e.ok)
+    print(
+        f"{args.repeat} batch(es) of {len(questions)} why-not questions: "
+        f"{stats.hits + stats.inflight_waits} served without recomputation "
+        f"(hit rate {stats.hit_rate:.0%}), {errors} rejected",
         file=sys.stderr,
     )
     return 0
@@ -308,6 +385,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_batch(args)
     if args.command == "whynot":
         return _run_whynot(args)
+    if args.command == "whynot-batch":
+        return _run_whynot_batch(args)
     if args.command == "demo":
         return _run_demo(args)
     if args.command == "stats":

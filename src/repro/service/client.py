@@ -106,8 +106,34 @@ class YaskClient:
         )
 
     def stats(self) -> dict[str, Any]:
-        """The server executor's cache counters (hits, misses, ...)."""
+        """The top-k executor's cache counters (hits, misses, ...)."""
         return self._call("GET", "/api/stats")["cache"]
+
+    def whynot_stats(self) -> dict[str, Any]:
+        """The why-not executor's cache counters (hits, misses, ...)."""
+        return self._call("GET", "/api/stats")["whynot_cache"]
+
+    def whynot_batch(
+        self, questions: Sequence[Mapping[str, Any]]
+    ) -> dict[str, Any]:
+        """Answer many why-not questions in one round trip (stateless).
+
+        Each element carries its own query plus question parameters —
+        ``{"x", "y", "keywords", "k", "missing"}`` with optional
+        ``"ws"``, ``"model"`` (``full``/``explain``/``preference``/
+        ``keywords``/``combined``, default ``full``) and ``"lambda"``.
+        The response carries one entry per question, in order;
+        ``cached`` marks answers the why-not cache (or in-flight dedup)
+        served without recomputing, ``topk_source`` reports where a
+        freshly computed answer's initial top-k result came from, and an
+        ill-posed question yields ``{"error": ...}`` for its entry
+        without failing the rest of the batch.
+        """
+        return self._call(
+            "POST",
+            "/api/whynot/batch",
+            {"questions": [dict(question) for question in questions]},
+        )
 
     def explain(
         self, session_id: str, missing: Sequence[int | str]

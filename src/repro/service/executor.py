@@ -17,12 +17,22 @@ needs on top of the unchanged :class:`repro.service.api.YaskEngine`:
   worker pool.  Hit/miss/eviction counters are exposed as
   :class:`CacheStats` and the cache can be invalidated explicitly when
   the dataset changes.
+* :func:`whynot_fingerprint` / :class:`WhyNotQuestion` /
+  :class:`WhyNotExecutor` — the same serving tier for the engine the
+  paper is actually about.  A why-not question (explanation +
+  refinement, Sections 3.2-3.3) costs far more than the top-k query it
+  explains, so repeated and concurrent questions benefit even more from
+  caching and dedup.  The why-not executor additionally *reuses* the
+  top-k executor's cached result for the question's underlying query as
+  the refinement pipeline's starting point instead of re-running the
+  search, and shares one invalidation domain with it: invalidating
+  either cache drops both (a dataset change staleness both).
 
 Cacheability rests on the same immutability the session cache already
-relies on: the database, the indexes and :class:`QueryResult` are all
-frozen after construction, so a cached result is exactly the result a
-fresh traversal would produce until :meth:`QueryExecutor.invalidate`
-declares otherwise.
+relies on: the database, the indexes, :class:`QueryResult` and every
+why-not answer object are all frozen after construction, so a cached
+result is exactly the result a fresh computation would produce until
+:meth:`invalidate` declares otherwise.
 """
 
 from __future__ import annotations
@@ -32,16 +42,23 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Any, Callable, Protocol, Sequence
 
 from repro.core.query import QueryResult, SpatialKeywordQuery
+from repro.whynot.errors import WhyNotError
 
 __all__ = [
     "BatchExecution",
     "CacheStats",
     "Execution",
     "QueryExecutor",
+    "WHYNOT_MODELS",
+    "WhyNotBatchExecution",
+    "WhyNotExecution",
+    "WhyNotExecutor",
+    "WhyNotQuestion",
     "query_fingerprint",
+    "whynot_fingerprint",
 ]
 
 
@@ -67,10 +84,94 @@ def query_fingerprint(query: SpatialKeywordQuery) -> str:
     )
 
 
+#: The dispatchable why-not models.  ``"full"`` is the paper's complete
+#: answer (explanation plus both refinements, Section 3.2's "users can
+#: apply the two refinement functions simultaneously" view); the others
+#: select one module.
+WHYNOT_MODELS = ("full", "explain", "preference", "keywords", "combined")
+
+#: Models whose computation consumes the initial top-k result (the
+#: explanation generator's not-missing check and k-th-object comparison).
+#: The preference/keyword/combined refiners rank in dual space and never
+#: need the materialised result, so the executor skips fetching it.
+_MODELS_USING_INITIAL = ("full", "explain")
+
+#: Models whose answer does not depend on the penalty trade-off λ (the
+#: explanation has no refinement to weigh).  Their fingerprints
+#: canonicalise λ away so e.g. ``explain`` questions at λ=0.3 and λ=0.5
+#: share one cache entry instead of recomputing the identical answer.
+_MODELS_IGNORING_LAMBDA = ("explain",)
+
+
+@dataclass(frozen=True, slots=True)
+class WhyNotQuestion:
+    """One why-not question: a query, its missing objects and a model.
+
+    ``missing`` holds object ids or names exactly as the client sent
+    them; the executor canonicalises them to sorted object ids when
+    fingerprinting, so ``(1, 2)``, ``(2, 1, 2)`` and the objects' names
+    all address the same cache entry.
+    """
+
+    query: SpatialKeywordQuery
+    missing: tuple[int | str, ...]
+    model: str = "full"
+    lam: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.missing:
+            raise ValueError("a why-not question needs at least one missing object")
+        if self.model not in WHYNOT_MODELS:
+            raise ValueError(
+                f"unknown why-not model {self.model!r}; expected one of {WHYNOT_MODELS}"
+            )
+        if not 0.0 <= self.lam <= 1.0:
+            raise ValueError("lambda must lie in [0, 1]")
+
+
+def whynot_fingerprint(
+    query: SpatialKeywordQuery,
+    missing_oids: Sequence[int],
+    model: str,
+    lam: float,
+) -> str:
+    """Canonical cache key of a why-not question.
+
+    Composes the underlying query's fingerprint with the *resolved*
+    missing-object ids (sorted, deduplicated — resolution happens in the
+    executor so a name and its id share a key), the refinement model and
+    the penalty trade-off ``λ``.  ``repr`` round-trips ``λ`` exactly.
+    """
+    return repr(
+        (
+            query_fingerprint(query),
+            tuple(sorted(set(missing_oids))),
+            model,
+            lam,
+        )
+    )
+
+
 class SupportsQuery(Protocol):
     """The slice of :class:`~repro.service.api.YaskEngine` the executor needs."""
 
     def query(self, query: SpatialKeywordQuery) -> QueryResult: ...
+
+
+class SupportsWhyNot(Protocol):
+    """What :class:`WhyNotExecutor` needs from an engine.
+
+    :class:`~repro.service.api.YaskEngine` provides both methods; tests
+    may substitute lighter stubs.
+    """
+
+    def resolve_missing_oids(
+        self, references: Sequence[int | str]
+    ) -> tuple[int, ...]: ...
+
+    def answer_whynot(
+        self, question: WhyNotQuestion, *, initial_result: QueryResult | None = None
+    ) -> object: ...
 
 
 @dataclass(frozen=True, slots=True)
@@ -149,6 +250,56 @@ class BatchExecution:
         return iter(self.executions)
 
 
+@dataclass(frozen=True, slots=True)
+class WhyNotExecution:
+    """One answered why-not question with provenance and latency.
+
+    ``source`` follows :class:`Execution`'s vocabulary (``"engine"``,
+    ``"cache"``, ``"inflight"``) plus ``"error"`` for a batch member the
+    engine rejected (``answer`` is then None and ``error`` the message).
+    ``topk_source`` records where the initial top-k result came from
+    when the model consumed one — ``"cache"`` is the tier doing its job:
+    the question's underlying query never re-ran the search.  It is None
+    for models that rank without the materialised result and for
+    responses served from the why-not cache (nothing was computed).
+    """
+
+    question: WhyNotQuestion
+    answer: object | None
+    response_ms: float
+    source: str
+    fingerprint: str
+    topk_source: str | None = None
+    error: str | None = None
+
+    @property
+    def cached(self) -> bool:
+        """True when no why-not computation was charged to this request."""
+        return self.source not in ("engine", "error")
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True, slots=True)
+class WhyNotBatchExecution:
+    """The outcome of one why-not batch: per-question executions + wall time."""
+
+    executions: tuple[WhyNotExecution, ...]
+    total_ms: float
+
+    @property
+    def answers(self) -> tuple[object | None, ...]:
+        return tuple(execution.answer for execution in self.executions)
+
+    def __len__(self) -> int:
+        return len(self.executions)
+
+    def __iter__(self):
+        return iter(self.executions)
+
+
 class _Inflight:
     """Rendezvous for threads waiting on one in-flight execution.
 
@@ -162,9 +313,131 @@ class _Inflight:
 
     def __init__(self, generation: int) -> None:
         self.event = threading.Event()
-        self.result: QueryResult | None = None
+        self.result: Any = None
         self.error: BaseException | None = None
         self.generation = generation
+
+
+class _ResultCache:
+    """Bounded LRU + in-flight dedup + generation counter, keyed by strings.
+
+    The machinery both executors share.  ``fetch`` runs ``compute`` at
+    most once per key across concurrent callers, caches the value (a
+    result is assumed non-None) unless an invalidation raced the
+    computation, and reports how each call was served.  The generation
+    counter makes invalidation safe against every in-flight path —
+    single executions and batch members alike reach the cache through
+    this one method, so a post-invalidation request can neither read a
+    pre-invalidation cache entry (the cache was cleared atomically) nor
+    join a pre-invalidation flight (its generation no longer matches).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._cache: "OrderedDict[str, Any]" = OrderedDict()
+        self.inflight: dict[str, _Inflight] = {}
+        self._generation = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._inflight_waits = 0
+
+    def fetch(self, key: str, compute: Callable[[], Any]) -> tuple[Any, str]:
+        """Return ``(value, source)``, computing at most once per key."""
+        while True:
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self._hits += 1
+                    return cached, "cache"
+                flight = self.inflight.get(key)
+                if flight is None or flight.generation != self._generation:
+                    # No flight, or only one from before an invalidation —
+                    # its result may reflect the old dataset, so this
+                    # request starts a fresh computation (stale waiters
+                    # keep their reference and still get the old flight's
+                    # result, which was current when *they* asked).
+                    flight = _Inflight(self._generation)
+                    self.inflight[key] = flight
+                    leader = True
+                else:
+                    leader = False
+
+            if leader:
+                return self._compute_as_leader(key, flight, compute), "engine"
+            flight.event.wait()
+            if flight.error is not None or flight.result is None:
+                # The leader failed; this follower retries on its own
+                # rather than reporting a failure it did not cause.
+                continue
+            with self._lock:
+                self._inflight_waits += 1
+            return flight.result, "inflight"
+
+    def _compute_as_leader(
+        self, key: str, flight: _Inflight, compute: Callable[[], Any]
+    ) -> Any:
+        try:
+            result = compute()
+        except BaseException as exc:
+            with self._lock:
+                if self.inflight.get(key) is flight:
+                    del self.inflight[key]
+            flight.error = exc
+            flight.event.set()
+            raise
+        with self._lock:
+            self._misses += 1
+            # Only cache when no invalidation raced this computation: a
+            # result computed against the old dataset must not survive.
+            if self.capacity > 0 and flight.generation == self._generation:
+                self._cache[key] = result
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.capacity:
+                    self._cache.popitem(last=False)
+                    self._evictions += 1
+            # A post-invalidation request may have replaced this flight
+            # with a fresh-generation one; only deregister our own.
+            if self.inflight.get(key) is flight:
+                del self.inflight[key]
+        flight.result = result
+        flight.event.set()
+        return result
+
+    def invalidate(self) -> int:
+        """Drop every cached value; returns how many were dropped.
+
+        In-flight computations complete normally but are barred from
+        (re)populating the cache.
+        """
+        with self._lock:
+            dropped = len(self._cache)
+            self._cache.clear()
+            self._generation += 1
+            self._invalidations += 1
+            return dropped
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                inflight_waits=self._inflight_waits,
+                size=len(self._cache),
+                capacity=self.capacity,
+            )
+
+    def keys(self) -> tuple[str, ...]:
+        """Cached keys in eviction order (least recently used first)."""
+        with self._lock:
+            return tuple(self._cache)
 
 
 class QueryExecutor:
@@ -190,12 +463,10 @@ class QueryExecutor:
         cache_capacity: int = 1024,
         max_workers: int = 8,
     ) -> None:
-        if cache_capacity < 0:
-            raise ValueError("cache_capacity must be non-negative")
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self._engine = engine
-        self._capacity = cache_capacity
+        self._cache = _ResultCache(cache_capacity)
         self._max_workers = max_workers
         # One pool for the executor's lifetime (threads spawn lazily on
         # first use), not one per batch: a per-request pool would pay
@@ -207,17 +478,10 @@ class QueryExecutor:
             if max_workers > 1
             else None
         )
-        self._lock = threading.Lock()
-        self._cache: "OrderedDict[str, QueryResult]" = OrderedDict()
-        self._inflight: dict[str, _Inflight] = {}
-        # Bumped by invalidate(); an execution started under an older
-        # generation must not populate the cache with a stale result.
-        self._generation = 0
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._invalidations = 0
-        self._inflight_waits = 0
+        # Caches living in the same invalidation domain (the why-not
+        # executor registers here): invalidating this executor drops
+        # them too, because their values derive from the same dataset.
+        self._linked_invalidations: list[Callable[[], int]] = []
 
     @property
     def engine(self) -> SupportsQuery:
@@ -225,7 +489,12 @@ class QueryExecutor:
 
     @property
     def capacity(self) -> int:
-        return self._capacity
+        return self._cache.capacity
+
+    @property
+    def _inflight(self) -> dict[str, _Inflight]:
+        """The in-flight registry (exposed for tests and introspection)."""
+        return self._cache.inflight
 
     # ------------------------------------------------------------------
     # Single-query execution
@@ -234,94 +503,14 @@ class QueryExecutor:
         """Execute a query through the cache and in-flight dedup layers."""
         fingerprint = query_fingerprint(query)
         started = time.perf_counter()
-        with self._lock:
-            cached = self._cache.get(fingerprint)
-            if cached is not None:
-                self._cache.move_to_end(fingerprint)
-                self._hits += 1
-                return Execution(
-                    query=query,
-                    result=cached,
-                    response_ms=(time.perf_counter() - started) * 1000.0,
-                    source="cache",
-                    fingerprint=fingerprint,
-                )
-            flight = self._inflight.get(fingerprint)
-            if flight is None or flight.generation != self._generation:
-                # No flight, or only one from before an invalidation —
-                # its result may reflect the old dataset, so this
-                # request starts a fresh execution (stale waiters keep
-                # their reference and still get the old flight's result,
-                # which was current when *they* asked).
-                flight = _Inflight(self._generation)
-                self._inflight[fingerprint] = flight
-                leader = True
-            else:
-                leader = False
-
-        if leader:
-            return self._execute_as_leader(query, fingerprint, flight, started)
-        return self._wait_for_leader(query, fingerprint, flight, started)
-
-    def _execute_as_leader(
-        self,
-        query: SpatialKeywordQuery,
-        fingerprint: str,
-        flight: _Inflight,
-        started: float,
-    ) -> Execution:
-        try:
-            result = self._engine.query(query)
-        except BaseException as exc:
-            with self._lock:
-                if self._inflight.get(fingerprint) is flight:
-                    del self._inflight[fingerprint]
-            flight.error = exc
-            flight.event.set()
-            raise
-        with self._lock:
-            self._misses += 1
-            # Only cache when no invalidation raced this execution: a
-            # result computed against the old dataset must not survive.
-            if self._capacity > 0 and flight.generation == self._generation:
-                self._cache[fingerprint] = result
-                self._cache.move_to_end(fingerprint)
-                while len(self._cache) > self._capacity:
-                    self._cache.popitem(last=False)
-                    self._evictions += 1
-            # A post-invalidation request may have replaced this flight
-            # with a fresh-generation one; only deregister our own.
-            if self._inflight.get(fingerprint) is flight:
-                del self._inflight[fingerprint]
-        flight.result = result
-        flight.event.set()
+        result, source = self._cache.fetch(
+            fingerprint, lambda: self._engine.query(query)
+        )
         return Execution(
             query=query,
             result=result,
             response_ms=(time.perf_counter() - started) * 1000.0,
-            source="engine",
-            fingerprint=fingerprint,
-        )
-
-    def _wait_for_leader(
-        self,
-        query: SpatialKeywordQuery,
-        fingerprint: str,
-        flight: _Inflight,
-        started: float,
-    ) -> Execution:
-        flight.event.wait()
-        if flight.error is not None or flight.result is None:
-            # The leader failed; this follower retries on its own rather
-            # than reporting a failure it did not cause.
-            return self.execute(query)
-        with self._lock:
-            self._inflight_waits += 1
-        return Execution(
-            query=query,
-            result=flight.result,
-            response_ms=(time.perf_counter() - started) * 1000.0,
-            source="inflight",
+            source=source,
             fingerprint=fingerprint,
         )
 
@@ -357,35 +546,36 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # Cache management and introspection
     # ------------------------------------------------------------------
+    def link_invalidation(self, drop: Callable[[], int]) -> None:
+        """Register a dependent cache to drop whenever this one drops.
+
+        The why-not executor's answers are derived from the same dataset
+        as the top-k results, so both caches form one invalidation
+        domain: :meth:`invalidate` here cascades into every linked
+        ``drop`` callable (and :meth:`WhyNotExecutor.invalidate`
+        delegates back here).
+        """
+        self._linked_invalidations.append(drop)
+
     def invalidate(self) -> int:
         """Drop every cached result (the dataset changed); returns count.
 
         Executions already in flight complete normally but are barred
-        from (re)populating the cache.
+        from (re)populating the cache.  Linked caches (see
+        :meth:`link_invalidation`) are dropped too; the returned count
+        covers only this executor's own entries.
         """
-        with self._lock:
-            dropped = len(self._cache)
-            self._cache.clear()
-            self._generation += 1
-            self._invalidations += 1
-            return dropped
+        dropped = self._cache.invalidate()
+        for drop in self._linked_invalidations:
+            drop()
+        return dropped
 
     def stats(self) -> CacheStats:
-        with self._lock:
-            return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                evictions=self._evictions,
-                invalidations=self._invalidations,
-                inflight_waits=self._inflight_waits,
-                size=len(self._cache),
-                capacity=self._capacity,
-            )
+        return self._cache.stats()
 
     def cached_fingerprints(self) -> tuple[str, ...]:
         """Cached keys in eviction order (least recently used first)."""
-        with self._lock:
-            return tuple(self._cache)
+        return self._cache.keys()
 
     def audit(self, query: SpatialKeywordQuery):
         """Execute (possibly from cache) and cross-check against the oracle.
@@ -404,3 +594,199 @@ class QueryExecutor:
             )
         execution = self.execute(query)
         return execution, audit_execution(scorer, execution)
+
+
+class WhyNotExecutor:
+    """Caching/deduplicating/batching front of the why-not engine.
+
+    Sits beside the :class:`QueryExecutor` the transports already share
+    and gives why-not answering the same serving-tier properties — with
+    two extra wrinkles:
+
+    * **Top-k reuse.** The explanation half of a why-not answer starts
+      from the initial query's top-k result.  Instead of re-running the
+      search, the executor fetches that result through the top-k
+      executor, so a why-not question about an already-cached query
+      charges zero index traversals for it (``topk_source == "cache"``).
+      A cold question primes the top-k cache as a side effect.
+    * **Shared invalidation.** Why-not answers are derived from the same
+      dataset as top-k results; on construction this executor links
+      itself into the top-k executor's invalidation domain, so
+      invalidating either drops both caches.
+
+    Parameters
+    ----------
+    engine:
+        An object providing ``resolve_missing_oids`` and
+        ``answer_whynot`` — in the service, the :class:`YaskEngine`.
+    topk:
+        The :class:`QueryExecutor` to source initial top-k results from
+        and to share the invalidation domain with.
+    cache_capacity:
+        Bound on cached why-not answers (LRU; 0 disables caching).
+    max_workers:
+        Worker-pool width for :meth:`execute_batch`.
+    """
+
+    def __init__(
+        self,
+        engine: SupportsWhyNot,
+        topk: QueryExecutor,
+        *,
+        cache_capacity: int = 256,
+        max_workers: int = 8,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self._engine = engine
+        self._topk = topk
+        self._cache = _ResultCache(cache_capacity)
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="yask-whynot"
+            )
+            if max_workers > 1
+            else None
+        )
+        topk.link_invalidation(self._cache.invalidate)
+
+    @property
+    def engine(self) -> SupportsWhyNot:
+        return self._engine
+
+    @property
+    def topk_executor(self) -> QueryExecutor:
+        return self._topk
+
+    @property
+    def capacity(self) -> int:
+        return self._cache.capacity
+
+    @property
+    def _inflight(self) -> dict[str, _Inflight]:
+        """The in-flight registry (exposed for tests and introspection)."""
+        return self._cache.inflight
+
+    # ------------------------------------------------------------------
+    # Single-question execution
+    # ------------------------------------------------------------------
+    def fingerprint(self, question: WhyNotQuestion) -> str:
+        """The question's canonical cache key (resolves missing refs).
+
+        λ is canonicalised away for models whose answer does not depend
+        on it.  Raises :class:`~repro.whynot.errors.UnknownObjectError`
+        for references outside the database — before any cache state is
+        touched, so malformed questions never occupy cache or flight
+        slots.
+        """
+        oids = self._engine.resolve_missing_oids(question.missing)
+        lam = (
+            0.5 if question.model in _MODELS_IGNORING_LAMBDA else question.lam
+        )
+        return whynot_fingerprint(question.query, oids, question.model, lam)
+
+    def execute(self, question: WhyNotQuestion) -> WhyNotExecution:
+        """Answer a question through the cache and in-flight dedup layers.
+
+        Engine rejections (:class:`~repro.whynot.errors.WhyNotError`,
+        e.g. a "missing" object that is actually in the result)
+        propagate to the caller and are never cached.
+        """
+        fingerprint = self.fingerprint(question)
+        started = time.perf_counter()
+        topk_source: str | None = None
+
+        def compute() -> object:
+            nonlocal topk_source
+            initial_result: QueryResult | None = None
+            if question.model in _MODELS_USING_INITIAL:
+                initial = self._topk.execute(question.query)
+                initial_result = initial.result
+                topk_source = initial.source
+            return self._engine.answer_whynot(
+                question, initial_result=initial_result
+            )
+
+        answer, source = self._cache.fetch(fingerprint, compute)
+        return WhyNotExecution(
+            question=question,
+            answer=answer,
+            response_ms=(time.perf_counter() - started) * 1000.0,
+            source=source,
+            fingerprint=fingerprint,
+            # topk_source is only meaningful when *this* call computed:
+            # cache/inflight responses charged no top-k fetch at all.
+            topk_source=topk_source if source == "engine" else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self, questions: Sequence[WhyNotQuestion]
+    ) -> WhyNotBatchExecution:
+        """Fan independent questions across the worker pool, in order.
+
+        Engine rejections (e.g. one question's object is not actually
+        missing) are captured per member as ``source == "error"``
+        executions instead of failing the whole batch — a batch mixes
+        unrelated users' questions, and one ill-posed question must not
+        void the others' answers.
+        """
+        started = time.perf_counter()
+        if not questions:
+            return WhyNotBatchExecution(executions=(), total_ms=0.0)
+        if self._pool is None or len(questions) == 1:
+            executions = tuple(
+                self._execute_capturing_errors(question)
+                for question in questions
+            )
+        else:
+            executions = tuple(
+                self._pool.map(self._execute_capturing_errors, questions)
+            )
+        return WhyNotBatchExecution(
+            executions=executions,
+            total_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+    def _execute_capturing_errors(
+        self, question: WhyNotQuestion
+    ) -> WhyNotExecution:
+        started = time.perf_counter()
+        try:
+            return self.execute(question)
+        except WhyNotError as exc:
+            return WhyNotExecution(
+                question=question,
+                answer=None,
+                response_ms=(time.perf_counter() - started) * 1000.0,
+                source="error",
+                fingerprint="",
+                error=str(exc),
+            )
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the cache survives)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Cache management and introspection
+    # ------------------------------------------------------------------
+    def invalidate(self) -> int:
+        """Invalidate the shared domain; returns why-not entries dropped.
+
+        Delegates to the top-k executor, whose invalidation cascades
+        back into this cache — the two caches always stale together.
+        """
+        dropped = self._cache.stats().size
+        self._topk.invalidate()
+        return dropped
+
+    def stats(self) -> CacheStats:
+        return self._cache.stats()
+
+    def cached_fingerprints(self) -> tuple[str, ...]:
+        """Cached keys in eviction order (least recently used first)."""
+        return self._cache.keys()

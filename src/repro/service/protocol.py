@@ -27,14 +27,26 @@ from repro.whynot.keyword import KeywordRefinement
 from repro.whynot.preference import PreferenceRefinement
 
 if TYPE_CHECKING:  # imported lazily to keep the protocol transport-free
-    from repro.service.executor import BatchExecution, Execution
+    from repro.service.executor import (
+        BatchExecution,
+        Execution,
+        WhyNotBatchExecution,
+        WhyNotExecution,
+        WhyNotQuestion,
+    )
+    from repro.whynot.engine import WhyNotAnswer
 
 __all__ = [
     "MAX_BATCH_QUERIES",
+    "MAX_BATCH_QUESTIONS",
     "ProtocolError",
     "query_to_dict",
     "query_from_dict",
     "batch_queries_from_dict",
+    "missing_refs_from_dict",
+    "lambda_from_dict",
+    "whynot_question_from_dict",
+    "batch_whynot_questions_from_dict",
     "object_to_dict",
     "result_to_dict",
     "execution_to_dict",
@@ -43,11 +55,20 @@ __all__ = [
     "preference_refinement_to_dict",
     "keyword_refinement_to_dict",
     "combined_refinement_to_dict",
+    "whynot_answer_to_dict",
+    "whynot_value_to_dict",
+    "whynot_execution_to_dict",
+    "whynot_batch_execution_to_dict",
 ]
 
 #: Defensive cap on the number of queries in one batch request; keeps a
 #: single request from monopolising the server's worker pool.
 MAX_BATCH_QUERIES = 256
+
+#: Cap for why-not batches.  A why-not answer costs an order of
+#: magnitude more than the top-k query it explains, so the cap is
+#: proportionally tighter than :data:`MAX_BATCH_QUERIES`.
+MAX_BATCH_QUESTIONS = 64
 
 
 class ProtocolError(ValueError):
@@ -127,6 +148,94 @@ def batch_queries_from_dict(
         except ProtocolError as exc:
             raise ProtocolError(f"queries[{index}]: {exc}") from None
     return queries
+
+
+# ----------------------------------------------------------------------
+# Why-not questions
+# ----------------------------------------------------------------------
+def missing_refs_from_dict(payload: Mapping[str, Any]) -> list[int | str]:
+    """Parse the ``"missing"`` field: a non-empty list of ids or names."""
+    missing = payload.get("missing")
+    if not isinstance(missing, list) or not missing:
+        raise ProtocolError("'missing' must be a non-empty list of ids or names")
+    refs: list[int | str] = []
+    for item in missing:
+        if isinstance(item, bool) or not isinstance(item, (int, str)):
+            raise ProtocolError("'missing' entries must be object ids or names")
+        refs.append(item)
+    return refs
+
+
+def lambda_from_dict(payload: Mapping[str, Any]) -> float:
+    """Parse the optional ``"lambda"`` field (default 0.5, range [0, 1])."""
+    raw = payload.get("lambda", 0.5)
+    if isinstance(raw, bool) or not isinstance(raw, (int, float, str)):
+        raise ProtocolError("'lambda' must be a number")
+    try:
+        lam = float(raw)
+    except (TypeError, ValueError):
+        raise ProtocolError("'lambda' must be a number") from None
+    if not 0.0 <= lam <= 1.0:
+        raise ProtocolError("'lambda' must lie in [0, 1]")
+    return lam
+
+
+def whynot_question_from_dict(
+    payload: Mapping[str, Any], *, default_weights: Weights = DEFAULT_WEIGHTS
+) -> "WhyNotQuestion":
+    """Parse one why-not question: query fields + ``missing`` [+ model, λ].
+
+    The query half uses the same shape as a single ``/api/query`` body;
+    ``model`` defaults to ``"full"`` (explanation plus both refinement
+    models) and ``lambda`` to 0.5.
+    """
+    from repro.service.executor import WHYNOT_MODELS, WhyNotQuestion
+
+    query = query_from_dict(payload, default_weights=default_weights)
+    refs = missing_refs_from_dict(payload)
+    lam = lambda_from_dict(payload)
+    model = payload.get("model", "full")
+    if model not in WHYNOT_MODELS:
+        raise ProtocolError(
+            f"unknown why-not model {model!r}; expected one of {WHYNOT_MODELS}"
+        )
+    return WhyNotQuestion(
+        query=query, missing=tuple(refs), model=model, lam=lam
+    )
+
+
+def batch_whynot_questions_from_dict(
+    payload: Mapping[str, Any],
+    *,
+    default_weights: Weights = DEFAULT_WEIGHTS,
+    max_questions: int = MAX_BATCH_QUESTIONS,
+) -> list["WhyNotQuestion"]:
+    """Parse a ``POST /api/whynot/batch`` body: ``{"questions": [...]}``.
+
+    A malformed element reports its index so clients can repair the
+    batch.
+    """
+    raw = _require(payload, "questions")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError(
+            "'questions' must be a non-empty list of why-not question objects"
+        )
+    if len(raw) > max_questions:
+        raise ProtocolError(
+            f"batch too large: {len(raw)} questions exceeds the cap of "
+            f"{max_questions}"
+        )
+    questions = []
+    for index, item in enumerate(raw):
+        if not isinstance(item, Mapping):
+            raise ProtocolError(f"questions[{index}] must be a JSON object")
+        try:
+            questions.append(
+                whynot_question_from_dict(item, default_weights=default_weights)
+            )
+        except ProtocolError as exc:
+            raise ProtocolError(f"questions[{index}]: {exc}") from None
+    return questions
 
 
 # ----------------------------------------------------------------------
@@ -246,6 +355,69 @@ def keyword_refinement_to_dict(refinement: KeywordRefinement) -> dict[str, Any]:
         "initial_worst_rank": refinement.initial_worst_rank,
         "lambda": refinement.lam,
         "method": refinement.method,
+    }
+
+
+def whynot_answer_to_dict(answer: "WhyNotAnswer") -> dict[str, Any]:
+    """Serialise a full why-not answer (explanation + both refinements)."""
+    return {
+        "model": "full",
+        "explanation": explanation_to_dict(answer.explanation),
+        "preference": (
+            preference_refinement_to_dict(answer.preference)
+            if answer.preference is not None
+            else None
+        ),
+        "keyword": (
+            keyword_refinement_to_dict(answer.keyword)
+            if answer.keyword is not None
+            else None
+        ),
+        "best_model": answer.best_model,
+    }
+
+
+def whynot_value_to_dict(model: str, value: Any) -> dict[str, Any]:
+    """Serialise whatever a why-not model produced, by model name."""
+    if model == "full":
+        return whynot_answer_to_dict(value)
+    if model == "explain":
+        return explanation_to_dict(value)
+    if model == "preference":
+        return preference_refinement_to_dict(value)
+    if model == "keywords":
+        return keyword_refinement_to_dict(value)
+    if model == "combined":
+        return combined_refinement_to_dict(value)
+    raise ValueError(f"unknown why-not model {model!r}")
+
+
+def whynot_execution_to_dict(execution: "WhyNotExecution") -> dict[str, Any]:
+    """Serialise one :class:`WhyNotExecutor` execution (batch member)."""
+    payload: dict[str, Any] = {
+        "model": execution.question.model,
+        "response_ms": execution.response_ms,
+        "cached": execution.cached,
+        "source": execution.source,
+        "topk_source": execution.topk_source,
+    }
+    if execution.error is not None:
+        payload["error"] = execution.error
+        payload["answer"] = None
+    else:
+        payload["answer"] = whynot_value_to_dict(
+            execution.question.model, execution.answer
+        )
+    return payload
+
+
+def whynot_batch_execution_to_dict(
+    batch: "WhyNotBatchExecution",
+) -> dict[str, Any]:
+    return {
+        "count": len(batch),
+        "total_ms": batch.total_ms,
+        "results": [whynot_execution_to_dict(execution) for execution in batch],
     }
 
 

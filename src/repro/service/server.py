@@ -15,16 +15,26 @@ request flow:
 * ``POST /api/whynot/preference`` — preference-adjusted refinement; the
   refined query is executed and its result returned alongside.
 * ``POST /api/whynot/keywords`` — keyword-adapted refinement, ditto.
+* ``POST /api/whynot/batch`` — answer a list of independent why-not
+  questions in one request through the shared
+  :class:`WhyNotExecutor`; stateless, each question carries its own
+  query, missing objects, model and λ.
 * ``POST /api/session/close`` — the user "gave up asking" (drops the cache).
 * ``GET /api/objects`` — every object (the grey markers of Fig. 3).
 * ``GET /api/log?session_id=…`` — the query-log panel (Fig. 4, Panel 5).
-* ``GET /api/stats`` — the executor's cache hit/miss/eviction counters.
+* ``GET /api/stats`` — cache hit/miss/eviction counters for both
+  executor tiers (top-k and why-not).
 * ``GET /healthz`` — liveness probe.
 
 All top-k executions — single and batch — flow through one
 :class:`repro.service.executor.QueryExecutor`, so a repeated query is a
 cache hit regardless of which user or endpoint issued it first; the
-query log marks such responses as cache hits.
+query log marks such responses as cache hits.  Every why-not request —
+session-bound or batched — likewise flows through one
+:class:`repro.service.executor.WhyNotExecutor`, which caches full
+answers, dedups identical concurrent questions and reuses the top-k
+cache for each question's initial result instead of re-running the
+search.
 
 Every why-not response carries the fields the demonstration GUI shows:
 the refined parameters, the penalty against the initial query and the
@@ -35,24 +45,27 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs, urlparse
 
 from repro.service.api import YaskEngine
-from repro.service.executor import QueryExecutor
+from repro.service.executor import QueryExecutor, WhyNotExecutor, WhyNotQuestion
 from repro.service.protocol import (
     ProtocolError,
     batch_execution_to_dict,
     batch_queries_from_dict,
+    batch_whynot_questions_from_dict,
     combined_refinement_to_dict,
     explanation_to_dict,
     keyword_refinement_to_dict,
+    lambda_from_dict,
+    missing_refs_from_dict,
     object_to_dict,
     preference_refinement_to_dict,
     query_from_dict,
     result_to_dict,
+    whynot_batch_execution_to_dict,
 )
 from repro.service.session import SessionManager
 from repro.whynot.errors import WhyNotError
@@ -83,11 +96,20 @@ class YaskHTTPServer(ThreadingHTTPServer):
         port: int = 0,
         session_capacity: int = 256,
         cache_capacity: int = 1024,
+        whynot_cache_capacity: int = 256,
         batch_workers: int = 8,
     ) -> None:
         self.engine = engine
         self.executor = QueryExecutor(
             engine, cache_capacity=cache_capacity, max_workers=batch_workers
+        )
+        # Shares the top-k executor's invalidation domain and reuses its
+        # cached results as why-not starting points.
+        self.whynot_executor = WhyNotExecutor(
+            engine,
+            self.executor,
+            cache_capacity=whynot_cache_capacity,
+            max_workers=batch_workers,
         )
         self.sessions = SessionManager(capacity=session_capacity)
         super().__init__((host, port), _YaskRequestHandler)
@@ -106,6 +128,7 @@ class YaskHTTPServer(ThreadingHTTPServer):
     def server_close(self) -> None:
         super().server_close()
         self.executor.close()
+        self.whynot_executor.close()
 
 
 class _YaskRequestHandler(BaseHTTPRequestHandler):
@@ -150,7 +173,13 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, {"session_id": session_id, "entries": entries})
             elif parsed.path == "/api/stats":
                 self._send_json(
-                    200, {"cache": self.server.executor.stats().to_dict()}
+                    200,
+                    {
+                        "cache": self.server.executor.stats().to_dict(),
+                        "whynot_cache": (
+                            self.server.whynot_executor.stats().to_dict()
+                        ),
+                    },
                 )
             else:
                 self._send_json(404, {"error": f"unknown path {parsed.path}"})
@@ -166,6 +195,7 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
             "/api/whynot/preference": self._handle_preference,
             "/api/whynot/keywords": self._handle_keywords,
             "/api/whynot/combined": self._handle_combined,
+            "/api/whynot/batch": self._handle_whynot_batch,
             "/api/session/close": self._handle_close,
         }
         handler = handlers.get(parsed.path)
@@ -214,109 +244,128 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         batch = self.server.executor.execute_batch(queries)
         return 200, batch_execution_to_dict(batch)
 
-    def _handle_explain(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+    def _ask_whynot(
+        self, payload: Mapping[str, Any], model: str
+    ) -> tuple["Session", WhyNotQuestion, "WhyNotExecution"]:
+        """Run a session-bound why-not question through the executor.
+
+        Repeated questions (same session query, missing set, model and
+        λ — from this user or any other) are why-not cache hits and
+        never recompute the refinement pipeline.
+        """
         session = self._get_session(str(payload.get("session_id", "")))
-        missing = self._missing_refs(payload)
-        engine = self.server.engine
-        started = time.perf_counter()
-        explanation = engine.explain(session.initial_query, missing)
-        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        # The explanation has no refinement to weigh, so /explain keeps
+        # its historical contract of ignoring a "lambda" field entirely.
+        lam = 0.5 if model == "explain" else lambda_from_dict(payload)
+        question = WhyNotQuestion(
+            query=session.initial_query,
+            missing=tuple(missing_refs_from_dict(payload)),
+            model=model,
+            lam=lam,
+        )
+        execution = self.server.whynot_executor.execute(question)
+        return session, question, execution
+
+    def _handle_explain(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        session, question, execution = self._ask_whynot(payload, "explain")
         session.log.record(
-            "why-not explanation", {"missing": len(missing)}, elapsed_ms
+            "why-not explanation",
+            {"missing": len(question.missing)},
+            execution.response_ms,
+            cached=execution.cached,
         )
         return 200, {
             "session_id": session.session_id,
-            "response_ms": elapsed_ms,
-            "explanation": explanation_to_dict(explanation),
+            "response_ms": execution.response_ms,
+            "cached": execution.cached,
+            "explanation": explanation_to_dict(execution.answer),
         }
 
-    def _handle_preference(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
-        session = self._get_session(str(payload.get("session_id", "")))
-        missing = self._missing_refs(payload)
-        lam = self._lambda(payload)
-        engine = self.server.engine
-        started = time.perf_counter()
-        refinement = engine.refine_preference(
-            session.initial_query, missing, lam=lam
+    def _refined_result(self, refinement) -> dict:
+        """Execute a refinement's refined query through the top-k cache."""
+        return result_to_dict(
+            self.server.executor.execute(refinement.refined_query).result
         )
-        refined_result = engine.query(refinement.refined_query)
-        elapsed_ms = (time.perf_counter() - started) * 1000.0
+
+    def _handle_preference(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        session, question, execution = self._ask_whynot(payload, "preference")
+        refinement = execution.answer
         session.log.record(
             "preference adjustment",
             {
-                "missing": len(missing),
-                "lambda": lam,
+                "missing": len(question.missing),
+                "lambda": question.lam,
                 "refined_ws": refinement.refined_query.ws,
                 "refined_k": refinement.refined_query.k,
             },
-            elapsed_ms,
+            execution.response_ms,
             penalty=refinement.penalty,
+            cached=execution.cached,
         )
         return 200, {
             "session_id": session.session_id,
-            "response_ms": elapsed_ms,
+            "response_ms": execution.response_ms,
+            "cached": execution.cached,
             "refinement": preference_refinement_to_dict(refinement),
-            "refined_result": result_to_dict(refined_result),
+            "refined_result": self._refined_result(refinement),
         }
 
     def _handle_keywords(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
-        session = self._get_session(str(payload.get("session_id", "")))
-        missing = self._missing_refs(payload)
-        lam = self._lambda(payload)
-        engine = self.server.engine
-        started = time.perf_counter()
-        refinement = engine.refine_keywords(
-            session.initial_query, missing, lam=lam
-        )
-        refined_result = engine.query(refinement.refined_query)
-        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        session, question, execution = self._ask_whynot(payload, "keywords")
+        refinement = execution.answer
         session.log.record(
             "keyword adaption",
             {
-                "missing": len(missing),
-                "lambda": lam,
+                "missing": len(question.missing),
+                "lambda": question.lam,
                 "added": ",".join(sorted(refinement.added)),
                 "removed": ",".join(sorted(refinement.removed)),
                 "refined_k": refinement.refined_query.k,
             },
-            elapsed_ms,
+            execution.response_ms,
             penalty=refinement.penalty,
+            cached=execution.cached,
         )
         return 200, {
             "session_id": session.session_id,
-            "response_ms": elapsed_ms,
+            "response_ms": execution.response_ms,
+            "cached": execution.cached,
             "refinement": keyword_refinement_to_dict(refinement),
-            "refined_result": result_to_dict(refined_result),
+            "refined_result": self._refined_result(refinement),
         }
 
     def _handle_combined(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
-        session = self._get_session(str(payload.get("session_id", "")))
-        missing = self._missing_refs(payload)
-        lam = self._lambda(payload)
-        engine = self.server.engine
-        started = time.perf_counter()
-        refinement = engine.refine_combined(
-            session.initial_query, missing, lam=lam
-        )
-        refined_result = engine.query(refinement.refined_query)
-        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        session, question, execution = self._ask_whynot(payload, "combined")
+        refinement = execution.answer
         session.log.record(
             "combined refinement",
             {
-                "missing": len(missing),
-                "lambda": lam,
+                "missing": len(question.missing),
+                "lambda": question.lam,
                 "order": refinement.order,
                 "refined_k": refinement.refined_query.k,
             },
-            elapsed_ms,
+            execution.response_ms,
             penalty=refinement.penalty,
+            cached=execution.cached,
         )
         return 200, {
             "session_id": session.session_id,
-            "response_ms": elapsed_ms,
+            "response_ms": execution.response_ms,
+            "cached": execution.cached,
             "refinement": combined_refinement_to_dict(refinement),
-            "refined_result": result_to_dict(refined_result),
+            "refined_result": self._refined_result(refinement),
         }
+
+    def _handle_whynot_batch(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict]:
+        engine = self.server.engine
+        questions = batch_whynot_questions_from_dict(
+            payload, default_weights=engine.default_weights
+        )
+        batch = self.server.whynot_executor.execute_batch(questions)
+        return 200, whynot_batch_execution_to_dict(batch)
 
     def _handle_close(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         session_id = str(payload.get("session_id", ""))
@@ -348,33 +397,6 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
             return self.server.sessions.get(session_id)
         except KeyError as exc:
             raise _RequestError(404, str(exc)) from None
-
-    @staticmethod
-    def _missing_refs(payload: Mapping[str, Any]) -> list[int | str]:
-        missing = payload.get("missing")
-        if not isinstance(missing, list) or not missing:
-            raise _RequestError(
-                400, "'missing' must be a non-empty list of ids or names"
-            )
-        refs: list[int | str] = []
-        for item in missing:
-            if isinstance(item, bool) or not isinstance(item, (int, str)):
-                raise _RequestError(
-                    400, "'missing' entries must be object ids or names"
-                )
-            refs.append(item)
-        return refs
-
-    @staticmethod
-    def _lambda(payload: Mapping[str, Any]) -> float:
-        raw = payload.get("lambda", 0.5)
-        try:
-            lam = float(raw)
-        except (TypeError, ValueError):
-            raise _RequestError(400, "'lambda' must be a number") from None
-        if not 0.0 <= lam <= 1.0:
-            raise _RequestError(400, "'lambda' must lie in [0, 1]")
-        return lam
 
     def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")

@@ -3,13 +3,21 @@
 Section 3.3 of the paper: "The server caches users' initial spatial
 keyword queries until users give up asking follow-up 'why-not'
 questions."  A :class:`Session` is one such cached initial query (plus
-its result, so follow-up requests never recompute it), created when a
-top-k query arrives and dropped explicitly or by LRU eviction.
+its result), created when a top-k query arrives and dropped explicitly
+or by LRU eviction.  Since the executor tier arrived, the session is
+the *addressing* mechanism for follow-ups — a ``session_id`` names the
+initial query a why-not question refers to — while recomputation
+avoidance is the job of the shared
+:class:`~repro.service.executor.QueryExecutor` /
+:class:`~repro.service.executor.WhyNotExecutor` caches, which span
+sessions: two users asking the same why-not question share one cached
+answer.
 
 Section 4 / Fig. 4 (Panel 5): "users can find the detailed parameter
 settings for the refined query, its penalty against users' initial
 queries, as well as the query response time" — :class:`QueryLog` records
-exactly those fields for every request handled in a session.
+exactly those fields for every request handled in a session, plus the
+executor-tier provenance (``cached``) of each response.
 """
 
 from __future__ import annotations

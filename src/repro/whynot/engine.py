@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.objects import SpatialDatabase, SpatialObject
-from repro.core.query import SpatialKeywordQuery
+from repro.core.query import QueryResult, SpatialKeywordQuery
 from repro.core.scoring import Scorer
 from repro.index.kcrtree import KcRTree
 from repro.index.setrtree import SetRTree
@@ -38,16 +38,27 @@ class WhyNotAnswer:
 
     @property
     def best_model(self) -> str | None:
-        """Which executed model produced the lower penalty."""
+        """Which executed model produced the lower penalty.
+
+        Tie rule (explicit and deterministic): when both models were
+        executed and their penalties are *exactly* equal, preference
+        adjustment wins.  It is the less intrusive refinement — it keeps
+        the user's keywords verbatim and only re-weights the ranking
+        components, whereas keyword adaption rewrites the query text —
+        so at equal cost the answer recommends the query closest to what
+        the user originally asked.  With only one model executed that
+        model wins by default; with neither, there is no winner (None).
+        """
         if self.preference is None and self.keyword is None:
             return None
         if self.keyword is None:
             return "preference adjustment"
         if self.preference is None:
             return "keyword adaption"
-        if self.preference.penalty <= self.keyword.penalty:
-            return "preference adjustment"
-        return "keyword adaption"
+        if self.keyword.penalty < self.preference.penalty:
+            return "keyword adaption"
+        # Strictly lower penalty — or the documented tie rule above.
+        return "preference adjustment"
 
 
 class WhyNotEngine:
@@ -118,9 +129,19 @@ class WhyNotEngine:
         self,
         query: SpatialKeywordQuery,
         missing: Sequence[int | str | SpatialObject],
+        *,
+        initial_result: QueryResult | None = None,
     ) -> WhyNotExplanation:
-        """Run the explanation generator for the missing set."""
-        return self._explainer.explain(query, self.resolve_missing(missing))
+        """Run the explanation generator for the missing set.
+
+        ``initial_result`` — the query's already-computed top-k result
+        (the session cache or the executor tier holds one) — is used as
+        the explanation's starting point; without it the generator
+        re-derives the result from scratch.
+        """
+        return self._explainer.explain(
+            query, self.resolve_missing(missing), result=initial_result
+        )
 
     def refine_preference(
         self,
@@ -162,10 +183,19 @@ class WhyNotEngine:
         missing: Sequence[int | str | SpatialObject],
         *,
         lam: float = 0.5,
+        initial_result: QueryResult | None = None,
     ) -> WhyNotAnswer:
-        """Explanation plus both refinement models side by side."""
+        """Explanation plus both refinement models side by side.
+
+        ``initial_result`` (the cached top-k result for ``query``, when
+        the caller holds one) spares the explanation generator from
+        re-deriving it; the refiners rank in dual space and need no
+        materialised result either way.
+        """
         resolved = self.resolve_missing(missing)
-        explanation = self._explainer.explain(query, resolved)
+        explanation = self._explainer.explain(
+            query, resolved, result=initial_result
+        )
         preference = self._preference.refine(query, resolved, lam=lam)
         keyword = self._keyword.refine(query, resolved, lam=lam)
         return WhyNotAnswer(

@@ -210,3 +210,102 @@ class TestLevelIteration:
         assert sum(len(level) for level in levels) == tree.node_count()
         # Last level is all leaves.
         assert all(node.is_leaf for node in levels[-1])
+
+
+def assert_tight_bounds(tree):
+    """Every node's MBR must equal the exact union of its members' MBRs.
+
+    A merely *containing* (inflated) ancestor rectangle would pass
+    ``check_invariants`` but inflate ``score_upper_bound`` in the
+    spatio-textual subclasses and silently weaken best-first pruning —
+    this asserts the stronger tightness property.
+    """
+    def walk(node):
+        if node.rect is None:
+            assert len(node) == 0
+            return
+        rects = list(node.iter_rects())
+        assert rects, "non-empty rect on an empty node"
+        expected = Rect.union_all(rects)
+        assert node.rect == expected, (
+            f"stale MBR {node.rect.as_tuple()} != tight {expected.as_tuple()}"
+        )
+        if not node.is_leaf:
+            for child in node.children:
+                walk(child)
+
+    walk(tree.root)
+
+
+class TestShrinkAfterDelete:
+    """Regression: ancestor MBRs must tighten all the way to the root
+    after deletions (`RTree.delete` / `_refresh_upwards` maintenance)."""
+
+    def test_root_bounds_shrink_when_outlier_deleted(self):
+        # A dense cluster plus one far outlier: the outlier alone
+        # stretches the root MBR, so deleting it must shrink the root
+        # (and every ancestor on its path) back to the cluster box.
+        tree = RTree(max_entries=4)
+        cluster = random_points(40, seed=91, lo=0.0, hi=10.0)
+        for i, p in enumerate(cluster):
+            tree.insert(i, p)
+        outlier = Point(500.0, 500.0)
+        tree.insert(999, outlier)
+        assert tree.bounds.contains_point(outlier)
+
+        assert tree.delete(999, outlier)
+        tree.check_invariants()
+        assert_tight_bounds(tree)
+        assert tree.bounds.max_x <= 10.0 and tree.bounds.max_y <= 10.0
+
+    def test_bounds_stay_tight_through_random_deletions(self):
+        points = random_points(120, seed=92)
+        tree = RTree(max_entries=4)
+        for i, p in enumerate(points):
+            tree.insert(i, p)
+        order = list(range(len(points)))
+        random.Random(93).shuffle(order)
+        for victim in order[:100]:
+            assert tree.delete(victim, points[victim])
+            tree.check_invariants()
+            assert_tight_bounds(tree)
+
+    def test_bulk_loaded_tree_tightens_too(self):
+        # STR packing takes a different construction path than Guttman
+        # insertion; condensation after deletes must refresh it equally.
+        points = random_points(150, seed=94)
+        tree = RTree.bulk_load(
+            list(range(len(points))), key=lambda i: points[i], max_entries=8
+        )
+        order = list(range(len(points)))
+        random.Random(95).shuffle(order)
+        for victim in order[:120]:
+            assert tree.delete(victim, points[victim])
+        tree.check_invariants()
+        assert_tight_bounds(tree)
+
+    def test_setrtree_summary_and_bounds_tighten(self, small_db):
+        # The spatio-textual subclass must tighten its keyword summaries
+        # alongside the MBRs: once every object carrying a keyword is
+        # deleted, no node summary may still advertise it (a stale union
+        # would inflate tsim_upper_bound and weaken top-k pruning).
+        from repro.index.setrtree import SetRTree
+
+        tree = SetRTree.build(small_db, max_entries=4)
+        keyword = "kw000"
+        carriers = [obj for obj in small_db if keyword in obj.doc]
+        assert carriers, "fixture database must contain kw000"
+        assert keyword in tree.root.summary.union
+        for obj in carriers:
+            assert tree.delete(obj, obj.loc)
+        tree.check_invariants()
+        assert_tight_bounds(tree)
+
+        def no_stale_keyword(node):
+            if node.summary is not None:
+                assert keyword not in node.summary.union
+            if not node.is_leaf:
+                for child in node.children:
+                    no_stale_keyword(child)
+
+        no_stale_keyword(tree.root)

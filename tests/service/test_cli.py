@@ -115,3 +115,61 @@ class TestCommands:
         )
         assert code == 0
         assert "audit ok" in capsys.readouterr().out
+
+
+class TestBatchCommands:
+    def test_batch_command_repeats_hit_the_cache(self, capsys, tmp_path):
+        workload = [
+            {"x": 114.158, "y": 22.282, "keywords": ["coffee"], "k": 3},
+            {"x": 114.160, "y": 22.284, "keywords": ["espresso"], "k": 2},
+        ]
+        path = tmp_path / "queries.json"
+        path.write_text(json.dumps(workload))
+        code = main(
+            [
+                "batch", "--dataset", "coffee", "--file", str(path),
+                "--repeat", "2",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["batches"]) == 2
+        assert payload["cache"]["hits"] >= len(workload)
+
+    def test_whynot_batch_command(self, capsys, tmp_path):
+        workload = [
+            {
+                "x": 114.158, "y": 22.282, "keywords": ["coffee"], "k": 3,
+                "missing": ["Cup & Co 26"],
+            },
+            {
+                "x": 114.158, "y": 22.282, "keywords": ["coffee"], "k": 3,
+                "missing": ["Cup & Co 26"], "model": "preference",
+            },
+        ]
+        path = tmp_path / "questions.json"
+        path.write_text(json.dumps(workload))
+        code = main(
+            [
+                "whynot-batch", "--dataset", "coffee", "--file", str(path),
+                "--repeat", "2",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert len(payload["batches"]) == 2
+        first_batch = payload["batches"][0]["results"]
+        assert first_batch[0]["model"] == "full"
+        assert first_batch[1]["model"] == "preference"
+        # The second repeat is served entirely from the why-not cache.
+        assert all(
+            entry["cached"] for entry in payload["batches"][1]["results"]
+        )
+        assert payload["whynot_cache"]["hits"] >= len(workload)
+
+    def test_whynot_batch_rejects_bad_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"x": 1.0}]))
+        with pytest.raises(SystemExit):
+            main(["whynot-batch", "--dataset", "coffee", "--file", str(path)])

@@ -310,3 +310,105 @@ class TestValidation:
         executor = QueryExecutor(CountingEngine())
         with pytest.raises(TypeError):
             executor.audit(make_query(0.1))
+
+
+class TestInvalidationDuringBatch:
+    """Regression: the generation counter must cover the batch path —
+    no request issued after invalidate() may be served a result
+    computed against the pre-invalidation dataset."""
+
+    def test_invalidate_mid_batch_bars_stale_results(self):
+        class VersionedEngine:
+            """Answers carry a dataset version; the first call blocks."""
+
+            def __init__(self):
+                self.version = 1
+                self.first_started = threading.Event()
+                self.release = threading.Event()
+                self.calls = 0
+                self._lock = threading.Lock()
+
+            def query(self, query):
+                with self._lock:
+                    self.calls += 1
+                    first = self.calls == 1
+                if first:
+                    self.first_started.set()
+                    self.release.wait(timeout=10.0)
+                return (self.version, query_fingerprint(query))
+
+        engine = VersionedEngine()
+        executor = QueryExecutor(engine, max_workers=4)
+        queries = [make_query(0.1), make_query(0.2), make_query(0.3)]
+
+        batches = []
+        worker = threading.Thread(
+            target=lambda: batches.append(executor.execute_batch(queries))
+        )
+        worker.start()
+        assert engine.first_started.wait(timeout=10.0)
+
+        # The dataset changes while the batch is in flight.
+        engine.version = 2
+        executor.invalidate()
+        engine.release.set()
+        worker.join(timeout=10.0)
+        assert batches and len(batches[0]) == 3
+
+        # Every request issued *after* the invalidation must observe the
+        # new dataset: nothing the batch computed under generation 0 may
+        # be served from the cache, for any member of the batch.
+        for query in queries:
+            execution = executor.execute(query)
+            assert execution.result[0] == 2, (
+                f"stale pre-invalidation result served for {execution.fingerprint}"
+            )
+
+    def test_post_invalidation_request_does_not_join_batch_flight(self):
+        """A single execute() racing a still-running batch member from
+        the old generation must start a fresh engine execution."""
+
+        class OnceBlockingEngine:
+            def __init__(self):
+                self.version = 1
+                self.first_started = threading.Event()
+                self.release = threading.Event()
+                self.calls = 0
+                self._lock = threading.Lock()
+
+            def query(self, query):
+                with self._lock:
+                    self.calls += 1
+                    first = self.calls == 1
+                    seen_version = self.version  # dataset at call start
+                if first:
+                    self.first_started.set()
+                    self.release.wait(timeout=10.0)
+                return (seen_version, query_fingerprint(query))
+
+        engine = OnceBlockingEngine()
+        executor = QueryExecutor(engine, max_workers=2)
+        query = make_query(0.7)
+
+        batches = []
+        worker = threading.Thread(
+            target=lambda: batches.append(executor.execute_batch([query]))
+        )
+        worker.start()
+        assert engine.first_started.wait(timeout=10.0)
+
+        engine.version = 2
+        executor.invalidate()
+
+        # Issued after the invalidation, while the batch member is still
+        # inside the engine: must not piggy-back on its stale flight.
+        fresh = executor.execute(query)
+        assert fresh.source == "engine"
+        assert fresh.result[0] == 2
+
+        engine.release.set()
+        worker.join(timeout=10.0)
+        # The batch member itself (asked pre-invalidation) may carry the
+        # old version, but it must not have populated the cache.
+        assert batches[0].executions[0].result[0] == 1
+        assert executor.execute(query).result[0] == 2

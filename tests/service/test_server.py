@@ -279,3 +279,143 @@ class TestSessionLifecycle:
             entry["kind"] != "why-not explanation"
             for entry in client.query_log(second)
         )
+
+
+class TestWhyNotBatchEndpoint:
+    def make_question_payload(self, scenario, **overrides):
+        q = scenario.query
+        payload = {
+            "x": q.loc.x,
+            "y": q.loc.y,
+            "keywords": sorted(q.doc),
+            "k": q.k,
+            "ws": q.ws,
+            "missing": [m.oid for m in scenario.missing],
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_batch_answers_in_order_with_models(self, client, scenario):
+        payloads = [
+            self.make_question_payload(scenario),
+            self.make_question_payload(scenario, model="explain"),
+            self.make_question_payload(scenario, model="preference"),
+        ]
+        response = client.whynot_batch(payloads)
+        assert response["count"] == 3
+        full, explain, preference = response["results"]
+        assert full["model"] == "full"
+        assert full["answer"]["best_model"] in (
+            "preference adjustment", "keyword adaption"
+        )
+        assert explain["model"] == "explain"
+        assert explain["answer"]["worst_rank"] > scenario.query.k
+        assert preference["model"] == "preference"
+        assert 0.0 <= preference["answer"]["penalty"] <= 1.0
+        for entry in response["results"]:
+            assert entry["source"] in ("engine", "cache", "inflight")
+            assert entry["response_ms"] >= 0.0
+
+    def test_repeated_question_is_served_from_cache(self, client, scenario):
+        payload = self.make_question_payload(scenario, model="keywords")
+        first = client.whynot_batch([payload])["results"][0]
+        second = client.whynot_batch([payload])["results"][0]
+        assert second["cached"] is True
+        assert second["answer"] == first["answer"]
+
+    def test_batch_reuses_cached_topk_result(self, client, scenario):
+        # Prime the top-k cache through the ordinary query endpoint,
+        # then ask why-not about the same query: the fresh computation
+        # must report its initial result came from the top-k cache.
+        q = scenario.query
+        x = q.loc.x + 0.0005  # a query no other test asks about
+        client.query(x, q.loc.y, sorted(q.doc), q.k, ws=q.ws)
+        payload = self.make_question_payload(scenario, model="explain", x=x)
+        entry = client.whynot_batch([payload])["results"][0]
+        assert entry["source"] == "engine"
+        assert entry["topk_source"] == "cache"
+
+    def test_explain_lambda_does_not_fragment_the_cache(self, client, scenario):
+        # λ does not influence an explanation; two explain questions
+        # differing only in λ must share one cache entry.
+        payload = self.make_question_payload(
+            scenario, model="explain", y=scenario.query.loc.y + 0.0007
+        )
+        client.query(
+            payload["x"], payload["y"], payload["keywords"], payload["k"],
+            ws=payload["ws"],
+        )
+        first = client.whynot_batch([dict(payload, **{"lambda": 0.2})])
+        second = client.whynot_batch([dict(payload, **{"lambda": 0.8})])
+        assert first["results"][0]["source"] == "engine"
+        assert second["results"][0]["source"] == "cache"
+
+    def test_ill_posed_member_does_not_fail_the_batch(self, client, scenario):
+        response = client.whynot_batch(
+            [
+                self.make_question_payload(scenario),
+                self.make_question_payload(scenario, missing=["No Such Hotel"]),
+            ]
+        )
+        good, bad = response["results"]
+        assert good["answer"] is not None
+        assert bad["answer"] is None
+        assert bad["source"] == "error"
+        assert "No Such Hotel" in bad["error"]
+
+    def test_stats_report_both_caches(self, client):
+        full = client._call("GET", "/api/stats")
+        assert {"cache", "whynot_cache"} <= set(full)
+        whynot = client.whynot_stats()
+        assert {"hits", "misses", "evictions", "size", "capacity"} <= set(whynot)
+
+    def test_malformed_member_is_400_with_index(self, client, scenario):
+        with pytest.raises(YaskClientError) as exc:
+            client.whynot_batch(
+                [self.make_question_payload(scenario), {"x": 1.0}]
+            )
+        assert exc.value.status == 400
+        assert "questions[1]" in str(exc.value)
+
+    def test_unknown_model_is_400(self, client, scenario):
+        with pytest.raises(YaskClientError) as exc:
+            client.whynot_batch(
+                [self.make_question_payload(scenario, model="telepathy")]
+            )
+        assert exc.value.status == 400
+
+    def test_oversized_batch_is_400(self, client, scenario):
+        payload = self.make_question_payload(scenario)
+        with pytest.raises(YaskClientError) as exc:
+            client.whynot_batch([payload] * 100)
+        assert exc.value.status == 400
+
+    def test_empty_batch_is_400(self, client):
+        with pytest.raises(YaskClientError) as exc:
+            client.whynot_batch([])
+        assert exc.value.status == 400
+
+
+class TestSessionWhyNotCaching:
+    def test_repeated_session_question_is_cached_and_logged(
+        self, client, scenario
+    ):
+        session_id = open_session(client, scenario)["session_id"]
+        missing = [m.oid for m in scenario.missing]
+        first = client.refine_combined(session_id, missing, lam=0.125)
+        second = client.refine_combined(session_id, missing, lam=0.125)
+        assert second["cached"] is True
+        assert second["refinement"] == first["refinement"]
+        log = client.query_log(session_id)
+        combined = [e for e in log if e["kind"] == "combined refinement"]
+        assert [entry["cached"] for entry in combined] == [False, True]
+
+    def test_cache_is_shared_across_sessions(self, client, scenario):
+        # Two users asking the same why-not question: the second answer
+        # comes from the shared cache, exactly like top-k queries.
+        missing = [m.oid for m in scenario.missing]
+        first_session = open_session(client, scenario)["session_id"]
+        second_session = open_session(client, scenario)["session_id"]
+        client.explain(first_session, missing)
+        response = client.explain(second_session, missing)
+        assert response["cached"] is True

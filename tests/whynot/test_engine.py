@@ -84,3 +84,76 @@ class TestDispatch:
             WhyNotAnswer(explanation, preference=pref).best_model
             == "preference adjustment"
         )
+
+
+class TestBestModelTieBreaking:
+    """Regression: `WhyNotAnswer.best_model` must resolve exactly equal
+    penalties explicitly and deterministically (preference adjustment
+    wins ties — it keeps the user's keywords verbatim)."""
+
+    @staticmethod
+    def make_answer(pref_penalty, kw_penalty):
+        from repro.core.geometry import Point
+        from repro.core.query import SpatialKeywordQuery
+        from repro.whynot.engine import WhyNotAnswer
+        from repro.whynot.explanation import WhyNotExplanation
+        from repro.whynot.keyword import AdaptionStats, KeywordRefinement
+        from repro.whynot.preference import PreferenceRefinement
+
+        query = SpatialKeywordQuery(
+            loc=Point(0.5, 0.5), doc=frozenset({"cafe"}), k=3
+        )
+        explanation = WhyNotExplanation(
+            query=query, explanations=(), worst_rank=7,
+            suggested_model="preference adjustment",
+        )
+        preference = (
+            PreferenceRefinement(
+                refined_query=query.with_k(7), penalty=pref_penalty,
+                delta_k=4, delta_w=0.0, refined_worst_rank=7,
+                initial_worst_rank=7, lam=0.5,
+            )
+            if pref_penalty is not None
+            else None
+        )
+        keyword = (
+            KeywordRefinement(
+                refined_query=query.with_k(7), penalty=kw_penalty,
+                delta_k=4, delta_doc=0, added=frozenset(),
+                removed=frozenset(), refined_worst_rank=7,
+                initial_worst_rank=7, lam=0.5, stats=AdaptionStats(),
+            )
+            if kw_penalty is not None
+            else None
+        )
+        return WhyNotAnswer(
+            explanation=explanation, preference=preference, keyword=keyword
+        )
+
+    def test_exactly_equal_penalties_prefer_preference_adjustment(self):
+        # The engineered tie: both models report the bit-identical
+        # penalty.  The documented rule picks the less intrusive model.
+        answer = self.make_answer(0.25, 0.25)
+        assert answer.best_model == "preference adjustment"
+
+    def test_strictly_lower_keyword_penalty_wins(self):
+        answer = self.make_answer(0.25, 0.2499999999999999)
+        assert answer.best_model == "keyword adaption"
+
+    def test_strictly_lower_preference_penalty_wins(self):
+        answer = self.make_answer(0.1, 0.25)
+        assert answer.best_model == "preference adjustment"
+
+    def test_single_model_wins_by_default(self):
+        assert self.make_answer(0.9, None).best_model == "preference adjustment"
+        assert self.make_answer(None, 0.9).best_model == "keyword adaption"
+
+    def test_no_model_executed_means_no_winner(self):
+        assert self.make_answer(None, None).best_model is None
+
+    def test_tie_rule_is_stable_across_argument_order(self):
+        # Determinism: the winner depends only on the penalties, never
+        # on construction order or identity.
+        first = self.make_answer(0.5, 0.5)
+        second = self.make_answer(0.5, 0.5)
+        assert first.best_model == second.best_model == "preference adjustment"
