@@ -1,9 +1,13 @@
 # Developer entry points for the YASK reproduction.
 #
 #   make test        — the tier-1 suite (ROADMAP.md's verify command)
-#   make bench-smoke — the E9 + E10 executor experiments (fast, assert
-#                      the cold/warm and batch/sequential speedup floors
-#                      for both top-k queries and why-not questions)
+#   make bench-smoke — the E9 + E10 executor experiments and the E11
+#                      kernel experiment (fast, assert the cold/warm and
+#                      batch speedup floors for queries and why-not
+#                      questions, plus the kernel's >=3x rank_all and
+#                      >=2x cold why-not floors)
+#   make bench-json  — refresh BENCH_E9/E10/E11.json at the repo root
+#                      (machine-readable perf trajectory across PRs)
 #   make lint        — byte-compile every source, test and benchmark
 #                      file (catches import-time and syntax breakage
 #                      without third-party tools)
@@ -13,13 +17,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke lint docs-check
+.PHONY: test bench-smoke bench-json lint docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py benchmarks/bench_e10_whynot_executor.py -q
+	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py benchmarks/bench_e10_whynot_executor.py benchmarks/bench_e11_kernel.py -q
+
+bench-json:
+	$(PYTHON) benchmarks/bench_json.py
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

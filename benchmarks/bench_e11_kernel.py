@@ -1,0 +1,155 @@
+"""E11 — the columnar scoring kernel vs. the object-at-a-time path.
+
+PRs 1-2 made the *serving* tier fast; every cache miss still paid
+object-at-a-time Python scoring for the Eqn. (1)/(3) hot loops.  The
+kernel (interned keyword bitsets + flat coordinate arrays,
+``repro.core.kernel``) attacks exactly those loops, and this experiment
+asserts the acceptance floors against the pre-kernel path at 10k
+objects:
+
+* full-scan ``rank_all`` at least 3x faster, and
+* a cold why-not question (preference model) at least 2x faster,
+
+with bit-for-bit parity assertions — identical scores, tie order and
+refinements — plus a SearchStats check that best-first search does the
+*same* index work either way (the kernel changes how leaf entries are
+scored, never which nodes are visited).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_e11_kernel.py -q``
+(add ``-s`` for the speedup tables).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Table, time_call
+from repro.bench.workloads import QueryWorkload, generate_whynot_scenarios
+from repro.core.scoring import Scorer
+from repro.core.topk import BestFirstTopK
+from repro.whynot.preference import PreferenceAdjuster
+
+#: Acceptance floors (ISSUE 3): kernel speedup over the pre-kernel path.
+RANK_ALL_FLOOR = 3.0
+WHYNOT_FLOOR = 2.0
+
+
+@pytest.fixture(scope="module")
+def fast_scorer(bench_db):
+    scorer = Scorer(bench_db)
+    assert scorer.kernel is not None, "bench model must have a kernel"
+    return scorer
+
+
+@pytest.fixture(scope="module")
+def slow_scorer(bench_db):
+    return Scorer(bench_db, use_kernel=False)
+
+
+@pytest.fixture(scope="module")
+def kernel_queries(bench_db):
+    workload = QueryWorkload(bench_db, seed=17, k=10, keywords_per_query=(2, 3))
+    return list(workload.queries(5))
+
+
+def test_e11_rank_all_3x(fast_scorer, slow_scorer, kernel_queries):
+    """Acceptance: full-scan ranking >= 3x, with bit-identical output."""
+    queries = kernel_queries[:3]
+    fast_rankings, fast_timing = time_call(
+        lambda: [fast_scorer.rank_all(q) for q in queries], repeat=5
+    )
+    slow_rankings, slow_timing = time_call(
+        lambda: [slow_scorer.rank_all(q) for q in queries], repeat=5
+    )
+
+    # Parity first: every entry identical — object, score, sdist, tsim, rank.
+    for fast_ranking, slow_ranking in zip(fast_rankings, slow_rankings):
+        assert [tuple(e) for e in fast_ranking] == [
+            tuple(e) for e in slow_ranking
+        ]
+
+    speedup = slow_timing.best / fast_timing.best
+    table = Table(
+        "path", "best_ms", "median_ms", title="E11: full-scan rank_all (10k x 3 queries)"
+    )
+    table.add_row("object-at-a-time", slow_timing.best_ms, slow_timing.median_ms)
+    table.add_row("columnar kernel", fast_timing.best_ms, fast_timing.median_ms)
+    table.add_row(f"speedup {speedup:.2f}x (floor {RANK_ALL_FLOOR}x)", "", "")
+    table.print()
+    assert speedup >= RANK_ALL_FLOOR, (
+        f"kernel rank_all only {speedup:.2f}x faster "
+        f"({fast_timing.best_ms:.1f}ms vs {slow_timing.best_ms:.1f}ms)"
+    )
+
+
+def test_e11_cold_whynot_preference_2x(fast_scorer, slow_scorer):
+    """Acceptance: cold preference-model why-not >= 2x, same refinements."""
+    scenarios = generate_whynot_scenarios(
+        fast_scorer, count=2, k=10, missing_count=2, rank_window=40, seed=99
+    )
+    fast_adjuster = PreferenceAdjuster(fast_scorer)
+    slow_adjuster = PreferenceAdjuster(slow_scorer)
+
+    def run(adjuster):
+        return [
+            adjuster.refine(s.query, s.missing, lam=0.5) for s in scenarios
+        ]
+
+    fast_refined, fast_timing = time_call(lambda: run(fast_adjuster), repeat=5)
+    slow_refined, slow_timing = time_call(lambda: run(slow_adjuster), repeat=5)
+
+    # The whole refinement must agree: query, penalty, ranks, diagnostics.
+    assert fast_refined == slow_refined
+
+    speedup = slow_timing.best / fast_timing.best
+    table = Table(
+        "path", "best_ms", "median_ms",
+        title="E11: cold why-not, preference model (10k x 2 scenarios)",
+    )
+    table.add_row("object-at-a-time", slow_timing.best_ms, slow_timing.median_ms)
+    table.add_row("columnar kernel", fast_timing.best_ms, fast_timing.median_ms)
+    table.add_row(f"speedup {speedup:.2f}x (floor {WHYNOT_FLOOR}x)", "", "")
+    table.print()
+    assert speedup >= WHYNOT_FLOOR, (
+        f"kernel cold why-not only {speedup:.2f}x faster "
+        f"({fast_timing.best_ms:.1f}ms vs {slow_timing.best_ms:.1f}ms)"
+    )
+
+
+def test_e11_best_first_same_search_stats(
+    bench_setrtree, fast_scorer, slow_scorer, kernel_queries
+):
+    """Kernel leaf scoring changes *how* leaves are scored, not *which*.
+
+    SearchStats must be identical between the two scorers — same nodes
+    expanded, same objects scored, same heap pushes — and the kernel's
+    own counter must attribute exactly those leaf scorings.
+    """
+    fast_engine = BestFirstTopK(bench_setrtree, fast_scorer)
+    slow_engine = BestFirstTopK(bench_setrtree, slow_scorer)
+    fast_scorer.kernel.stats.reset()
+    point_scores = 0
+    for query in kernel_queries:
+        fast_result = fast_engine.search(query)
+        slow_result = slow_engine.search(query)
+        assert [tuple(e) for e in fast_result] == [
+            tuple(e) for e in slow_result
+        ]
+        assert fast_engine.stats == slow_engine.stats
+        point_scores += fast_engine.stats.objects_scored
+    assert fast_scorer.kernel.stats.point_scores == point_scores
+
+
+def test_e11_batch_primitives_parity(fast_scorer, slow_scorer, kernel_queries):
+    """score_all / rank_of_many / dual_points agree with the oracle."""
+    query = kernel_queries[0]
+    kernel = fast_scorer.kernel
+    scores = kernel.score_all(query)
+    database = fast_scorer.database
+    for row, obj in enumerate(database):
+        assert scores[row] == slow_scorer.score(obj, query)
+    sample = [obj.oid for obj in list(database.objects)[:: len(database) // 7]]
+    ranks = kernel.rank_of_many(sample, query)
+    for oid in sample:
+        assert ranks[oid] == slow_scorer.rank_of(database.get(oid), query)
+    assert fast_scorer.dual_points(query) == slow_scorer.dual_points(query)

@@ -1,0 +1,190 @@
+"""Machine-readable benchmark snapshots: ``BENCH_E9/E10/E11.json``.
+
+``make bench-json`` runs this script to refresh the three JSON files at
+the repository root, so the perf trajectory of the serving tier (E9:
+query executor, E10: why-not executor) and the compute tier (E11:
+columnar scoring kernel) is tracked across PRs in a diffable form.
+
+The numbers here are in-process measurements sized to finish in tens of
+seconds; the assertion-bearing experiments (HTTP batch floors, kernel
+speedup floors) live in the ``bench_e*.py`` pytest modules and
+``make bench-smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.bench.harness import time_call
+from repro.bench.workloads import QueryWorkload, generate_whynot_scenarios
+from repro.core.scoring import Scorer
+from repro.datasets.generators import SyntheticDatasetBuilder
+from repro.datasets.hotels import hong_kong_hotels
+from repro.service.api import YaskEngine
+from repro.service.executor import QueryExecutor, WhyNotExecutor, WhyNotQuestion
+from repro.whynot.preference import PreferenceAdjuster
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _snapshot(experiment: str, description: str, metrics: dict) -> dict:
+    return {
+        "experiment": experiment,
+        "description": description,
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "metrics": metrics,
+    }
+
+
+def bench_e9(engine: YaskEngine) -> dict:
+    """Query executor: cold vs. warm vs. in-process batch."""
+    executor = QueryExecutor(engine)
+    workload = QueryWorkload(engine.database, seed=41, k=5, keywords_per_query=(1, 2))
+    queries = list(workload.queries(8))
+
+    def cold():
+        executor.invalidate()
+        return [executor.execute(query) for query in queries]
+
+    _, cold_timing = time_call(cold, repeat=5)
+    executor.invalidate()
+    for query in queries:
+        executor.execute(query)
+    _, warm_timing = time_call(
+        lambda: [executor.execute(query) for query in queries], repeat=5
+    )
+
+    def batch():
+        executor.invalidate()
+        return executor.execute_batch(queries * 4)
+
+    _, batch_timing = time_call(batch, repeat=5)
+    executor.close()
+    return {
+        "queries": len(queries),
+        "cold_ms": cold_timing.best_ms,
+        "warm_ms": warm_timing.best_ms,
+        "warm_speedup": cold_timing.best / warm_timing.best,
+        "batch_of_32_ms": batch_timing.best_ms,
+    }
+
+
+def bench_e10(engine: YaskEngine) -> dict:
+    """Why-not executor: cold vs. warm answering."""
+    topk = QueryExecutor(engine)
+    executor = WhyNotExecutor(engine, topk)
+    scorer = engine.scorer
+    scenarios = generate_whynot_scenarios(
+        scorer, count=4, k=5, missing_count=1, rank_window=20, seed=23
+    )
+    questions = [
+        WhyNotQuestion(
+            query=scenario.query,
+            missing=tuple(obj.oid for obj in scenario.missing),
+            model="full",
+        )
+        for scenario in scenarios
+    ]
+
+    def cold():
+        executor.invalidate()
+        return [executor.execute(question) for question in questions]
+
+    _, cold_timing = time_call(cold, repeat=3)
+    executor.invalidate()
+    for question in questions:
+        executor.execute(question)
+    _, warm_timing = time_call(
+        lambda: [executor.execute(question) for question in questions], repeat=3
+    )
+    executor.close()
+    topk.close()
+    return {
+        "questions": len(questions),
+        "cold_ms": cold_timing.best_ms,
+        "warm_ms": warm_timing.best_ms,
+        "warm_speedup": cold_timing.best / warm_timing.best,
+    }
+
+
+def bench_e11() -> dict:
+    """Columnar kernel vs. object-at-a-time scoring at 10k objects."""
+    database = SyntheticDatasetBuilder(seed=2016).build(
+        10_000,
+        vocabulary_size=200,
+        doc_length=(3, 8),
+        spatial="clustered",
+        clusters=12,
+    )
+    fast = Scorer(database)
+    slow = Scorer(database, use_kernel=False)
+    queries = list(
+        QueryWorkload(database, seed=17, k=10, keywords_per_query=(2, 3)).queries(3)
+    )
+
+    _, fast_rank = time_call(
+        lambda: [fast.rank_all(query) for query in queries], repeat=5
+    )
+    _, slow_rank = time_call(
+        lambda: [slow.rank_all(query) for query in queries], repeat=5
+    )
+
+    scenarios = generate_whynot_scenarios(
+        fast, count=2, k=10, missing_count=2, rank_window=40, seed=99
+    )
+    fast_adjuster = PreferenceAdjuster(fast)
+    slow_adjuster = PreferenceAdjuster(slow)
+    _, fast_whynot = time_call(
+        lambda: [fast_adjuster.refine(s.query, s.missing) for s in scenarios],
+        repeat=3,
+    )
+    _, slow_whynot = time_call(
+        lambda: [slow_adjuster.refine(s.query, s.missing) for s in scenarios],
+        repeat=3,
+    )
+    return {
+        "objects": len(database),
+        "rank_all_object_ms": slow_rank.best_ms,
+        "rank_all_kernel_ms": fast_rank.best_ms,
+        "rank_all_speedup": slow_rank.best / fast_rank.best,
+        "rank_all_floor": 3.0,
+        "cold_whynot_object_ms": slow_whynot.best_ms,
+        "cold_whynot_kernel_ms": fast_whynot.best_ms,
+        "cold_whynot_speedup": slow_whynot.best / fast_whynot.best,
+        "cold_whynot_floor": 2.0,
+    }
+
+
+def main() -> int:
+    engine = YaskEngine(hong_kong_hotels())
+    snapshots = {
+        "BENCH_E9.json": _snapshot(
+            "E9",
+            "query-execution tier: cold/warm/batch (hotels dataset)",
+            bench_e9(engine),
+        ),
+        "BENCH_E10.json": _snapshot(
+            "E10",
+            "why-not execution tier: cold/warm (hotels dataset)",
+            bench_e10(engine),
+        ),
+        "BENCH_E11.json": _snapshot(
+            "E11",
+            "columnar scoring kernel vs object-at-a-time (10k synthetic)",
+            bench_e11(),
+        ),
+    }
+    for filename, snapshot in snapshots.items():
+        path = REPO_ROOT / filename
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ The public names here are the vocabulary of the whole library: build a
 """
 
 from repro.core.geometry import EPSILON, Point, Rect
+from repro.core.kernel import KernelStats, ScoringKernel
 from repro.core.objects import SpatialDatabase, SpatialObject
 from repro.core.query import (
     DEFAULT_WEIGHTS,
@@ -28,6 +29,8 @@ __all__ = [
     "EPSILON",
     "Point",
     "Rect",
+    "KernelStats",
+    "ScoringKernel",
     "SpatialDatabase",
     "SpatialObject",
     "DEFAULT_WEIGHTS",

@@ -1,0 +1,706 @@
+"""Columnar scoring kernel: the batch hot paths of Eqn. (1).
+
+Everything above this module — the brute-force oracle, best-first leaf
+scoring, the why-not modules' full-database rank scans — ultimately
+evaluates ``ST(o, q) = ws · (1 − SDist) + wt · TSim`` over many objects
+for one query.  The object-at-a-time path pays a Python method call, a
+``frozenset`` intersection and a dataclass allocation per object; this
+kernel stores the database once as parallel flat columns
+
+* ``array('d')`` x/y coordinates,
+* interned doc bitmasks (one Python ``int`` per object, bit positions
+  assigned by :class:`repro.text.vocabulary.Vocabulary`),
+* ``array('q')`` doc lengths and object ids,
+
+and evaluates whole-database passes in tight loops where Jaccard, Dice
+and Overlap become integer bit arithmetic:
+``|o.doc ∩ q.doc| = (mask & qmask).bit_count()``.
+
+Float parity contract
+---------------------
+
+The kernel is an *optimisation*, never a semantics change: every number
+it produces must be bit-for-bit identical to the set-based path in
+:class:`repro.core.scoring.Scorer` (which remains the semantics oracle).
+Each formula below therefore mirrors its set-path counterpart operation
+by operation — same operand order, same division, same ``min`` clamp —
+and the supported text models are matched by *exact type* so a subclass
+overriding ``similarity`` can never be silently mis-kerneled.
+``tests/properties/test_prop_kernel.py`` asserts the parity across
+models, tie orders and empty-doc edge cases.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from array import array
+from typing import TYPE_CHECKING, AbstractSet, Iterable, Mapping, Sequence
+
+from repro.core.objects import SpatialDatabase
+from repro.core.query import SpatialKeywordQuery
+from repro.text.similarity import (
+    DiceSimilarity,
+    JaccardSimilarity,
+    OverlapSimilarity,
+    TextSimilarityModel,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - scoring imports this module
+    from repro.core.scoring import DualPoint
+
+__all__ = ["KernelStats", "ScoringKernel", "KernelQuery", "DocContext", "DualView"]
+
+
+#: Exact-type dispatch: the kernel replicates each model's float formula
+#: operation for operation, so only these precise classes qualify — a
+#: subclass may override ``similarity`` and must fall back to sets.
+_MODEL_CODES: dict[type, str] = {
+    JaccardSimilarity: "jaccard",
+    DiceSimilarity: "dice",
+    OverlapSimilarity: "overlap",
+}
+
+
+class KernelStats:
+    """Work counters of one kernel (exposed through ``GET /api/stats``).
+
+    ``full_passes``/``score_passes`` count whole-database column scans;
+    ``point_scores`` counts single-row evaluations (best-first leaf
+    scoring); the remaining counters attribute batch entry points to
+    their consumers.
+
+    One kernel is shared by every executor worker thread, so updates go
+    through :meth:`bump` under a lock — like the executor-tier cache
+    counters served from the same stats endpoint.  The per-row hot
+    paths never bump individually: :class:`KernelQuery` counts locally
+    per search and flushes one bump at the end.
+    """
+
+    _FIELDS = (
+        "full_passes",
+        "score_passes",
+        "point_scores",
+        "count_better_calls",
+        "rank_of_many_calls",
+        "dual_views",
+        "doc_contexts",
+        "doc_rank_scans",
+    )
+
+    __slots__ = ("_lock",) + _FIELDS
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for field in self._FIELDS:
+            setattr(self, field, 0)
+
+    def bump(self, field: str, amount: int = 1) -> None:
+        """Atomically add ``amount`` to one counter."""
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def reset(self) -> None:
+        with self._lock:
+            for field in self._FIELDS:
+                setattr(self, field, 0)
+
+    def to_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {field: getattr(self, field) for field in self._FIELDS}
+
+
+class DocContext:
+    """One keyword set encoded against a kernel's vocabulary.
+
+    The keyword-adaption module scores thousands of candidate keyword
+    sets against the same database; encoding a candidate once and
+    computing ``TSim`` per object by bit arithmetic replaces a
+    ``frozenset`` intersection per (candidate, object) pair.
+    """
+
+    __slots__ = ("_kernel", "mask", "length", "_code")
+
+    def __init__(self, kernel: "ScoringKernel", doc: AbstractSet[str]) -> None:
+        self._kernel = kernel
+        self.mask, _unknown = kernel.vocabulary.encode_query(doc)
+        self.length = len(doc)
+        self._code = kernel.model_code
+
+    def tsim_row(self, row: int) -> float:
+        """``TSim(o_row, doc)`` — identical floats to the set model."""
+        kernel = self._kernel
+        shared = (kernel._masks[row] & self.mask).bit_count()
+        if shared == 0:
+            return 0.0
+        code = self._code
+        doc_len = kernel._lens[row]
+        if code == "jaccard":
+            return shared / (doc_len + self.length - shared)
+        if code == "dice":
+            return 2.0 * shared / (doc_len + self.length)
+        return shared / min(doc_len, self.length)
+
+    def tsim_oid(self, oid: int) -> float:
+        return self.tsim_row(self._kernel._row_of[oid])
+
+    def rank_scan(
+        self,
+        ws: float,
+        wt: float,
+        proximities: Sequence[float],
+        target_oid: int,
+    ) -> int:
+        """Exact rank of ``target_oid`` under this doc, by full scan.
+
+        Mirrors ``KeywordAdapter._rank_via_scan``: score every object as
+        ``ws · proximity + wt · TSim`` and count the (score desc, oid
+        asc) beaters of the target.
+        """
+        kernel = self._kernel
+        kernel.stats.bump("doc_rank_scans")
+        masks = kernel._masks
+        lens = kernel._lens
+        oids = kernel._oids
+        qmask = self.mask
+        qlen = self.length
+        code = self._code
+        target_row = kernel._row_of[target_oid]
+        theta = ws * proximities[target_row] + wt * self.tsim_row(target_row)
+        beaters = 0
+        if code == "jaccard":
+            for row in range(kernel._n):
+                if row == target_row:
+                    continue
+                shared = (masks[row] & qmask).bit_count()
+                tsim = (
+                    shared / (lens[row] + qlen - shared) if shared else 0.0
+                )
+                score = ws * proximities[row] + wt * tsim
+                if score > theta or (score == theta and oids[row] < target_oid):
+                    beaters += 1
+        elif code == "dice":
+            for row in range(kernel._n):
+                if row == target_row:
+                    continue
+                shared = (masks[row] & qmask).bit_count()
+                tsim = 2.0 * shared / (lens[row] + qlen) if shared else 0.0
+                score = ws * proximities[row] + wt * tsim
+                if score > theta or (score == theta and oids[row] < target_oid):
+                    beaters += 1
+        else:
+            for row in range(kernel._n):
+                if row == target_row:
+                    continue
+                shared = (masks[row] & qmask).bit_count()
+                tsim = shared / min(lens[row], qlen) if shared else 0.0
+                score = ws * proximities[row] + wt * tsim
+                if score > theta or (score == theta and oids[row] < target_oid):
+                    beaters += 1
+        return beaters + 1
+
+
+class KernelQuery:
+    """A query prepared for repeated single-row scoring.
+
+    Best-first search scores one leaf entry at a time; preparing the
+    query once (bitmask encoding, scalar unpacking) makes each
+    ``score_oid`` a handful of arithmetic operations with no set
+    machinery.  Scorings are counted in the (single-threaded) prepared
+    query itself — :meth:`flush_stats` publishes them to the shared
+    :class:`KernelStats` in one locked bump.
+    """
+
+    __slots__ = (
+        "_kernel", "_qx", "_qy", "_qmask", "_qlen", "_ws", "_wt", "_code",
+        "scored",
+    )
+
+    def __init__(self, kernel: "ScoringKernel", query: SpatialKeywordQuery) -> None:
+        self._kernel = kernel
+        self._qx = query.loc.x
+        self._qy = query.loc.y
+        self._qmask, _unknown = kernel.vocabulary.encode_query(query.doc)
+        self._qlen = len(query.doc)
+        self._ws = query.ws
+        self._wt = query.wt
+        self._code = kernel.model_code
+        self.scored = 0
+
+    def flush_stats(self) -> None:
+        """Publish the local scoring count to the kernel's counters."""
+        if self.scored:
+            self._kernel.stats.bump("point_scores", self.scored)
+            self.scored = 0
+
+    def score_row(self, row: int) -> float:
+        """``ST(o_row, q)`` — identical floats to ``Scorer.score``."""
+        kernel = self._kernel
+        self.scored += 1
+        sdist = (
+            math.hypot(kernel._xs[row] - self._qx, kernel._ys[row] - self._qy)
+            / kernel._normaliser
+        )
+        sdist = min(sdist, 1.0)
+        shared = (kernel._masks[row] & self._qmask).bit_count()
+        if shared == 0:
+            tsim = 0.0
+        elif self._code == "jaccard":
+            tsim = shared / (kernel._lens[row] + self._qlen - shared)
+        elif self._code == "dice":
+            tsim = 2.0 * shared / (kernel._lens[row] + self._qlen)
+        else:
+            tsim = shared / min(kernel._lens[row], self._qlen)
+        return self._ws * (1.0 - sdist) + self._wt * tsim
+
+    def score_oid(self, oid: int) -> float:
+        return self.score_row(self._kernel._row_of[oid])
+
+
+class DualView:
+    """Database-aligned dual coordinates ``(a, b)`` under one query.
+
+    The flat-array substrate of the preference-adjustment module: rank
+    evaluations at candidate weights (``score = w·a + (1−w)·b``) run
+    over two ``array('d')`` columns instead of a list of
+    :class:`~repro.core.scoring.DualPoint` objects.
+    """
+
+    __slots__ = ("oids", "a", "b", "_row_of")
+
+    def __init__(
+        self,
+        oids: Sequence[int],
+        a: Sequence[float],
+        b: Sequence[float],
+        row_of: Mapping[int, int],
+    ) -> None:
+        self.oids = oids
+        self.a = a
+        self.b = b
+        self._row_of = row_of
+
+    def row_of(self, oid: int) -> int:
+        return self._row_of[oid]
+
+    def dual_points(self) -> "list[DualPoint]":
+        """Materialise :class:`DualPoint` objects (database order)."""
+        from repro.core.scoring import DualPoint
+
+        return list(map(DualPoint._make, zip(self.oids, self.a, self.b)))
+
+    def crossing_candidates(self, target_oid: int) -> "list[DualPoint]":
+        """Objects whose score lines cross the target's inside ``(0, 1)``.
+
+        The columnar form of the two dual-space range queries of
+        Section 3.3 (see :class:`repro.index.dualspace.DualSpaceIndex`):
+        lines cross exactly when the dual points sit in opposite open
+        quadrants, ``(a_o − a_m)(b_o − b_m) < 0``, so one pass over the
+        flat columns returns the identical candidate set without
+        building a per-query R-tree over 2n floats first.
+        """
+        from repro.core.scoring import DualPoint
+
+        row = self._row_of[target_oid]
+        am = self.a[row]
+        bm = self.b[row]
+        oids = self.oids
+        return [
+            DualPoint(oid=oids[i], a=x, b=y)
+            for i, (x, y) in enumerate(zip(self.a, self.b))
+            if (x - am) * (y - bm) < 0.0
+        ]
+
+    def ranks_at(
+        self, ws: float, wt: float, target_oids: Sequence[int]
+    ) -> dict[int, int]:
+        """Exact float-semantics ranks of the targets at weights (ws, wt).
+
+        Mirrors ``PreferenceAdjuster._ranks_at_weights``: scores are
+        ``ws·a + wt·b`` with the (score desc, oid asc) tie-break.
+        """
+        a = self.a
+        b = self.b
+        oids = self.oids
+        scores = [ws * x + wt * y for x, y in zip(a, b)]
+        out: dict[int, int] = {}
+        for target_oid in target_oids:
+            target_row = self._row_of[target_oid]
+            target_score = scores[target_row]
+            beaten = 0
+            for row, score in enumerate(scores):
+                if score > target_score:
+                    beaten += 1
+                elif (
+                    score == target_score
+                    and row != target_row
+                    and oids[row] < target_oid
+                ):
+                    beaten += 1
+            out[target_oid] = beaten + 1
+        return out
+
+    def strictly_above_at_zero(self, target_oid: int) -> int:
+        """Objects strictly outranking the target as ``w → 0+``.
+
+        Mirrors ``PreferenceAdjuster._strictly_above_at_zero``: order by
+        ``b`` (TSim) with ``a`` as the tie-break.  The target's own row
+        never satisfies either strict inequality, so no id check is
+        needed.
+        """
+        row = self._row_of[target_oid]
+        am = self.a[row]
+        bm = self.b[row]
+        above = 0
+        for x, y in zip(self.a, self.b):
+            if y > bm or (y == bm and x > am):
+                above += 1
+        return above
+
+    def permanent_ties_smaller(self, target_oid: int) -> int:
+        """Objects with an identical score line and a smaller object id."""
+        row = self._row_of[target_oid]
+        am = self.a[row]
+        bm = self.b[row]
+        a = self.a
+        b = self.b
+        oids = self.oids
+        return sum(
+            1
+            for i in range(len(oids))
+            if a[i] == am and b[i] == bm and oids[i] < target_oid
+        )
+
+
+class ScoringKernel:
+    """Columnar batch evaluator of Eqn. (1) over one database and model."""
+
+    __slots__ = (
+        "_database",
+        "_model",
+        "model_code",
+        "_n",
+        "_xs",
+        "_ys",
+        "_masks",
+        "_lens",
+        "_oids",
+        "_row_of",
+        "_oids_ascending",
+        "_normaliser",
+        "stats",
+    )
+
+    def __init__(
+        self, database: SpatialDatabase, text_model: TextSimilarityModel
+    ) -> None:
+        code = _MODEL_CODES.get(type(text_model))
+        if code is None:
+            raise ValueError(
+                f"{type(text_model).__name__} has no columnar kernel; "
+                "use ScoringKernel.maybe_build for graceful fallback"
+            )
+        self._database = database
+        self._model = text_model
+        self.model_code = code
+        objects = database.objects
+        self._n = len(objects)
+        self._xs = array("d", (obj.loc.x for obj in objects))
+        self._ys = array("d", (obj.loc.y for obj in objects))
+        self._masks: tuple[int, ...] = database.doc_masks
+        self._lens = array("q", (len(obj.doc) for obj in objects))
+        self._oids = array("q", (obj.oid for obj in objects))
+        self._row_of: dict[int, int] = {
+            obj.oid: row for row, obj in enumerate(objects)
+        }
+        # With ascending oids (the common builder layout) rank ordering
+        # can ride a stable reverse sort keyed by score alone.
+        self._oids_ascending = all(
+            self._oids[row] < self._oids[row + 1] for row in range(self._n - 1)
+        )
+        self._normaliser = database.distance_normaliser
+        self.stats = KernelStats()
+
+    @staticmethod
+    def supports(text_model: TextSimilarityModel) -> bool:
+        """Whether the model has an exact columnar formula (by exact type)."""
+        return type(text_model) in _MODEL_CODES
+
+    @classmethod
+    def maybe_build(
+        cls, database: SpatialDatabase, text_model: TextSimilarityModel
+    ) -> "ScoringKernel | None":
+        """Build a kernel, or None when the model needs the set path."""
+        if not cls.supports(text_model):
+            return None
+        return cls(database, text_model)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def database(self) -> SpatialDatabase:
+        return self._database
+
+    @property
+    def vocabulary(self):
+        return self._database.vocabulary_index
+
+    @property
+    def oids(self) -> array:
+        """Object ids in database (row) order."""
+        return self._oids
+
+    def row_of(self, oid: int) -> int:
+        """Row index of an object id; raises ``KeyError`` when unknown."""
+        return self._row_of[oid]
+
+    # ------------------------------------------------------------------
+    # Whole-database passes
+    # ------------------------------------------------------------------
+    def _query_scalars(
+        self, query: SpatialKeywordQuery
+    ) -> tuple[float, float, int, int, float, float]:
+        qmask, _unknown = self.vocabulary.encode_query(query.doc)
+        return (
+            query.loc.x,
+            query.loc.y,
+            qmask,
+            len(query.doc),
+            query.ws,
+            query.wt,
+        )
+
+    def components_all(
+        self, query: SpatialKeywordQuery
+    ) -> tuple[list[float], list[float], list[float]]:
+        """``(sdists, tsims, scores)`` columns in database order.
+
+        Every float matches ``Scorer.breakdown`` exactly: same hypot,
+        same division by the dataspace diagonal, same clamp at 1, same
+        convex combination.  Outputs are plain lists — readers index
+        them heavily and lists hand back the already-boxed floats.
+        """
+        self.stats.bump("full_passes")
+        qx, qy, qmask, qlen, ws, wt = self._query_scalars(query)
+        norm = self._normaliser
+        hypot = math.hypot
+        sdists: list[float] = []
+        tsims: list[float] = []
+        scores: list[float] = []
+        push_sdist = sdists.append
+        push_tsim = tsims.append
+        push_score = scores.append
+        code = self.model_code
+        if code == "jaccard":
+            for x, y, m, length in zip(self._xs, self._ys, self._masks, self._lens):
+                d = hypot(x - qx, y - qy) / norm
+                if d > 1.0:
+                    d = 1.0
+                s = (m & qmask).bit_count()
+                t = s / (length + qlen - s) if s else 0.0
+                push_sdist(d)
+                push_tsim(t)
+                push_score(ws * (1.0 - d) + wt * t)
+        elif code == "dice":
+            for x, y, m, length in zip(self._xs, self._ys, self._masks, self._lens):
+                d = hypot(x - qx, y - qy) / norm
+                if d > 1.0:
+                    d = 1.0
+                s = (m & qmask).bit_count()
+                t = 2.0 * s / (length + qlen) if s else 0.0
+                push_sdist(d)
+                push_tsim(t)
+                push_score(ws * (1.0 - d) + wt * t)
+        else:
+            for x, y, m, length in zip(self._xs, self._ys, self._masks, self._lens):
+                d = hypot(x - qx, y - qy) / norm
+                if d > 1.0:
+                    d = 1.0
+                s = (m & qmask).bit_count()
+                t = s / min(length, qlen) if s else 0.0
+                push_sdist(d)
+                push_tsim(t)
+                push_score(ws * (1.0 - d) + wt * t)
+        return sdists, tsims, scores
+
+    def _score_list(self, query: SpatialKeywordQuery) -> list[float]:
+        """The score column alone (the rank primitives' shared pass)."""
+        self.stats.bump("score_passes")
+        qx, qy, qmask, qlen, ws, wt = self._query_scalars(query)
+        norm = self._normaliser
+        hypot = math.hypot
+        scores: list[float] = []
+        push_score = scores.append
+        code = self.model_code
+        if code == "jaccard":
+            for x, y, m, length in zip(self._xs, self._ys, self._masks, self._lens):
+                d = hypot(x - qx, y - qy) / norm
+                if d > 1.0:
+                    d = 1.0
+                s = (m & qmask).bit_count()
+                t = s / (length + qlen - s) if s else 0.0
+                push_score(ws * (1.0 - d) + wt * t)
+        elif code == "dice":
+            for x, y, m, length in zip(self._xs, self._ys, self._masks, self._lens):
+                d = hypot(x - qx, y - qy) / norm
+                if d > 1.0:
+                    d = 1.0
+                s = (m & qmask).bit_count()
+                t = 2.0 * s / (length + qlen) if s else 0.0
+                push_score(ws * (1.0 - d) + wt * t)
+        else:
+            for x, y, m, length in zip(self._xs, self._ys, self._masks, self._lens):
+                d = hypot(x - qx, y - qy) / norm
+                if d > 1.0:
+                    d = 1.0
+                s = (m & qmask).bit_count()
+                t = s / min(length, qlen) if s else 0.0
+                push_score(ws * (1.0 - d) + wt * t)
+        return scores
+
+    def score_all(self, query: SpatialKeywordQuery) -> array:
+        """``ST(o, q)`` for every object, in database order."""
+        return array("d", self._score_list(query))
+
+    def order_rows(self, scores: Sequence[float]) -> list[int]:
+        """Rows in (score desc, oid asc) rank order for a score column.
+
+        With ascending oids a stable reverse sort keyed by score alone
+        realises the tie-break for free (equal scores keep row — hence
+        oid — order); otherwise a decorated sort spells it out.
+        """
+        if self._oids_ascending:
+            return sorted(
+                range(self._n), key=scores.__getitem__, reverse=True
+            )
+        oids = self._oids
+        decorated = sorted(
+            (-scores[row], oids[row], row) for row in range(self._n)
+        )
+        return [row for _, _, row in decorated]
+
+    def proximities(self, query: SpatialKeywordQuery) -> list[float]:
+        """``1 − SDist(o, q)`` per object — the keyword module's cache."""
+        qx = query.loc.x
+        qy = query.loc.y
+        norm = self._normaliser
+        hypot = math.hypot
+        return [
+            1.0 - min(hypot(x - qx, y - qy) / norm, 1.0)
+            for x, y in zip(self._xs, self._ys)
+        ]
+
+    # ------------------------------------------------------------------
+    # Dual-space view (preference adjustment substrate)
+    # ------------------------------------------------------------------
+    def dual_view(self, query: SpatialKeywordQuery) -> DualView:
+        """Flat ``(a, b) = (1 − SDist, TSim)`` columns under ``query``.
+
+        A dedicated pass: the score column would be dead weight here (the
+        sweep evaluates ``w·a + (1−w)·b`` at *candidate* weights), so
+        this neither runs nor gets counted as a full component pass.
+        """
+        self.stats.bump("dual_views")
+        qx, qy, qmask, qlen, ws, wt = self._query_scalars(query)
+        del ws, wt  # dual coordinates are weight-free
+        norm = self._normaliser
+        hypot = math.hypot
+        a: list[float] = []
+        b: list[float] = []
+        push_a = a.append
+        push_b = b.append
+        code = self.model_code
+        if code == "jaccard":
+            for x, y, m, length in zip(self._xs, self._ys, self._masks, self._lens):
+                d = hypot(x - qx, y - qy) / norm
+                if d > 1.0:
+                    d = 1.0
+                s = (m & qmask).bit_count()
+                push_a(1.0 - d)
+                push_b(s / (length + qlen - s) if s else 0.0)
+        elif code == "dice":
+            for x, y, m, length in zip(self._xs, self._ys, self._masks, self._lens):
+                d = hypot(x - qx, y - qy) / norm
+                if d > 1.0:
+                    d = 1.0
+                s = (m & qmask).bit_count()
+                push_a(1.0 - d)
+                push_b(2.0 * s / (length + qlen) if s else 0.0)
+        else:
+            for x, y, m, length in zip(self._xs, self._ys, self._masks, self._lens):
+                d = hypot(x - qx, y - qy) / norm
+                if d > 1.0:
+                    d = 1.0
+                s = (m & qmask).bit_count()
+                push_a(1.0 - d)
+                push_b(s / min(length, qlen) if s else 0.0)
+        return DualView(self._oids, a, b, self._row_of)
+
+    def dual_points_all(self, query: SpatialKeywordQuery) -> "list[DualPoint]":
+        """Every object's :class:`DualPoint` — matches ``Scorer.dual_points``."""
+        return self.dual_view(query).dual_points()
+
+    # ------------------------------------------------------------------
+    # Rank primitives
+    # ------------------------------------------------------------------
+    def count_better(
+        self, score: float, oid: int, query: SpatialKeywordQuery
+    ) -> int:
+        """Objects beating ``(score, oid)`` under (score desc, oid asc).
+
+        ``oid``'s own row is excluded, so passing an object's true score
+        yields ``rank − 1`` exactly as ``Scorer.rank_of`` counts it.
+        """
+        self.stats.bump("count_better_calls")
+        scores = self._score_list(query)
+        oids = self._oids
+        target_row = self._row_of.get(oid, -1)
+        better = 0
+        for row, other_score in enumerate(scores):
+            if row == target_row:
+                continue
+            if other_score > score or (
+                other_score == score and oids[row] < oid
+            ):
+                better += 1
+        return better
+
+    def rank_of_many(
+        self, target_oids: Iterable[int], query: SpatialKeywordQuery
+    ) -> dict[int, int]:
+        """Exact rank of each target oid in one shared column pass."""
+        self.stats.bump("rank_of_many_calls")
+        scores = self._score_list(query)
+        oids = self._oids
+        out: dict[int, int] = {}
+        for target_oid in target_oids:
+            target_row = self._row_of[target_oid]
+            target_score = scores[target_row]
+            better = 0
+            for row, other_score in enumerate(scores):
+                if other_score > target_score:
+                    better += 1
+                elif (
+                    other_score == target_score
+                    and row != target_row
+                    and oids[row] < target_oid
+                ):
+                    better += 1
+            out[target_oid] = better + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Prepared contexts
+    # ------------------------------------------------------------------
+    def prepare(self, query: SpatialKeywordQuery) -> KernelQuery:
+        """Prepare a query for repeated single-object scoring."""
+        return KernelQuery(self, query)
+
+    def doc_context(self, doc: AbstractSet[str]) -> DocContext:
+        """Encode a (candidate) keyword set for batch TSim evaluation."""
+        self.stats.bump("doc_contexts")
+        return DocContext(self, doc)

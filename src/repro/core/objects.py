@@ -18,6 +18,7 @@ from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.geometry import Point, Rect
 from repro.text.tokenize import document_frequencies
+from repro.text.vocabulary import Vocabulary
 
 __all__ = ["SpatialObject", "SpatialDatabase"]
 
@@ -106,6 +107,12 @@ class SpatialDatabase:
         # A degenerate (single-point) dataspace would make every distance
         # 0/0; treat it as the unit of measure instead so SDist stays 0.
         self._normaliser = diagonal if diagonal > 0.0 else 1.0
+        # Interned keyword table and per-object doc bitmasks (the
+        # columnar substrate of repro.core.kernel), built lazily on
+        # first use so text models without a kernel never pay for them
+        # — but at most once per database, shared by every kernel.
+        self._vocabulary_index: Vocabulary | None = None
+        self._doc_masks: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------
     # Collection protocol
@@ -192,6 +199,31 @@ class SpatialDatabase:
         for obj in self._objects:
             vocab.update(obj.doc)
         return frozenset(vocab)
+
+    def _ensure_interned(self) -> None:
+        """Build the vocabulary table and doc masks on first demand.
+
+        Idempotent and safe under a benign race: concurrent builders
+        derive identical immutable values from the immutable objects,
+        and each attribute assignment is atomic.
+        """
+        if self._doc_masks is None:
+            index = Vocabulary(obj.doc for obj in self._objects)
+            encode = index.encode
+            self._vocabulary_index = index
+            self._doc_masks = tuple(encode(obj.doc) for obj in self._objects)
+
+    @property
+    def vocabulary_index(self) -> Vocabulary:
+        """The interned keyword → bit-position table of this corpus."""
+        self._ensure_interned()
+        return self._vocabulary_index
+
+    @property
+    def doc_masks(self) -> tuple[int, ...]:
+        """Per-object doc bitmasks, aligned with :attr:`objects`."""
+        self._ensure_interned()
+        return self._doc_masks
 
     def keyword_document_frequencies(self) -> dict[str, int]:
         """Keyword → number of objects containing it."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, NamedTuple, Sequence
 
 from repro.core.geometry import EPSILON, Point
 from repro.core.objects import SpatialObject
@@ -136,14 +136,18 @@ class SpatialKeywordQuery:
         )
 
 
-@dataclass(frozen=True, slots=True)
-class RankedObject:
+class RankedObject(NamedTuple):
     """One result entry: an object with its score decomposition and rank.
 
     ``rank`` is 1-based under the deterministic total order
     (score descending, object id ascending) used throughout the library;
     the paper's Definition 1 permits arbitrary tie-breaks, and fixing one
     makes ranks — and therefore why-not answers — reproducible.
+
+    A ``NamedTuple`` rather than a dataclass: full-database rankings
+    materialise one entry per object, and the scoring kernel builds them
+    at C speed through :meth:`RankedObject._make` (a frozen dataclass
+    pays five ``object.__setattr__`` calls per instance on that path).
     """
 
     obj: SpatialObject

@@ -17,8 +17,11 @@ similarity model and exposes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Iterable, Sequence
+from heapq import nsmallest
+from operator import neg
+from typing import AbstractSet, Iterable, NamedTuple, Sequence
 
+from repro.core.kernel import ScoringKernel
 from repro.core.objects import SpatialDatabase, SpatialObject
 from repro.core.query import QueryResult, RankedObject, SpatialKeywordQuery, Weights
 from repro.text.similarity import JACCARD, TextSimilarityModel
@@ -35,14 +38,16 @@ class ScoreBreakdown:
     tsim: float
 
 
-@dataclass(frozen=True, slots=True)
-class DualPoint:
+class DualPoint(NamedTuple):
     """Dual-space coordinates of an object under a fixed (loc, doc).
 
     ``a = 1 − SDist(o, q)`` (spatial proximity) and ``b = TSim(o, q)``.
     Under weights ``⟨w, 1−w⟩`` the object's score is the line
     ``f(w) = w·a + (1−w)·b``; two objects tie exactly where their lines
     cross (DESIGN.md §3.3).
+
+    A ``NamedTuple`` so the kernel's dual view can materialise all n
+    points per query at C speed via :meth:`DualPoint._make`.
     """
 
     oid: int
@@ -72,16 +77,32 @@ class DualPoint:
 
 
 class Scorer:
-    """Evaluator of Eqn. (1) over a fixed database and text model."""
+    """Evaluator of Eqn. (1) over a fixed database and text model.
+
+    For the set models with an exact columnar formula (Jaccard, Dice,
+    Overlap) the scorer carries a :class:`~repro.core.kernel.ScoringKernel`
+    and routes every full-scan utility (:meth:`rank_all`, :meth:`top_k`,
+    :meth:`rank_of`, :meth:`worst_rank`, :meth:`dual_points`) through its
+    flat-column batch passes.  The object-at-a-time methods remain the
+    semantics oracle: both paths produce bit-identical floats and the
+    same (score desc, oid asc) tie order, which
+    ``tests/properties/test_prop_kernel.py`` asserts.
+    """
 
     def __init__(
         self,
         database: SpatialDatabase,
         *,
         text_model: TextSimilarityModel = JACCARD,
+        use_kernel: bool = True,
     ) -> None:
         self._database = database
         self._text_model = text_model
+        self._kernel = (
+            ScoringKernel.maybe_build(database, text_model)
+            if use_kernel
+            else None
+        )
 
     @property
     def database(self) -> SpatialDatabase:
@@ -90,6 +111,22 @@ class Scorer:
     @property
     def text_model(self) -> TextSimilarityModel:
         return self._text_model
+
+    @property
+    def kernel(self) -> ScoringKernel | None:
+        """The columnar batch kernel, or None when the model needs sets."""
+        return self._kernel
+
+    def _kernel_row_for(self, obj: SpatialObject) -> int | None:
+        """Row of ``obj`` when the kernel may stand in for scoring it.
+
+        The set path scores the *passed* object, so the kernel column is
+        only equivalent when the object is identical to the database's
+        copy (not merely sharing an oid).
+        """
+        if self._kernel is None or obj not in self._database:
+            return None
+        return self._kernel.row_of(obj.oid)
 
     # ------------------------------------------------------------------
     # Component scores
@@ -114,8 +151,15 @@ class Scorer:
         return ScoreBreakdown(score=score, sdist=sdist, tsim=tsim)
 
     def score(self, obj: SpatialObject, query: SpatialKeywordQuery) -> float:
-        """``ST(o, q)`` — Eqn. (1)."""
-        return self.breakdown(obj, query).score
+        """``ST(o, q)`` — Eqn. (1).
+
+        Computed directly — no :class:`ScoreBreakdown` allocation on
+        this hot path; callers needing the components use
+        :meth:`breakdown`.
+        """
+        sdist = self._database.normalized_distance(obj.loc, query.loc)
+        tsim = self._text_model.similarity(obj.doc, query.doc)
+        return query.ws * (1.0 - sdist) + query.wt * tsim
 
     # ------------------------------------------------------------------
     # Dual-space view (preference adjustment substrate)
@@ -134,6 +178,8 @@ class Scorer:
 
     def dual_points(self, query: SpatialKeywordQuery) -> list[DualPoint]:
         """Dual coordinates of every database object under ``query``."""
+        if self._kernel is not None:
+            return self._kernel.dual_points_all(query)
         return [self.dual_point(obj, query) for obj in self._database]
 
     # ------------------------------------------------------------------
@@ -144,6 +190,24 @@ class Scorer:
 
         Deterministic total order: score descending, then oid ascending.
         """
+        if self._kernel is not None:
+            sdists, tsims, scores = self._kernel.components_all(query)
+            order = self._kernel.order_rows(scores)
+            objects = self._database.objects
+            # Entry materialisation stays at C speed: column gathers via
+            # map(__getitem__) feeding RankedObject._make through zip.
+            return list(
+                map(
+                    RankedObject._make,
+                    zip(
+                        map(objects.__getitem__, order),
+                        map(scores.__getitem__, order),
+                        map(sdists.__getitem__, order),
+                        map(tsims.__getitem__, order),
+                        range(1, len(order) + 1),
+                    ),
+                )
+            )
         scored: list[tuple[float, SpatialObject, ScoreBreakdown]] = []
         for obj in self._database:
             breakdown = self.breakdown(obj, query)
@@ -158,7 +222,28 @@ class Scorer:
         ]
 
     def top_k(self, query: SpatialKeywordQuery) -> QueryResult:
-        """Brute-force top-k: the reference result per Definition 1."""
+        """Brute-force top-k: the reference result per Definition 1.
+
+        The kernel path selects the k best rows with a bounded heap
+        instead of materialising all n :class:`RankedObject` entries —
+        same (score desc, oid asc) prefix as :meth:`rank_all`.
+        """
+        if self._kernel is not None:
+            sdists, tsims, scores = self._kernel.components_all(query)
+            oids = self._kernel.oids
+            objects = self._database.objects
+            best = nsmallest(
+                query.k,
+                zip(map(neg, scores), oids, range(len(objects))),
+            )
+            entries = [
+                RankedObject(
+                    obj=objects[row], score=scores[row], sdist=sdists[row],
+                    tsim=tsims[row], rank=position,
+                )
+                for position, (_, _, row) in enumerate(best, start=1)
+            ]
+            return QueryResult(query, entries)
         ranking = self.rank_all(query)
         return QueryResult(query, ranking[: query.k])
 
@@ -171,6 +256,8 @@ class Scorer:
         total order in a single scan — O(n) instead of O(n log n).
         """
         target_score = self.score(obj, query)
+        if self._kernel_row_for(obj) is not None:
+            return self._kernel.count_better(target_score, obj.oid, query) + 1
         better = 0
         for other in self._database:
             if other.oid == obj.oid:
@@ -196,21 +283,30 @@ class Scorer:
         targets = list(objects)
         if not targets:
             raise ValueError("worst_rank requires at least one object")
+        if self._kernel is not None and all(
+            target in self._database for target in targets
+        ):
+            ranks = self._kernel.rank_of_many(
+                [target.oid for target in targets], query
+            )
+            return max(ranks.values())
         # Single scan: for each database object count how many targets it
         # beats; equivalently compute each target's rank and take the max.
-        scores = {t.oid: self.score(t, query) for t in targets}
-        better_counts = {t.oid: 0 for t in targets}
+        # Targets live in a flat (oid, score) list with a parallel count
+        # list so the inner loop carries no dict lookups.
+        target_data = [(t.oid, self.score(t, query)) for t in targets]
+        better_counts = [0] * len(target_data)
         for other in self._database:
+            other_oid = other.oid
             other_score = self.score(other, query)
-            for target in targets:
-                if other.oid == target.oid:
+            for position, (target_oid, target_score) in enumerate(target_data):
+                if other_oid == target_oid:
                     continue
-                target_score = scores[target.oid]
                 if other_score > target_score or (
-                    other_score == target_score and other.oid < target.oid
+                    other_score == target_score and other_oid < target_oid
                 ):
-                    better_counts[target.oid] += 1
-        return 1 + max(better_counts.values())
+                    better_counts[position] += 1
+        return 1 + max(better_counts)
 
     def result_from_objects(
         self, query: SpatialKeywordQuery, objects: Sequence[SpatialObject]

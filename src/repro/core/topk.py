@@ -121,6 +121,16 @@ class BestFirstTopK:
         if root.rect is None:
             return self._scorer.result_from_objects(query, selected)
 
+        # Leaf entries are scored one object at a time; a prepared
+        # kernel query turns each into bitmask arithmetic (identical
+        # floats, see repro.core.kernel) instead of frozenset ops.  The
+        # kernel columns describe the scorer's database, so an index
+        # entry is only scored columnar when it *is* that database's
+        # object (identity, not just a shared oid).
+        kernel = self._scorer.kernel
+        prepared = kernel.prepare(query) if kernel is not None else None
+        database = self._scorer.database
+
         counter = 0
         heap: list[tuple[float, int, int, object]] = []
         heappush(
@@ -139,7 +149,11 @@ class BestFirstTopK:
             if node.is_leaf:
                 for entry in node.entries:
                     obj = entry.item
-                    score = self._scorer.score(obj, query)
+                    score = (
+                        prepared.score_oid(obj.oid)
+                        if prepared is not None and obj in database
+                        else self._scorer.score(obj, query)
+                    )
                     self.stats.objects_scored += 1
                     heappush(heap, (-score, 1, obj.oid, obj))
                     self.stats.heap_pushes += 1
@@ -150,4 +164,6 @@ class BestFirstTopK:
                     heappush(heap, (-bound, 0, counter, child))
                     self.stats.heap_pushes += 1
 
+        if prepared is not None:
+            prepared.flush_stats()
         return self._scorer.result_from_objects(query, selected)

@@ -136,6 +136,16 @@ class YaskEngine:
         return self._scorer
 
     @property
+    def kernel(self):
+        """The scorer's columnar kernel (None for non-set text models).
+
+        Its :class:`~repro.core.kernel.KernelStats` counters surface
+        through ``GET /api/stats`` so operators can see how much work
+        the compute tier under the result caches actually performs.
+        """
+        return self._scorer.kernel
+
+    @property
     def default_weights(self) -> Weights:
         return self._default_weights
 

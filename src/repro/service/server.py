@@ -172,12 +172,22 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
                 ]
                 self._send_json(200, {"session_id": session_id, "entries": entries})
             elif parsed.path == "/api/stats":
+                kernel = self.server.engine.kernel
                 self._send_json(
                     200,
                     {
                         "cache": self.server.executor.stats().to_dict(),
                         "whynot_cache": (
                             self.server.whynot_executor.stats().to_dict()
+                        ),
+                        # Columnar-kernel hit counters (None when the
+                        # text model has no kernel): how many batch
+                        # passes / point scorings the compute tier under
+                        # the caches actually ran.
+                        "kernel": (
+                            kernel.stats.to_dict()
+                            if kernel is not None
+                            else None
                         ),
                     },
                 )

@@ -23,6 +23,7 @@ from repro.text.tokenize import (
     tokenize,
     vocabulary,
 )
+from repro.text.vocabulary import Vocabulary
 
 __all__ = [
     "JACCARD",
@@ -39,4 +40,5 @@ __all__ = [
     "normalize_keyword",
     "tokenize",
     "vocabulary",
+    "Vocabulary",
 ]

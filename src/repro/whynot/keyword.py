@@ -195,11 +195,10 @@ class KeywordAdapter:
         penalty = KeywordPenalty(query, missing, initial_worst, lam)
         stats = AdaptionStats()
 
-        # Spatial proximities are shared by every candidate: cache them.
-        proximity = {
-            obj.oid: 1.0 - self._scorer.sdist(obj, query)
-            for obj in self._scorer.database
-        }
+        # Spatial proximities are shared by every candidate; the ranker
+        # caches them once and scores candidates through the columnar
+        # kernel (bitmask TSim) when the scorer carries one.
+        ranker = _CandidateRanker(self._scorer, query)
 
         best_doc: frozenset[str] | None = None
         best_worst: int | None = None
@@ -212,7 +211,7 @@ class KeywordAdapter:
                 penalty, edit_count, best_penalty, query.k
             )
             worst = self._worst_rank_capped(
-                query, candidate, missing, proximity, rank_cap, stats
+                query, candidate, missing, ranker, rank_cap, stats
             )
             if worst is None:
                 stats.candidates_pruned += 1
@@ -338,64 +337,32 @@ class KeywordAdapter:
         query: SpatialKeywordQuery,
         candidate: frozenset[str],
         missing: Sequence[SpatialObject],
-        proximity: dict[int, float],
+        ranker: "_CandidateRanker",
         rank_cap: int | None,
         stats: AdaptionStats,
     ) -> int | None:
         """``R(M, q')`` for the candidate doc, or None when provably ≥ cap."""
+        ranker.set_candidate(candidate)
         worst = 0
         for obj in missing:
             if self._use_bounds:
                 rank = self._rank_via_kcrtree(
-                    query, candidate, obj, proximity, rank_cap, stats
+                    query, candidate, obj, ranker, rank_cap, stats
                 )
             else:
-                rank = self._rank_via_scan(
-                    query, candidate, obj, proximity, stats
-                )
+                rank = ranker.rank_by_scan(obj, stats)
             if rank is None:
                 return None
             if rank > worst:
                 worst = rank
         return worst
 
-    def _candidate_score(
-        self,
-        query: SpatialKeywordQuery,
-        candidate: AbstractSet[str],
-        obj: SpatialObject,
-        proximity: dict[int, float],
-    ) -> float:
-        """``ST(o, q')`` with the candidate keyword set (cached proximity)."""
-        tsim = self._scorer.text_model.similarity(obj.doc, candidate)
-        return query.ws * proximity[obj.oid] + query.wt * tsim
-
-    def _rank_via_scan(
-        self,
-        query: SpatialKeywordQuery,
-        candidate: frozenset[str],
-        missing_obj: SpatialObject,
-        proximity: dict[int, float],
-        stats: AdaptionStats,
-    ) -> int:
-        """Exact rank by scoring the whole database (baseline path)."""
-        theta = self._candidate_score(query, candidate, missing_obj, proximity)
-        beaters = 0
-        for other in self._scorer.database:
-            if other.oid == missing_obj.oid:
-                continue
-            stats.objects_scored += 1
-            score = self._candidate_score(query, candidate, other, proximity)
-            if score > theta or (score == theta and other.oid < missing_obj.oid):
-                beaters += 1
-        return beaters + 1
-
     def _rank_via_kcrtree(
         self,
         query: SpatialKeywordQuery,
         candidate: frozenset[str],
         missing_obj: SpatialObject,
-        proximity: dict[int, float],
+        ranker: "_CandidateRanker",
         rank_cap: int | None,
         stats: AdaptionStats,
     ) -> int | None:
@@ -406,7 +373,7 @@ class KeywordAdapter:
         a monotone lower bound of the final count throughout, so the cap
         check is sound at every step.
         """
-        theta = self._candidate_score(query, candidate, missing_obj, proximity)
+        theta = ranker.score(missing_obj)
         beaters = 0
         stack: list[RTreeNode[SpatialObject]] = [self._index.root]
         while stack:
@@ -428,9 +395,7 @@ class KeywordAdapter:
                     if other.oid == missing_obj.oid:
                         continue
                     stats.objects_scored += 1
-                    score = self._candidate_score(
-                        query, candidate, other, proximity
-                    )
+                    score = ranker.score(other)
                     if score > theta or (
                         score == theta and other.oid < missing_obj.oid
                     ):
@@ -515,3 +480,81 @@ class KeywordAdapter:
             if ws * prox_min + wt * guaranteed_tsim > theta + _BOUND_MARGIN:
                 lower = full
         return (min(lower, upper), upper)
+
+
+class _CandidateRanker:
+    """Candidate-set scoring with shared spatial proximities.
+
+    Every candidate keyword set shares the query's spatial term, so the
+    proximities are cached once per refine run.  With a columnar kernel
+    on the scorer, proximities live in a row-indexed ``array('d')`` and
+    each candidate is encoded to a bitmask :class:`DocContext` — ``TSim``
+    per object is then bit arithmetic.  Without one (non-set models),
+    the original oid-keyed dict and ``similarity`` calls apply.  Both
+    paths produce identical floats.
+    """
+
+    __slots__ = (
+        "_scorer",
+        "_ws",
+        "_wt",
+        "_kernel",
+        "_prox",
+        "_proximity",
+        "_candidate",
+        "_ctx",
+    )
+
+    def __init__(self, scorer: Scorer, query: SpatialKeywordQuery) -> None:
+        self._scorer = scorer
+        self._ws = query.ws
+        self._wt = query.wt
+        self._kernel = scorer.kernel
+        if self._kernel is not None:
+            self._prox = self._kernel.proximities(query)
+            self._proximity: dict[int, float] | None = None
+        else:
+            self._prox = None
+            self._proximity = {
+                obj.oid: 1.0 - scorer.sdist(obj, query)
+                for obj in scorer.database
+            }
+        self._candidate: AbstractSet[str] | None = None
+        self._ctx = None
+
+    def set_candidate(self, candidate: AbstractSet[str]) -> None:
+        """Bind the candidate keyword set subsequent scores are under."""
+        self._candidate = candidate
+        if self._kernel is not None:
+            self._ctx = self._kernel.doc_context(candidate)
+
+    def score(self, obj: SpatialObject) -> float:
+        """``ST(o, q')`` under the bound candidate keyword set."""
+        if self._ctx is not None:
+            row = self._kernel.row_of(obj.oid)
+            return (
+                self._ws * self._prox[row]
+                + self._wt * self._ctx.tsim_row(row)
+            )
+        tsim = self._scorer.text_model.similarity(obj.doc, self._candidate)
+        return self._ws * self._proximity[obj.oid] + self._wt * tsim
+
+    def rank_by_scan(
+        self, missing_obj: SpatialObject, stats: AdaptionStats
+    ) -> int:
+        """Exact rank of ``missing_obj`` by scoring the whole database."""
+        stats.objects_scored += len(self._scorer.database) - 1
+        if self._ctx is not None:
+            return self._ctx.rank_scan(
+                self._ws, self._wt, self._prox, missing_obj.oid
+            )
+        theta = self.score(missing_obj)
+        missing_oid = missing_obj.oid
+        beaters = 0
+        for other in self._scorer.database:
+            if other.oid == missing_oid:
+                continue
+            score = self.score(other)
+            if score > theta or (score == theta and other.oid < missing_oid):
+                beaters += 1
+        return beaters + 1

@@ -152,11 +152,20 @@ class PreferenceAdjuster:
         """Answer Definition 2 for missing set ``missing`` under ``λ``."""
         if not missing:
             raise ValueError("the missing object set M must not be empty")
-        duals = self._scorer.dual_points(query)
+        # The kernel's dual view carries (a, b) as flat columns; rank
+        # evaluations during the sweep then run over arrays instead of
+        # DualPoint attribute loops (identical floats either way).
+        kernel = self._scorer.kernel
+        view = kernel.dual_view(query) if kernel is not None else None
+        duals = (
+            view.dual_points()
+            if view is not None
+            else self._scorer.dual_points(query)
+        )
         by_oid: dict[int, DualPoint] = {dual.oid: dual for dual in duals}
         missing_duals = [by_oid[obj.oid] for obj in missing]
 
-        initial_ranks = self._ranks_at_weights(query.weights, missing_duals, duals)
+        initial_ranks = self._ranks(query.weights, missing_duals, duals, view)
         initial_worst = max(initial_ranks.values())
         if initial_worst <= query.k:
             already = [
@@ -166,18 +175,26 @@ class PreferenceAdjuster:
 
         penalty = PreferencePenalty(query, initial_worst, lam)
 
-        # Step 2: crossover events via the two dual-space range queries.
+        # Step 2: crossover events via the two dual-space range queries —
+        # served, with a kernel, by the equivalent columnar quadrant scan
+        # (same candidate set, no per-query R-tree over the dual points).
+        # ``use_dual_index=False`` remains the E8 ablation: a plain
+        # linear scan over the materialised dual points on either path.
         dual_index = (
-            DualSpaceIndex(duals) if self._use_dual_index else None
+            DualSpaceIndex(duals)
+            if self._use_dual_index and view is None
+            else None
         )
         states: list[_SweepState] = []
         candidate_ws: set[float] = {query.ws}
         total_crossovers = 0
         for m_dual in missing_duals:
-            if dual_index is not None:
-                crossing = dual_index.crossing_candidates(m_dual)
-            else:
+            if not self._use_dual_index:
                 crossing = DualSpaceIndex.crossing_candidates_linear(duals, m_dual)
+            elif view is not None:
+                crossing = view.crossing_candidates(m_dual.oid)
+            else:
+                crossing = dual_index.crossing_candidates(m_dual)
             events: list[tuple[float, int, int]] = []
             for other in crossing:
                 w_star = m_dual.crossover_with(other)
@@ -197,9 +214,15 @@ class PreferenceAdjuster:
                 _SweepState(
                     dual=m_dual,
                     events=events,
-                    above=self._strictly_above_at_zero(m_dual, duals),
-                    permanent_tie_smaller=self._permanent_ties_smaller(
-                        m_dual, duals
+                    above=(
+                        view.strictly_above_at_zero(m_dual.oid)
+                        if view is not None
+                        else self._strictly_above_at_zero(m_dual, duals)
+                    ),
+                    permanent_tie_smaller=(
+                        view.permanent_ties_smaller(m_dual.oid)
+                        if view is not None
+                        else self._permanent_ties_smaller(m_dual, duals)
                     ),
                 )
             )
@@ -224,7 +247,7 @@ class PreferenceAdjuster:
             weights = (
                 query.weights if w == query.ws else Weights.from_spatial(w)
             )
-            ranks = self._ranks_at_weights(weights, missing_duals, duals)
+            ranks = self._ranks(weights, missing_duals, duals, view)
             worst = max(ranks.values())
             pen = penalty(worst, weights)
             key = (pen, abs(w - query.ws), w)
@@ -248,6 +271,8 @@ class PreferenceAdjuster:
             lam=lam,
             crossovers=total_crossovers,
             candidates_evaluated=len(ordered_ws),
+            # The sweep strategy, not the retrieval substrate: the
+            # columnar quadrant scan serves the same two range queries.
             method="weight-sweep" if self._use_dual_index else "weight-sweep-linear",
         )
 
@@ -279,14 +304,22 @@ class PreferenceAdjuster:
         callers probing the intervals should sample their interiors.
         """
         k = target_k if target_k is not None else query.k
-        duals = self._scorer.dual_points(query)
+        kernel = self._scorer.kernel
+        view = kernel.dual_view(query) if kernel is not None else None
+        duals = (
+            view.dual_points()
+            if view is not None
+            else self._scorer.dual_points(query)
+        )
         by_oid = {dual.oid: dual for dual in duals}
         m_dual = by_oid[missing_obj.oid]
 
-        if self._use_dual_index:
-            crossing = DualSpaceIndex(duals).crossing_candidates(m_dual)
-        else:
+        if not self._use_dual_index:
             crossing = DualSpaceIndex.crossing_candidates_linear(duals, m_dual)
+        elif view is not None:
+            crossing = view.crossing_candidates(m_dual.oid)
+        else:
+            crossing = DualSpaceIndex(duals).crossing_candidates(m_dual)
         events: list[tuple[float, int, int]] = []
         for other in crossing:
             w_star = m_dual.crossover_with(other)
@@ -299,8 +332,16 @@ class PreferenceAdjuster:
         state = _SweepState(
             dual=m_dual,
             events=events,
-            above=self._strictly_above_at_zero(m_dual, duals),
-            permanent_tie_smaller=self._permanent_ties_smaller(m_dual, duals),
+            above=(
+                view.strictly_above_at_zero(m_dual.oid)
+                if view is not None
+                else self._strictly_above_at_zero(m_dual, duals)
+            ),
+            permanent_tie_smaller=(
+                view.permanent_ties_smaller(m_dual.oid)
+                if view is not None
+                else self._permanent_ties_smaller(m_dual, duals)
+            ),
         )
         # Evaluate the rank on every open interval between consecutive
         # crossovers (probed at the interval's left-open representative)
@@ -502,6 +543,22 @@ class PreferenceAdjuster:
     # ------------------------------------------------------------------
     # Floating-point rank oracle (shared with the sampling baseline)
     # ------------------------------------------------------------------
+    def _ranks(
+        self,
+        weights: Weights,
+        missing_duals: Sequence[DualPoint],
+        duals: Sequence[DualPoint],
+        view: "object | None",
+    ) -> Mapping[int, int]:
+        """Exact missing-object ranks, over the kernel's dual columns
+        when available (a :class:`repro.core.kernel.DualView`) and the
+        DualPoint list otherwise — identical floats either way."""
+        if view is not None:
+            return view.ranks_at(
+                weights.ws, weights.wt, [m.oid for m in missing_duals]
+            )
+        return self._ranks_at_weights(weights, missing_duals, duals)
+
     @staticmethod
     def _ranks_at_weights(
         weights: Weights,

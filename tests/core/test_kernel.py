@@ -1,0 +1,248 @@
+"""Unit tests for the columnar scoring kernel (repro.core.kernel).
+
+The exhaustive bit-for-bit parity sweeps live in
+``tests/properties/test_prop_kernel.py``; this module covers the
+kernel's construction rules, counters, edge cases and the scorer's
+fallback behaviour around it.
+"""
+
+import pytest
+
+from repro.core.geometry import Point, Rect
+from repro.core.kernel import ScoringKernel
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.core.query import SpatialKeywordQuery, Weights
+from repro.core.scoring import Scorer
+from repro.index.dualspace import DualSpaceIndex
+from repro.text.similarity import (
+    DiceSimilarity,
+    JaccardSimilarity,
+    OverlapSimilarity,
+    WeightedJaccardSimilarity,
+)
+
+
+def edge_db() -> SpatialDatabase:
+    """Empty docs, shared keywords and score ties in one database."""
+    return SpatialDatabase(
+        [
+            SpatialObject(oid=0, loc=Point(0.1, 0.1), doc=frozenset({"cafe", "wifi"})),
+            SpatialObject(oid=1, loc=Point(0.9, 0.9), doc=frozenset()),
+            SpatialObject(oid=2, loc=Point(0.1, 0.1), doc=frozenset({"cafe", "wifi"})),
+            SpatialObject(oid=3, loc=Point(0.5, 0.5), doc=frozenset({"bar"})),
+        ],
+        dataspace=Rect(0.0, 0.0, 1.0, 1.0),
+    )
+
+
+def query(keywords, *, k=2, ws=0.5) -> SpatialKeywordQuery:
+    return SpatialKeywordQuery(
+        loc=Point(0.2, 0.3),
+        doc=frozenset(keywords),
+        k=k,
+        weights=Weights.from_spatial(ws),
+    )
+
+
+class TestConstruction:
+    def test_supported_models(self):
+        assert ScoringKernel.supports(JaccardSimilarity())
+        assert ScoringKernel.supports(DiceSimilarity())
+        assert ScoringKernel.supports(OverlapSimilarity())
+
+    def test_unsupported_model_is_rejected(self):
+        db = edge_db()
+        model = WeightedJaccardSimilarity({"cafe": 2.0})
+        assert ScoringKernel.maybe_build(db, model) is None
+        with pytest.raises(ValueError):
+            ScoringKernel(db, model)
+
+    def test_exact_type_dispatch_excludes_subclasses(self):
+        class Tweaked(JaccardSimilarity):
+            def similarity(self, object_keywords, query_keywords):
+                return 0.5
+
+        assert not ScoringKernel.supports(Tweaked())
+        assert Scorer(edge_db(), text_model=Tweaked()).kernel is None
+
+    def test_scorer_builds_kernel_by_default(self):
+        assert Scorer(edge_db()).kernel is not None
+
+    def test_scorer_kernel_opt_out(self):
+        assert Scorer(edge_db(), use_kernel=False).kernel is None
+
+    def test_columns_align_with_database(self):
+        db = edge_db()
+        kernel = ScoringKernel(db, JaccardSimilarity())
+        assert len(kernel) == len(db)
+        assert list(kernel.oids) == [obj.oid for obj in db]
+        assert [kernel.row_of(obj.oid) for obj in db] == list(range(len(db)))
+
+
+class TestEdgeCases:
+    def test_empty_doc_scores_zero_tsim(self):
+        db = edge_db()
+        kernel = ScoringKernel(db, JaccardSimilarity())
+        q = query({"cafe"})
+        _sdists, tsims, _scores = kernel.components_all(q)
+        assert tsims[kernel.row_of(1)] == 0.0
+
+    def test_out_of_vocabulary_query_keywords(self):
+        """Unknown query keywords never match but still enlarge |q.doc|."""
+        db = edge_db()
+        scorer = Scorer(db)
+        q = query({"cafe", "sushi"})  # "sushi" unseen in the corpus
+        for obj in db:
+            expected = scorer.text_model.similarity(obj.doc, q.doc)
+            prepared = scorer.kernel.prepare(q)
+            _sdists, tsims, _scores = scorer.kernel.components_all(q)
+            assert tsims[scorer.kernel.row_of(obj.oid)] == expected
+            assert prepared.score_oid(obj.oid) == scorer.score(obj, q)
+
+    def test_all_query_keywords_unknown(self):
+        db = edge_db()
+        scorer = Scorer(db)
+        q = query({"sushi", "ramen"})
+        _sdists, tsims, _scores = scorer.kernel.components_all(q)
+        assert list(tsims) == [0.0] * len(db)
+
+    def test_tie_order_prefers_smaller_oid(self):
+        """Objects 0 and 2 are exact duplicates; oid breaks the tie."""
+        scorer = Scorer(edge_db())
+        ranking = scorer.rank_all(query({"cafe"}))
+        oids = [entry.obj.oid for entry in ranking]
+        assert oids.index(0) < oids.index(2)
+
+    def test_order_rows_with_non_ascending_oids(self):
+        db = SpatialDatabase(
+            [
+                SpatialObject(oid=7, loc=Point(0.1, 0.1), doc=frozenset({"a"})),
+                SpatialObject(oid=3, loc=Point(0.1, 0.1), doc=frozenset({"a"})),
+                SpatialObject(oid=5, loc=Point(0.1, 0.1), doc=frozenset({"a"})),
+            ],
+            dataspace=Rect(0.0, 0.0, 1.0, 1.0),
+        )
+        fast = Scorer(db)
+        slow = Scorer(db, use_kernel=False)
+        q = SpatialKeywordQuery(loc=Point(0.1, 0.1), doc=frozenset({"a"}), k=3)
+        assert [e.obj.oid for e in fast.rank_all(q)] == [3, 5, 7]
+        assert [tuple(e) for e in fast.rank_all(q)] == [
+            tuple(e) for e in slow.rank_all(q)
+        ]
+
+
+class TestRankPrimitives:
+    def test_count_better_matches_rank_of(self):
+        db = edge_db()
+        fast = Scorer(db)
+        slow = Scorer(db, use_kernel=False)
+        q = query({"cafe", "bar"})
+        for obj in db:
+            expected = slow.rank_of(obj, q)
+            assert fast.rank_of(obj, q) == expected
+            score = slow.score(obj, q)
+            assert fast.kernel.count_better(score, obj.oid, q) + 1 == expected
+
+    def test_rank_of_many_matches_individual_ranks(self):
+        db = edge_db()
+        fast = Scorer(db)
+        slow = Scorer(db, use_kernel=False)
+        q = query({"cafe", "wifi"})
+        ranks = fast.kernel.rank_of_many([obj.oid for obj in db], q)
+        assert ranks == {obj.oid: slow.rank_of(obj, q) for obj in db}
+
+    def test_worst_rank_matches_set_path(self):
+        db = edge_db()
+        fast = Scorer(db)
+        slow = Scorer(db, use_kernel=False)
+        q = query({"cafe"})
+        targets = [db.get(1), db.get(3)]
+        assert fast.worst_rank(targets, q) == slow.worst_rank(targets, q)
+
+    def test_foreign_object_falls_back_to_set_path(self):
+        """An object outside D is scored as passed, not via the columns."""
+        db = edge_db()
+        fast = Scorer(db)
+        slow = Scorer(db, use_kernel=False)
+        foreign = SpatialObject(oid=0, loc=Point(0.9, 0.2), doc=frozenset({"bar"}))
+        q = query({"bar"})
+        assert fast.rank_of(foreign, q) == slow.rank_of(foreign, q)
+        assert fast.worst_rank([foreign], q) == slow.worst_rank([foreign], q)
+
+
+class TestBestFirstGuard:
+    def test_foreign_index_entries_scored_as_passed(self):
+        """Leaf entries that are not the scorer database's own objects
+        must be scored object-at-a-time (pre-kernel semantics), not via
+        the columns of a same-oid database row."""
+        from repro.core.topk import BestFirstTopK
+        from repro.index.setrtree import SetRTree
+
+        db = edge_db()
+        # Same oids/locations, different keyword sets: a kernel lookup
+        # by oid would score the wrong documents.
+        twisted = SpatialDatabase(
+            [
+                SpatialObject(oid=obj.oid, loc=obj.loc, doc=frozenset({"bar"}))
+                for obj in db
+            ],
+            dataspace=db.dataspace,
+        )
+        index = SetRTree.build(twisted, max_entries=2)
+        q = query({"bar"}, k=4)
+        fast = BestFirstTopK(index, Scorer(db))
+        slow = BestFirstTopK(index, Scorer(db, use_kernel=False))
+        assert [tuple(e) for e in fast.search(q)] == [
+            tuple(e) for e in slow.search(q)
+        ]
+
+
+class TestDualView:
+    def test_dual_points_match_scorer(self):
+        db = edge_db()
+        fast = Scorer(db)
+        slow = Scorer(db, use_kernel=False)
+        q = query({"cafe", "bar"})
+        assert fast.dual_points(q) == slow.dual_points(q)
+
+    def test_crossing_candidates_match_linear_scan(self):
+        db = edge_db()
+        fast = Scorer(db)
+        q = query({"cafe", "bar"})
+        view = fast.kernel.dual_view(q)
+        duals = view.dual_points()
+        for dual in duals:
+            columnar = {d.oid for d in view.crossing_candidates(dual.oid)}
+            linear = {
+                d.oid
+                for d in DualSpaceIndex.crossing_candidates_linear(duals, dual)
+            }
+            assert columnar == linear
+
+
+class TestStats:
+    def test_counters_track_batch_passes(self):
+        db = edge_db()
+        scorer = Scorer(db)
+        kernel = scorer.kernel
+        q = query({"cafe"})
+        kernel.stats.reset()
+        scorer.rank_all(q)
+        assert kernel.stats.full_passes == 1
+        scorer.rank_of(db.get(3), q)
+        assert kernel.stats.count_better_calls == 1
+        assert kernel.stats.score_passes == 1
+        scorer.worst_rank([db.get(3)], q)
+        assert kernel.stats.rank_of_many_calls == 1
+        scorer.dual_points(q)
+        assert kernel.stats.dual_views == 1
+        prepared = kernel.prepare(q)
+        prepared.score_oid(0)
+        assert prepared.scored == 1
+        prepared.flush_stats()
+        assert kernel.stats.point_scores == 1
+        snapshot = kernel.stats.to_dict()
+        # The dual view runs its own (a, b) pass, not a component pass.
+        assert snapshot["full_passes"] == 1
+        kernel.stats.reset()
+        assert kernel.stats.to_dict()["full_passes"] == 0

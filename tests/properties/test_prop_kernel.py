@@ -1,0 +1,177 @@
+"""Property tests: the columnar kernel ≡ the object-at-a-time scorer.
+
+The kernel is pure optimisation — for every database, query and
+supported text model it must reproduce the set-based path *exactly*:
+identical score/sdist/tsim floats (no tolerance), identical
+(score desc, oid asc) tie order, identical ranks, and identical why-not
+refinements.  Databases here include empty keyword sets and duplicated
+(location, doc) pairs so tie-breaks and the 0/0 corner cases are
+actually exercised, and queries mix in out-of-vocabulary keywords.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Point, Rect
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.core.query import SpatialKeywordQuery, Weights
+from repro.core.scoring import Scorer
+from repro.index.kcrtree import KcRTree
+from repro.text.similarity import (
+    DiceSimilarity,
+    JaccardSimilarity,
+    OverlapSimilarity,
+)
+from repro.whynot.keyword import KeywordAdapter
+from repro.whynot.preference import PreferenceAdjuster
+
+from tests.properties.strategies import ALPHABET, coordinates, points
+
+#: The kernel-supported set models, one instance each.
+MODELS = [JaccardSimilarity(), DiceSimilarity(), OverlapSimilarity()]
+
+models = st.sampled_from(MODELS)
+
+#: Unlike the shared ``docs`` strategy this one allows *empty* object
+#: keyword sets — the 0/0 corners of Jaccard/Dice/Overlap.
+sparse_docs = st.sets(st.sampled_from(ALPHABET), min_size=0, max_size=6).map(
+    frozenset
+)
+
+#: Query keywords drawn from the corpus alphabet plus words no object
+#: can ever carry (out-of-vocabulary still counts towards |q.doc|).
+query_keywords = st.sets(
+    st.sampled_from(ALPHABET + ["zz-unseen", "zz-rare"]),
+    min_size=1,
+    max_size=4,
+)
+
+
+@st.composite
+def kernel_databases(draw, min_size: int = 2, max_size: int = 30):
+    """Databases with possibly-empty docs and shuffled, gappy oids."""
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    oids = draw(st.permutations(range(0, 2 * size, 2)).map(lambda p: p[:size]))
+    objects = [
+        SpatialObject(oid=oid, loc=draw(points), doc=draw(sparse_docs))
+        for oid in oids
+    ]
+    return SpatialDatabase(objects, dataspace=Rect(0.0, 0.0, 1.0, 1.0))
+
+
+@st.composite
+def kernel_queries(draw, k_max: int = 8):
+    return SpatialKeywordQuery(
+        loc=draw(points),
+        doc=frozenset(draw(query_keywords)),
+        k=draw(st.integers(min_value=1, max_value=k_max)),
+        weights=Weights.from_spatial(
+            draw(st.floats(min_value=0.05, max_value=0.95))
+        ),
+    )
+
+
+def scorer_pair(database, model):
+    return (
+        Scorer(database, text_model=model),
+        Scorer(database, text_model=model, use_kernel=False),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(kernel_databases(), kernel_queries(), models)
+def test_components_match_breakdown_exactly(database, query, model):
+    fast, slow = scorer_pair(database, model)
+    assert fast.kernel is not None
+    sdists, tsims, scores = fast.kernel.components_all(query)
+    for row, obj in enumerate(database):
+        breakdown = slow.breakdown(obj, query)
+        assert sdists[row] == breakdown.sdist
+        assert tsims[row] == breakdown.tsim
+        assert scores[row] == breakdown.score
+        assert fast.score(obj, query) == breakdown.score
+
+
+@settings(max_examples=80, deadline=None)
+@given(kernel_databases(), kernel_queries(), models)
+def test_rank_all_bit_identical(database, query, model):
+    fast, slow = scorer_pair(database, model)
+    fast_entries = [tuple(entry) for entry in fast.rank_all(query)]
+    slow_entries = [tuple(entry) for entry in slow.rank_all(query)]
+    assert fast_entries == slow_entries
+
+
+@settings(max_examples=80, deadline=None)
+@given(kernel_databases(), kernel_queries(), models)
+def test_top_k_is_rank_all_prefix(database, query, model):
+    fast, slow = scorer_pair(database, model)
+    assert [tuple(e) for e in fast.top_k(query)] == [
+        tuple(e) for e in slow.top_k(query)
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(kernel_databases(), kernel_queries(), models)
+def test_dual_points_and_ranks_match(database, query, model):
+    fast, slow = scorer_pair(database, model)
+    assert fast.dual_points(query) == slow.dual_points(query)
+    for obj in database:
+        assert fast.rank_of(obj, query) == slow.rank_of(obj, query)
+    targets = list(database.objects)[:3]
+    assert fast.worst_rank(targets, query) == slow.worst_rank(targets, query)
+
+
+@settings(max_examples=40, deadline=None)
+@given(kernel_databases(min_size=4), kernel_queries(k_max=3), models)
+def test_dual_view_rank_oracle_matches(database, query, model):
+    """DualView.ranks_at ≡ PreferenceAdjuster._ranks_at_weights."""
+    fast, slow = scorer_pair(database, model)
+    view = fast.kernel.dual_view(query)
+    duals = slow.dual_points(query)
+    target_oids = [obj.oid for obj in list(database.objects)[:3]]
+    by_oid = {dual.oid: dual for dual in duals}
+    for ws in (0.1, query.ws, 0.9):
+        weights = Weights.from_spatial(ws)
+        expected = PreferenceAdjuster._ranks_at_weights(
+            weights, [by_oid[oid] for oid in target_oids], duals
+        )
+        assert view.ranks_at(weights.ws, weights.wt, target_oids) == dict(
+            expected
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(kernel_databases(min_size=5), kernel_queries(k_max=2))
+def test_preference_refinement_parity(database, query):
+    fast, slow = scorer_pair(database, JaccardSimilarity())
+    worst = max(slow.rank_of(obj, query) for obj in database)
+    missing = [
+        obj for obj in database if slow.rank_of(obj, query) == worst
+    ][:1]
+    if slow.worst_rank(missing, query) <= query.k:
+        return  # nothing is missing under this draw
+    refined_fast = PreferenceAdjuster(fast).refine(query, missing, lam=0.5)
+    refined_slow = PreferenceAdjuster(slow).refine(query, missing, lam=0.5)
+    assert refined_fast == refined_slow
+
+
+@settings(max_examples=15, deadline=None)
+@given(kernel_databases(min_size=5, max_size=14), kernel_queries(k_max=2))
+def test_keyword_refinement_parity(database, query):
+    fast, slow = scorer_pair(database, JaccardSimilarity())
+    worst = max(slow.rank_of(obj, query) for obj in database)
+    missing = [
+        obj for obj in database if slow.rank_of(obj, query) == worst
+    ][:1]
+    if slow.worst_rank(missing, query) <= query.k:
+        return
+    tree = KcRTree.build(database, max_entries=4)
+    adapter_fast = KeywordAdapter(fast, tree, max_edit_count=2)
+    adapter_slow = KeywordAdapter(slow, tree, max_edit_count=2)
+    refined_fast = adapter_fast.refine(query, missing, lam=0.5)
+    refined_slow = adapter_slow.refine(query, missing, lam=0.5)
+    assert refined_fast.refined_query == refined_slow.refined_query
+    assert refined_fast.penalty == refined_slow.penalty
+    assert refined_fast.refined_worst_rank == refined_slow.refined_worst_rank
+    assert refined_fast.added == refined_slow.added
+    assert refined_fast.removed == refined_slow.removed

@@ -365,9 +365,20 @@ class TestWhyNotBatchEndpoint:
 
     def test_stats_report_both_caches(self, client):
         full = client._call("GET", "/api/stats")
-        assert {"cache", "whynot_cache"} <= set(full)
+        assert {"cache", "whynot_cache", "kernel"} <= set(full)
         whynot = client.whynot_stats()
         assert {"hits", "misses", "evictions", "size", "capacity"} <= set(whynot)
+
+    def test_stats_report_kernel_counters(self, client, scenario):
+        """The compute tier under the caches surfaces its work counters."""
+        payload = self.make_question_payload(scenario, model="preference")
+        client.whynot_batch([payload])
+        kernel = client._call("GET", "/api/stats")["kernel"]
+        assert kernel is not None
+        assert {
+            "full_passes", "score_passes", "point_scores", "dual_views",
+        } <= set(kernel)
+        assert kernel["dual_views"] >= 1  # the preference sweep ran columnar
 
     def test_malformed_member_is_400_with_index(self, client, scenario):
         with pytest.raises(YaskClientError) as exc:

@@ -1,0 +1,73 @@
+"""Tests for the interned keyword vocabulary behind the scoring kernel."""
+
+import pytest
+
+from repro.text.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary(
+        [
+            frozenset({"cafe", "wifi"}),
+            frozenset({"bar", "cafe"}),
+            frozenset(),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_size_is_distinct_keyword_count(self, vocab):
+        assert len(vocab) == 3
+
+    def test_bit_positions_follow_sorted_order(self, vocab):
+        assert vocab.keywords == ("bar", "cafe", "wifi")
+        assert [vocab.id_of(k) for k in vocab.keywords] == [0, 1, 2]
+
+    def test_order_insensitive_to_document_order(self):
+        a = Vocabulary([frozenset({"x"}), frozenset({"a", "m"})])
+        b = Vocabulary([frozenset({"m"}), frozenset({"x", "a"})])
+        assert a.keywords == b.keywords
+
+    def test_membership_and_iteration(self, vocab):
+        assert "cafe" in vocab
+        assert "sushi" not in vocab
+        assert list(vocab) == ["bar", "cafe", "wifi"]
+
+    def test_unknown_keyword_raises(self, vocab):
+        with pytest.raises(KeyError):
+            vocab.id_of("sushi")
+
+
+class TestEncoding:
+    def test_encode_roundtrips_through_decode(self, vocab):
+        doc = frozenset({"bar", "wifi"})
+        assert vocab.decode(vocab.encode(doc)) == doc
+
+    def test_encode_empty_doc_is_zero(self, vocab):
+        assert vocab.encode(frozenset()) == 0
+
+    def test_encode_rejects_unknown_keywords(self, vocab):
+        with pytest.raises(KeyError):
+            vocab.encode(frozenset({"cafe", "sushi"}))
+
+    def test_mask_intersection_matches_set_intersection(self, vocab):
+        left = frozenset({"bar", "cafe"})
+        right = frozenset({"cafe", "wifi"})
+        mask = vocab.encode(left) & vocab.encode(right)
+        assert mask.bit_count() == len(left & right)
+        assert vocab.decode(mask) == left & right
+
+    def test_encode_query_counts_unknown_keywords(self, vocab):
+        mask, unknown = vocab.encode_query(frozenset({"cafe", "sushi", "ramen"}))
+        assert vocab.decode(mask) == frozenset({"cafe"})
+        assert unknown == 2
+
+    def test_encode_query_all_known_has_zero_unknown(self, vocab):
+        mask, unknown = vocab.encode_query(frozenset({"bar", "wifi"}))
+        assert unknown == 0
+        assert mask == vocab.encode(frozenset({"bar", "wifi"}))
+
+    def test_decode_rejects_negative_masks(self, vocab):
+        with pytest.raises(ValueError):
+            vocab.decode(-1)
