@@ -1,18 +1,21 @@
 # Developer entry points for the YASK reproduction.
 #
 #   make test        — the tier-1 suite (ROADMAP.md's verify command)
-#   make bench-smoke — the E9 + E10 executor experiments and the E11
-#                      kernel experiment (fast, assert the cold/warm and
-#                      batch speedup floors for queries and why-not
-#                      questions, plus the kernel's >=3x rank_all and
-#                      >=2x cold why-not floors)
-#   make bench-json  — refresh BENCH_E9/E10/E11.json at the repo root
-#                      (machine-readable perf trajectory across PRs)
+#   make bench-smoke — the floor-asserting experiments: E9 + E10
+#                      (executor tiers: cold/warm and batch floors),
+#                      E11 (kernel: >=3x rank_all, >=2x cold why-not)
+#                      and E12 (sharding: >=1.8x cold top-k, >=1.5x
+#                      cold why-not at 4 shards vs 1)
+#   make bench-json  — refresh BENCH_E9/E10/E11/E12.json at the repo
+#                      root (machine-readable perf trajectory)
 #   make lint        — byte-compile every source, test and benchmark
 #                      file (catches import-time and syntax breakage
 #                      without third-party tools)
 #   make docs-check  — every GET/POST route in server.py must appear
-#                      in docs/API.md
+#                      in docs/API.md, and every runnable fenced
+#                      Python snippet in README.md / docs/API.md must
+#                      execute cleanly against a live in-process
+#                      server (tools/check_doc_snippets.py)
 
 PYTHON ?= python
 export PYTHONPATH := src
@@ -23,13 +26,13 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py benchmarks/bench_e10_whynot_executor.py benchmarks/bench_e11_kernel.py -q
+	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py benchmarks/bench_e10_whynot_executor.py benchmarks/bench_e11_kernel.py benchmarks/bench_e12_sharding.py -q
 
 bench-json:
 	$(PYTHON) benchmarks/bench_json.py
 
 lint:
-	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m compileall -q src tests benchmarks examples tools
 	@echo "lint ok: all sources byte-compile"
 
 docs-check:
@@ -42,3 +45,4 @@ docs-check:
 	done; \
 	if [ $$missing -ne 0 ]; then exit 1; fi; \
 	echo "docs-check ok: every server route is documented in docs/API.md"
+	$(PYTHON) tools/check_doc_snippets.py

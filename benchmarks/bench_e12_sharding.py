@@ -1,0 +1,239 @@
+"""E12 — scatter-gather sharding vs. the single-shard scan baseline.
+
+PR 4 partitions the database into disjoint spatial shards
+(``repro.core.sharding``) and runs top-k as a bound-ordered
+scatter-gather, with the why-not rank primitives pruning whole shards.
+On a multicore host the scatter additionally fans across a thread pool;
+on the single-core reference container every speedup below is pure
+**work elimination** — shards whose score upper bound cannot reach the
+running threshold are never scanned — which is why the round-robin
+ablation (spatially incoherent shards, bounds never fire) shows ~1x.
+
+Acceptance floors at 4 shards / 20k objects, against the same engine
+configured with 1 shard (the scatter baseline: one full columnar scan):
+
+* cold top-k at least 1.8x faster, and
+* a cold why-not question (preference model) at least 1.5x faster,
+
+with bit-for-bit parity against the *unsharded* production engine
+asserted first.
+
+Workload notes (documented, deliberate):
+
+* The top-k workload is geo-local category search — clustered objects,
+  queries anchored near the data, one or two frequent keywords over
+  short tag documents.  In this regime the shard text bound is tight
+  (a perfect keyword match exists near every query), so the k-th score
+  localises the answer and distant shards are provably irrelevant.
+  This is the regime spatial partitioning exists for; text-dominated
+  workloads with globally scattered matches scan more shards (the
+  bounds degrade gracefully to a full scatter, never to a wrong
+  answer).
+* The why-not scenarios keep the missing objects within 20 ranks of
+  the result ("the cafe down the street"), where the refinement
+  sweep's crossover structure stays small.  Sharding prunes the
+  *scan-bound* part of a why-not answer (rank verifications); the
+  crossover sweep itself is rank arithmetic on events and is
+  unaffected by partitioning.
+
+Run with
+``PYTHONPATH=src python -m pytest benchmarks/bench_e12_sharding.py -q``
+(add ``-s`` for the speedup tables).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Table, time_call
+from repro.bench.workloads import QueryWorkload, generate_whynot_scenarios
+from repro.datasets.generators import SyntheticDatasetBuilder
+from repro.service.api import YaskEngine
+from repro.whynot.preference import PreferenceAdjuster
+
+#: Acceptance floors (ISSUE 4): 4 shards vs 1 shard at 20k objects.
+TOPK_FLOOR = 1.8
+WHYNOT_FLOOR = 1.5
+
+OBJECTS = 20_000
+SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def shard_db():
+    """Geo-local category-search corpus: clustered, short tag docs."""
+    return SyntheticDatasetBuilder(seed=2016).build(
+        OBJECTS,
+        vocabulary_size=50,
+        doc_length=(4, 8),
+        spatial="clustered",
+        clusters=12,
+    )
+
+
+@pytest.fixture(scope="module")
+def unsharded_engine(shard_db):
+    """The production single-index engine — the parity oracle."""
+    return YaskEngine(shard_db)
+
+
+@pytest.fixture(scope="module")
+def baseline_engine(shard_db):
+    """The scatter machinery at 1 shard: one full columnar scan."""
+    return YaskEngine(shard_db, shards=1)
+
+
+@pytest.fixture(scope="module")
+def sharded_engine(shard_db):
+    return YaskEngine(shard_db, shards=SHARDS)
+
+
+@pytest.fixture(scope="module")
+def topk_queries(shard_db):
+    workload = QueryWorkload(
+        shard_db, seed=7, k=10, keywords_per_query=(1, 2),
+        location_jitter=0.01,
+    )
+    return list(workload.queries(12))
+
+
+def test_e12_topk_parity_and_skipping(
+    unsharded_engine, baseline_engine, sharded_engine, topk_queries
+):
+    """Bit-for-bit parity with the oracle, and shards really skip."""
+    sharded_engine.shard_router.stats.reset()
+    for query in topk_queries:
+        expected = unsharded_engine.query(query)
+        assert [tuple(e) for e in baseline_engine.query(query)] == [
+            tuple(e) for e in expected
+        ]
+        assert [tuple(e) for e in sharded_engine.query(query)] == [
+            tuple(e) for e in expected
+        ]
+    stats = sharded_engine.shard_router.to_dict()
+    assert stats["topk_searches"] == len(topk_queries)
+    assert stats["topk_shards_skipped"] > 0, (
+        "grid shards must be skippable on the geo-local workload"
+    )
+
+
+def test_e12_cold_topk_1_8x(baseline_engine, sharded_engine, topk_queries):
+    """Acceptance: 4-shard scatter >= 1.8x the 1-shard scan."""
+
+    def run(engine):
+        return [engine.query(query) for query in topk_queries]
+
+    sharded_results, sharded_timing = time_call(
+        lambda: run(sharded_engine), repeat=5
+    )
+    baseline_results, baseline_timing = time_call(
+        lambda: run(baseline_engine), repeat=5
+    )
+    for fast, slow in zip(sharded_results, baseline_results):
+        assert [tuple(e) for e in fast] == [tuple(e) for e in slow]
+
+    speedup = baseline_timing.best / sharded_timing.best
+    stats = sharded_engine.shard_router.to_dict()
+    table = Table(
+        "configuration", "best_ms", "median_ms",
+        title=f"E12: cold top-k ({OBJECTS} objects x {len(topk_queries)} queries)",
+    )
+    table.add_row("1 shard (full scan)", baseline_timing.best_ms,
+                  baseline_timing.median_ms)
+    table.add_row(f"{SHARDS} shards (scatter)", sharded_timing.best_ms,
+                  sharded_timing.median_ms)
+    table.add_row(
+        f"speedup {speedup:.2f}x (floor {TOPK_FLOOR}x), "
+        f"skipped {stats['topk_shards_skipped']} shard scans", "", "",
+    )
+    table.print()
+    assert speedup >= TOPK_FLOOR, (
+        f"sharded top-k only {speedup:.2f}x faster "
+        f"({sharded_timing.best_ms:.1f}ms vs {baseline_timing.best_ms:.1f}ms)"
+    )
+
+
+def test_e12_round_robin_ablation_does_not_skip(shard_db, topk_queries):
+    """Spatial coherence is the mechanism: round-robin shards never skip."""
+    ablation = YaskEngine(shard_db, shards=SHARDS, partitioner="round-robin")
+    for query in topk_queries[:4]:
+        ablation.query(query)
+    stats = ablation.shard_router.to_dict()
+    assert stats["topk_shards_skipped"] == 0
+    assert stats["topk_shards_scanned"] == 4 * SHARDS
+
+
+@pytest.fixture(scope="module")
+def whynot_scenarios(unsharded_engine):
+    return generate_whynot_scenarios(
+        unsharded_engine.scorer, count=4, k=10, missing_count=2,
+        rank_window=20, seed=42,
+    )
+
+
+def test_e12_cold_whynot_preference_1_5x(
+    unsharded_engine, baseline_engine, sharded_engine, whynot_scenarios
+):
+    """Acceptance: cold preference why-not >= 1.5x, identical answers."""
+    oracle = PreferenceAdjuster(unsharded_engine.scorer)
+    baseline = PreferenceAdjuster(baseline_engine.scorer)
+    sharded = PreferenceAdjuster(sharded_engine.scorer)
+
+    def run(adjuster):
+        return [
+            adjuster.refine(s.query, s.missing, lam=0.5)
+            for s in whynot_scenarios
+        ]
+
+    expected = run(oracle)
+    sharded_refined, sharded_timing = time_call(lambda: run(sharded), repeat=5)
+    baseline_refined, baseline_timing = time_call(
+        lambda: run(baseline), repeat=5
+    )
+    assert sharded_refined == expected
+    assert baseline_refined == expected
+
+    speedup = baseline_timing.best / sharded_timing.best
+    table = Table(
+        "configuration", "best_ms", "median_ms",
+        title=(
+            f"E12: cold why-not, preference model "
+            f"({OBJECTS} objects x {len(whynot_scenarios)} scenarios)"
+        ),
+    )
+    table.add_row("1 shard (full scans)", baseline_timing.best_ms,
+                  baseline_timing.median_ms)
+    table.add_row(f"{SHARDS} shards (pruned scans)", sharded_timing.best_ms,
+                  sharded_timing.median_ms)
+    table.add_row(f"speedup {speedup:.2f}x (floor {WHYNOT_FLOOR}x)", "", "")
+    table.print()
+    assert speedup >= WHYNOT_FLOOR, (
+        f"sharded cold why-not only {speedup:.2f}x faster "
+        f"({sharded_timing.best_ms:.1f}ms vs {baseline_timing.best_ms:.1f}ms)"
+    )
+
+
+def test_e12_cached_whynot_runs_no_scatter(sharded_engine, whynot_scenarios):
+    """The executor-tier guarantee survives sharding: a why-not question
+    over a cached query charges zero scatter-gather searches."""
+    from repro.service.executor import (
+        QueryExecutor, WhyNotExecutor, WhyNotQuestion,
+    )
+
+    topk = QueryExecutor(sharded_engine, max_workers=1)
+    whynot = WhyNotExecutor(sharded_engine, topk, max_workers=1)
+    scenario = whynot_scenarios[0]
+    topk.execute(scenario.query)
+    router = sharded_engine.shard_router
+    searches_before = router.stats.to_dict()["topk_searches"]
+    execution = whynot.execute(
+        WhyNotQuestion(
+            query=scenario.query,
+            missing=tuple(obj.oid for obj in scenario.missing),
+            model="explain",
+        )
+    )
+    assert execution.topk_source == "cache"
+    assert router.stats.to_dict()["topk_searches"] == searches_before
+    whynot.close()
+    topk.close()

@@ -1,9 +1,10 @@
-"""Machine-readable benchmark snapshots: ``BENCH_E9/E10/E11.json``.
+"""Machine-readable benchmark snapshots: ``BENCH_E9/E10/E11/E12.json``.
 
-``make bench-json`` runs this script to refresh the three JSON files at
-the repository root, so the perf trajectory of the serving tier (E9:
-query executor, E10: why-not executor) and the compute tier (E11:
-columnar scoring kernel) is tracked across PRs in a diffable form.
+``make bench-json`` runs this script to refresh the JSON files at the
+repository root, so the perf trajectory of the serving tier (E9: query
+executor, E10: why-not executor), the compute tier (E11: columnar
+scoring kernel) and the scatter tier (E12: spatial sharding) is
+tracked across PRs in a diffable form.
 
 The numbers here are in-process measurements sized to finish in tens of
 seconds; the assertion-bearing experiments (HTTP batch floors, kernel
@@ -160,6 +161,66 @@ def bench_e11() -> dict:
     }
 
 
+def bench_e12() -> dict:
+    """Scatter-gather sharding: 4 grid shards vs the 1-shard scan."""
+    database = SyntheticDatasetBuilder(seed=2016).build(
+        20_000,
+        vocabulary_size=50,
+        doc_length=(4, 8),
+        spatial="clustered",
+        clusters=12,
+    )
+    baseline = YaskEngine(database, shards=1)
+    sharded = YaskEngine(database, shards=4)
+    queries = list(
+        QueryWorkload(
+            database, seed=7, k=10, keywords_per_query=(1, 2),
+            location_jitter=0.01,
+        ).queries(12)
+    )
+    _, baseline_topk = time_call(
+        lambda: [baseline.query(query) for query in queries], repeat=5
+    )
+    sharded.shard_router.stats.reset()
+    _, sharded_topk = time_call(
+        lambda: [sharded.query(query) for query in queries], repeat=5
+    )
+    shard_stats = sharded.shard_router.to_dict()
+
+    scenarios = generate_whynot_scenarios(
+        baseline.scorer, count=4, k=10, missing_count=2, rank_window=20,
+        seed=42,
+    )
+    baseline_adjuster = PreferenceAdjuster(baseline.scorer)
+    sharded_adjuster = PreferenceAdjuster(sharded.scorer)
+    _, baseline_whynot = time_call(
+        lambda: [
+            baseline_adjuster.refine(s.query, s.missing) for s in scenarios
+        ],
+        repeat=3,
+    )
+    _, sharded_whynot = time_call(
+        lambda: [
+            sharded_adjuster.refine(s.query, s.missing) for s in scenarios
+        ],
+        repeat=3,
+    )
+    return {
+        "objects": len(database),
+        "shards": 4,
+        "topk_one_shard_ms": baseline_topk.best_ms,
+        "topk_four_shards_ms": sharded_topk.best_ms,
+        "topk_speedup": baseline_topk.best / sharded_topk.best,
+        "topk_floor": 1.8,
+        "topk_shard_scans_skipped": shard_stats["topk_shards_skipped"],
+        "topk_shard_scans_run": shard_stats["topk_shards_scanned"],
+        "cold_whynot_one_shard_ms": baseline_whynot.best_ms,
+        "cold_whynot_four_shards_ms": sharded_whynot.best_ms,
+        "cold_whynot_speedup": baseline_whynot.best / sharded_whynot.best,
+        "cold_whynot_floor": 1.5,
+    }
+
+
 def main() -> int:
     engine = YaskEngine(hong_kong_hotels())
     snapshots = {
@@ -177,6 +238,11 @@ def main() -> int:
             "E11",
             "columnar scoring kernel vs object-at-a-time (10k synthetic)",
             bench_e11(),
+        ),
+        "BENCH_E12.json": _snapshot(
+            "E12",
+            "scatter-gather sharding: 4 grid shards vs 1 shard (20k synthetic)",
+            bench_e12(),
         ),
     }
     for filename, snapshot in snapshots.items():

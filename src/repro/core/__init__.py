@@ -17,6 +17,15 @@ from repro.core.query import (
     Weights,
 )
 from repro.core.scoring import DualPoint, ScoreBreakdown, Scorer
+from repro.core.sharding import (
+    PARTITIONERS,
+    Shard,
+    ShardRouter,
+    ShardStats,
+    ShardedKernel,
+    grid_partition,
+    round_robin_partition,
+)
 from repro.core.topk import (
     BestFirstTopK,
     BruteForceTopK,
@@ -41,6 +50,13 @@ __all__ = [
     "DualPoint",
     "ScoreBreakdown",
     "Scorer",
+    "PARTITIONERS",
+    "Shard",
+    "ShardRouter",
+    "ShardStats",
+    "ShardedKernel",
+    "grid_partition",
+    "round_robin_partition",
     "BestFirstTopK",
     "BruteForceTopK",
     "SearchStats",

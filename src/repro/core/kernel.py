@@ -283,6 +283,17 @@ class DualView:
     def row_of(self, oid: int) -> int:
         return self._row_of[oid]
 
+    def dual_point_of(self, oid: int) -> "DualPoint":
+        """The one object's :class:`DualPoint` — no full materialisation.
+
+        The preference module needs materialised points only for the
+        missing objects; the sweep itself runs over the flat columns.
+        """
+        from repro.core.scoring import DualPoint
+
+        row = self._row_of[oid]
+        return DualPoint(oid=oid, a=self.a[row], b=self.b[row])
+
     def dual_points(self) -> "list[DualPoint]":
         """Materialise :class:`DualPoint` objects (database order)."""
         from repro.core.scoring import DualPoint

@@ -1,0 +1,964 @@
+"""Spatially partitioned databases: shards, routing and pruned scans.
+
+The ROADMAP's "sharding" direction, grounded in the paper's rank
+arithmetic: every quantity the why-not pipeline computes — ranks,
+beater counts, dual-space sweeps — is a *count of objects* satisfying a
+per-object predicate, so it decomposes exactly over any disjoint
+partition of ``D``:
+
+``rank_of(m, q) = 1 + Σ_shard count_better(shard, m, q)``
+
+This module provides
+
+* :func:`grid_partition` / :func:`round_robin_partition` — disjoint
+  covers of a database.  The grid partitioner splits the data into
+  quantile tiles (near-equal populations, spatially coherent — the
+  QDR-Tree-style locality clustering of PAPERS.md); round-robin is the
+  spatially incoherent ablation.
+* :class:`Shard` — one partition: its own :class:`SpatialDatabase`
+  (inheriting the parent dataspace so distance normalisation — and
+  therefore every float — is identical), its own
+  :class:`~repro.core.kernel.ScoringKernel`, and the summaries the
+  pruning bounds need (objects MBR, keyword-union bitmask, doc-length
+  range).
+* :class:`ShardRouter` — builds and owns the shards, computes per-query
+  shard score upper bounds, and counts scatter/skip work in
+  :class:`ShardStats` (surfaced through ``GET /api/stats``).
+* :class:`ShardedKernel` — a drop-in :class:`ScoringKernel` whose
+  whole-database rank primitives (``count_better``, ``rank_of_many``,
+  ``dual_view``, ``doc_context`` rank scans) *skip entire shards* that
+  provably cannot contain a better-ranked object.
+
+Why pruning, not just parallelism
+---------------------------------
+
+Scatter-gather over a thread pool gives wall-clock wins only with free
+cores (see :class:`repro.service.sharded.ShardedEngine`, which fans
+shards across a pool when they exist).  The floors of experiment E12
+instead come from *work elimination*: with spatially coherent shards, a
+query's beaters concentrate in the shards near it, and a shard whose
+score upper bound falls below the current threshold contributes zero
+scanned rows.  A single-shard router degenerates to exactly the
+unsharded pass, which is what the E12 baseline measures.
+
+Exactness contract
+------------------
+
+Skipping is an optimisation, never a semantics change.  A shard is
+skipped only when its *score upper bound* is strictly below the target
+score, so no object in it can rank above the target — not even via the
+``(score desc, oid asc)`` tie-break, which needs score equality.  Two
+kinds of bounds are used:
+
+* **Static bounds** (:meth:`Shard.proximity_upper_bound` +
+  :meth:`Shard.tsim_upper_bound`): MBR MINDIST for the spatial term and
+  a keyword-union/doc-length bound for the text term.  The text bound
+  is a single correctly-rounded integer division, hence exactly
+  monotone; the MINDIST arithmetic is monotone too, but ``math.hypot``
+  is only guaranteed faithful, so static skips retain a defensive
+  ``1e-12`` margin.
+* **Exact per-query maxima** (:class:`ShardedDualView`): the dual-space
+  sweep skips shards via each shard's Pareto front over ``(a, b)`` —
+  the float maximum of ``ws·a + wt·b`` over a shard *is attained on the
+  front*, so the skip test compares against the true shard maximum and
+  needs no margin.
+
+``tests/properties/test_prop_sharding.py`` asserts bit-for-bit parity
+of every primitive — and of whole why-not answers — against the
+unsharded oracle across random databases, partitioners and shard
+counts.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import TYPE_CHECKING, AbstractSet, Callable, Iterable, Sequence
+
+from repro.core.geometry import Rect
+from repro.core.kernel import DocContext, DualView, ScoringKernel
+from repro.core.objects import SpatialDatabase
+from repro.core.query import SpatialKeywordQuery
+from repro.text.similarity import TextSimilarityModel
+
+if TYPE_CHECKING:  # pragma: no cover - scoring imports this module
+    from repro.core.scoring import DualPoint
+
+__all__ = [
+    "PARTITIONERS",
+    "Shard",
+    "ShardRouter",
+    "ShardStats",
+    "ShardedDocContext",
+    "ShardedDualView",
+    "ShardedKernel",
+    "ShardedProximityColumn",
+    "grid_partition",
+    "round_robin_partition",
+]
+
+#: Defensive margin for skip decisions built on MBR MINDIST bounds:
+#: ``math.hypot`` is faithful (≤ 1 ulp ≈ 2e-16 here) rather than exactly
+#: monotone, so static skips require the bound to sit this far below the
+#: threshold.  Pruning power loss is negligible; unsafe skips impossible.
+_SKIP_MARGIN = 1e-12
+
+
+# ----------------------------------------------------------------------
+# Partitioners
+# ----------------------------------------------------------------------
+def grid_partition(database: SpatialDatabase, shards: int) -> list[list[int]]:
+    """Quantile-tile partition: ``cols × rows`` tiles of near-equal counts.
+
+    The shard count is factored as ``cols · rows`` with ``cols`` the
+    largest divisor not exceeding ``√shards`` (4 → 2×2, 6 → 2×3, a prime
+    count → 1×N stripes).  Objects are split into ``cols`` x-quantile
+    slices, each slice into ``rows`` y-quantile tiles — population-
+    balanced regardless of the spatial distribution, and spatially
+    coherent (each tile's MBR hugs its objects), which is what gives
+    the pruning bounds their power.
+
+    Returns per-shard lists of database row indices, ascending within
+    each shard; every row appears in exactly one shard.
+    """
+    n = len(database)
+    shards = _validated_shard_count(shards, n)
+    cols = 1
+    for divisor in range(1, int(math.isqrt(shards)) + 1):
+        if shards % divisor == 0:
+            cols = divisor
+    rows = shards // cols
+    objects = database.objects
+    by_x = sorted(
+        range(n), key=lambda row: (objects[row].loc.x, objects[row].loc.y, row)
+    )
+    assignments: list[list[int]] = []
+    for slice_rows in _even_chunks(by_x, cols):
+        by_y = sorted(
+            slice_rows,
+            key=lambda row: (objects[row].loc.y, objects[row].loc.x, row),
+        )
+        for tile in _even_chunks(by_y, rows):
+            assignments.append(sorted(tile))
+    return assignments
+
+
+def round_robin_partition(
+    database: SpatialDatabase, shards: int
+) -> list[list[int]]:
+    """Deal rows ``0, 1, 2, …`` across shards in turn.
+
+    The spatially *incoherent* ablation: every shard's MBR spans the
+    whole data extent, so the pruning bounds never fire and
+    scatter-gather degenerates to a full scan split N ways — the
+    benchmark uses it to show the speedup comes from spatial locality,
+    not from partitioning per se.
+    """
+    n = len(database)
+    shards = _validated_shard_count(shards, n)
+    return [list(range(start, n, shards)) for start in range(shards)]
+
+
+def _validated_shard_count(shards: int, n: int) -> int:
+    if shards < 1:
+        raise ValueError(f"shard count must be at least 1, got {shards}")
+    # Never more shards than objects (each shard owns a non-empty
+    # SpatialDatabase); callers asking for more get the maximum.
+    return min(shards, n)
+
+
+def _even_chunks(items: Sequence[int], parts: int) -> Iterable[Sequence[int]]:
+    """Split ``items`` into ``parts`` contiguous chunks, sizes within 1."""
+    base, extra = divmod(len(items), parts)
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        yield items[start : start + size]
+        start += size
+
+
+#: Named partition strategies (the CLI/engine ``partitioner=`` values).
+PARTITIONERS: dict[str, Callable[[SpatialDatabase, int], list[list[int]]]] = {
+    "grid": grid_partition,
+    "round-robin": round_robin_partition,
+}
+
+
+# ----------------------------------------------------------------------
+# Shard-level statistics
+# ----------------------------------------------------------------------
+class ShardStats:
+    """Scatter/skip/merge work counters of one router.
+
+    Mirrors :class:`~repro.core.kernel.KernelStats`' locking discipline:
+    one router is shared by every executor worker thread, so updates go
+    through :meth:`bump` under a lock.  The ``*_ms`` fields accumulate
+    wall-clock milliseconds (scatter = per-shard scans, merge = the
+    gather/materialise step); the ``*_shards_*`` pairs record how many
+    shard scans the pruning bounds eliminated.
+    """
+
+    _FIELDS = (
+        "topk_searches",
+        "topk_shards_scanned",
+        "topk_shards_skipped",
+        "topk_scatter_ms",
+        "topk_merge_ms",
+        "count_passes",
+        "count_shards_scanned",
+        "count_shards_skipped",
+        "dual_views",
+        "dual_rank_passes",
+        "dual_shards_scanned",
+        "dual_shards_skipped",
+        "doc_rank_scans",
+        "doc_shards_scanned",
+        "doc_shards_skipped",
+    )
+
+    __slots__ = ("_lock",) + _FIELDS
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for field in self._FIELDS:
+            setattr(self, field, 0.0 if field.endswith("_ms") else 0)
+
+    def bump(self, field: str, amount: float | int = 1) -> None:
+        """Atomically add ``amount`` to one counter."""
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def reset(self) -> None:
+        with self._lock:
+            for field in self._FIELDS:
+                setattr(self, field, 0.0 if field.endswith("_ms") else 0)
+
+    def to_dict(self) -> dict[str, float | int]:
+        with self._lock:
+            return {field: getattr(self, field) for field in self._FIELDS}
+
+
+# ----------------------------------------------------------------------
+# Shards and the router
+# ----------------------------------------------------------------------
+class Shard:
+    """One disjoint partition of the database, self-sufficient for scans.
+
+    Owns a sub-:class:`SpatialDatabase` built with the *parent
+    dataspace* — the normalisation constant, and therefore every
+    ``SDist``/score float, is identical to the unsharded database — and
+    a :class:`ScoringKernel` over it.  The shard-local vocabulary
+    assigns different bit positions than the global one, which is
+    irrelevant: every similarity formula consumes bit *counts* only.
+
+    ``vocab_mask`` is the union of the shard's doc bitmasks in the
+    *global* vocabulary's bit space, so query masks encoded once against
+    the parent database can be intersected with every shard.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "rows",
+        "database",
+        "kernel",
+        "mbr",
+        "vocab_mask",
+        "min_doc_len",
+        "max_doc_len",
+    )
+
+    def __init__(
+        self,
+        shard_id: int,
+        parent: SpatialDatabase,
+        rows: Sequence[int],
+        text_model: TextSimilarityModel,
+    ) -> None:
+        if not rows:
+            raise ValueError(f"shard {shard_id} would be empty")
+        objects = parent.objects
+        parent_masks = parent.doc_masks
+        self.shard_id = shard_id
+        self.rows: tuple[int, ...] = tuple(rows)
+        self.database = SpatialDatabase(
+            (objects[row] for row in rows), dataspace=parent.dataspace
+        )
+        kernel = ScoringKernel.maybe_build(self.database, text_model)
+        if kernel is None:  # pragma: no cover - router validates the model
+            raise ValueError(
+                f"{type(text_model).__name__} has no columnar kernel; "
+                "sharding requires one"
+            )
+        self.kernel = kernel
+        self.mbr = Rect.from_points(obj.loc for obj in self.database)
+        mask = 0
+        min_len = max_len = len(objects[rows[0]].doc)
+        for row in rows:
+            mask |= parent_masks[row]
+            length = len(objects[row].doc)
+            if length < min_len:
+                min_len = length
+            if length > max_len:
+                max_len = length
+        self.vocab_mask = mask
+        self.min_doc_len = min_len
+        self.max_doc_len = max_len
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # Static pruning bounds
+    # ------------------------------------------------------------------
+    def proximity_upper_bound(
+        self, qx: float, qy: float, normaliser: float
+    ) -> float:
+        """``max_o (1 − SDist(o, q))`` bound from the objects MBR.
+
+        MINDIST over the normaliser with the same clamp the kernel
+        applies; monotone in each operation, so it dominates every
+        shard object's proximity (see the module margin note for the
+        ``hypot`` caveat).
+        """
+        mbr = self.mbr
+        dx = max(mbr.min_x - qx, 0.0, qx - mbr.max_x)
+        dy = max(mbr.min_y - qy, 0.0, qy - mbr.max_y)
+        sdist = math.hypot(dx, dy) / normaliser
+        if sdist > 1.0:
+            sdist = 1.0
+        return 1.0 - sdist
+
+    def tsim_upper_bound(self, qmask: int, qlen: int) -> float:
+        """``max_o TSim(o, q)`` bound from keyword union + doc lengths.
+
+        With ``m = |q.doc ∩ shard vocabulary|`` (no shard object can
+        share more than ``m`` keywords with the query) and
+        ``ℓ = min_doc_len``:
+
+        * Jaccard: ``s/(|o| + qlen − s)`` is maximised at ``s = m`` and
+          ``|o| = max(ℓ, m)`` → ``m / (max(ℓ, m) + qlen − m)``.
+        * Dice: ``2s/(|o| + qlen)`` → ``2m / (max(ℓ, m) + qlen)``.
+        * Overlap: reaches 1 whenever some doc could sit inside the
+          shared keywords (``m ≥ ℓ``); otherwise ``m / min(ℓ, qlen)``.
+
+        Each bound is one correctly-rounded division of exact integers,
+        so float monotonicity against the kernel's per-object values is
+        exact — no margin needed on the text term.
+        """
+        m = (self.vocab_mask & qmask).bit_count()
+        if m == 0 or qlen == 0:
+            return 0.0
+        code = self.kernel.model_code
+        floor_len = max(self.min_doc_len, m)
+        if code == "jaccard":
+            return m / (floor_len + qlen - m)
+        if code == "dice":
+            return 2.0 * m / (floor_len + qlen)
+        if m >= self.min_doc_len:
+            return 1.0
+        return min(1.0, m / min(self.min_doc_len, qlen))
+
+
+class ShardRouter:
+    """Partitions a database into shards and prices per-query bounds.
+
+    Parameters
+    ----------
+    database:
+        The parent :class:`SpatialDatabase` (shared with the engine).
+    shards:
+        Requested shard count (clamped to the object count).
+    partitioner:
+        A name from :data:`PARTITIONERS` (``"grid"`` default,
+        ``"round-robin"`` ablation) or a callable
+        ``(database, shards) -> list[list[int]]``.
+    text_model:
+        The engine's text model; must have a columnar kernel
+        (Jaccard/Dice/Overlap by exact type) — sharded scans are built
+        on the kernel's flat columns.
+    """
+
+    def __init__(
+        self,
+        database: SpatialDatabase,
+        *,
+        shards: int,
+        partitioner: str | Callable[[SpatialDatabase, int], list[list[int]]] = "grid",
+        text_model: TextSimilarityModel,
+    ) -> None:
+        if not ScoringKernel.supports(text_model):
+            raise ValueError(
+                f"{type(text_model).__name__} has no columnar kernel; "
+                "sharding supports the exact set models (Jaccard/Dice/Overlap)"
+            )
+        if callable(partitioner):
+            partition = partitioner
+            self.partitioner_name = getattr(partitioner, "__name__", "custom")
+        else:
+            try:
+                partition = PARTITIONERS[partitioner]
+            except KeyError:
+                raise ValueError(
+                    f"unknown partitioner {partitioner!r}; "
+                    f"expected one of {sorted(PARTITIONERS)}"
+                ) from None
+            self.partitioner_name = partitioner
+        assignments = partition(database, shards)
+        self._validate_partition(assignments, len(database))
+        self._database = database
+        self._shards = tuple(
+            Shard(shard_id, database, rows, text_model)
+            for shard_id, rows in enumerate(assignments)
+        )
+        # Global row → (shard index, shard-local row): the gather maps
+        # for database-order materialisation and target lookups.
+        shard_of = [0] * len(database)
+        local_of = [0] * len(database)
+        for index, shard in enumerate(self._shards):
+            for local, row in enumerate(shard.rows):
+                shard_of[row] = index
+                local_of[row] = local
+        self._shard_of_row = shard_of
+        self._local_of_row = local_of
+        self.stats = ShardStats()
+
+    @staticmethod
+    def _validate_partition(assignments: list[list[int]], n: int) -> None:
+        seen: set[int] = set()
+        total = 0
+        for rows in assignments:
+            if not rows:
+                raise ValueError("partitioner produced an empty shard")
+            total += len(rows)
+            seen.update(rows)
+        if total != n or seen != set(range(n)):
+            raise ValueError(
+                "partitioner must produce a disjoint cover of all rows"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> SpatialDatabase:
+        return self._database
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        return self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def locate(self, row: int) -> tuple[int, int]:
+        """``(shard index, shard-local row)`` of a global database row."""
+        return self._shard_of_row[row], self._local_of_row[row]
+
+    def shard_sizes(self) -> list[int]:
+        return [len(shard) for shard in self._shards]
+
+    def to_dict(self) -> dict[str, object]:
+        """The ``GET /api/stats`` ``shards`` payload."""
+        return {
+            "count": len(self._shards),
+            "partitioner": self.partitioner_name,
+            "objects": self.shard_sizes(),
+            **self.stats.to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # Per-query shard bounds
+    # ------------------------------------------------------------------
+    def score_upper_bounds(self, query: SpatialKeywordQuery) -> list[float]:
+        """Static score upper bound of every shard under ``query``.
+
+        ``ws · proximity_ub + wt · tsim_ub`` — float-monotone above every
+        shard object's true score (modulo the documented ``hypot``
+        margin, which skip decisions apply).
+        """
+        qmask, _unknown = self._database.vocabulary_index.encode_query(query.doc)
+        qlen = len(query.doc)
+        qx, qy = query.loc.x, query.loc.y
+        normaliser = self._database.distance_normaliser
+        ws, wt = query.ws, query.wt
+        return [
+            ws * shard.proximity_upper_bound(qx, qy, normaliser)
+            + wt * shard.tsim_upper_bound(qmask, qlen)
+            for shard in self._shards
+        ]
+
+
+# ----------------------------------------------------------------------
+# Sharded kernel substrate
+# ----------------------------------------------------------------------
+class ShardedProximityColumn(list):
+    """Database-order proximity column annotated with per-shard views.
+
+    A plain ``list`` (drop-in for consumers indexing by global row) that
+    additionally carries per-shard slices and their exact maxima, which
+    the sharded candidate rank scans use for skip decisions.
+    """
+
+    __slots__ = ("shard_slices", "shard_maxima")
+
+    def __init__(
+        self,
+        values: Sequence[float],
+        shard_slices: Sequence[Sequence[float]],
+        shard_maxima: Sequence[float],
+    ) -> None:
+        super().__init__(values)
+        self.shard_slices = shard_slices
+        self.shard_maxima = shard_maxima
+
+
+class ShardedDocContext(DocContext):
+    """A candidate keyword set encoded for per-shard pruned rank scans.
+
+    ``tsim_row`` stays the inherited global-column arithmetic; only the
+    full-database :meth:`rank_scan` changes, skipping shards whose
+    ``ws · prox_max + wt · tsim_ub`` cannot reach the target score.
+    The proximity maxima are exact per-shard column maxima and the text
+    bound is exactly monotone, so the skip needs no margin.
+    """
+
+    __slots__ = ("_doc", "_shard_masks")
+
+    def __init__(self, kernel: "ShardedKernel", doc: AbstractSet[str]) -> None:
+        super().__init__(kernel, doc)
+        self._doc = doc
+        # Shard-local query masks, built lazily per scanned shard (most
+        # shards are skipped; encoding against their vocabularies would
+        # be wasted work).
+        self._shard_masks: dict[int, int] = {}
+
+    def _shard_mask(self, shard_index: int) -> int:
+        mask = self._shard_masks.get(shard_index)
+        if mask is None:
+            shard = self._kernel.router.shards[shard_index]
+            mask, _unknown = shard.kernel.vocabulary.encode_query(self._doc)
+            self._shard_masks[shard_index] = mask
+        return mask
+
+    def rank_scan(
+        self,
+        ws: float,
+        wt: float,
+        proximities: Sequence[float],
+        target_oid: int,
+    ) -> int:
+        kernel: ShardedKernel = self._kernel  # type: ignore[assignment]
+        if not isinstance(proximities, ShardedProximityColumn):
+            # A caller-supplied plain column: no shard maxima to prune
+            # with — fall back to the global scan (identical result).
+            return super().rank_scan(ws, wt, proximities, target_oid)
+        kernel.stats.bump("doc_rank_scans")
+        router = kernel.router
+        stats = router.stats
+        stats.bump("doc_rank_scans")
+        target_row = kernel.row_of(target_oid)
+        theta = ws * proximities[target_row] + wt * self.tsim_row(target_row)
+        target_shard, target_local = router.locate(target_row)
+        qlen = self.length
+        beaters = 0
+        scanned = 0
+        skipped = 0
+        for index, shard in enumerate(router.shards):
+            tsim_ub = shard.tsim_upper_bound(self.mask, qlen)
+            if ws * proximities.shard_maxima[index] + wt * tsim_ub < theta:
+                skipped += 1
+                continue
+            scanned += 1
+            shard_kernel = shard.kernel
+            qmask = self._shard_mask(index)
+            prox = proximities.shard_slices[index]
+            masks = shard_kernel._masks
+            lens = shard_kernel._lens
+            oids = shard_kernel._oids
+            skip_local = target_local if index == target_shard else -1
+            code = self._code
+            for local in range(len(shard)):
+                if local == skip_local:
+                    continue
+                shared = (masks[local] & qmask).bit_count()
+                if shared == 0:
+                    tsim = 0.0
+                elif code == "jaccard":
+                    tsim = shared / (lens[local] + qlen - shared)
+                elif code == "dice":
+                    tsim = 2.0 * shared / (lens[local] + qlen)
+                else:
+                    tsim = shared / min(lens[local], qlen)
+                score = ws * prox[local] + wt * tsim
+                if score > theta or (score == theta and oids[local] < target_oid):
+                    beaters += 1
+        stats.bump("doc_shards_scanned", scanned)
+        stats.bump("doc_shards_skipped", skipped)
+        return beaters + 1
+
+
+class ShardedDualView:
+    """Per-shard dual columns with shard bounding boxes for the sweep.
+
+    Drop-in for :class:`~repro.core.kernel.DualView` as the preference
+    module consumes it.  Each shard carries its own ``(a, b)`` columns
+    plus its dual bounding box: since weights are non-negative, the box
+    corner ``w_s·a_max + w_t·b_max`` dominates every shard point in
+    float arithmetic (the maxima are exact column maxima and float
+    multiply/add are monotone), so a rank evaluation skips every shard
+    whose corner bound is strictly below the target score — no margin,
+    no approximation risk.  With spatially coherent shards the corner
+    is nearly attained (dense shards hold a near-corner object), so
+    little pruning power is lost over an exact per-weight maximum while
+    the box costs four C-speed ``min``/``max`` passes per query.
+    """
+
+    __slots__ = (
+        "_kernel",
+        "_views",
+        "_fronts",
+        "_a_min",
+        "_a_max",
+        "_b_min",
+        "_b_max",
+    )
+
+    def __init__(self, kernel: "ShardedKernel", views: Sequence[DualView]) -> None:
+        self._kernel = kernel
+        self._views = tuple(views)
+        if len(self._views) == 1:
+            # Single-shard routers (the E12 scatter baseline) cannot
+            # skip anything: every evaluation scans the one shard, so
+            # bounding boxes would be pure build overhead.
+            self._fronts = None
+            self._a_min = self._a_max = self._b_min = self._b_max = None
+            return
+        # Lazily-built Pareto fronts (see _front_max).
+        self._fronts: list[tuple[tuple[float, float], ...] | None] | None = (
+            [None] * len(self._views)
+        )
+        self._a_min = [min(view.a) for view in self._views]
+        self._a_max = [max(view.a) for view in self._views]
+        self._b_min = [min(view.b) for view in self._views]
+        self._b_max = [max(view.b) for view in self._views]
+
+    def _front_max(self, index: int, ws: float, wt: float) -> float:
+        """Exact float maximum of ``ws·a + wt·b`` over shard ``index``.
+
+        The maximum over a shard is attained on its Pareto front (a
+        dominated point's float score never exceeds its dominator's —
+        multiply/add by non-negative weights are monotone), so this is
+        the true shard maximum, not a bound.  Fronts are built lazily,
+        once per view, and only for shards the O(1) box-corner test
+        could not skip — the sort is paid where it can pay off.
+        """
+        front = self._fronts[index]
+        if front is None:
+            view = self._views[index]
+            pairs = sorted(zip(view.a, view.b), reverse=True)
+            built: list[tuple[float, float]] = []
+            best_b = -math.inf
+            for a, b in pairs:
+                if b > best_b:
+                    built.append((a, b))
+                    best_b = b
+            front = tuple(built)
+            self._fronts[index] = front
+        return max(ws * a + wt * b for a, b in front)
+
+    # ------------------------------------------------------------------
+    # Lookup and materialisation
+    # ------------------------------------------------------------------
+    def _locate_oid(self, oid: int) -> tuple[int, int]:
+        kernel = self._kernel
+        return kernel.router.locate(kernel.row_of(oid))
+
+    def row_of(self, oid: int) -> int:
+        """Global database row of ``oid`` (mirrors ``DualView.row_of``)."""
+        return self._kernel.row_of(oid)
+
+    def dual_point_of(self, oid: int) -> "DualPoint":
+        """The one object's :class:`DualPoint` (mirrors ``DualView``)."""
+        from repro.core.scoring import DualPoint
+
+        shard_index, local = self._locate_oid(oid)
+        view = self._views[shard_index]
+        return DualPoint(oid=oid, a=view.a[local], b=view.b[local])
+
+    def dual_points(self) -> "list[DualPoint]":
+        """Materialise every object's :class:`DualPoint`, database order."""
+        from repro.core.scoring import DualPoint
+
+        out: list[DualPoint | None] = [None] * len(self._kernel)
+        for shard, view in zip(self._kernel.router.shards, self._views):
+            points = map(DualPoint._make, zip(view.oids, view.a, view.b))
+            for row, point in zip(shard.rows, points):
+                out[row] = point
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Sweep primitives (DualView interface, shard-pruned)
+    # ------------------------------------------------------------------
+    def ranks_at(
+        self, ws: float, wt: float, target_oids: Sequence[int]
+    ) -> dict[int, int]:
+        """Exact ranks at weights ``(ws, wt)``; skips hopeless shards."""
+        router = self._kernel.router
+        stats = router.stats
+        stats.bump("dual_rank_passes")
+        views = self._views
+        targets: list[tuple[int, float, int, int]] = []
+        for oid in target_oids:
+            shard_index, local = self._locate_oid(oid)
+            view = views[shard_index]
+            targets.append(
+                (oid, ws * view.a[local] + wt * view.b[local], shard_index, local)
+            )
+        beaten = {oid: 0 for oid, _, _, _ in targets}
+        scanned = 0
+        skipped = 0
+        a_max = self._a_max
+        b_max = self._b_max
+        for index, view in enumerate(views):
+            if a_max is not None:
+                corner = ws * a_max[index] + wt * b_max[index]
+                live = [t for t in targets if corner >= t[1]]
+                if live:
+                    # Box corner could not rule the shard out — decide
+                    # with the exact per-weight shard maximum.
+                    front_max = self._front_max(index, ws, wt)
+                    live = [t for t in live if front_max >= t[1]]
+                if not live:
+                    skipped += 1
+                    continue
+            else:
+                live = targets
+            scanned += 1
+            scores = [ws * a + wt * b for a, b in zip(view.a, view.b)]
+            oids = view.oids
+            for oid, target_score, target_shard, target_local in live:
+                # Strictly-greater count at C speed; the (rare) exact
+                # score ties fall back to an explicit oid-ordered walk.
+                count = sum(map(target_score.__lt__, scores))
+                ties = scores.count(target_score)
+                if index == target_shard:
+                    ties -= 1  # the target's own row
+                if ties:
+                    skip_local = target_local if index == target_shard else -1
+                    count += sum(
+                        1
+                        for local, score in enumerate(scores)
+                        if score == target_score
+                        and local != skip_local
+                        and oids[local] < oid
+                    )
+                beaten[oid] += count
+        stats.bump("dual_shards_scanned", scanned)
+        stats.bump("dual_shards_skipped", skipped)
+        return {oid: count + 1 for oid, count in beaten.items()}
+
+    def crossing_candidates(self, target_oid: int) -> "list[DualPoint]":
+        """Objects whose score lines cross the target's — database order.
+
+        A shard is skipped when its ``(a, b)`` bounding box cannot reach
+        either open quadrant of the target point; the per-point product
+        test inside scanned shards is the oracle's own expression.
+        """
+        from repro.core.scoring import DualPoint
+
+        kernel = self._kernel
+        router = kernel.router
+        shard_index, local = self._locate_oid(target_oid)
+        view = self._views[shard_index]
+        am = view.a[local]
+        bm = view.b[local]
+        found: list[tuple[int, DualPoint]] = []
+        for index, shard_view in enumerate(self._views):
+            if self._a_max is not None:
+                low_high = self._a_max[index] > am and self._b_min[index] < bm
+                high_low = self._a_min[index] < am and self._b_max[index] > bm
+                if not (low_high or high_low):
+                    continue
+            rows = router.shards[index].rows
+            oids = shard_view.oids
+            for pos, (a, b) in enumerate(zip(shard_view.a, shard_view.b)):
+                if (a - am) * (b - bm) < 0.0:
+                    found.append((rows[pos], DualPoint(oid=oids[pos], a=a, b=b)))
+        found.sort()
+        return [point for _, point in found]
+
+    def strictly_above_at_zero(self, target_oid: int) -> int:
+        """Objects strictly outranking the target as ``w → 0+``."""
+        shard_index, local = self._locate_oid(target_oid)
+        view = self._views[shard_index]
+        am = view.a[local]
+        bm = view.b[local]
+        above = 0
+        for index, shard_view in enumerate(self._views):
+            if self._b_max is not None and self._b_max[index] < bm:
+                continue
+            for a, b in zip(shard_view.a, shard_view.b):
+                if b > bm or (b == bm and a > am):
+                    above += 1
+        return above
+
+    def permanent_ties_smaller(self, target_oid: int) -> int:
+        """Objects with an identical score line and a smaller object id."""
+        shard_index, local = self._locate_oid(target_oid)
+        view = self._views[shard_index]
+        am = view.a[local]
+        bm = view.b[local]
+        ties = 0
+        for index, shard_view in enumerate(self._views):
+            if self._a_min is not None and not (
+                self._a_min[index] <= am <= self._a_max[index]
+                and self._b_min[index] <= bm <= self._b_max[index]
+            ):
+                continue
+            oids = shard_view.oids
+            for pos, (a, b) in enumerate(zip(shard_view.a, shard_view.b)):
+                if a == am and b == bm and oids[pos] < target_oid:
+                    ties += 1
+        return ties
+
+
+class ShardedKernel(ScoringKernel):
+    """A :class:`ScoringKernel` whose rank primitives scan shard-wise.
+
+    Inherits the global flat columns — whole-database passes
+    (``components_all``, ``score_all``, ``order_rows``, prepared
+    queries) are the plain kernel's and stay bit-identical — and
+    overrides the primitives where disjointness buys work elimination:
+
+    * :meth:`count_better` / :meth:`rank_of_many` — per-shard counts
+      behind the static score upper bounds;
+    * :meth:`dual_view` — a :class:`ShardedDualView` whose sweep
+      evaluations skip shards via exact Pareto-front maxima;
+    * :meth:`proximities` — a :class:`ShardedProximityColumn` carrying
+      the per-shard maxima the candidate rank scans prune with;
+    * :meth:`doc_context` — a :class:`ShardedDocContext`.
+
+    Shard scans reuse each shard's own kernel columns (same formulas,
+    same normaliser — the sub-databases inherit the parent dataspace),
+    so every float is identical to the global pass.
+    """
+
+    __slots__ = ("router",)
+
+    def __init__(
+        self,
+        database: SpatialDatabase,
+        text_model: TextSimilarityModel,
+        router: ShardRouter,
+    ) -> None:
+        if router.database is not database:
+            raise ValueError("router and kernel must share the same database")
+        super().__init__(database, text_model)
+        self.router = router
+
+    @classmethod
+    def maybe_build(  # type: ignore[override]
+        cls,
+        database: SpatialDatabase,
+        text_model: TextSimilarityModel,
+        router: ShardRouter | None = None,
+    ) -> "ScoringKernel | None":
+        """Build a sharded kernel, or fall back like the base builder."""
+        if not cls.supports(text_model):
+            return None
+        if router is None:
+            return ScoringKernel(database, text_model)
+        return cls(database, text_model, router)
+
+    # ------------------------------------------------------------------
+    # Rank primitives (shard-pruned)
+    # ------------------------------------------------------------------
+    def count_better(
+        self, score: float, oid: int, query: SpatialKeywordQuery
+    ) -> int:
+        self.stats.bump("count_better_calls")
+        router = self.router
+        stats = router.stats
+        stats.bump("count_passes")
+        bounds = router.score_upper_bounds(query)
+        threshold = score - _SKIP_MARGIN
+        better = 0
+        scanned = 0
+        skipped = 0
+        for shard, bound in zip(router.shards, bounds):
+            if bound < threshold:
+                skipped += 1
+                continue
+            scanned += 1
+            better += shard.kernel.count_better(score, oid, query)
+        stats.bump("count_shards_scanned", scanned)
+        stats.bump("count_shards_skipped", skipped)
+        return better
+
+    def rank_of_many(
+        self, target_oids: Iterable[int], query: SpatialKeywordQuery
+    ) -> dict[int, int]:
+        self.stats.bump("rank_of_many_calls")
+        router = self.router
+        stats = router.stats
+        stats.bump("count_passes")
+        prepared = self.prepare(query)
+        targets = [(oid, prepared.score_oid(oid)) for oid in target_oids]
+        prepared.flush_stats()  # target scorings are real point scores
+        bounds = router.score_upper_bounds(query)
+        beaten = {oid: 0 for oid, _ in targets}
+        scanned = 0
+        skipped = 0
+        for shard, bound in zip(router.shards, bounds):
+            live = [t for t in targets if bound >= t[1] - _SKIP_MARGIN]
+            if not live:
+                skipped += 1
+                continue
+            scanned += 1
+            shard_kernel = shard.kernel
+            scores = shard_kernel._score_list(query)
+            oids = shard_kernel._oids
+            row_of = shard_kernel._row_of
+            for oid, target_score in live:
+                skip_local = row_of.get(oid, -1)
+                count = 0
+                for local, other_score in enumerate(scores):
+                    if other_score > target_score:
+                        count += 1
+                    elif (
+                        other_score == target_score
+                        and local != skip_local
+                        and oids[local] < oid
+                    ):
+                        count += 1
+                beaten[oid] += count
+        stats.bump("count_shards_scanned", scanned)
+        stats.bump("count_shards_skipped", skipped)
+        return {oid: count + 1 for oid, count in beaten.items()}
+
+    # ------------------------------------------------------------------
+    # Dual-space and candidate substrates
+    # ------------------------------------------------------------------
+    def dual_view(self, query: SpatialKeywordQuery) -> ShardedDualView:  # type: ignore[override]
+        self.stats.bump("dual_views")
+        self.router.stats.bump("dual_views")
+        views = [
+            shard.kernel.dual_view(query) for shard in self.router.shards
+        ]
+        return ShardedDualView(self, views)
+
+    def proximities(self, query: SpatialKeywordQuery) -> ShardedProximityColumn:  # type: ignore[override]
+        slices = [
+            shard.kernel.proximities(query) for shard in self.router.shards
+        ]
+        values: list[float] = [0.0] * self._n
+        for shard, piece in zip(self.router.shards, slices):
+            for row, value in zip(shard.rows, piece):
+                values[row] = value
+        return ShardedProximityColumn(
+            values, slices, [max(piece) for piece in slices]
+        )
+
+    def doc_context(self, doc: AbstractSet[str]) -> ShardedDocContext:
+        self.stats.bump("doc_contexts")
+        return ShardedDocContext(self, doc)

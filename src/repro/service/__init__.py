@@ -22,9 +22,11 @@ from repro.service.executor import (
     WhyNotExecution,
     WhyNotExecutor,
     WhyNotQuestion,
+    consistent_stats,
     query_fingerprint,
     whynot_fingerprint,
 )
+from repro.service.sharded import ShardedEngine
 from repro.service.panels import (
     render_demo_screen,
     render_explanation_panel,
@@ -49,8 +51,10 @@ __all__ = [
     "WhyNotExecution",
     "WhyNotExecutor",
     "WhyNotQuestion",
+    "consistent_stats",
     "query_fingerprint",
     "whynot_fingerprint",
+    "ShardedEngine",
     "render_demo_screen",
     "render_explanation_panel",
     "render_map",

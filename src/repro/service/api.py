@@ -20,6 +20,7 @@ from repro.core.geometry import Point
 from repro.core.objects import SpatialDatabase, SpatialObject
 from repro.core.query import DEFAULT_WEIGHTS, QueryResult, SpatialKeywordQuery, Weights
 from repro.core.scoring import Scorer
+from repro.core.sharding import ShardRouter
 from repro.core.topk import BestFirstTopK, BruteForceTopK, TopKEngine
 from repro.index.irtree import IRTree
 from repro.index.kcrtree import KcRTree
@@ -69,6 +70,26 @@ class YaskEngine:
         default setting ... ⟨0.5, 0.5⟩" (Section 3.2).
     max_entries:
         R-tree fanout for every index built.
+    shards:
+        ``None`` (default) keeps the single-index engine.  An integer
+        partitions the database into that many disjoint spatial shards
+        (:mod:`repro.core.sharding`): top-k queries run scatter-gather
+        with shard-bound skipping
+        (:class:`~repro.service.sharded.ShardedEngine` replaces the
+        best-first engine) and the why-not modules' full-database rank
+        scans prune whole shards — all bit-for-bit identical to the
+        unsharded engine.  ``shards=1`` exercises the sharded machinery
+        with a single shard (the E12 scatter baseline).  Requires a
+        text model with a columnar kernel (Jaccard/Dice/Overlap) and is
+        mutually exclusive with ``use_index=False`` (the brute-force
+        oracle ablation).
+    partitioner:
+        ``"grid"`` (spatial quantile tiles, default) or
+        ``"round-robin"`` (the spatially incoherent ablation).
+    shard_workers:
+        Scatter pool width for the sharded engine (``None`` = one per
+        shard, capped by the CPU count; single-core hosts therefore run
+        the sequential threshold-adaptive gather).
     """
 
     def __init__(
@@ -81,16 +102,49 @@ class YaskEngine:
         use_index: bool = True,
         max_edit_count: int | None = None,
         candidate_budget: int | None = None,
+        shards: int | None = None,
+        partitioner: str = "grid",
+        shard_workers: int | None = None,
     ) -> None:
         self._database = database
         self._text_model = text_model
         self._default_weights = default_weights
-        self._scorer = Scorer(database, text_model=text_model)
+
+        self._shard_router: ShardRouter | None = None
+        if shards is not None:
+            if not use_index:
+                # The two requests contradict: use_index=False asks for
+                # the brute-force oracle engine, shards for the pruned
+                # scatter-gather.  Silently preferring either would
+                # corrupt ablation measurements, so refuse.
+                raise ValueError(
+                    "shards and use_index=False are mutually exclusive; "
+                    "benchmark the scatter baseline with shards=1 instead"
+                )
+            # Raises for models without a columnar kernel — sharded
+            # scans are built on the kernel's flat columns.
+            self._shard_router = ShardRouter(
+                database,
+                shards=shards,
+                partitioner=partitioner,
+                text_model=text_model,
+            )
+        self._scorer = Scorer(
+            database, text_model=text_model, shard_router=self._shard_router
+        )
 
         self._set_rtree: SetRTree | None = None
         self._ir_tree: IRTree | None = None
+        self._sharded_engine = None
         self._topk_engine: TopKEngine
-        if not use_index:
+        if self._shard_router is not None:
+            from repro.service.sharded import ShardedEngine
+
+            self._sharded_engine = ShardedEngine(
+                self._shard_router, self._scorer, max_workers=shard_workers
+            )
+            self._topk_engine = self._sharded_engine
+        elif not use_index:
             self._topk_engine = BruteForceTopK(self._scorer)
         elif isinstance(text_model, SetSimilarityModel):
             self._set_rtree = SetRTree.build(
@@ -124,6 +178,16 @@ class YaskEngine:
             candidate_budget=candidate_budget,
         )
 
+    def close(self) -> None:
+        """Release the scatter pool of a sharded engine (idempotent).
+
+        Unsharded engines hold no threads and need no teardown; the
+        HTTP server and the CLI batch paths call this alongside the
+        executor pools' shutdown.
+        """
+        if self._sharded_engine is not None:
+            self._sharded_engine.close()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -144,6 +208,16 @@ class YaskEngine:
         the compute tier under the result caches actually performs.
         """
         return self._scorer.kernel
+
+    @property
+    def shard_router(self) -> ShardRouter | None:
+        """The shard router (None when the engine is unsharded).
+
+        Its :class:`~repro.core.sharding.ShardStats` — scatter/merge
+        timings and shard scan/skip counters — surface through
+        ``GET /api/stats`` as the ``shards`` section.
+        """
+        return self._shard_router
 
     @property
     def default_weights(self) -> Weights:

@@ -71,13 +71,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_shard_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            help=(
+                "partition the database into N spatial shards "
+                "(scatter-gather top-k + pruned why-not scans; "
+                "default: unsharded)"
+            ),
+        )
+        command.add_argument(
+            "--partitioner",
+            choices=("grid", "round-robin"),
+            default="grid",
+            help="shard partition strategy (round-robin is the ablation)",
+        )
+
     serve = sub.add_parser("serve", help="run the HTTP service")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--dataset", default="hotels")
+    add_shard_args(serve)
 
     def add_query_args(command: argparse.ArgumentParser) -> None:
         command.add_argument("--dataset", default="hotels")
+        add_shard_args(command)
         command.add_argument("--x", type=float, required=True)
         command.add_argument("--y", type=float, required=True)
         command.add_argument(
@@ -99,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute a JSON file of top-k queries through the executor",
     )
     batch.add_argument("--dataset", default="hotels")
+    add_shard_args(batch)
     batch.add_argument(
         "--file",
         required=True,
@@ -120,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer a JSON file of why-not questions through the executor",
     )
     whynot_batch.add_argument("--dataset", default="hotels")
+    add_shard_args(whynot_batch)
     whynot_batch.add_argument(
         "--file",
         required=True,
@@ -189,17 +211,24 @@ def _parse_missing(raw: str) -> list[int | str]:
 
 
 def _make_engine(args: argparse.Namespace) -> YaskEngine:
-    return YaskEngine(load_dataset(args.dataset))
+    return YaskEngine(
+        load_dataset(args.dataset),
+        shards=getattr(args, "shards", None),
+        partitioner=getattr(args, "partitioner", "grid"),
+    )
 
 
 def _run_query(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
-    weights = Weights.from_spatial(args.ws) if args.ws is not None else None
-    query = engine.make_query(
-        Point(args.x, args.y), _parse_keywords(args.keywords), args.k,
-        weights=weights,
-    )
-    timed = engine.timed_query(query)
+    try:
+        weights = Weights.from_spatial(args.ws) if args.ws is not None else None
+        query = engine.make_query(
+            Point(args.x, args.y), _parse_keywords(args.keywords), args.k,
+            weights=weights,
+        )
+        timed = engine.timed_query(query)
+    finally:
+        engine.close()
     print(json.dumps(result_to_dict(timed.value), indent=2))
     print(f"executed in {timed.response_ms:.2f} ms", file=sys.stderr)
     return 0
@@ -248,6 +277,7 @@ def _run_batch(args: argparse.Namespace) -> int:
         ]
     finally:
         executor.close()
+        engine.close()
     stats = executor.stats()
     print(
         json.dumps(
@@ -285,6 +315,7 @@ def _run_whynot_batch(args: argparse.Namespace) -> int:
     finally:
         executor.close()
         topk.close()
+        engine.close()
     stats = executor.stats()
     print(
         json.dumps(
@@ -329,6 +360,8 @@ def _run_whynot(args: argparse.Namespace) -> int:
     except WhyNotError as exc:
         print(f"why-not error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        engine.close()
     print(json.dumps(payload, indent=2))
     return 0
 
@@ -360,12 +393,15 @@ def _run_stats(args: argparse.Namespace) -> int:
 
 def _run_audit(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
-    weights = Weights.from_spatial(args.ws) if args.ws is not None else None
-    result = engine.top_k(
-        Point(args.x, args.y), _parse_keywords(args.keywords), args.k,
-        weights=weights,
-    )
-    report = engine.audit(result)
+    try:
+        weights = Weights.from_spatial(args.ws) if args.ws is not None else None
+        result = engine.top_k(
+            Point(args.x, args.y), _parse_keywords(args.keywords), args.k,
+            weights=weights,
+        )
+        report = engine.audit(result)
+    finally:
+        engine.close()
     print(report.describe())
     return 0 if report.ok else 1
 
@@ -374,7 +410,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
         serve_forever(
-            YaskEngine(load_dataset(args.dataset)),
+            _make_engine(args),
             host=args.host,
             port=args.port,
         )

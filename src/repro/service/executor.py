@@ -57,6 +57,7 @@ __all__ = [
     "WhyNotExecution",
     "WhyNotExecutor",
     "WhyNotQuestion",
+    "consistent_stats",
     "query_fingerprint",
     "whynot_fingerprint",
 ]
@@ -482,6 +483,13 @@ class QueryExecutor:
         # executor registers here): invalidating this executor drops
         # them too, because their values derive from the same dataset.
         self._linked_invalidations: list[Callable[[], int]] = []
+        # Serialises a whole-domain invalidation against whole-domain
+        # stats snapshots: holding it across both cache drops (and, in
+        # consistent_stats, across both stats reads) means no reader
+        # can observe this cache from one generation and a linked cache
+        # from another.  Per-cache locks are acquired inside it, never
+        # the other way around, so there is no ordering hazard.
+        self._domain_lock = threading.Lock()
 
     @property
     def engine(self) -> SupportsQuery:
@@ -563,12 +571,15 @@ class QueryExecutor:
         Executions already in flight complete normally but are barred
         from (re)populating the cache.  Linked caches (see
         :meth:`link_invalidation`) are dropped too; the returned count
-        covers only this executor's own entries.
+        covers only this executor's own entries.  The domain lock makes
+        the cascade atomic with respect to :func:`consistent_stats`
+        snapshots.
         """
-        dropped = self._cache.invalidate()
-        for drop in self._linked_invalidations:
-            drop()
-        return dropped
+        with self._domain_lock:
+            dropped = self._cache.invalidate()
+            for drop in self._linked_invalidations:
+                drop()
+            return dropped
 
     def stats(self) -> CacheStats:
         return self._cache.stats()
@@ -790,3 +801,23 @@ class WhyNotExecutor:
     def cached_fingerprints(self) -> tuple[str, ...]:
         """Cached keys in eviction order (least recently used first)."""
         return self._cache.keys()
+
+
+def consistent_stats(
+    topk: QueryExecutor,
+    whynot: WhyNotExecutor,
+) -> tuple[CacheStats, CacheStats]:
+    """Snapshot both executors' stats from one cache generation.
+
+    The two caches form a single invalidation domain, but an
+    ``invalidate()`` drops them sequentially (top-k first, then the
+    linked why-not cache), so two independent ``stats()`` reads racing
+    an invalidation could observe a *mixed-generation* view — the
+    top-k side already invalidated, the why-not side not yet.  Holding
+    the domain lock across both reads excludes any concurrent
+    invalidation cascade, so the pair always reflects one generation
+    (their ``invalidations`` counters agree).  ``GET /api/stats``
+    serves these snapshots.
+    """
+    with topk._domain_lock:
+        return topk.stats(), whynot.stats()

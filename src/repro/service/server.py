@@ -50,7 +50,12 @@ from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs, urlparse
 
 from repro.service.api import YaskEngine
-from repro.service.executor import QueryExecutor, WhyNotExecutor, WhyNotQuestion
+from repro.service.executor import (
+    QueryExecutor,
+    WhyNotExecutor,
+    WhyNotQuestion,
+    consistent_stats,
+)
 from repro.service.protocol import (
     ProtocolError,
     batch_execution_to_dict,
@@ -129,6 +134,7 @@ class YaskHTTPServer(ThreadingHTTPServer):
         super().server_close()
         self.executor.close()
         self.whynot_executor.close()
+        self.engine.close()
 
 
 class _YaskRequestHandler(BaseHTTPRequestHandler):
@@ -173,13 +179,19 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, {"session_id": session_id, "entries": entries})
             elif parsed.path == "/api/stats":
                 kernel = self.server.engine.kernel
+                router = self.server.engine.shard_router
+                # Both executor snapshots come from one cache
+                # generation: a stats read racing invalidate() must
+                # never show the top-k side invalidated and the linked
+                # why-not side not (or vice versa).
+                cache_stats, whynot_stats = consistent_stats(
+                    self.server.executor, self.server.whynot_executor
+                )
                 self._send_json(
                     200,
                     {
-                        "cache": self.server.executor.stats().to_dict(),
-                        "whynot_cache": (
-                            self.server.whynot_executor.stats().to_dict()
-                        ),
+                        "cache": cache_stats.to_dict(),
+                        "whynot_cache": whynot_stats.to_dict(),
                         # Columnar-kernel hit counters (None when the
                         # text model has no kernel): how many batch
                         # passes / point scorings the compute tier under
@@ -188,6 +200,13 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
                             kernel.stats.to_dict()
                             if kernel is not None
                             else None
+                        ),
+                        # Scatter-gather counters (None when the engine
+                        # is unsharded): per-shard object counts plus
+                        # scatter/merge timings and shard scan/skip
+                        # tallies for top-k and the why-not primitives.
+                        "shards": (
+                            router.to_dict() if router is not None else None
                         ),
                     },
                 )

@@ -1,0 +1,215 @@
+"""Scatter-gather top-k over spatially partitioned shards.
+
+:class:`ShardedEngine` implements the :class:`~repro.core.topk.TopKEngine`
+protocol (``search(query) -> QueryResult``) over a
+:class:`~repro.core.sharding.ShardRouter`, so it slots under the
+executor tier exactly where ``BestFirstTopK`` does — the caches,
+sessions and transports are unchanged.
+
+The gather is *bound-ordered and threshold-adaptive*:
+
+1. Every shard's static score upper bound is computed (MBR MINDIST +
+   keyword-union text bound, see :mod:`repro.core.sharding`), and
+   shards are visited in descending bound order — the most promising
+   shard first.
+2. Each visited shard runs a columnar top-k scan over its own kernel
+   (one score pass + a bounded ``nsmallest``); its candidates merge
+   into the running global top-k under the oracle's
+   ``(score desc, oid asc)`` order.
+3. Once ``k`` candidates are held, any remaining shard whose upper
+   bound is strictly below the current k-th score (minus the module's
+   defensive ``hypot`` margin) is **skipped entirely** — it provably
+   cannot place an object in the result, even by tie-break, which
+   requires score equality.
+
+With more than one worker the scatter instead fans the post-threshold
+shard scans across a persistent thread pool: the best-bound shard is
+scanned first to establish the threshold, survivors run concurrently,
+and the merge is unchanged.  On a single-core host (the reference
+container) the default is the sequential adaptive gather, whose wins
+come from work elimination, not parallelism; the thread-pool path
+exists for multicore deployments and is parity-tested either way.
+
+Bit-for-bit parity with the unsharded oracle — same entries, same
+scores/components, same tie order — is asserted by
+``tests/properties/test_prop_sharding.py`` and the E12 benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from heapq import nsmallest
+from itertools import chain
+from operator import neg
+from typing import Sequence
+
+from repro.core.query import QueryResult, RankedObject, SpatialKeywordQuery
+from repro.core.scoring import Scorer
+from repro.core.sharding import Shard, ShardRouter, _SKIP_MARGIN
+
+__all__ = ["ShardedEngine"]
+
+
+class ShardedEngine:
+    """Scatter-gather spatial keyword top-k over a shard router.
+
+    Parameters
+    ----------
+    router:
+        The shard router (owns the shards and the scatter statistics).
+    scorer:
+        The engine's scorer — used to materialise the winning entries'
+        score decompositions (identical floats to the scan, per the
+        kernel parity contract).
+    max_workers:
+        Scatter pool width.  ``None`` (default) uses
+        ``min(len(shards), cpu count)``; ``1`` selects the sequential
+        threshold-adaptive gather.  Results are identical either way —
+        only the wall-clock/pruning trade-off differs.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        scorer: Scorer,
+        *,
+        max_workers: int | None = None,
+    ) -> None:
+        if scorer.database is not router.database:
+            raise ValueError("router and scorer must share the same database")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self._router = router
+        self._scorer = scorer
+        workers = (
+            max_workers
+            if max_workers is not None
+            else min(len(router), os.cpu_count() or 1)
+        )
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="yask-shard"
+            )
+            if workers > 1
+            else None
+        )
+
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    @property
+    def scorer(self) -> Scorer:
+        return self._scorer
+
+    @property
+    def stats(self):
+        """The router's :class:`~repro.core.sharding.ShardStats`."""
+        return self._router.stats
+
+    def close(self) -> None:
+        """Shut down the scatter pool (idempotent; the shards survive)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _scan_shard(
+        shard: Shard, query: SpatialKeywordQuery, k: int
+    ) -> list[tuple[float, int]]:
+        """The shard's best ``k`` candidates as ``(−score, oid)`` pairs.
+
+        ``(−score, oid)`` ascending is exactly the oracle's
+        ``(score desc, oid asc)`` order, so candidate lists from
+        different shards merge with plain heap selection.
+        """
+        scores = shard.kernel._score_list(query)
+        return nsmallest(k, zip(map(neg, scores), shard.kernel.oids))
+
+    def search(self, query: SpatialKeywordQuery) -> QueryResult:
+        """Exact top-k by scatter-gather with shard-bound skipping."""
+        router = self._router
+        stats = router.stats
+        stats.bump("topk_searches")
+        started = time.perf_counter()
+        k = query.k
+
+        bounds = router.score_upper_bounds(query)
+        order = sorted(
+            range(len(router)), key=bounds.__getitem__, reverse=True
+        )
+        shards = router.shards
+        best: list[tuple[float, int]] = []
+        scanned = 0
+        skipped = 0
+
+        if self._pool is None or len(order) == 1:
+            # Sequential adaptive gather: every scanned shard tightens
+            # the threshold for the ones after it.
+            for index in order:
+                if len(best) == k and bounds[index] < -best[k - 1][0] - _SKIP_MARGIN:
+                    skipped += 1
+                    continue
+                scanned += 1
+                best = nsmallest(
+                    k, chain(best, self._scan_shard(shards[index], query, k))
+                )
+        else:
+            # Parallel scatter: the best-bound shard runs first to set
+            # the threshold, survivors fan across the pool.
+            first, rest = order[0], order[1:]
+            scanned += 1
+            best = self._scan_shard(shards[first], query, k)
+            survivors = []
+            for index in rest:
+                if len(best) == k and bounds[index] < -best[k - 1][0] - _SKIP_MARGIN:
+                    skipped += 1
+                else:
+                    survivors.append(index)
+            scanned += len(survivors)
+            if survivors:
+                pieces = self._pool.map(
+                    lambda index: self._scan_shard(shards[index], query, k),
+                    survivors,
+                )
+                best = nsmallest(k, chain(best, *pieces))
+
+        scatter_done = time.perf_counter()
+        entries = self._materialise(query, best)
+        finished = time.perf_counter()
+        stats.bump("topk_shards_scanned", scanned)
+        stats.bump("topk_shards_skipped", skipped)
+        stats.bump("topk_scatter_ms", (scatter_done - started) * 1000.0)
+        stats.bump("topk_merge_ms", (finished - scatter_done) * 1000.0)
+        return QueryResult(query, entries)
+
+    def _materialise(
+        self,
+        query: SpatialKeywordQuery,
+        merged: Sequence[tuple[float, int]],
+    ) -> list[RankedObject]:
+        """Attach score decompositions to the merged winners.
+
+        ``Scorer.breakdown`` is the set-path oracle; its floats equal
+        the kernel scan's by the PR-3 parity contract, so the assembled
+        entries are bit-identical to the unsharded engine's.
+        """
+        database = self._scorer.database
+        entries: list[RankedObject] = []
+        for position, (_negscore, oid) in enumerate(merged, start=1):
+            obj = database.get(oid)
+            breakdown = self._scorer.breakdown(obj, query)
+            entries.append(
+                RankedObject(
+                    obj=obj,
+                    score=breakdown.score,
+                    sdist=breakdown.sdist,
+                    tsim=breakdown.tsim,
+                    rank=position,
+                )
+            )
+        return entries

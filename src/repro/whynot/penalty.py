@@ -116,14 +116,25 @@ class PreferencePenalty:
         """The k the refined query must use to cover all of ``M``."""
         return max(self._query.k, refined_worst_rank)
 
+    def _components(self, delta_k: int, delta_w: float) -> tuple[float, float]:
+        """``(k_component, modification_component)`` of Eqn. (3).
+
+        The single copy of the penalty arithmetic: every evaluation
+        path — component breakdowns, the verification ``__call__`` and
+        the sweep's :meth:`value_at` — must go through it so their
+        floats can never desynchronise.
+        """
+        k_component = self._lam * delta_k / self._k_normaliser
+        modification = (1.0 - self._lam) * delta_w / self._w_normaliser
+        return k_component, modification
+
     def breakdown(
         self, refined_worst_rank: int, refined_weights: Weights
     ) -> PenaltyBreakdown:
         """Evaluate Eqn. (3) with full component attribution."""
         delta_k = self.delta_k(refined_worst_rank)
         delta_w = self._query.weights.distance_to(refined_weights)
-        k_component = self._lam * delta_k / self._k_normaliser
-        modification = (1.0 - self._lam) * delta_w / self._w_normaliser
+        k_component, modification = self._components(delta_k, delta_w)
         return PenaltyBreakdown(
             total=k_component + modification,
             k_component=k_component,
@@ -134,7 +145,26 @@ class PreferencePenalty:
     def __call__(
         self, refined_worst_rank: int, refined_weights: Weights
     ) -> float:
-        return self.breakdown(refined_worst_rank, refined_weights).total
+        delta_k = self.delta_k(refined_worst_rank)
+        delta_w = self._query.weights.distance_to(refined_weights)
+        k_component, modification = self._components(delta_k, delta_w)
+        return k_component + modification
+
+    def value_at(self, refined_worst_rank: int, w: float) -> float:
+        """Eqn. (3) at spatial weight ``w``, allocation-free.
+
+        The preference sweep evaluates the penalty at one candidate
+        weight per crossover; building a validated :class:`Weights` per
+        candidate is pure overhead there.  ``Weights.from_spatial``
+        stores ``(w, 1 − w)`` and ``distance_to`` is the same hypot, so
+        the floats are identical to
+        ``__call__(rank, Weights.from_spatial(w))``.
+        """
+        delta_k = self.delta_k(refined_worst_rank)
+        weights = self._query.weights
+        delta_w = math.hypot(weights.ws - w, weights.wt - (1.0 - w))
+        k_component, modification = self._components(delta_k, delta_w)
+        return k_component + modification
 
     def modification_term(self, refined_weights: Weights) -> float:
         """The weight-change term alone — a lower bound on the penalty."""

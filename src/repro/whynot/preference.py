@@ -157,13 +157,21 @@ class PreferenceAdjuster:
         # DualPoint attribute loops (identical floats either way).
         kernel = self._scorer.kernel
         view = kernel.dual_view(query) if kernel is not None else None
-        duals = (
-            view.dual_points()
-            if view is not None
-            else self._scorer.dual_points(query)
-        )
-        by_oid: dict[int, DualPoint] = {dual.oid: dual for dual in duals}
-        missing_duals = [by_oid[obj.oid] for obj in missing]
+        if view is not None and self._use_dual_index:
+            # The sweep runs over the view's flat columns; only the
+            # missing objects need materialised dual points — skipping
+            # the n-point list (and its oid dict) is a measurable win
+            # on the cold why-not path.
+            duals: list[DualPoint] = []
+            missing_duals = [view.dual_point_of(obj.oid) for obj in missing]
+        else:
+            duals = (
+                view.dual_points()
+                if view is not None
+                else self._scorer.dual_points(query)
+            )
+            by_oid: dict[int, DualPoint] = {dual.oid: dual for dual in duals}
+            missing_duals = [by_oid[obj.oid] for obj in missing]
 
         initial_ranks = self._ranks(query.weights, missing_duals, duals, view)
         initial_worst = max(initial_ranks.values())
@@ -228,6 +236,9 @@ class PreferenceAdjuster:
             )
 
         # Steps 3-4: ascending sweep with the rank-update theorem.
+        # ``value_at`` evaluates Eqn. (3) without allocating a Weights
+        # per candidate — identical floats to the verification's
+        # ``penalty(worst, Weights.from_spatial(w))``.
         ordered_ws = sorted(candidate_ws)
         scored: list[tuple[float, float, int]] = []  # (penalty, w, worst rank)
         for w in ordered_ws:
@@ -236,8 +247,7 @@ class PreferenceAdjuster:
                 rank = self._advance_and_rank(state, w)
                 if rank > worst:
                     worst = rank
-            pen = penalty(worst, Weights.from_spatial(w))
-            scored.append((pen, w, worst))
+            scored.append((penalty.value_at(worst, w), w, worst))
 
         # Floating-point verification of the best candidates.
         scored.sort(key=lambda item: (item[0], abs(item[1] - query.ws), item[1]))
@@ -306,13 +316,17 @@ class PreferenceAdjuster:
         k = target_k if target_k is not None else query.k
         kernel = self._scorer.kernel
         view = kernel.dual_view(query) if kernel is not None else None
-        duals = (
-            view.dual_points()
-            if view is not None
-            else self._scorer.dual_points(query)
-        )
-        by_oid = {dual.oid: dual for dual in duals}
-        m_dual = by_oid[missing_obj.oid]
+        if view is not None and self._use_dual_index:
+            duals = []
+            m_dual = view.dual_point_of(missing_obj.oid)
+        else:
+            duals = (
+                view.dual_points()
+                if view is not None
+                else self._scorer.dual_points(query)
+            )
+            by_oid = {dual.oid: dual for dual in duals}
+            m_dual = by_oid[missing_obj.oid]
 
         if not self._use_dual_index:
             crossing = DualSpaceIndex.crossing_candidates_linear(duals, m_dual)

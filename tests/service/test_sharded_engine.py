@@ -1,0 +1,196 @@
+"""Service-tier tests for the sharded engine (`YaskEngine(shards=N)`).
+
+Covers the wiring the property suite does not: the engine facade,
+the executor tier's "no extra search" guarantee on cached why-not
+questions (scatter counters stand in for ``SearchStats``), the
+``GET /api/stats`` ``shards`` section and the CLI ``--shards`` flag.
+"""
+
+import json
+
+import pytest
+
+from repro.core.query import SpatialKeywordQuery
+from repro.datasets.hotels import hong_kong_hotels
+from repro.service.api import YaskEngine
+from repro.service.cli import main
+from repro.service.client import YaskClient
+from repro.service.executor import QueryExecutor, WhyNotExecutor, WhyNotQuestion
+from repro.service.server import YaskHTTPServer
+from repro.text.similarity import CosineTfIdfSimilarity
+
+
+@pytest.fixture(scope="module")
+def hotels():
+    return hong_kong_hotels()
+
+
+@pytest.fixture(scope="module")
+def sharded_hotels_engine(hotels):
+    return YaskEngine(hotels, shards=4)
+
+
+@pytest.fixture(scope="module")
+def plain_hotels_engine(hotels):
+    return YaskEngine(hotels)
+
+
+class TestEngineFacade:
+    def test_hotels_topk_parity(
+        self, sharded_hotels_engine, plain_hotels_engine
+    ):
+        for keywords, k in [({"clean", "comfortable"}, 3), ({"harbour"}, 5)]:
+            query = plain_hotels_engine.make_query(
+                hong_kong_hotels().objects[7].loc, keywords, k
+            )
+            expected = plain_hotels_engine.query(query)
+            actual = sharded_hotels_engine.query(query)
+            assert [tuple(e) for e in actual] == [tuple(e) for e in expected]
+
+    def test_shard_router_exposed(self, sharded_hotels_engine):
+        router = sharded_hotels_engine.shard_router
+        assert router is not None
+        assert len(router) == 4
+        assert sum(router.shard_sizes()) == 539
+
+    def test_unsharded_engine_has_no_router(self, plain_hotels_engine):
+        assert plain_hotels_engine.shard_router is None
+
+    def test_whynot_parity(self, sharded_hotels_engine, plain_hotels_engine):
+        query = plain_hotels_engine.make_query(
+            hong_kong_hotels().objects[7].loc, {"clean", "comfortable"}, 3
+        )
+        missing = ["Grand Victoria Harbour Hotel"]
+        expected = plain_hotels_engine.why_not(query, missing)
+        actual = sharded_hotels_engine.why_not(query, missing)
+        assert actual.preference == expected.preference
+        assert actual.keyword == expected.keyword
+        assert actual.best_model == expected.best_model
+
+    def test_audit_passes_on_sharded_results(self, sharded_hotels_engine):
+        result = sharded_hotels_engine.top_k(
+            hong_kong_hotels().objects[0].loc, {"clean"}, 4
+        )
+        assert sharded_hotels_engine.audit(result).ok
+
+    def test_kernel_free_model_rejected(self, hotels):
+        cosine = CosineTfIdfSimilarity(
+            hotels.keyword_document_frequencies(), len(hotels)
+        )
+        with pytest.raises(ValueError, match="columnar kernel"):
+            YaskEngine(hotels, text_model=cosine, shards=2)
+
+    def test_shards_excludes_use_index_false(self, hotels):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            YaskEngine(hotels, shards=2, use_index=False)
+
+    def test_close_releases_scatter_pool(self, hotels):
+        engine = YaskEngine(hotels, shards=2, shard_workers=2)
+        pool = engine.topk_engine._pool
+        assert pool is not None
+        engine.close()
+        engine.close()  # idempotent
+        assert pool._shutdown
+        # Unsharded engines close as a no-op.
+        YaskEngine(hotels).close()
+
+    def test_round_robin_partitioner(self, hotels, plain_hotels_engine):
+        engine = YaskEngine(hotels, shards=3, partitioner="round-robin")
+        query = engine.make_query(hotels.objects[3].loc, {"harbour"}, 4)
+        assert [tuple(e) for e in engine.query(query)] == [
+            tuple(e) for e in plain_hotels_engine.query(query)
+        ]
+
+
+class TestCachedWhyNotRunsNoScatter:
+    """PR 2's "no extra search" contract, restated for the scatter tier.
+
+    A why-not question whose underlying query is already cached must
+    charge zero scatter-gather searches — the scatter counters are the
+    sharded engine's ``SearchStats``.
+    """
+
+    def test_cached_query_charges_no_scatter(self, hotels):
+        engine = YaskEngine(hotels, shards=4)
+        topk = QueryExecutor(engine, max_workers=1)
+        whynot = WhyNotExecutor(engine, topk, max_workers=1)
+        query = engine.make_query(hotels.objects[7].loc, {"clean"}, 3)
+        topk.execute(query)
+        router = engine.shard_router
+        searches_before = router.stats.to_dict()["topk_searches"]
+
+        ranking = engine.scorer.rank_all(query)
+        missing = (ranking[query.k].obj.oid,)
+        execution = whynot.execute(
+            WhyNotQuestion(query=query, missing=missing, model="explain")
+        )
+        assert execution.topk_source == "cache"
+        assert (
+            router.stats.to_dict()["topk_searches"] == searches_before
+        ), "a cached query's why-not must not re-run the scatter"
+
+        # And a repeated question is a pure cache hit: no scatter, no
+        # why-not computation.
+        repeat = whynot.execute(
+            WhyNotQuestion(query=query, missing=missing, model="explain")
+        )
+        assert repeat.source == "cache"
+        assert router.stats.to_dict()["topk_searches"] == searches_before
+        whynot.close()
+        topk.close()
+
+
+class TestStatsEndpoint:
+    @pytest.fixture()
+    def server(self, hotels):
+        server = YaskHTTPServer(YaskEngine(hotels, shards=4), port=0)
+        server.start_background()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def test_shards_section(self, server):
+        client = YaskClient(server.endpoint)
+        client.query(x=114.17, y=22.29, keywords=["clean"], k=3)
+        stats = client._call("GET", "/api/stats")
+        shards = stats["shards"]
+        assert shards["count"] == 4
+        assert shards["partitioner"] == "grid"
+        assert sum(shards["objects"]) == 539
+        assert shards["topk_searches"] >= 1
+        assert (
+            shards["topk_shards_scanned"] + shards["topk_shards_skipped"]
+            >= shards["topk_searches"]
+        )
+        assert shards["topk_scatter_ms"] >= 0.0
+
+    def test_unsharded_server_reports_null(self, hotels):
+        server = YaskHTTPServer(YaskEngine(hotels), port=0)
+        server.start_background()
+        try:
+            client = YaskClient(server.endpoint)
+            assert client._call("GET", "/api/stats")["shards"] is None
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestCli:
+    def test_shards_flag_parity(self, capsys):
+        argv = [
+            "query", "--dataset", "coffee", "--x", "114.158", "--y", "22.282",
+            "--keywords", "coffee", "--k", "3",
+        ]
+        assert main(argv) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--shards", "3"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert sharded == plain
+
+    def test_partitioner_choices_validated(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["query", "--dataset", "coffee", "--x", "0", "--y", "0",
+                 "--keywords", "coffee", "--shards", "2",
+                 "--partitioner", "hash"]
+            )
