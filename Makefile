@@ -3,11 +3,13 @@
 #   make test        — the tier-1 suite (ROADMAP.md's verify command)
 #   make bench-smoke — the floor-asserting experiments: E9 + E10
 #                      (executor tiers: cold/warm and batch floors),
-#                      E11 (kernel: >=3x rank_all, >=2x cold why-not)
-#                      and E12 (sharding: >=1.8x cold top-k, >=1.5x
-#                      cold why-not at 4 shards vs 1)
-#   make bench-json  — refresh BENCH_E9/E10/E11/E12.json at the repo
-#                      root (machine-readable perf trajectory)
+#                      E11 (kernel: >=3x rank_all, >=2x cold why-not),
+#                      E12 (sharding: >=1.8x cold top-k, >=1.5x
+#                      cold why-not at 4 shards vs 1) and E13 (live
+#                      mutation: >=5x incremental ingest vs rebuild,
+#                      >50% warm top-k hit rate under writes)
+#   make bench-json  — refresh BENCH_E9/E10/E11/E12/E13.json at the
+#                      repo root (machine-readable perf trajectory)
 #   make lint        — byte-compile every source, test and benchmark
 #                      file (catches import-time and syntax breakage
 #                      without third-party tools)
@@ -26,7 +28,7 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py benchmarks/bench_e10_whynot_executor.py benchmarks/bench_e11_kernel.py benchmarks/bench_e12_sharding.py -q
+	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py benchmarks/bench_e10_whynot_executor.py benchmarks/bench_e11_kernel.py benchmarks/bench_e12_sharding.py benchmarks/bench_e13_mutations.py -q
 
 bench-json:
 	$(PYTHON) benchmarks/bench_json.py

@@ -1,9 +1,10 @@
-"""Machine-readable benchmark snapshots: ``BENCH_E9/E10/E11/E12.json``.
+"""Machine-readable benchmark snapshots: ``BENCH_E9/E10/E11/E12/E13.json``.
 
 ``make bench-json`` runs this script to refresh the JSON files at the
 repository root, so the perf trajectory of the serving tier (E9: query
 executor, E10: why-not executor), the compute tier (E11: columnar
-scoring kernel) and the scatter tier (E12: spatial sharding) is
+scoring kernel), the scatter tier (E12: spatial sharding) and the
+live-mutation tier (E13: incremental ingest + scoped invalidation) is
 tracked across PRs in a diffable form.
 
 The numbers here are in-process measurements sized to finish in tens of
@@ -221,6 +222,123 @@ def bench_e12() -> dict:
     }
 
 
+def bench_e13() -> dict:
+    """Live mutation: incremental 5% ingest vs rebuild + warm hit rate."""
+    import random
+    import time as _time
+
+    from repro.core.geometry import Point
+    from repro.core.mutations import Mutation
+    from repro.core.objects import SpatialDatabase, SpatialObject
+    from repro.service.executor import QueryExecutor
+
+    base = SyntheticDatasetBuilder(seed=2016).build(
+        20_000,
+        vocabulary_size=50,
+        doc_length=(4, 8),
+        spatial="clustered",
+        clusters=12,
+    )
+    rng = random.Random(4)
+    vocabulary = sorted(base.vocabulary())
+    ingest = [
+        SpatialObject(
+            1_000_000 + i,
+            Point(0.30 + rng.random() * 0.08, 0.60 + rng.random() * 0.08),
+            frozenset(rng.sample(vocabulary, 5)),
+        )
+        for i in range(1_000)
+    ]
+
+    def incremental() -> float:
+        engine = YaskEngine(
+            SpatialDatabase(base.objects, dataspace=base.dataspace)
+        )
+        started = _time.perf_counter()
+        for start in range(0, len(ingest), 250):
+            engine.apply_mutations(
+                [Mutation.insert(obj) for obj in ingest[start : start + 250]]
+            )
+        elapsed = _time.perf_counter() - started
+        engine.close()
+        return elapsed
+
+    final_objects = list(base.objects) + ingest
+
+    def rebuild() -> float:
+        started = _time.perf_counter()
+        engine = YaskEngine(
+            SpatialDatabase(final_objects, dataspace=base.dataspace)
+        )
+        elapsed = _time.perf_counter() - started
+        engine.close()
+        return elapsed
+
+    incremental_s = min(incremental() for _ in range(3))
+    rebuild_s = min(rebuild() for _ in range(3))
+
+    # Mixed read/write warm hit rate (the bench_e13_mutations.py shape).
+    engine = YaskEngine(
+        SpatialDatabase(base.objects, dataspace=base.dataspace)
+    )
+    executor = QueryExecutor(engine, cache_capacity=256, max_workers=1)
+    queries = list(
+        QueryWorkload(
+            base, seed=21, k=10, keywords_per_query=(1, 2),
+            location_jitter=0.01,
+        ).queries(40)
+    )
+    for query in queries:
+        executor.execute(query)
+    hits = reads = 0
+    next_oid = 2_000_000
+    for round_index in range(6):
+        cx = 0.15 + 0.1 * round_index
+        hot_keyword = vocabulary[(7 * round_index) % len(vocabulary)]
+        batch = []
+        for index in range(20):
+            doc = (
+                frozenset({hot_keyword})
+                if index < 4
+                else frozenset({f"popup{round_index}", "popup"})
+            )
+            batch.append(
+                Mutation.insert(
+                    SpatialObject(
+                        next_oid,
+                        Point(
+                            cx + rng.random() * 0.05, 0.2 + rng.random() * 0.05
+                        ),
+                        doc,
+                    )
+                )
+            )
+            next_oid += 1
+        report = engine.apply_mutations(batch)
+        executor.invalidate_scoped(report.change.summary)
+        for query in queries:
+            reads += 1
+            if executor.execute(query).source == "cache":
+                hits += 1
+    stats = executor.stats()
+    executor.close()
+    engine.close()
+    return {
+        "objects": 20_000,
+        "ingest_objects": len(ingest),
+        "ingest_batches": 4,
+        "incremental_ingest_ms": incremental_s * 1000.0,
+        "full_rebuild_ms": rebuild_s * 1000.0,
+        "ingest_speedup": rebuild_s / incremental_s,
+        "ingest_floor": 5.0,
+        "post_write_reads": reads,
+        "post_write_hit_rate": hits / reads,
+        "hit_rate_floor": 0.5,
+        "scoped_dropped": stats.scoped_dropped,
+        "scoped_kept": stats.scoped_kept,
+    }
+
+
 def main() -> int:
     engine = YaskEngine(hong_kong_hotels())
     snapshots = {
@@ -243,6 +361,12 @@ def main() -> int:
             "E12",
             "scatter-gather sharding: 4 grid shards vs 1 shard (20k synthetic)",
             bench_e12(),
+        ),
+        "BENCH_E13.json": _snapshot(
+            "E13",
+            "live mutation: incremental ingest vs rebuild + scoped "
+            "invalidation warm rate (20k synthetic)",
+            bench_e13(),
         ),
     }
     for filename, snapshot in snapshots.items():

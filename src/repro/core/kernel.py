@@ -37,7 +37,7 @@ import threading
 from array import array
 from typing import TYPE_CHECKING, AbstractSet, Iterable, Mapping, Sequence
 
-from repro.core.objects import SpatialDatabase
+from repro.core.objects import SpatialDatabase, SpatialObject
 from repro.core.query import SpatialKeywordQuery
 from repro.text.similarity import (
     DiceSimilarity,
@@ -60,6 +60,30 @@ _MODEL_CODES: dict[type, str] = {
     DiceSimilarity: "dice",
     OverlapSimilarity: "overlap",
 }
+
+#: Tombstone sentinels.  A deleted row is not spliced out of the columns
+#: (that would renumber every row behind it); instead its cells are
+#: overwritten so the unchanged scan loops render it *inert*:
+#:
+#: * coordinates ``_DEAD_COORD`` put it beyond any dataspace, so its
+#:   clamped SDist is 1 and its proximity 0;
+#: * an empty mask makes every TSim 0 (all formulas gate on shared > 0);
+#: * hence its score is exactly 0.0 under any query and weights, which
+#:   can never *strictly* beat anything, and
+#: * the oid sentinel — larger than any real id — loses every
+#:   (score desc, oid asc) tie-break, so a dead row is never counted as
+#:   a beater even against a true score of 0.0.
+#:
+#: Only the materialising entry points (``order_rows`` and the top-k
+#: candidate scan, which would otherwise emit rows, and ``DualView``
+#: point materialisation) need an explicit liveness filter; every
+#: counting scan is tombstone-oblivious by the argument above.
+_DEAD_OID = 1 << 62
+_DEAD_COORD = 1e300
+
+#: Default tombstone fraction beyond which a mutation batch triggers
+#: compaction (dead rows physically dropped, rows renumbered).
+DEFAULT_COMPACTION_THRESHOLD = 0.25
 
 
 class KernelStats:
@@ -295,10 +319,14 @@ class DualView:
         return DualPoint(oid=oid, a=self.a[row], b=self.b[row])
 
     def dual_points(self) -> "list[DualPoint]":
-        """Materialise :class:`DualPoint` objects (database order)."""
+        """Materialise :class:`DualPoint` objects (live rows, row order)."""
         from repro.core.scoring import DualPoint
 
-        return list(map(DualPoint._make, zip(self.oids, self.a, self.b)))
+        return [
+            point
+            for point in map(DualPoint._make, zip(self.oids, self.a, self.b))
+            if point.oid != _DEAD_OID
+        ]
 
     def crossing_candidates(self, target_oid: int) -> "list[DualPoint]":
         """Objects whose score lines cross the target's inside ``(0, 1)``.
@@ -396,14 +424,24 @@ class ScoringKernel:
         "_masks",
         "_lens",
         "_oids",
+        "_objects",
+        "_alive",
+        "_dead_count",
         "_row_of",
         "_oids_ascending",
+        "_max_seen_oid",
         "_normaliser",
+        "compaction_threshold",
+        "compactions",
         "stats",
     )
 
     def __init__(
-        self, database: SpatialDatabase, text_model: TextSimilarityModel
+        self,
+        database: SpatialDatabase,
+        text_model: TextSimilarityModel,
+        *,
+        compaction_threshold: float = DEFAULT_COMPACTION_THRESHOLD,
     ) -> None:
         code = _MODEL_CODES.get(type(text_model))
         if code is None:
@@ -411,6 +449,8 @@ class ScoringKernel:
                 f"{type(text_model).__name__} has no columnar kernel; "
                 "use ScoringKernel.maybe_build for graceful fallback"
             )
+        if not 0.0 <= compaction_threshold <= 1.0:
+            raise ValueError("compaction_threshold must lie in [0, 1]")
         self._database = database
         self._model = text_model
         self.model_code = code
@@ -418,9 +458,15 @@ class ScoringKernel:
         self._n = len(objects)
         self._xs = array("d", (obj.loc.x for obj in objects))
         self._ys = array("d", (obj.loc.y for obj in objects))
-        self._masks: tuple[int, ...] = database.doc_masks
+        self._masks: list[int] = list(database.doc_masks)
         self._lens = array("q", (len(obj.doc) for obj in objects))
         self._oids = array("q", (obj.oid for obj in objects))
+        # Row-aligned object column (None at tombstones): the result
+        # materialisation substrate — under mutation the database's
+        # dense object tuple no longer lines up with physical rows.
+        self._objects: list[SpatialObject | None] = list(objects)
+        self._alive: list[bool] = [True] * self._n
+        self._dead_count = 0
         self._row_of: dict[int, int] = {
             obj.oid: row for row, obj in enumerate(objects)
         }
@@ -429,7 +475,10 @@ class ScoringKernel:
         self._oids_ascending = all(
             self._oids[row] < self._oids[row + 1] for row in range(self._n - 1)
         )
+        self._max_seen_oid = max(self._oids)
         self._normaliser = database.distance_normaliser
+        self.compaction_threshold = compaction_threshold
+        self.compactions = 0
         self.stats = KernelStats()
 
     @staticmethod
@@ -468,6 +517,113 @@ class ScoringKernel:
     def row_of(self, oid: int) -> int:
         """Row index of an object id; raises ``KeyError`` when unknown."""
         return self._row_of[oid]
+
+    @property
+    def row_objects(self) -> Sequence["SpatialObject | None"]:
+        """Row-aligned objects (None at tombstones) for materialisation."""
+        return self._objects
+
+    @property
+    def live_count(self) -> int:
+        """Number of live (non-tombstoned) rows."""
+        return self._n - self._dead_count
+
+    @property
+    def has_tombstones(self) -> bool:
+        return self._dead_count > 0
+
+    def live_row_list(self) -> list[int]:
+        """Physical rows of the live objects, in row order."""
+        alive = self._alive
+        return [row for row in range(self._n) if alive[row]]
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (repro.core.mutations)
+    # ------------------------------------------------------------------
+    def apply_mutations(
+        self,
+        change,
+        *,
+        force_compact: bool = False,
+    ) -> None:
+        """Tombstone removed rows, append new ones, maybe compact.
+
+        ``change`` is an :class:`repro.core.mutations.AppliedBatch`
+        (duck-typed: ``removed_oids`` + ``appended``).  Call *after* the
+        owning database applied the same batch: the appended objects are
+        encoded against its (already extended) vocabulary.
+        ``force_compact`` compacts regardless of the threshold — the
+        sharded tiers keep their kernels dense so shard row maps stay
+        trivially aligned.
+        """
+        appended: Sequence[SpatialObject] = change.appended
+        for oid in change.removed_oids:
+            row = self._row_of.pop(oid)
+            self._xs[row] = _DEAD_COORD
+            self._ys[row] = _DEAD_COORD
+            self._masks[row] = 0
+            self._lens[row] = 1
+            self._oids[row] = _DEAD_OID
+            self._objects[row] = None
+            self._alive[row] = False
+            self._dead_count += 1
+        if appended:
+            encode = self.vocabulary.encode
+            for obj in appended:
+                self._xs.append(obj.loc.x)
+                self._ys.append(obj.loc.y)
+                self._masks.append(encode(obj.doc))
+                self._lens.append(len(obj.doc))
+                self._oids.append(obj.oid)
+                self._objects.append(obj)
+                self._alive.append(True)
+                self._row_of[obj.oid] = self._n
+                self._n += 1
+                # Incremental oid-order tracking: deletes preserve a
+                # rising live sequence, appends keep it only past the
+                # highest id ever seen (conservative after the max is
+                # deleted — the decorated sort is always correct).
+                if obj.oid > self._max_seen_oid:
+                    self._max_seen_oid = obj.oid
+                else:
+                    self._oids_ascending = False
+        if self._dead_count and (
+            force_compact
+            or self._dead_count > self.compaction_threshold * self._n
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned rows, renumbering the survivors in order."""
+        alive = self._alive
+        rows = [row for row in range(self._n) if alive[row]]
+        self._xs = array("d", (self._xs[row] for row in rows))
+        self._ys = array("d", (self._ys[row] for row in rows))
+        self._masks = [self._masks[row] for row in rows]
+        self._lens = array("q", (self._lens[row] for row in rows))
+        self._oids = array("q", (self._oids[row] for row in rows))
+        self._objects = [self._objects[row] for row in rows]
+        self._n = len(rows)
+        self._alive = [True] * self._n
+        self._dead_count = 0
+        self._row_of = {oid: row for row, oid in enumerate(self._oids)}
+        # Compaction is the (rare) moment an exact recompute is cheap
+        # relative to the work already done.
+        self._oids_ascending = all(
+            self._oids[row] < self._oids[row + 1] for row in range(self._n - 1)
+        )
+        self._max_seen_oid = max(self._oids)
+        self.compactions += 1
+
+    def mutation_info(self) -> dict[str, int | float]:
+        """Column occupancy for ``GET /api/stats``' mutations section."""
+        return {
+            "rows": self._n,
+            "live_rows": self.live_count,
+            "tombstones": self._dead_count,
+            "compactions": self.compactions,
+            "compaction_threshold": self.compaction_threshold,
+        }
 
     # ------------------------------------------------------------------
     # Whole-database passes
@@ -583,15 +739,17 @@ class ScoringKernel:
         With ascending oids a stable reverse sort keyed by score alone
         realises the tie-break for free (equal scores keep row — hence
         oid — order); otherwise a decorated sort spells it out.
+        Tombstoned rows are excluded — this is a materialising entry
+        point, so dead rows must not leak into rankings.
         """
+        if self._dead_count:
+            rows: Sequence[int] = self.live_row_list()
+        else:
+            rows = range(self._n)
         if self._oids_ascending:
-            return sorted(
-                range(self._n), key=scores.__getitem__, reverse=True
-            )
+            return sorted(rows, key=scores.__getitem__, reverse=True)
         oids = self._oids
-        decorated = sorted(
-            (-scores[row], oids[row], row) for row in range(self._n)
-        )
+        decorated = sorted((-scores[row], oids[row], row) for row in rows)
         return [row for _, _, row in decorated]
 
     def proximities(self, query: SpatialKeywordQuery) -> list[float]:

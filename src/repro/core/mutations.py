@@ -1,0 +1,491 @@
+"""Live mutation of the object database ``D``: insert / update / delete.
+
+The paper freezes ``D`` at construction; a *service* (Fig. 1) serving
+millions of users must ingest and retire geo-textual objects while
+answering queries — the evolving-corpus workload QDR-Tree-style dynamic
+spatio-textual indexes target (PAPERS.md).  This module is the substrate
+every layer builds on:
+
+* :class:`Mutation` — one insert/update/delete, validated at creation.
+* :class:`MutableDatabase` — owns a :class:`~repro.core.objects.SpatialDatabase`
+  and applies mutation *batches* to it under a monotone generation
+  counter.  A batch is normalised to its net effect (removed + appended
+  object sets) with sequential semantics, then pushed through the
+  database (incremental vocabulary interning: new keywords append bit
+  positions, existing doc masks stay valid) and into every registered
+  listener — kernels tombstone + append + compact, shard routers
+  re-route, indexes insert/delete, executors invalidate scoped.
+* :class:`BatchSummary` — the batch's spatial region, added-keyword
+  union and id sets, with the same MINDIST + keyword-union score bounds
+  the sharding tier prunes with.  The executor tier's *scoped*
+  invalidation asks it whether a cached top-k result could possibly be
+  affected; entries that provably cannot change survive a write.
+* :class:`ReadWriteLock` — many concurrent readers (queries, why-not
+  answering) against exclusive writers (mutation batches), so a search
+  never observes a half-applied batch.
+
+Correctness contract (property-tested in
+``tests/properties/test_prop_mutations.py``): after any mutation
+sequence, top-k results and all three why-not refinement paths are
+bit-for-bit identical to a fresh engine built from the final object set
+over the same dataspace.  The dataspace is pinned at construction — the
+distance normaliser, and therefore every score float, never moves;
+objects arriving outside it clamp to ``SDist = 1`` exactly like query
+points outside it always have.
+
+Order rule shared by the database and every incrementally-maintained
+kernel: survivors keep their relative order, appended objects go to the
+end, and an update *moves the object to the end* (remove + append).  A
+compacted kernel's row order therefore always equals the database's
+object order, and a fresh rebuild from ``database.objects`` reproduces
+both.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.core.geometry import Rect
+from repro.core.objects import SpatialDatabase, SpatialObject
+
+__all__ = [
+    "AppliedBatch",
+    "BatchSummary",
+    "MissingTargetError",
+    "Mutation",
+    "MutationError",
+    "MutableDatabase",
+    "MutationStats",
+    "ReadWriteLock",
+]
+
+#: Margin mirroring the sharding tier's defensive skip margin: the
+#: MINDIST arithmetic rides ``math.hypot``, which is faithful rather
+#: than exactly monotone, so "provably cannot affect" requires the
+#: bound to sit this far below the threshold.
+_AFFECT_MARGIN = 1e-12
+
+_KINDS = ("insert", "update", "delete")
+
+
+class MutationError(ValueError):
+    """An invalid mutation or batch (duplicate id, emptying batch, …)."""
+
+
+class MissingTargetError(MutationError):
+    """An update or delete referenced an object that does not exist.
+
+    Separate from the generic :class:`MutationError` so the HTTP layer
+    can map it to a 404 rather than a batch-conflict status.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class Mutation:
+    """One object-level change: ``insert``, ``update`` or ``delete``.
+
+    ``obj`` carries the new object for inserts and updates; deletes
+    carry only the ``oid``.  Use the three classmethods — they validate
+    shape so a malformed mutation fails at creation, not mid-batch.
+    """
+
+    kind: str
+    oid: int
+    obj: SpatialObject | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise MutationError(
+                f"unknown mutation kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.kind == "delete":
+            if self.obj is not None:
+                raise MutationError("a delete carries no object payload")
+        elif self.obj is None:
+            raise MutationError(f"an {self.kind} requires an object payload")
+        elif self.obj.oid != self.oid:
+            raise MutationError(
+                f"mutation oid {self.oid} does not match object id {self.obj.oid}"
+            )
+        if self.oid < 0:
+            raise MutationError("object ids are non-negative")
+
+    @classmethod
+    def insert(cls, obj: SpatialObject) -> "Mutation":
+        return cls(kind="insert", oid=obj.oid, obj=obj)
+
+    @classmethod
+    def update(cls, obj: SpatialObject) -> "Mutation":
+        return cls(kind="update", oid=obj.oid, obj=obj)
+
+    @classmethod
+    def delete(cls, oid: int) -> "Mutation":
+        return cls(kind="delete", oid=oid)
+
+
+class _SupportsQueryMeta(Protocol):
+    """What :meth:`BatchSummary.affects_topk` reads off a cache entry."""
+
+    loc: object  # Point
+    doc: frozenset[str]
+    ws: float
+    wt: float
+    kth_score: float
+    result_oids: frozenset[int]
+    full: bool
+
+
+@dataclass(frozen=True, slots=True)
+class BatchSummary:
+    """What one applied batch touched, priced for impact tests.
+
+    ``region`` is the MBR of the *added* (inserted/updated) locations,
+    ``added_keywords`` their keyword union and ``min_added_doc_len``
+    their shortest document — together they bound any added object's
+    score under any query exactly like a shard's static bounds bound its
+    objects' scores (:class:`repro.core.sharding.Shard`).  ``removed_oids``
+    and ``added_oids`` drive the membership tests.  ``model_code`` is
+    the engine's kernel model (None disables the text bound and makes
+    every impact test conservatively positive).
+    """
+
+    generation: int
+    removed_oids: frozenset[int]
+    added_oids: frozenset[int]
+    region: Rect | None
+    added_keywords: frozenset[str]
+    min_added_doc_len: int
+    model_code: str | None
+    normaliser: float
+
+    # ------------------------------------------------------------------
+    # Score bounds over the added objects (shard-bound arithmetic)
+    # ------------------------------------------------------------------
+    def proximity_upper_bound(self, loc) -> float:
+        """``max (1 − SDist(o, q))`` over added objects, via region MINDIST."""
+        region = self.region
+        if region is None:
+            return 0.0
+        dx = max(region.min_x - loc.x, 0.0, loc.x - region.max_x)
+        dy = max(region.min_y - loc.y, 0.0, loc.y - region.max_y)
+        sdist = math.hypot(dx, dy) / self.normaliser
+        if sdist > 1.0:
+            sdist = 1.0
+        return 1.0 - sdist
+
+    def tsim_upper_bound(self, query_doc: frozenset[str]) -> float:
+        """``max TSim(o, q)`` over added objects (keyword-union bound).
+
+        Mirrors :meth:`repro.core.sharding.Shard.tsim_upper_bound` with
+        the batch's keyword union and shortest added doc.
+        """
+        qlen = len(query_doc)
+        m = len(self.added_keywords & query_doc)
+        if m == 0 or qlen == 0:
+            return 0.0
+        code = self.model_code
+        if code is None:
+            return 1.0
+        floor_len = max(self.min_added_doc_len, m)
+        if code == "jaccard":
+            return m / (floor_len + qlen - m)
+        if code == "dice":
+            return 2.0 * m / (floor_len + qlen)
+        if m >= self.min_added_doc_len:
+            return 1.0
+        return min(1.0, m / min(self.min_added_doc_len, qlen))
+
+    # ------------------------------------------------------------------
+    # Impact tests (executor scoped invalidation)
+    # ------------------------------------------------------------------
+    def affects_topk(self, meta: _SupportsQueryMeta) -> bool:
+        """Could this batch change the cached top-k result ``meta`` describes?
+
+        Exact-safe, never exact-tight: a False is a proof the cached
+        result is still the fresh engine's answer —
+
+        * a removed object outside the result cannot change anyone
+          else's score or admit a new member, and
+        * an added object whose score upper bound sits strictly below
+          the cached k-th score (minus the ``hypot`` margin) cannot
+          displace a member, not even by tie-break (which needs score
+          equality).
+        """
+        touched = self.removed_oids | self.added_oids
+        if touched & meta.result_oids:
+            return True
+        if not self.added_oids:
+            return False
+        if not meta.full:
+            # The result holds fewer than k objects: any insertion joins.
+            return True
+        if self.model_code is None:
+            return True
+        bound = meta.ws * self.proximity_upper_bound(
+            meta.loc
+        ) + meta.wt * self.tsim_upper_bound(meta.doc)
+        return bound >= meta.kth_score - _AFFECT_MARGIN
+
+
+@dataclass(frozen=True, slots=True)
+class AppliedBatch:
+    """The net effect of one applied batch, for listeners.
+
+    ``removed`` holds the *previous* object instances (indexes delete by
+    object + location); ``appended`` the new instances in append order.
+    An updated object appears in both.
+    """
+
+    generation: int
+    removed: tuple[SpatialObject, ...]
+    appended: tuple[SpatialObject, ...]
+    inserted_count: int
+    updated_count: int
+    deleted_count: int
+    summary: BatchSummary
+
+    @property
+    def removed_oids(self) -> frozenset[int]:
+        return self.summary.removed_oids
+
+
+class MutationListener(Protocol):
+    """A structure maintained incrementally under mutation."""
+
+    def apply_mutations(self, change: AppliedBatch) -> None: ...
+
+
+class MutationStats:
+    """Cumulative mutation counters (``GET /api/stats`` mutations section)."""
+
+    __slots__ = ("_lock", "batches", "inserted", "updated", "deleted")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.batches = 0
+        self.inserted = 0
+        self.updated = 0
+        self.deleted = 0
+
+    def record(self, change: AppliedBatch) -> None:
+        with self._lock:
+            self.batches += 1
+            self.inserted += change.inserted_count
+            self.updated += change.updated_count
+            self.deleted += change.deleted_count
+
+    def to_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "inserted": self.inserted,
+                "updated": self.updated,
+                "deleted": self.deleted,
+            }
+
+
+class ReadWriteLock:
+    """Readers-preference RW lock for the query/mutation tiers.
+
+    Many readers share the lock; a writer is exclusive.  New readers are
+    only blocked while a writer *holds* the lock (not while one waits),
+    which makes nested read acquisition on one thread — the why-not path
+    re-enters the engine for its initial top-k — deadlock-free by
+    construction.  Mutation batches are rare relative to queries, so
+    writer starvation is not a practical concern at this tier.
+    """
+
+    __slots__ = ("_cond", "_readers", "_writing")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writing:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
+class MutableDatabase:
+    """Mutation coordinator over one :class:`SpatialDatabase`.
+
+    Validates and normalises batches, applies them to the database
+    (epoch/generation tracking, incremental vocabulary interning), then
+    notifies registered listeners in registration order — kernels before
+    routers before indexes, as the engine registers them.  All of this
+    happens under the caller's write lock (the engine's
+    :class:`ReadWriteLock`); this class itself adds no locking beyond
+    its stats counters.
+    """
+
+    def __init__(
+        self,
+        database: SpatialDatabase,
+        *,
+        model_code: str | None = None,
+    ) -> None:
+        self._database = database
+        self._generation = 0
+        self._listeners: list[MutationListener] = []
+        self._model_code = model_code
+        self.stats = MutationStats()
+
+    @property
+    def database(self) -> SpatialDatabase:
+        return self._database
+
+    @property
+    def generation(self) -> int:
+        """Number of batches applied so far (monotone)."""
+        return self._generation
+
+    def register_listener(self, listener: MutationListener) -> None:
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Batch normalisation
+    # ------------------------------------------------------------------
+    def _normalise(
+        self, mutations: Sequence[Mutation]
+    ) -> tuple[dict[int, SpatialObject], dict[int, SpatialObject], int, int, int]:
+        """Sequential semantics → net (removed, appended) object maps.
+
+        ``insert(5); delete(5)`` is a no-op; ``delete(5); insert(5)``
+        nets to an update; repeated updates keep the last payload.
+        """
+        database = self._database
+        removed: dict[int, SpatialObject] = {}
+        appended: dict[int, SpatialObject] = {}
+        inserted = updated = deleted = 0
+
+        def present(oid: int) -> bool:
+            if oid in appended:
+                return True
+            return oid in database and oid not in removed
+
+        for mutation in mutations:
+            oid = mutation.oid
+            if mutation.kind == "insert":
+                if present(oid):
+                    raise MutationError(
+                        f"cannot insert object {oid}: id already in use"
+                    )
+                appended[oid] = mutation.obj
+                inserted += 1
+            elif mutation.kind == "update":
+                if not present(oid):
+                    raise MissingTargetError(
+                        f"cannot update object {oid}: no such object"
+                    )
+                if oid in appended:
+                    appended[oid] = mutation.obj
+                else:
+                    removed[oid] = database.get(oid)
+                    appended[oid] = mutation.obj
+                updated += 1
+            else:  # delete
+                if not present(oid):
+                    raise MissingTargetError(
+                        f"cannot delete object {oid}: no such object"
+                    )
+                if oid in appended:
+                    del appended[oid]
+                else:
+                    removed[oid] = database.get(oid)
+                deleted += 1
+        survivors = len(database) - len(removed) + len(appended)
+        if survivors < 1:
+            raise MutationError("a mutation batch must not empty the database")
+        return removed, appended, inserted, updated, deleted
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, mutations: Sequence[Mutation]) -> AppliedBatch:
+        """Validate, normalise and apply one batch; notify listeners.
+
+        Returns the :class:`AppliedBatch` (with its
+        :class:`BatchSummary`) so the serving tier can run scoped cache
+        invalidation against exactly what changed.  Caller must hold the
+        engine's write lock when readers may be concurrent.
+        """
+        if not mutations:
+            raise MutationError("a mutation batch must not be empty")
+        removed, appended, inserted, updated, deleted = self._normalise(
+            mutations
+        )
+        appended_objects = tuple(appended.values())
+        self._database._apply_mutations(set(removed), appended_objects)
+        self._generation += 1
+        summary = self._summarise(removed, appended_objects)
+        change = AppliedBatch(
+            generation=self._generation,
+            removed=tuple(removed.values()),
+            appended=appended_objects,
+            inserted_count=inserted,
+            updated_count=updated,
+            deleted_count=deleted,
+            summary=summary,
+        )
+        for listener in self._listeners:
+            listener.apply_mutations(change)
+        self.stats.record(change)
+        return change
+
+    def _summarise(
+        self,
+        removed: dict[int, SpatialObject],
+        appended: Sequence[SpatialObject],
+    ) -> BatchSummary:
+        keywords: set[str] = set()
+        min_len = 0
+        for obj in appended:
+            keywords.update(obj.doc)
+        if appended:
+            min_len = min(len(obj.doc) for obj in appended)
+        return BatchSummary(
+            generation=self._generation,
+            removed_oids=frozenset(removed),
+            added_oids=frozenset(obj.oid for obj in appended),
+            region=(
+                Rect.from_points(obj.loc for obj in appended)
+                if appended
+                else None
+            ),
+            added_keywords=frozenset(keywords),
+            min_added_doc_len=min_len,
+            model_code=self._model_code,
+            normaliser=self._database.distance_normaliser,
+        )
+
+    def to_dict(self) -> dict[str, int]:
+        """The ``GET /api/stats`` mutations payload core."""
+        return {"generation": self._generation, **self.stats.to_dict()}

@@ -14,7 +14,7 @@ that normalises Euclidean distances into ``[0, 1]`` as Eqn. (1) requires.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import AbstractSet, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.geometry import Point, Rect
 from repro.text.tokenize import document_frequencies
@@ -76,8 +76,13 @@ class SpatialDatabase:
     used (optionally expanded by ``margin`` so query points slightly
     outside the data extent still normalise below 1).
 
-    The database is immutable after construction; engines and indexes
-    capture it by reference and rely on it never changing.
+    The database is immutable through its public surface; engines and
+    indexes capture it by reference.  Live mutation goes through
+    :class:`repro.core.mutations.MutableDatabase`, which calls the
+    package-private :meth:`_apply_mutations` — the dataspace (and hence
+    the distance normaliser, i.e. every score float) is pinned at
+    construction and never changes, and the interned vocabulary grows
+    append-only so existing doc masks stay valid.
     """
 
     def __init__(
@@ -214,6 +219,11 @@ class SpatialDatabase:
             self._doc_masks = tuple(encode(obj.doc) for obj in self._objects)
 
     @property
+    def interned(self) -> bool:
+        """Whether the vocabulary table and doc masks exist yet."""
+        return self._doc_masks is not None
+
+    @property
     def vocabulary_index(self) -> Vocabulary:
         """The interned keyword → bit-position table of this corpus."""
         self._ensure_interned()
@@ -224,6 +234,107 @@ class SpatialDatabase:
         """Per-object doc bitmasks, aligned with :attr:`objects`."""
         self._ensure_interned()
         return self._doc_masks
+
+    def adopt_vocabulary(self, keywords: Iterable[str]) -> None:
+        """Re-intern against an explicit bit-position order.
+
+        Index persistence calls this so doc masks saved alongside a tree
+        decode identically after a load (a plain re-intern sorts the
+        corpus and can reorder positions an extended vocabulary assigned
+        append-only).  The order must cover the whole corpus.
+
+        Once this database has interned — a scoring kernel may have
+        snapshotted its masks in the current bit positions — adopting a
+        *different* order is refused: consumers encode queries against
+        the live table, so reordering positions under them would make
+        every mask comparison silently wrong.  Load persisted indexes
+        over a freshly constructed database instead.
+        """
+        index = Vocabulary.from_ordered(keywords)
+        if self._doc_masks is not None:
+            if index.keywords == self._vocabulary_index.keywords:
+                return  # identical order: nothing to do
+            raise ValueError(
+                "cannot adopt a different vocabulary order: this database "
+                "already interned and kernels may hold its doc masks; "
+                "attach the persisted index to a freshly built database"
+            )
+        try:
+            masks = tuple(index.encode(obj.doc) for obj in self._objects)
+        except KeyError as exc:
+            raise ValueError(
+                f"adopted vocabulary is missing corpus keyword {exc.args[0]!r}"
+            ) from None
+        self._vocabulary_index = index
+        self._doc_masks = masks
+
+    # ------------------------------------------------------------------
+    # Mutation (package-private: see repro.core.mutations)
+    # ------------------------------------------------------------------
+    def _apply_mutations(
+        self,
+        removed_oids: AbstractSet[int],
+        appended: Sequence[SpatialObject],
+    ) -> None:
+        """Apply one normalised mutation batch in place.
+
+        The caller (:class:`~repro.core.mutations.MutableDatabase`) has
+        already validated the batch: removed ids exist, appended ids are
+        unused after the removals, and the batch does not empty the
+        database.  Order rule shared with every incrementally-maintained
+        kernel: survivors keep their relative order, appended objects
+        go to the end — so a compacted kernel's row order always equals
+        this object order.  Updates arrive decomposed as remove + append
+        (the updated object moves to the end).
+        """
+        previous = self._objects
+        if not removed_oids:
+            # Insert-only fast path (the live-ingest common case): C-speed
+            # tuple concatenation and pure dict additions — no rebuild of
+            # the id/name tables for the untouched survivors.
+            self._objects = previous + tuple(appended)
+            for obj in appended:
+                self._by_id[obj.oid] = obj
+                if obj.name is not None and obj.name not in self._by_name:
+                    self._by_name[obj.name] = obj
+            if self._doc_masks is not None:
+                index = self._vocabulary_index.extended(
+                    obj.doc for obj in appended
+                )
+                self._vocabulary_index = index
+                encode = index.encode
+                self._doc_masks = self._doc_masks + tuple(
+                    encode(obj.doc) for obj in appended
+                )
+            return
+        kept = [obj for obj in previous if obj.oid not in removed_oids]
+        kept.extend(appended)
+        self._objects = tuple(kept)
+        self._by_id = {obj.oid: obj for obj in self._objects}
+        by_name: dict[str, SpatialObject] = {}
+        for obj in self._objects:
+            if obj.name is not None and obj.name not in by_name:
+                by_name[obj.name] = obj
+        self._by_name = by_name
+        if self._doc_masks is not None:
+            # Incremental interning: existing masks keep their bit
+            # positions (the vocabulary only ever appends), so only the
+            # appended objects are encoded.  Old masks are aligned with
+            # the previous object order; filter with the predicate the
+            # object rebuild used.
+            index = self._vocabulary_index.extended(
+                obj.doc for obj in appended
+            )
+            self._vocabulary_index = index
+            encode = index.encode
+            self._doc_masks = tuple(
+                [
+                    mask
+                    for obj, mask in zip(previous, self._doc_masks)
+                    if obj.oid not in removed_oids
+                ]
+                + [encode(obj.doc) for obj in appended]
+            )
 
     def keyword_document_frequencies(self) -> dict[str, int]:
         """Keyword → number of objects containing it."""

@@ -201,7 +201,10 @@ class Scorer:
         if self._kernel is not None:
             sdists, tsims, scores = self._kernel.components_all(query)
             order = self._kernel.order_rows(scores)
-            objects = self._database.objects
+            # The kernel's row-aligned object column (not the database
+            # tuple): under live mutation, tombstoned rows leave the two
+            # misaligned, and order_rows only emits live rows.
+            objects = self._kernel.row_objects
             # Entry materialisation stays at C speed: column gathers via
             # map(__getitem__) feeding RankedObject._make through zip.
             return list(
@@ -239,11 +242,15 @@ class Scorer:
         if self._kernel is not None:
             sdists, tsims, scores = self._kernel.components_all(query)
             oids = self._kernel.oids
-            objects = self._database.objects
-            best = nsmallest(
-                query.k,
-                zip(map(neg, scores), oids, range(len(objects))),
-            )
+            objects = self._kernel.row_objects
+            if self._kernel.has_tombstones:
+                candidates = (
+                    (-scores[row], oids[row], row)
+                    for row in self._kernel.live_row_list()
+                )
+            else:
+                candidates = zip(map(neg, scores), oids, range(len(objects)))
+            best = nsmallest(query.k, candidates)
             entries = [
                 RankedObject(
                     obj=objects[row], score=scores[row], sdist=sdists[row],

@@ -75,9 +75,11 @@ import math
 import threading
 from typing import TYPE_CHECKING, AbstractSet, Callable, Iterable, Sequence
 
+from dataclasses import dataclass
+
 from repro.core.geometry import Rect
 from repro.core.kernel import DocContext, DualView, ScoringKernel
-from repro.core.objects import SpatialDatabase
+from repro.core.objects import SpatialDatabase, SpatialObject
 from repro.core.query import SpatialKeywordQuery
 from repro.text.similarity import TextSimilarityModel
 
@@ -241,6 +243,14 @@ class ShardStats:
 # ----------------------------------------------------------------------
 # Shards and the router
 # ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class _ShardChange:
+    """A shard-local slice of an applied batch (kernel duck type)."""
+
+    removed_oids: frozenset[int]
+    appended: tuple[SpatialObject, ...]
+
+
 class Shard:
     """One disjoint partition of the database, self-sufficient for scans.
 
@@ -290,22 +300,82 @@ class Shard:
                 "sharding requires one"
             )
         self.kernel = kernel
-        self.mbr = Rect.from_points(obj.loc for obj in self.database)
-        mask = 0
-        min_len = max_len = len(objects[rows[0]].doc)
-        for row in rows:
-            mask |= parent_masks[row]
-            length = len(objects[row].doc)
+        self._recompute_summaries(parent_masks[row] for row in rows)
+
+    def _recompute_summaries(self, masks) -> None:
+        """Exact MBR / keyword-union / doc-length summaries from scratch.
+
+        ``masks`` are the members' doc bitmasks in the *global*
+        vocabulary's bit space, aligned with ``self.database.objects``.
+        Shared by construction and the delete path of
+        :meth:`apply_mutations` — a shrunken summary must never drift
+        from the build-time definition or the pruning bounds over- or
+        under-prune.
+        """
+        members = self.database.objects
+        self.mbr = Rect.from_points(obj.loc for obj in members)
+        union_mask = 0
+        min_len = max_len = len(members[0].doc)
+        for obj, mask in zip(members, masks):
+            union_mask |= mask
+            length = len(obj.doc)
             if length < min_len:
                 min_len = length
             if length > max_len:
                 max_len = length
-        self.vocab_mask = mask
+        self.vocab_mask = union_mask
         self.min_doc_len = min_len
         self.max_doc_len = max_len
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (repro.core.mutations)
+    # ------------------------------------------------------------------
+    def apply_mutations(
+        self,
+        removed: Sequence[SpatialObject],
+        appended: Sequence[SpatialObject],
+        parent: SpatialDatabase,
+    ) -> None:
+        """Apply this shard's slice of a batch and refresh its summaries.
+
+        The sub-database and kernel follow the global order rule
+        (survivors keep order, appends at the end); the kernel compacts
+        unconditionally so shard-local rows stay dense and
+        ``Shard.rows`` remains a plain live-row map.  Summaries take the
+        *widen-only fast path* on pure insertion — the MBR unions the
+        new points, the vocab mask ORs the new masks, the doc-length
+        range stretches; every bound stays valid because all three only
+        ever loosen.  Any removal forces the exact recompute: a shrunken
+        summary must not over-prune, so it is rebuilt from the surviving
+        members.
+        """
+        removed_oids = {obj.oid for obj in removed}
+        self.database._apply_mutations(removed_oids, appended)
+        self.kernel.apply_mutations(
+            _ShardChange(frozenset(removed_oids), tuple(appended)),
+            force_compact=True,
+        )
+        encode = parent.vocabulary_index.encode
+        if not removed_oids:
+            # Widen-only fast path.
+            self.mbr = self.mbr.union(
+                Rect.from_points(obj.loc for obj in appended)
+            )
+            for obj in appended:
+                self.vocab_mask |= encode(obj.doc)
+                length = len(obj.doc)
+                if length < self.min_doc_len:
+                    self.min_doc_len = length
+                if length > self.max_doc_len:
+                    self.max_doc_len = length
+            return
+        # Exact recompute: deletions may tighten every summary.
+        self._recompute_summaries(
+            encode(obj.doc) for obj in self.database.objects
+        )
 
     # ------------------------------------------------------------------
     # Static pruning bounds
@@ -414,10 +484,12 @@ class ShardRouter:
         # for database-order materialisation and target lookups.
         shard_of = [0] * len(database)
         local_of = [0] * len(database)
+        self._shard_of_oid: dict[int, int] = {}
         for index, shard in enumerate(self._shards):
             for local, row in enumerate(shard.rows):
                 shard_of[row] = index
                 local_of[row] = local
+                self._shard_of_oid[database.objects[row].oid] = index
         self._shard_of_row = shard_of
         self._local_of_row = local_of
         self.stats = ShardStats()
@@ -465,6 +537,83 @@ class ShardRouter:
             "objects": self.shard_sizes(),
             **self.stats.to_dict(),
         }
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (repro.core.mutations)
+    # ------------------------------------------------------------------
+    def _choose_shard(self, obj: SpatialObject) -> int:
+        """Route an inserted object to the shard its location enlarges least.
+
+        Ties break by current population (fewest objects first), then
+        shard index — deterministic, and biased toward keeping shard
+        sizes balanced when several shards already cover the point.
+        """
+        best_index = 0
+        best_key: tuple[float, int, int] | None = None
+        rect = Rect.from_point(obj.loc)
+        for index, shard in enumerate(self._shards):
+            key = (shard.mbr.enlargement(rect), len(shard), index)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return best_index
+
+    def apply_mutations(self, change) -> None:
+        """Route an applied batch to its owning shards and refresh maps.
+
+        ``change`` is an :class:`repro.core.mutations.AppliedBatch`; the
+        parent database (shared with the engine) has already been
+        updated.  Removals go to the shard that owns each object;
+        insertions to the least-enlarged shard.  A shard left empty is
+        dropped.  The global row maps (``locate``, ``Shard.rows``) are
+        rebuilt from the parent's post-batch object order in one pass.
+        """
+        per_shard_removed: dict[int, list[SpatialObject]] = {}
+        for obj in change.removed:
+            index = self._shard_of_oid.pop(obj.oid)
+            per_shard_removed.setdefault(index, []).append(obj)
+        per_shard_appended: dict[int, list[SpatialObject]] = {}
+        for obj in change.appended:
+            index = self._choose_shard(obj)
+            per_shard_appended.setdefault(index, []).append(obj)
+        survivors: list[Shard] = []
+        for index, shard in enumerate(self._shards):
+            removed = per_shard_removed.get(index, [])
+            appended = per_shard_appended.get(index, [])
+            if len(removed) == len(shard) and not appended:
+                continue  # emptied: drop the shard
+            if removed or appended:
+                shard.apply_mutations(removed, appended, self._database)
+            survivors.append(shard)
+        self._shards = tuple(survivors)
+        self._rebuild_row_maps()
+
+    def _rebuild_row_maps(self) -> None:
+        """Recompute global-row ↔ (shard, local) maps after a batch.
+
+        Shard sub-databases and the parent share one order rule, so each
+        shard's members appear in parent order; one oid → parent-row
+        table rebuilds everything.
+        """
+        parent_row = {
+            obj.oid: row for row, obj in enumerate(self._database.objects)
+        }
+        n = len(self._database)
+        shard_of = [0] * n
+        local_of = [0] * n
+        shard_of_oid: dict[int, int] = {}
+        for index, shard in enumerate(self._shards):
+            rows = []
+            for local, obj in enumerate(shard.database.objects):
+                row = parent_row[obj.oid]
+                rows.append(row)
+                shard_of[row] = index
+                local_of[row] = local
+                shard_of_oid[obj.oid] = index
+            shard.rows = tuple(rows)
+        self._shard_of_row = shard_of
+        self._local_of_row = local_of
+        self._shard_of_oid = shard_of_oid
 
     # ------------------------------------------------------------------
     # Per-query shard bounds
@@ -869,6 +1018,19 @@ class ShardedKernel(ScoringKernel):
         if router is None:
             return ScoringKernel(database, text_model)
         return cls(database, text_model, router)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_mutations(self, change, *, force_compact: bool = True) -> None:
+        """Maintain the global columns, always compacting.
+
+        Shard row maps (``Shard.rows``, ``ShardRouter.locate``) index
+        the global columns by physical row; keeping them dense makes
+        those maps plain parent-database positions.  The router rebuilds
+        them right after this listener runs.
+        """
+        super().apply_mutations(change, force_compact=True)
 
     # ------------------------------------------------------------------
     # Rank primitives (shard-pruned)

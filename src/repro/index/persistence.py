@@ -30,8 +30,12 @@ from repro.text.similarity import CosineTfIdfSimilarity, SetSimilarityModel
 
 __all__ = ["IndexPersistenceError", "save_index", "load_index", "index_to_dict", "index_from_dict"]
 
-#: Format version: bump on breaking layout changes.
-_FORMAT_VERSION = 1
+#: Format version: bump on breaking layout changes.  Version 2 adds the
+#: optional ``vocabulary`` section — the interned keyword order of the
+#: database the index was saved over.  Version-1 files (no vocabulary)
+#: still load; the database then interns lazily as before.
+_FORMAT_VERSION = 2
+_SUPPORTED_FORMATS = (1, 2)
 
 _TREE_TYPES = {
     "SetRTree": SetRTree,
@@ -61,7 +65,7 @@ def index_to_dict(tree: RTree[SpatialObject]) -> dict[str, Any]:
             f"unsupported index type {type_name!r}; "
             f"supported: {sorted(_TREE_TYPES)}"
         )
-    return {
+    payload: dict[str, Any] = {
         "format": _FORMAT_VERSION,
         "type": type_name,
         "max_entries": tree.max_entries,
@@ -69,6 +73,14 @@ def index_to_dict(tree: RTree[SpatialObject]) -> dict[str, Any]:
         "size": len(tree),
         "root": _node_to_dict(tree.root),
     }
+    database = getattr(tree, "database", None)
+    if database is not None and database.interned:
+        # Round-trip the interned keyword order: under live mutation the
+        # vocabulary grows append-only (no longer globally sorted), and
+        # a loaded database must re-intern to the *same* bit positions
+        # or saved doc masks decode into different keyword sets.
+        payload["vocabulary"] = list(database.vocabulary_index.keywords)
+    return payload
 
 
 def _rebuild_node(
@@ -125,9 +137,17 @@ def index_from_dict(
     """
     if not isinstance(payload, dict) or "type" not in payload:
         raise IndexPersistenceError("payload is not a persisted index")
-    if payload.get("format") != _FORMAT_VERSION:
+    if payload.get("format") not in _SUPPORTED_FORMATS:
         raise IndexPersistenceError(
             f"unsupported format version {payload.get('format')!r}"
+        )
+    vocabulary = payload.get("vocabulary")
+    if vocabulary is not None and (
+        not isinstance(vocabulary, list)
+        or not all(isinstance(keyword, str) for keyword in vocabulary)
+    ):
+        raise IndexPersistenceError(
+            "persisted vocabulary must be a list of keywords"
         )
     type_name = payload["type"]
     if type_name not in _TREE_TYPES:
@@ -172,6 +192,14 @@ def index_from_dict(
         )
     tree._root = root
     tree._size = len(seen)
+    # Adopt the persisted keyword order only once the whole payload has
+    # validated: re-interning is a visible database mutation, and a load
+    # that fails halfway must leave the database exactly as it was.
+    if vocabulary is not None:
+        try:
+            database.adopt_vocabulary(vocabulary)
+        except ValueError as exc:
+            raise IndexPersistenceError(str(exc)) from None
     return tree
 
 

@@ -151,6 +151,33 @@ class RTree(Generic[T]):
             levels += 1
         return levels
 
+    def ideal_height(self) -> int:
+        """Height an STR bulk load of the current size would produce.
+
+        The smallest ``h`` with ``M^h ≥ n`` — every STR level packs
+        nodes to capacity (±1 for the even chunking).
+        """
+        if self._size <= self._max_entries:
+            return 1
+        return max(
+            1, math.ceil(math.log(self._size) / math.log(self._max_entries))
+        )
+
+    def balance_degraded(self, *, slack: int = 1) -> bool:
+        """Whether incremental updates have left the tree taller than ideal.
+
+        Guttman insertion keeps all leaves at one depth but fills nodes
+        only half full in the worst case, so a long mutation history can
+        leave the tree ``log₂``-ish taller (and its MBRs laggier) than a
+        fresh STR pack.  The live-mutation tier uses this as its rebuild
+        trigger: once the height exceeds the STR ideal by more than
+        ``slack`` levels, a bulk reload is cheaper than the pruning
+        power it recovers.
+        """
+        if self._size == 0:
+            return False
+        return self.height() > self.ideal_height() + slack
+
     def node_count(self) -> int:
         """Total number of nodes (inner + leaf)."""
         count = 0
@@ -208,6 +235,11 @@ class RTree(Generic[T]):
         else:
             node.summary = self._summarise_inner(node.children)
 
+    def _refresh_mbr(self, node: RTreeNode[T]) -> None:
+        """Recompute only the MBR (batch insertion's structural phase)."""
+        rects = list(node.iter_rects())
+        node.rect = Rect.union_all(rects) if rects else None
+
     def _refresh_upwards(self, node: RTreeNode[T] | None) -> None:
         while node is not None:
             self._refresh(node)
@@ -245,6 +277,20 @@ class RTree(Generic[T]):
         tree._root.parent = None
         tree._size = len(entries)
         return tree
+
+    def adopt_structure(self, other: "RTree[T]") -> None:
+        """Replace this tree's nodes with ``other``'s (rebuild in place).
+
+        The live-mutation tier's rebuild fallback: when incremental
+        maintenance has degraded the tree, a fresh bulk load is built
+        and adopted *into the existing instance*, so every engine
+        holding this tree by reference sees the rebuilt structure.
+        """
+        if other.max_entries != self._max_entries:
+            raise ValueError("adopted tree must share max_entries")
+        self._root = other._root
+        self._root.parent = None
+        self._size = other._size
 
     @staticmethod
     def _chunk_evenly(items: list, chunk_count: int) -> list[list]:
@@ -318,46 +364,147 @@ class RTree(Generic[T]):
         self._insert_entry(RTreeEntry(rect=rect, item=item))
         self._size += 1
 
-    def _insert_entry(self, entry: RTreeEntry[T]) -> None:
+    def insert_batch(self, items: Iterable[tuple[T, Rect | Point]]) -> None:
+        """Insert many items, deferring summary maintenance to one pass.
+
+        Per-item insertion recomputes every path node's summary
+        (keyword sets / count maps) per insert — for the augmented trees
+        that dominates ingest cost, and a batch touching one region
+        recomputes the same ancestors over and over.  This entry point
+        runs the structural phase (choose-leaf, splits) with *MBR-only*
+        refreshes — subsequent choose-leaf decisions only need current
+        rectangles — while collecting the touched nodes, then recomputes
+        MBRs *and* summaries bottom-up once per dirty path.  The
+        resulting tree is node-for-node identical to the per-item path.
+        """
+        dirty: set[RTreeNode[T]] = set()
+        count = 0
+        for item, shape in items:
+            rect = Rect.from_point(shape) if isinstance(shape, Point) else shape
+            self._insert_entry(
+                RTreeEntry(rect=rect, item=item), dirty=dirty
+            )
+            count += 1
+        self._size += count
+        if not dirty:
+            return
+        # Every touched node and its ancestors, deepest first, so child
+        # summaries exist before their parents merge them.
+        pending: dict[RTreeNode[T], int] = {}
+        for node in dirty:
+            walk: RTreeNode[T] | None = node
+            while walk is not None and walk not in pending:
+                depth = 0
+                parent = walk.parent
+                while parent is not None:
+                    depth += 1
+                    parent = parent.parent
+                pending[walk] = depth
+                walk = walk.parent
+        for node in sorted(pending, key=pending.__getitem__, reverse=True):
+            self._refresh(node)
+
+    def _insert_entry(
+        self,
+        entry: RTreeEntry[T],
+        dirty: set[RTreeNode[T]] | None = None,
+    ) -> None:
         leaf = self._choose_leaf(self._root, entry.rect)
         leaf.entries.append(entry)
-        self._handle_overflow_and_refresh(leaf)
+        if dirty is not None:
+            dirty.add(leaf)
+        self._handle_overflow_and_refresh(leaf, entry.rect, dirty)
 
-    def _handle_overflow_and_refresh(self, node: RTreeNode[T]) -> None:
-        """Split overfull nodes upward, refreshing MBRs and summaries."""
+    def _handle_overflow_and_refresh(
+        self,
+        node: RTreeNode[T],
+        inserted: Rect,
+        dirty: set[RTreeNode[T]] | None = None,
+    ) -> None:
+        """Split overfull nodes upward, refreshing MBRs and summaries.
+
+        With a ``dirty`` set (batch mode) only MBRs are maintained —
+        choose-leaf needs current rectangles — and touched nodes are
+        recorded for :meth:`insert_batch`'s single deferred summary
+        pass.  Pure insertion can only *grow* an ancestor's MBR to
+        absorb the new rectangle, so the no-split fast path extends
+        rects in O(1) per level instead of rescanning members; split
+        nodes take their MBRs straight from the split's group bounds.
+        """
+        refresh = self._refresh if dirty is None else self._refresh_mbr
         while True:
             overfull = len(node) > self._max_entries
             if overfull:
                 sibling = self._split(node)
+                if dirty is not None:
+                    dirty.add(node)
+                    dirty.add(sibling)
                 parent = node.parent
                 if parent is None:
                     new_root = RTreeNode[T](is_leaf=False)
                     new_root.children = [node, sibling]
                     node.parent = new_root
                     sibling.parent = new_root
-                    self._refresh(node)
-                    self._refresh(sibling)
-                    self._refresh(new_root)
+                    if dirty is None:
+                        refresh(node)
+                        refresh(sibling)
+                    refresh(new_root)
                     self._root = new_root
                     return
                 parent.children.append(sibling)
                 sibling.parent = parent
-                self._refresh(node)
-                self._refresh(sibling)
+                if dirty is None:
+                    refresh(node)
+                    refresh(sibling)
                 node = parent
-            else:
+            elif dirty is None:
                 self._refresh_upwards(node)
+                return
+            else:
+                walk: RTreeNode[T] | None = node
+                while walk is not None:
+                    rect = walk.rect
+                    if rect is None:
+                        self._refresh_mbr(walk)
+                    elif not rect.contains_rect(inserted):
+                        walk.rect = rect.union(inserted)
+                    walk = walk.parent
                 return
 
     def _choose_leaf(self, node: RTreeNode[T], rect: Rect) -> RTreeNode[T]:
+        """Descend by least enlargement, then least area (Guttman).
+
+        Inlined float arithmetic — this runs for every live insert, and
+        method/property dispatch per child dominates an otherwise tiny
+        loop.  Tie behaviour matches the tuple-key form: the first child
+        attaining the minimum ``(enlargement, area)`` wins.
+        """
+        rx0 = rect.min_x
+        ry0 = rect.min_y
+        rx1 = rect.max_x
+        ry1 = rect.max_y
         while not node.is_leaf:
             best_child: RTreeNode[T] | None = None
-            best_key: tuple[float, float] | None = None
+            best_enlargement = math.inf
+            best_area = math.inf
             for child in node.children:
-                assert child.rect is not None
-                key = (child.rect.enlargement(rect), child.rect.area)
-                if best_key is None or key < best_key:
-                    best_key = key
+                c = child.rect
+                assert c is not None
+                cx0 = c.min_x
+                cy0 = c.min_y
+                cx1 = c.max_x
+                cy1 = c.max_y
+                area = (cx1 - cx0) * (cy1 - cy0)
+                ux0 = cx0 if cx0 < rx0 else rx0
+                uy0 = cy0 if cy0 < ry0 else ry0
+                ux1 = cx1 if cx1 > rx1 else rx1
+                uy1 = cy1 if cy1 > ry1 else ry1
+                enlargement = (ux1 - ux0) * (uy1 - uy0) - area
+                if enlargement < best_enlargement or (
+                    enlargement == best_enlargement and area < best_area
+                ):
+                    best_enlargement = enlargement
+                    best_area = area
                     best_child = child
             assert best_child is not None
             node = best_child
@@ -367,21 +514,38 @@ class RTree(Generic[T]):
     # Quadratic split
     # ------------------------------------------------------------------
     def _split(self, node: RTreeNode[T]) -> RTreeNode[T]:
-        """Split ``node`` in place, returning the new sibling."""
+        """Split ``node`` in place, returning the new sibling.
+
+        Guttman's quadratic split, computed over flat coordinate tuples:
+        an STR-packed tree splits on nearly every insert into a full
+        leaf, so the O(M²) seed pick and the per-round enlargement
+        comparisons run on plain floats with zero ``Rect`` allocations.
+        Selection order and tie behaviour are identical to the textbook
+        object form.
+        """
         members: list[tuple[Rect, Any]]
         if node.is_leaf:
             members = [(entry.rect, entry) for entry in node.entries]
         else:
             members = [(child.rect, child) for child in node.children]
+        bounds = [
+            (rect.min_x, rect.min_y, rect.max_x, rect.max_y)
+            for rect, _ in members
+        ]
+        areas = [
+            (b[2] - b[0]) * (b[3] - b[1]) for b in bounds
+        ]
 
-        seed_a, seed_b = self._pick_seeds([rect for rect, _ in members])
-        group_a: list[tuple[Rect, Any]] = [members[seed_a]]
-        group_b: list[tuple[Rect, Any]] = [members[seed_b]]
-        rect_a = members[seed_a][0]
-        rect_b = members[seed_b][0]
+        seed_a, seed_b = self._pick_seeds_flat(bounds, areas)
+        group_a: list[Any] = [members[seed_a][1]]
+        group_b: list[Any] = [members[seed_b][1]]
+        ax0, ay0, ax1, ay1 = bounds[seed_a]
+        bx0, by0, bx1, by1 = bounds[seed_b]
+        area_a = areas[seed_a]
+        area_b = areas[seed_b]
         remaining = [
-            member
-            for index, member in enumerate(members)
+            (bounds[index], members[index][1])
+            for index in range(len(members))
             if index not in (seed_a, seed_b)
         ]
 
@@ -389,67 +553,113 @@ class RTree(Generic[T]):
             # Force-assign when one group must absorb all leftovers to
             # reach minimum fill.
             if len(group_a) + len(remaining) == self._min_entries:
-                group_a.extend(remaining)
-                remaining = []
+                for (x0, y0, x1, y1), member in remaining:
+                    group_a.append(member)
+                    if x0 < ax0:
+                        ax0 = x0
+                    if y0 < ay0:
+                        ay0 = y0
+                    if x1 > ax1:
+                        ax1 = x1
+                    if y1 > ay1:
+                        ay1 = y1
                 break
             if len(group_b) + len(remaining) == self._min_entries:
-                group_b.extend(remaining)
-                remaining = []
+                for (x0, y0, x1, y1), member in remaining:
+                    group_b.append(member)
+                    if x0 < bx0:
+                        bx0 = x0
+                    if y0 < by0:
+                        by0 = y0
+                    if x1 > bx1:
+                        bx1 = x1
+                    if y1 > by1:
+                        by1 = y1
                 break
-            index, prefers_a = self._pick_next(remaining, rect_a, rect_b)
-            rect, member = remaining.pop(index)
+            # Pick the member with the strongest group preference.
+            best_index = 0
+            best_difference = -math.inf
+            prefers_a = True
+            for index, ((x0, y0, x1, y1), _) in enumerate(remaining):
+                ux0 = ax0 if ax0 < x0 else x0
+                uy0 = ay0 if ay0 < y0 else y0
+                ux1 = ax1 if ax1 > x1 else x1
+                uy1 = ay1 if ay1 > y1 else y1
+                growth_a = (ux1 - ux0) * (uy1 - uy0) - area_a
+                ux0 = bx0 if bx0 < x0 else x0
+                uy0 = by0 if by0 < y0 else y0
+                ux1 = bx1 if bx1 > x1 else x1
+                uy1 = by1 if by1 > y1 else y1
+                growth_b = (ux1 - ux0) * (uy1 - uy0) - area_b
+                difference = abs(growth_a - growth_b)
+                if difference > best_difference:
+                    best_difference = difference
+                    best_index = index
+                    prefers_a = growth_a < growth_b
+            (x0, y0, x1, y1), member = remaining.pop(best_index)
             if prefers_a:
-                group_a.append((rect, member))
-                rect_a = rect_a.union(rect)
+                group_a.append(member)
+                if x0 < ax0:
+                    ax0 = x0
+                if y0 < ay0:
+                    ay0 = y0
+                if x1 > ax1:
+                    ax1 = x1
+                if y1 > ay1:
+                    ay1 = y1
+                area_a = (ax1 - ax0) * (ay1 - ay0)
             else:
-                group_b.append((rect, member))
-                rect_b = rect_b.union(rect)
+                group_b.append(member)
+                if x0 < bx0:
+                    bx0 = x0
+                if y0 < by0:
+                    by0 = y0
+                if x1 > bx1:
+                    bx1 = x1
+                if y1 > by1:
+                    by1 = y1
+                area_b = (bx1 - bx0) * (by1 - by0)
 
         sibling = RTreeNode[T](is_leaf=node.is_leaf)
         if node.is_leaf:
-            node.entries = [member for _, member in group_a]
-            sibling.entries = [member for _, member in group_b]
+            node.entries = group_a
+            sibling.entries = group_b
         else:
-            node.children = [member for _, member in group_a]
-            sibling.children = [member for _, member in group_b]
+            node.children = group_a
+            sibling.children = group_b
             for child in node.children:
                 child.parent = node
             for child in sibling.children:
                 child.parent = sibling
+        # MBRs come straight from the group bounds — batch mode relies
+        # on them (no member rescan); summaries are the caller's duty.
+        node.rect = Rect(ax0, ay0, ax1, ay1)
+        sibling.rect = Rect(bx0, by0, bx1, by1)
         return sibling
 
     @staticmethod
-    def _pick_seeds(rects: Sequence[Rect]) -> tuple[int, int]:
+    def _pick_seeds_flat(
+        bounds: Sequence[tuple[float, float, float, float]],
+        areas: Sequence[float],
+    ) -> tuple[int, int]:
         """Quadratic seed pick: the pair wasting the most area together."""
         worst_pair = (0, 1)
         worst_waste = -math.inf
-        for i in range(len(rects)):
-            for j in range(i + 1, len(rects)):
-                waste = (
-                    rects[i].union(rects[j]).area - rects[i].area - rects[j].area
-                )
+        count = len(bounds)
+        for i in range(count):
+            ix0, iy0, ix1, iy1 = bounds[i]
+            area_i = areas[i]
+            for j in range(i + 1, count):
+                jx0, jy0, jx1, jy1 = bounds[j]
+                ux0 = ix0 if ix0 < jx0 else jx0
+                uy0 = iy0 if iy0 < jy0 else jy0
+                ux1 = ix1 if ix1 > jx1 else jx1
+                uy1 = iy1 if iy1 > jy1 else jy1
+                waste = (ux1 - ux0) * (uy1 - uy0) - area_i - areas[j]
                 if waste > worst_waste:
                     worst_waste = waste
                     worst_pair = (i, j)
         return worst_pair
-
-    @staticmethod
-    def _pick_next(
-        remaining: Sequence[tuple[Rect, Any]], rect_a: Rect, rect_b: Rect
-    ) -> tuple[int, bool]:
-        """Pick the member with the strongest group preference."""
-        best_index = 0
-        best_difference = -math.inf
-        prefers_a = True
-        for index, (rect, _) in enumerate(remaining):
-            growth_a = rect_a.enlargement(rect)
-            growth_b = rect_b.enlargement(rect)
-            difference = abs(growth_a - growth_b)
-            if difference > best_difference:
-                best_difference = difference
-                best_index = index
-                prefers_a = growth_a < growth_b
-        return best_index, prefers_a
 
     # ------------------------------------------------------------------
     # Deletion

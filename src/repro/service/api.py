@@ -17,6 +17,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, AbstractSet, Iterable, Sequence
 
 from repro.core.geometry import Point
+from repro.core.mutations import (
+    AppliedBatch,
+    MutableDatabase,
+    Mutation,
+    MutationError,
+    ReadWriteLock,
+)
 from repro.core.objects import SpatialDatabase, SpatialObject
 from repro.core.query import DEFAULT_WEIGHTS, QueryResult, SpatialKeywordQuery, Weights
 from repro.core.scoring import Scorer
@@ -40,7 +47,7 @@ from repro.whynot.explanation import WhyNotExplanation
 from repro.whynot.keyword import KeywordRefinement
 from repro.whynot.preference import PreferenceRefinement
 
-__all__ = ["TimedResult", "YaskEngine"]
+__all__ = ["MutationReport", "TimedResult", "YaskEngine"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +56,39 @@ class TimedResult:
 
     value: object
     response_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class MutationReport:
+    """What one :meth:`YaskEngine.apply_mutations` call did.
+
+    ``change`` carries the applied batch (and its
+    :class:`~repro.core.mutations.BatchSummary`) so the serving tier can
+    run scoped cache invalidation against exactly what moved; the scalar
+    fields are the wire-friendly view ``to_dict`` serialises.
+    """
+
+    change: AppliedBatch
+    objects: int
+    kernel: dict | None
+    indexes_rebuilt: tuple[str, ...]
+    response_ms: float
+
+    @property
+    def generation(self) -> int:
+        return self.change.generation
+
+    def to_dict(self) -> dict:
+        return {
+            "generation": self.change.generation,
+            "inserted": self.change.inserted_count,
+            "updated": self.change.updated_count,
+            "deleted": self.change.deleted_count,
+            "objects": self.objects,
+            "kernel": self.kernel,
+            "indexes_rebuilt": list(self.indexes_rebuilt),
+            "response_ms": self.response_ms,
+        }
 
 
 class YaskEngine:
@@ -90,6 +130,13 @@ class YaskEngine:
         Scatter pool width for the sharded engine (``None`` = one per
         shard, capped by the CPU count; single-core hosts therefore run
         the sequential threshold-adaptive gather).
+    index_rebuild_slack:
+        Live-mutation rebuild fallback sensitivity: after a mutation
+        batch, any R-tree taller than its STR bulk-load ideal by more
+        than this many levels is bulk-reloaded in place.  ``1``
+        (default) tolerates the one extra level Guttman insertion
+        typically costs; ``0`` rebuilds aggressively (churn-heavy
+        workloads that must keep pruning bounds tight).
     """
 
     def __init__(
@@ -105,6 +152,7 @@ class YaskEngine:
         shards: int | None = None,
         partitioner: str = "grid",
         shard_workers: int | None = None,
+        index_rebuild_slack: int = 1,
     ) -> None:
         self._database = database
         self._text_model = text_model
@@ -168,6 +216,7 @@ class YaskEngine:
                 database, text_model=text_model, max_entries=max_entries
             )
 
+        self._max_entries = max_entries
         self._kcr_tree = KcRTree.build(database, max_entries=max_entries)
         self._whynot = WhyNotEngine(
             self._scorer,
@@ -177,6 +226,31 @@ class YaskEngine:
             max_edit_count=max_edit_count,
             candidate_budget=candidate_budget,
         )
+
+        # ---- Live-mutation tier -------------------------------------
+        # Readers (queries, why-not answering) share the lock; mutation
+        # batches are exclusive, so a search never observes a
+        # half-applied batch.  The IR-tree path is the one structure
+        # that cannot be maintained incrementally — its tf-idf weights
+        # depend on corpus-wide document frequencies, so every insert
+        # would reweigh every node — and mutations are refused there.
+        self._lock = ReadWriteLock()
+        self._indexes_rebuilt = 0
+        if index_rebuild_slack < 0:
+            raise ValueError("index_rebuild_slack must be non-negative")
+        self._index_rebuild_slack = index_rebuild_slack
+        if self._ir_tree is None:
+            kernel = self._scorer.kernel
+            self._mutable: MutableDatabase | None = MutableDatabase(
+                database,
+                model_code=kernel.model_code if kernel is not None else None,
+            )
+            if kernel is not None:
+                self._mutable.register_listener(kernel)
+            if self._shard_router is not None:
+                self._mutable.register_listener(self._shard_router)
+        else:
+            self._mutable = None
 
     def close(self) -> None:
         """Release the scatter pool of a sharded engine (idempotent).
@@ -268,7 +342,8 @@ class YaskEngine:
     # ------------------------------------------------------------------
     def query(self, query: SpatialKeywordQuery) -> QueryResult:
         """Execute a prepared spatial keyword top-k query."""
-        return self._topk_engine.search(query)
+        with self._lock.read():
+            return self._topk_engine.search(query)
 
     def top_k(
         self,
@@ -322,7 +397,110 @@ class YaskEngine:
         """
         from repro.service.audit import audit_result
 
-        return audit_result(self._scorer, result)
+        with self._lock.read():
+            return audit_result(self._scorer, result)
+
+    # ------------------------------------------------------------------
+    # Live mutation (insert / update / delete through every layer)
+    # ------------------------------------------------------------------
+    @property
+    def supports_mutations(self) -> bool:
+        """Whether this engine accepts :meth:`apply_mutations`.
+
+        False only for the IR-tree (cosine tf-idf) configuration, whose
+        corpus-frequency-dependent weights cannot be maintained
+        incrementally — rebuild the engine instead.
+        """
+        return self._mutable is not None
+
+    @property
+    def generation(self) -> int:
+        """Mutation batches applied so far (0 for a fresh engine)."""
+        return self._mutable.generation if self._mutable is not None else 0
+
+    def apply_mutations(self, mutations: Sequence[Mutation]) -> MutationReport:
+        """Apply one mutation batch through every layer, atomically.
+
+        Under the exclusive write lock: the database (incremental
+        vocabulary interning), the scoring kernel (tombstone + append +
+        threshold compaction), the shard router (owning-shard routing,
+        widen-only/exact summary refresh) and the R-tree family
+        (Guttman insert, shrink-after-delete) are all updated in place;
+        a degraded tree is bulk-reloaded.  After this returns, every
+        query answer is bit-for-bit what a fresh engine built from the
+        new object set would produce.  Serving-tier caches are *not*
+        touched here — the caller holds them; pass
+        ``report.change.summary`` to
+        :meth:`repro.service.executor.QueryExecutor.invalidate_scoped`.
+        """
+        if self._mutable is None:
+            raise MutationError(
+                "this engine cannot apply mutations: the IR-tree's tf-idf "
+                "weights depend on corpus-wide document frequencies; "
+                "rebuild the engine with the new object set instead"
+            )
+        started = time.perf_counter()
+        with self._lock.write():
+            change = self._mutable.apply(mutations)
+            for tree in (self._set_rtree, self._kcr_tree):
+                if tree is None:
+                    continue
+                for obj in change.removed:
+                    tree.delete(obj, obj.loc)
+                # Batched: one deferred summary pass per tree instead of
+                # a count-map merge along every inserted object's path.
+                tree.insert_batch(
+                    (obj, obj.loc) for obj in change.appended
+                )
+            rebuilt = self._rebuild_degraded_indexes()
+        kernel = self._scorer.kernel
+        return MutationReport(
+            change=change,
+            objects=len(self._database),
+            kernel=kernel.mutation_info() if kernel is not None else None,
+            indexes_rebuilt=rebuilt,
+            response_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+    def _rebuild_degraded_indexes(self) -> tuple[str, ...]:
+        """Bulk-reload any tree whose balance degraded (in place).
+
+        Adopting the fresh structure in place keeps every holder of the
+        tree reference — the best-first engine, the why-not engine, the
+        explanation generator — pointed at the rebuilt index.
+        """
+        slack = self._index_rebuild_slack
+        rebuilt: list[str] = []
+        if self._set_rtree is not None and self._set_rtree.balance_degraded(
+            slack=slack
+        ):
+            self._set_rtree.adopt_structure(
+                SetRTree.build(
+                    self._database,
+                    text_model=self._text_model,
+                    max_entries=self._max_entries,
+                )
+            )
+            rebuilt.append("set_rtree")
+        if self._kcr_tree.balance_degraded(slack=slack):
+            self._kcr_tree.adopt_structure(
+                KcRTree.build(self._database, max_entries=self._max_entries)
+            )
+            rebuilt.append("kcr_tree")
+        self._indexes_rebuilt += len(rebuilt)
+        return tuple(rebuilt)
+
+    def mutation_stats(self) -> dict:
+        """The ``GET /api/stats`` mutations section."""
+        if self._mutable is None:
+            return {"supported": False}
+        kernel = self._scorer.kernel
+        return {
+            "supported": True,
+            **self._mutable.to_dict(),
+            "kernel": kernel.mutation_info() if kernel is not None else None,
+            "indexes_rebuilt": self._indexes_rebuilt,
+        }
 
     # ------------------------------------------------------------------
     # Why-not question answering
@@ -339,7 +517,10 @@ class YaskEngine:
         Pass ``initial_result`` (the query's cached top-k result) to
         spare the generator from re-deriving it.
         """
-        return self._whynot.explain(query, missing, initial_result=initial_result)
+        with self._lock.read():
+            return self._whynot.explain(
+                query, missing, initial_result=initial_result
+            )
 
     def refine_preference(
         self,
@@ -349,7 +530,8 @@ class YaskEngine:
         lam: float = 0.5,
     ) -> PreferenceRefinement:
         """Preference-adjusted refinement (Definition 2)."""
-        return self._whynot.refine_preference(query, missing, lam=lam)
+        with self._lock.read():
+            return self._whynot.refine_preference(query, missing, lam=lam)
 
     def refine_keywords(
         self,
@@ -359,7 +541,8 @@ class YaskEngine:
         lam: float = 0.5,
     ) -> KeywordRefinement:
         """Keyword-adapted refinement (Definition 3)."""
-        return self._whynot.refine_keywords(query, missing, lam=lam)
+        with self._lock.read():
+            return self._whynot.refine_keywords(query, missing, lam=lam)
 
     def refine_combined(
         self,
@@ -370,7 +553,8 @@ class YaskEngine:
     ):
         """Both refinement functions applied together (Section 3.2:
         "users can apply the two refinement functions simultaneously")."""
-        return self._whynot.refine_combined(query, missing, lam=lam)
+        with self._lock.read():
+            return self._whynot.refine_combined(query, missing, lam=lam)
 
     def why_not(
         self,
@@ -385,9 +569,10 @@ class YaskEngine:
         Pass ``initial_result`` (the query's cached top-k result) to
         spare the explanation generator from re-deriving it.
         """
-        return self._whynot.refine_both(
-            query, missing, lam=lam, initial_result=initial_result
-        )
+        with self._lock.read():
+            return self._whynot.refine_both(
+                query, missing, lam=lam, initial_result=initial_result
+            )
 
     # ------------------------------------------------------------------
     # Why-not dispatch and batching (executor/service substrate)
@@ -402,7 +587,8 @@ class YaskEngine:
         entry.  Raises :class:`~repro.whynot.errors.UnknownObjectError`
         for references outside the database.
         """
-        resolved = self._whynot.resolve_missing(references)
+        with self._lock.read():
+            resolved = self._whynot.resolve_missing(references)
         return tuple(sorted(obj.oid for obj in resolved))
 
     def answer_whynot(

@@ -159,6 +159,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer the workload this many times (repeats hit the cache)",
     )
 
+    mutate = sub.add_parser(
+        "mutate",
+        help="apply a JSON file of insert/update/delete mutations",
+    )
+    mutate.add_argument("--dataset", default="hotels")
+    add_shard_args(mutate)
+    mutate.add_argument(
+        "--file",
+        required=True,
+        help="path to a JSON list of mutation payloads "
+        '([{"op": "insert"|"update"|"delete", "oid", "x"?, "y"?, '
+        '"keywords"?, "name"?}, ...]), or "-" for stdin',
+    )
+    mutate.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="apply the file in batches of this many mutations "
+        "(0 = one atomic batch)",
+    )
+
     whynot = sub.add_parser("whynot", help="ask a why-not question")
     add_query_args(whynot)
     whynot.add_argument(
@@ -339,6 +360,55 @@ def _run_whynot_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_mutate(args: argparse.Namespace) -> int:
+    """Apply a mutation workload to a freshly built engine and report.
+
+    The in-process twin of ``POST /api/mutations`` — useful for smoke
+    testing ingest workloads and for measuring incremental-apply cost on
+    a dataset before wiring it into a serving deployment.
+    """
+    from repro.core.mutations import MutationError
+    from repro.service.protocol import mutations_from_dict
+
+    if args.batch_size < 0:
+        raise SystemExit("--batch-size must be non-negative")
+    args.repeat = 1
+    args.workers = 1
+    payload = _load_workload(args, "mutations")
+    engine = _make_engine(args)
+    try:
+        mutations = mutations_from_dict(payload, max_mutations=None)
+    except ProtocolError as exc:
+        engine.close()
+        raise SystemExit(f"bad mutation payload: {exc}")
+    size = args.batch_size or len(mutations)
+    reports = []
+    try:
+        for start in range(0, len(mutations), size):
+            report = engine.apply_mutations(mutations[start : start + size])
+            reports.append(report.to_dict())
+    except MutationError as exc:
+        print(f"mutation error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        engine.close()
+    print(
+        json.dumps(
+            {"batches": reports, "stats": engine.mutation_stats()}, indent=2
+        )
+    )
+    applied = sum(
+        report["inserted"] + report["updated"] + report["deleted"]
+        for report in reports
+    )
+    print(
+        f"applied {applied} mutation(s) in {len(reports)} batch(es); "
+        f"database now holds {len(engine.database)} objects",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _run_whynot(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     weights = Weights.from_spatial(args.ws) if args.ws is not None else None
@@ -419,6 +489,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_query(args)
     if args.command == "batch":
         return _run_batch(args)
+    if args.command == "mutate":
+        return _run_mutate(args)
     if args.command == "whynot":
         return _run_whynot(args)
     if args.command == "whynot-batch":

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable, Mapping, Sequence
 from urllib import error, request
+from urllib.parse import quote
 
 __all__ = ["YaskClientError", "YaskClient"]
 
@@ -69,6 +70,54 @@ class YaskClient:
     def objects(self) -> list[dict[str, Any]]:
         """All objects — the grey markers of the map panel (Fig. 3)."""
         return self._call("GET", "/api/objects")["objects"]
+
+    def get_object(self, reference: int | str) -> dict[str, Any]:
+        """One object by id or name; :class:`YaskClientError` 404 if unknown."""
+        return self._call("GET", f"/api/objects/{quote(str(reference))}")[
+            "object"
+        ]
+
+    # ------------------------------------------------------------------
+    # Live mutation
+    # ------------------------------------------------------------------
+    def insert_objects(
+        self, objects: Sequence[Mapping[str, Any]]
+    ) -> dict[str, Any]:
+        """Ingest new objects: ``[{"oid", "x", "y", "keywords", "name"?}]``.
+
+        Returns the mutation report: generation, per-op counts, kernel
+        column occupancy and the scoped cache-invalidation tally
+        (``cache_invalidation.kept`` is the number of warm results that
+        provably survived the write).
+        """
+        return self._call(
+            "POST", "/api/objects", {"objects": [dict(obj) for obj in objects]}
+        )
+
+    def delete_object(self, reference: int | str) -> dict[str, Any]:
+        """Retire one object by id or name; returns the mutation report."""
+        return self._call(
+            "DELETE", f"/api/objects/{quote(str(reference))}"
+        )
+
+    def mutate(
+        self, mutations: Sequence[Mapping[str, Any]]
+    ) -> dict[str, Any]:
+        """Apply a mixed batch: ``[{"op": "insert"|"update"|"delete", ...}]``.
+
+        Inserts/updates carry the object fields inline; deletes carry
+        ``"oid"``.  The batch applies atomically — queries served
+        concurrently see either all of it or none of it.
+        """
+        return self._call(
+            "POST",
+            "/api/mutations",
+            {"mutations": [dict(mutation) for mutation in mutations]},
+        )
+
+    def mutation_stats(self) -> dict[str, Any]:
+        """The live-mutation tier's counters (generation, ops, kernel)."""
+        return self._call("GET", "/api/stats")["mutations"]
 
     def query(
         self,

@@ -177,7 +177,14 @@ class SupportsWhyNot(Protocol):
 
 @dataclass(frozen=True, slots=True)
 class CacheStats:
-    """A point-in-time snapshot of the executor's cache counters."""
+    """A point-in-time snapshot of the executor's cache counters.
+
+    ``scoped_*`` count the live-mutation tier's scoped invalidations:
+    ``scoped_dropped`` entries failed the could-this-batch-affect-you
+    test and were evicted, ``scoped_kept`` provably could not change
+    and survived the write — the counter that shows warm caches staying
+    warm under write traffic.
+    """
 
     hits: int
     misses: int
@@ -186,6 +193,9 @@ class CacheStats:
     inflight_waits: int
     size: int
     capacity: int
+    scoped_invalidations: int = 0
+    scoped_dropped: int = 0
+    scoped_kept: int = 0
 
     @property
     def requests(self) -> int:
@@ -209,6 +219,9 @@ class CacheStats:
             "size": self.size,
             "capacity": self.capacity,
             "hit_rate": self.hit_rate,
+            "scoped_invalidations": self.scoped_invalidations,
+            "scoped_dropped": self.scoped_dropped,
+            "scoped_kept": self.scoped_kept,
         }
 
 
@@ -338,7 +351,10 @@ class _ResultCache:
             raise ValueError("cache_capacity must be non-negative")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._cache: "OrderedDict[str, Any]" = OrderedDict()
+        # key → (value, meta).  ``meta`` is the caller's invalidation
+        # descriptor (see ``fetch``'s ``meta_of``); None when the caller
+        # supplied none — such entries never survive a scoped drop.
+        self._cache: "OrderedDict[str, tuple[Any, Any]]" = OrderedDict()
         self.inflight: dict[str, _Inflight] = {}
         self._generation = 0
         self._hits = 0
@@ -346,16 +362,30 @@ class _ResultCache:
         self._evictions = 0
         self._invalidations = 0
         self._inflight_waits = 0
+        self._scoped_invalidations = 0
+        self._scoped_dropped = 0
+        self._scoped_kept = 0
 
-    def fetch(self, key: str, compute: Callable[[], Any]) -> tuple[Any, str]:
-        """Return ``(value, source)``, computing at most once per key."""
+    def fetch(
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        meta_of: Callable[[Any], Any] | None = None,
+    ) -> tuple[Any, str]:
+        """Return ``(value, source)``, computing at most once per key.
+
+        ``meta_of`` derives the cached entry's invalidation descriptor
+        from a freshly computed value; scoped invalidation
+        (:meth:`invalidate_where`) tests it to decide which entries a
+        mutation batch could have affected.
+        """
         while True:
             with self._lock:
                 cached = self._cache.get(key)
                 if cached is not None:
                     self._cache.move_to_end(key)
                     self._hits += 1
-                    return cached, "cache"
+                    return cached[0], "cache"
                 flight = self.inflight.get(key)
                 if flight is None or flight.generation != self._generation:
                     # No flight, or only one from before an invalidation —
@@ -370,7 +400,10 @@ class _ResultCache:
                     leader = False
 
             if leader:
-                return self._compute_as_leader(key, flight, compute), "engine"
+                return (
+                    self._compute_as_leader(key, flight, compute, meta_of),
+                    "engine",
+                )
             flight.event.wait()
             if flight.error is not None or flight.result is None:
                 # The leader failed; this follower retries on its own
@@ -381,7 +414,11 @@ class _ResultCache:
             return flight.result, "inflight"
 
     def _compute_as_leader(
-        self, key: str, flight: _Inflight, compute: Callable[[], Any]
+        self,
+        key: str,
+        flight: _Inflight,
+        compute: Callable[[], Any],
+        meta_of: Callable[[Any], Any] | None = None,
     ) -> Any:
         try:
             result = compute()
@@ -392,12 +429,13 @@ class _ResultCache:
             flight.error = exc
             flight.event.set()
             raise
+        meta = meta_of(result) if meta_of is not None else None
         with self._lock:
             self._misses += 1
             # Only cache when no invalidation raced this computation: a
             # result computed against the old dataset must not survive.
             if self.capacity > 0 and flight.generation == self._generation:
-                self._cache[key] = result
+                self._cache[key] = (result, meta)
                 self._cache.move_to_end(key)
                 while len(self._cache) > self.capacity:
                     self._cache.popitem(last=False)
@@ -423,6 +461,31 @@ class _ResultCache:
             self._invalidations += 1
             return dropped
 
+    def invalidate_where(self, affected: Callable[[Any], bool]) -> tuple[int, int]:
+        """Drop entries whose meta tests affected; returns (dropped, kept).
+
+        Entries without a meta descriptor are dropped unconditionally —
+        absence of evidence is not evidence of safety.  The generation
+        still advances: an in-flight computation may have read the
+        pre-mutation dataset, and by the time it lands the batch summary
+        it would need testing against is gone, so it must not populate
+        the cache even under an unaffected key.
+        """
+        with self._lock:
+            survivors: "OrderedDict[str, tuple[Any, Any]]" = OrderedDict()
+            dropped = 0
+            for key, (value, meta) in self._cache.items():
+                if meta is None or affected(meta):
+                    dropped += 1
+                else:
+                    survivors[key] = (value, meta)
+            self._cache = survivors
+            self._generation += 1
+            self._scoped_invalidations += 1
+            self._scoped_dropped += dropped
+            self._scoped_kept += len(survivors)
+            return dropped, len(survivors)
+
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(
@@ -433,12 +496,56 @@ class _ResultCache:
                 inflight_waits=self._inflight_waits,
                 size=len(self._cache),
                 capacity=self.capacity,
+                scoped_invalidations=self._scoped_invalidations,
+                scoped_dropped=self._scoped_dropped,
+                scoped_kept=self._scoped_kept,
             )
 
     def keys(self) -> tuple[str, ...]:
         """Cached keys in eviction order (least recently used first)."""
         with self._lock:
             return tuple(self._cache)
+
+
+@dataclass(frozen=True, slots=True)
+class _QueryMeta:
+    """Invalidation descriptor of one cached top-k result.
+
+    Exactly what :meth:`repro.core.mutations.BatchSummary.affects_topk`
+    needs to decide whether a mutation batch could change the result:
+    the query's parameters, the member ids, the k-th (lowest) score and
+    whether the result is full (``len(entries) == k``).
+    """
+
+    loc: Any
+    doc: frozenset[str]
+    ws: float
+    wt: float
+    kth_score: float
+    result_oids: frozenset[int]
+    full: bool
+
+    @classmethod
+    def of(cls, result: QueryResult) -> "_QueryMeta | None":
+        """Derive a descriptor, or None for non-result values.
+
+        Test doubles (and any engine stub) may return arbitrary
+        objects; entries without a descriptor are simply dropped
+        unconditionally by scoped invalidation.
+        """
+        query = getattr(result, "query", None)
+        entries = getattr(result, "entries", None)
+        if query is None or entries is None:
+            return None
+        return cls(
+            loc=query.loc,
+            doc=query.doc,
+            ws=query.ws,
+            wt=query.wt,
+            kth_score=entries[-1].score if entries else float("-inf"),
+            result_oids=frozenset(entry.obj.oid for entry in entries),
+            full=len(entries) >= query.k,
+        )
 
 
 class QueryExecutor:
@@ -512,7 +619,7 @@ class QueryExecutor:
         fingerprint = query_fingerprint(query)
         started = time.perf_counter()
         result, source = self._cache.fetch(
-            fingerprint, lambda: self._engine.query(query)
+            fingerprint, lambda: self._engine.query(query), _QueryMeta.of
         )
         return Execution(
             query=query,
@@ -580,6 +687,32 @@ class QueryExecutor:
             for drop in self._linked_invalidations:
                 drop()
             return dropped
+
+    def invalidate_scoped(self, summary) -> dict[str, int]:
+        """Drop only the cached results a mutation batch could affect.
+
+        ``summary`` is the applied batch's
+        :class:`~repro.core.mutations.BatchSummary`; an entry survives
+        only when the summary *proves* the batch cannot change it (no
+        removed/added id in the result, and every added object's score
+        bound strictly below the cached k-th score).  Linked why-not
+        caches are dropped wholesale: a why-not answer depends on the
+        ranks of the *entire* database (the refinement sweeps consider
+        every weight and keyword candidate), so no cheap per-entry proof
+        of safety exists — conservatism over staleness.
+
+        Returns the drop/keep tally for the mutation report and stats.
+        """
+        with self._domain_lock:
+            dropped, kept = self._cache.invalidate_where(summary.affects_topk)
+            linked_dropped = 0
+            for drop in self._linked_invalidations:
+                linked_dropped += drop()
+            return {
+                "dropped": dropped,
+                "kept": kept,
+                "linked_dropped": linked_dropped,
+            }
 
     def stats(self) -> CacheStats:
         return self._cache.stats()

@@ -37,9 +37,13 @@ if TYPE_CHECKING:  # imported lazily to keep the protocol transport-free
     from repro.whynot.engine import WhyNotAnswer
 
 __all__ = [
+    "MAX_BATCH_MUTATIONS",
     "MAX_BATCH_QUERIES",
     "MAX_BATCH_QUESTIONS",
     "ProtocolError",
+    "mutation_from_dict",
+    "mutations_from_dict",
+    "spatial_object_from_dict",
     "query_to_dict",
     "query_from_dict",
     "batch_queries_from_dict",
@@ -69,6 +73,11 @@ MAX_BATCH_QUERIES = 256
 #: magnitude more than the top-k query it explains, so the cap is
 #: proportionally tighter than :data:`MAX_BATCH_QUERIES`.
 MAX_BATCH_QUESTIONS = 64
+
+#: Cap for mutation batches (``POST /api/mutations``).  Mutations hold
+#: the engine's exclusive write lock while they apply, so one request
+#: must not stall the read path for long.
+MAX_BATCH_MUTATIONS = 256
 
 
 class ProtocolError(ValueError):
@@ -148,6 +157,92 @@ def batch_queries_from_dict(
         except ProtocolError as exc:
             raise ProtocolError(f"queries[{index}]: {exc}") from None
     return queries
+
+
+# ----------------------------------------------------------------------
+# Mutations (live insert / update / delete)
+# ----------------------------------------------------------------------
+def spatial_object_from_dict(payload: Mapping[str, Any]) -> SpatialObject:
+    """Parse an object payload: ``{"oid", "x", "y", "keywords", "name"?}``.
+
+    The keyword list may be empty (an object can carry no text), but it
+    must be present — an ingest endpoint silently defaulting documents
+    would mask client bugs.
+    """
+    try:
+        oid = int(_require(payload, "oid"))
+        loc = Point(float(_require(payload, "x")), float(_require(payload, "y")))
+        keywords = _require(payload, "keywords")
+        if isinstance(keywords, str) or not hasattr(keywords, "__iter__"):
+            raise ProtocolError("'keywords' must be a list of strings")
+        name = payload.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ProtocolError("'name' must be a string when present")
+        return SpatialObject(
+            oid=oid,
+            loc=loc,
+            doc=frozenset(str(kw) for kw in keywords),
+            name=name,
+        )
+    except ProtocolError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed object payload: {exc}") from None
+
+
+def mutation_from_dict(payload: Mapping[str, Any]) -> "Mutation":
+    """Parse one mutation: ``{"op": "insert"|"update"|"delete", ...}``.
+
+    Inserts and updates carry the object fields inline; deletes carry
+    only ``"oid"``.
+    """
+    from repro.core.mutations import Mutation, MutationError
+
+    op = payload.get("op")
+    if op not in ("insert", "update", "delete"):
+        raise ProtocolError(
+            "'op' must be one of 'insert', 'update', 'delete'"
+        )
+    try:
+        if op == "delete":
+            return Mutation.delete(int(_require(payload, "oid")))
+        obj = spatial_object_from_dict(payload)
+        return Mutation.insert(obj) if op == "insert" else Mutation.update(obj)
+    except MutationError as exc:
+        raise ProtocolError(str(exc)) from None
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed mutation payload: {exc}") from None
+
+
+def mutations_from_dict(
+    payload: Mapping[str, Any],
+    *,
+    max_mutations: int | None = MAX_BATCH_MUTATIONS,
+) -> "list[Mutation]":
+    """Parse a ``POST /api/mutations`` body: ``{"mutations": [...]}``.
+
+    ``max_mutations=None`` disables the batch cap — the CLI's local
+    workload files are not subject to the HTTP write-lock budget.
+    """
+    raw = _require(payload, "mutations")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError(
+            "'mutations' must be a non-empty list of mutation objects"
+        )
+    if max_mutations is not None and len(raw) > max_mutations:
+        raise ProtocolError(
+            f"batch too large: {len(raw)} mutations exceeds the cap of "
+            f"{max_mutations}"
+        )
+    mutations = []
+    for index, item in enumerate(raw):
+        if not isinstance(item, Mapping):
+            raise ProtocolError(f"mutations[{index}] must be a JSON object")
+        try:
+            mutations.append(mutation_from_dict(item))
+        except ProtocolError as exc:
+            raise ProtocolError(f"mutations[{index}]: {exc}") from None
+    return mutations
 
 
 # ----------------------------------------------------------------------

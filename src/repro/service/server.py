@@ -21,6 +21,14 @@ request flow:
   query, missing objects, model and λ.
 * ``POST /api/session/close`` — the user "gave up asking" (drops the cache).
 * ``GET /api/objects`` — every object (the grey markers of Fig. 3).
+* ``GET /api/objects/<oid-or-name>`` — one object; unknown references
+  are a structured 404, never a 500.
+* ``POST /api/objects`` — live-ingest one object or a list of objects.
+* ``DELETE /api/objects/<oid-or-name>`` — retire one object.
+* ``POST /api/mutations`` — a mixed insert/update/delete batch; applied
+  atomically under the engine's write lock, followed by *scoped* cache
+  invalidation (only cached results the batch could affect are
+  dropped).
 * ``GET /api/log?session_id=…`` — the query-log panel (Fig. 4, Panel 5).
 * ``GET /api/stats`` — cache hit/miss/eviction counters for both
   executor tiers (top-k and why-not).
@@ -47,8 +55,9 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Mapping
-from urllib.parse import parse_qs, urlparse
+from urllib.parse import parse_qs, unquote, urlparse
 
+from repro.core.mutations import MissingTargetError, Mutation, MutationError
 from repro.service.api import YaskEngine
 from repro.service.executor import (
     QueryExecutor,
@@ -57,6 +66,7 @@ from repro.service.executor import (
     consistent_stats,
 )
 from repro.service.protocol import (
+    MAX_BATCH_MUTATIONS,
     ProtocolError,
     batch_execution_to_dict,
     batch_queries_from_dict,
@@ -66,7 +76,9 @@ from repro.service.protocol import (
     keyword_refinement_to_dict,
     lambda_from_dict,
     missing_refs_from_dict,
+    mutations_from_dict,
     object_to_dict,
+    spatial_object_from_dict,
     preference_refinement_to_dict,
     query_from_dict,
     result_to_dict,
@@ -86,6 +98,15 @@ class _RequestError(Exception):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
+
+
+def _keyerror_message(exc: KeyError) -> str:
+    """The human-readable message of a database lookup ``KeyError``.
+
+    ``SpatialDatabase.get``/``resolve`` raise with a full sentence as
+    the sole argument; ``str(KeyError)`` would wrap it in quotes.
+    """
+    return str(exc.args[0]) if exc.args else str(exc)
 
 
 class YaskHTTPServer(ThreadingHTTPServer):
@@ -153,6 +174,9 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         try:
             if parsed.path == "/healthz":
                 self._send_json(200, {"status": "ok", "objects": len(self.server.engine.database)})
+            elif parsed.path.startswith("/api/objects/"):
+                obj = self._resolve_object(parsed.path)
+                self._send_json(200, {"object": object_to_dict(obj)})
             elif parsed.path == "/api/objects":
                 payload = {
                     "objects": [
@@ -192,6 +216,11 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
                     {
                         "cache": cache_stats.to_dict(),
                         "whynot_cache": whynot_stats.to_dict(),
+                        # Live-mutation tier: generation, batch/op
+                        # tallies, kernel column occupancy and index
+                        # rebuilds (supported=False for IR-tree
+                        # engines, which cannot mutate incrementally).
+                        "mutations": self.server.engine.mutation_stats(),
                         # Columnar-kernel hit counters (None when the
                         # text model has no kernel): how many batch
                         # passes / point scorings the compute tier under
@@ -214,12 +243,16 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"unknown path {parsed.path}"})
         except _RequestError as exc:
             self._send_json(exc.status, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self._send_json(500, {"error": f"internal error: {exc}"})
 
     def do_POST(self) -> None:  # noqa: N802
         parsed = urlparse(self.path)
         handlers: Mapping[str, Callable[[Mapping[str, Any]], tuple[int, dict]]] = {
             "/api/query": self._handle_query,
             "/api/query/batch": self._handle_query_batch,
+            "/api/objects": self._handle_insert_objects,
+            "/api/mutations": self._handle_mutations,
             "/api/whynot/explain": self._handle_explain,
             "/api/whynot/preference": self._handle_preference,
             "/api/whynot/keywords": self._handle_keywords,
@@ -239,8 +272,32 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
             self._send_json(exc.status, {"error": str(exc)})
         except ProtocolError as exc:
             self._send_json(400, {"error": str(exc)})
+        except MissingTargetError as exc:
+            # An update/delete addressed an object that does not exist:
+            # the mutation analogue of a 404, not an internal error.
+            self._send_json(404, {"error": str(exc)})
+        except MutationError as exc:
+            self._send_json(409, {"error": str(exc)})
         except WhyNotError as exc:
             self._send_json(422, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        try:
+            if not parsed.path.startswith("/api/objects/"):
+                self._send_json(404, {"error": f"unknown path {parsed.path}"})
+                return
+            obj = self._resolve_object(parsed.path)
+            report = self._apply_and_invalidate([Mutation.delete(obj.oid)])
+            self._send_json(200, report)
+        except _RequestError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except MissingTargetError as exc:
+            self._send_json(404, {"error": str(exc)})
+        except MutationError as exc:
+            self._send_json(409, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - last-resort guard
             self._send_json(500, {"error": f"internal error: {exc}"})
 
@@ -272,6 +329,65 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         )
         batch = self.server.executor.execute_batch(queries)
         return 200, batch_execution_to_dict(batch)
+
+    # ------------------------------------------------------------------
+    # Mutation handlers (live insert / update / delete)
+    # ------------------------------------------------------------------
+    def _apply_and_invalidate(self, mutations) -> dict:
+        """Apply a batch through the engine, then invalidate *scoped*.
+
+        Only cached top-k results the batch could actually affect are
+        dropped (spatial-region + keyword-overlap + k-th-score test
+        against the batch summary); unaffected entries stay warm.  The
+        response reports both the engine-side report and the cache
+        tally.
+        """
+        engine = self.server.engine
+        if not engine.supports_mutations:
+            raise _RequestError(
+                501,
+                "this engine cannot apply mutations (IR-tree/cosine "
+                "configuration); rebuild the engine with the new objects",
+            )
+        report = engine.apply_mutations(mutations)
+        invalidation = self.server.executor.invalidate_scoped(
+            report.change.summary
+        )
+        return {**report.to_dict(), "cache_invalidation": invalidation}
+
+    def _handle_insert_objects(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        """``POST /api/objects``: insert one object or a list of objects."""
+        if "objects" in payload:
+            raw = payload["objects"]
+            if not isinstance(raw, list) or not raw:
+                raise ProtocolError(
+                    "'objects' must be a non-empty list of object payloads"
+                )
+            if len(raw) > MAX_BATCH_MUTATIONS:
+                # Same cap (and same reason) as /api/mutations: a batch
+                # holds the engine's exclusive write lock while it
+                # applies, so one request must not stall the read path.
+                raise ProtocolError(
+                    f"batch too large: {len(raw)} objects exceeds the cap "
+                    f"of {MAX_BATCH_MUTATIONS}"
+                )
+            objects = []
+            for index, item in enumerate(raw):
+                if not isinstance(item, Mapping):
+                    raise ProtocolError(f"objects[{index}] must be a JSON object")
+                try:
+                    objects.append(spatial_object_from_dict(item))
+                except ProtocolError as exc:
+                    raise ProtocolError(f"objects[{index}]: {exc}") from None
+        else:
+            objects = [spatial_object_from_dict(payload)]
+        mutations = [Mutation.insert(obj) for obj in objects]
+        return 200, self._apply_and_invalidate(mutations)
+
+    def _handle_mutations(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        """``POST /api/mutations``: a mixed insert/update/delete batch."""
+        mutations = mutations_from_dict(payload)
+        return 200, self._apply_and_invalidate(mutations)
 
     def _ask_whynot(
         self, payload: Mapping[str, Any], model: str
@@ -404,6 +520,38 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _resolve_object(self, path: str):
+        """Resolve ``/api/objects/<oid-or-name>`` to a database object.
+
+        Unknown ids and names become a structured 404 *here*, at the
+        lookup site — the method dispatchers deliberately have no
+        blanket ``KeyError`` handler, so an internal bug elsewhere still
+        surfaces as a 500 rather than masquerading as a client error.
+        """
+        reference = unquote(path[len("/api/objects/") :])
+        if not reference:
+            raise _RequestError(400, "object id or name required")
+        database = self.server.engine.database
+        try:
+            oid: int | None = int(reference)
+        except ValueError:
+            oid = None
+        try:
+            if oid is not None:
+                # A numeric reference is an oid first — but names are
+                # arbitrary strings, so an object *named* "7100" stays
+                # reachable when no object carries that id.
+                try:
+                    return database.get(oid)
+                except KeyError:
+                    named = database.find_by_name(reference)
+                    if named is not None:
+                        return named
+                    raise
+            return database.resolve(reference)
+        except KeyError as exc:
+            raise _RequestError(404, _keyerror_message(exc)) from None
+
     def _read_json(self) -> Mapping[str, Any]:
         length = int(self.headers.get("Content-Length", "0") or "0")
         if length <= 0:

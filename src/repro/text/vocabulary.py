@@ -27,9 +27,20 @@ __all__ = ["Vocabulary"]
 class Vocabulary:
     """An immutable keyword → bit-position interning table.
 
-    Bit positions are assigned by sorted keyword order, so two databases
-    over the same corpus produce identical masks regardless of object
-    order — mask equality is then meaningful across rebuilds.
+    Bit positions are assigned by sorted keyword order at construction,
+    so two databases over the same corpus produce identical masks
+    regardless of object order — mask equality is then meaningful across
+    rebuilds.
+
+    Under live mutation (:mod:`repro.core.mutations`) the table grows
+    *append-only*: :meth:`extended` returns a new table whose existing
+    bit positions are untouched and whose new keywords occupy the next
+    positions (sorted among themselves).  Every already-encoded doc mask
+    therefore stays valid — similarity arithmetic consumes bit *counts*,
+    never positions — at the price that an extended table's positions
+    need no longer be globally sorted.  :meth:`from_ordered` rebuilds a
+    table from an explicit position order (index persistence round-trips
+    it so saved doc masks decode identically after a load).
     """
 
     __slots__ = ("_ids", "_keywords")
@@ -42,6 +53,40 @@ class Vocabulary:
         self._ids: dict[str, int] = {
             keyword: position for position, keyword in enumerate(self._keywords)
         }
+
+    @classmethod
+    def from_ordered(cls, keywords: Iterable[str]) -> "Vocabulary":
+        """Build a table with an explicit bit-position order.
+
+        Raises ``ValueError`` on duplicates — a keyword cannot own two
+        bit positions.
+        """
+        table = cls(())
+        ordered = tuple(keywords)
+        ids = {keyword: position for position, keyword in enumerate(ordered)}
+        if len(ids) != len(ordered):
+            raise ValueError("vocabulary order contains duplicate keywords")
+        table._keywords = ordered
+        table._ids = ids
+        return table
+
+    def extended(self, docs: Iterable[AbstractSet[str]]) -> "Vocabulary":
+        """A new table with any unseen keywords appended.
+
+        Existing bit positions are preserved verbatim; new keywords take
+        the next positions in sorted order.  Returns ``self`` when the
+        docs introduce nothing new (the insert-only fast path allocates
+        no table).
+        """
+        fresh: set[str] = set()
+        ids = self._ids
+        for doc in docs:
+            for keyword in doc:
+                if keyword not in ids:
+                    fresh.add(keyword)
+        if not fresh:
+            return self
+        return Vocabulary.from_ordered(self._keywords + tuple(sorted(fresh)))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,175 @@
+"""The mutation parity property (the live-mutation tier's contract).
+
+After ANY sequence of insert/update/delete batches, the mutated engine
+must be *bit-for-bit* indistinguishable from a fresh engine built from
+the final object set over the same dataspace:
+
+* top-k results: same objects, same score/sdist/tsim floats, same tie
+  order — across the unsharded kernel engine, the sharded scatter-gather
+  engine and the set-path oracle;
+* all three why-not refinement paths (preference, keywords, combined)
+  plus the explanation, compared through their wire serialisations.
+
+This is the property that makes every incremental structure — the
+append-only vocabulary, the tombstoned kernel columns, the widened shard
+summaries, the Guttman-maintained trees — an *optimisation* rather than
+a semantics change.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Point, Rect
+from repro.core.mutations import Mutation
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.core.scoring import Scorer
+from repro.service.api import YaskEngine
+from repro.service.protocol import result_to_dict, whynot_answer_to_dict
+from tests.properties.strategies import ALPHABET, databases, queries
+
+#: Extra keywords only mutations introduce — exercises the append-only
+#: vocabulary growth path (new bit positions beyond the built corpus).
+FRESH_WORDS = [f"fresh{i}" for i in range(4)]
+
+coordinates = st.floats(
+    min_value=-0.2, max_value=1.2, allow_nan=False, allow_infinity=False
+)
+mutation_docs = st.sets(
+    st.sampled_from(ALPHABET + FRESH_WORDS), min_size=1, max_size=5
+).map(frozenset)
+
+
+def draw_batches(draw, database: SpatialDatabase) -> list[list[Mutation]]:
+    """Draw 1-3 batches of 1-5 valid mutations against the live id set."""
+    live = {obj.oid for obj in database.objects}
+    next_oid = max(live) + 1
+    batches: list[list[Mutation]] = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        batch: list[Mutation] = []
+        for _ in range(draw(st.integers(min_value=1, max_value=5))):
+            kind = draw(st.sampled_from(["insert", "insert", "update", "delete"]))
+            if kind == "insert" or len(live) <= 2:
+                obj = SpatialObject(
+                    next_oid,
+                    Point(draw(coordinates), draw(coordinates)),
+                    draw(mutation_docs),
+                )
+                next_oid += 1
+                live.add(obj.oid)
+                batch.append(Mutation.insert(obj))
+            elif kind == "update":
+                oid = draw(st.sampled_from(sorted(live)))
+                batch.append(
+                    Mutation.update(
+                        SpatialObject(
+                            oid,
+                            Point(draw(coordinates), draw(coordinates)),
+                            draw(mutation_docs),
+                        )
+                    )
+                )
+            else:
+                oid = draw(st.sampled_from(sorted(live)))
+                live.discard(oid)
+                batch.append(Mutation.delete(oid))
+        if batch:
+            batches.append(batch)
+    return batches
+
+
+def entry_tuple(entry):
+    return (entry.obj.oid, entry.score, entry.sdist, entry.tsim, entry.rank)
+
+
+@st.composite
+def mutation_scenarios(draw):
+    database = draw(databases(min_size=4, max_size=24))
+    query = draw(queries(k_max=6))
+    return database, query
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(scenario=mutation_scenarios(), data=st.data())
+def test_mutated_engines_match_fresh_rebuild(scenario, data):
+    database, query = scenario
+    initial_objects = database.objects
+
+    live_plain = YaskEngine(
+        SpatialDatabase(initial_objects, dataspace=database.dataspace),
+        max_entries=4,
+    )
+    live_sharded = YaskEngine(
+        SpatialDatabase(initial_objects, dataspace=database.dataspace),
+        max_entries=4,
+        shards=3,
+    )
+    batches = draw_batches(data.draw, live_plain.database)
+    for batch in batches:
+        live_plain.apply_mutations(batch)
+        live_sharded.apply_mutations(list(batch))
+
+    final_objects = live_plain.database.objects
+    assert final_objects == live_sharded.database.objects
+
+    fresh = YaskEngine(
+        SpatialDatabase(final_objects, dataspace=database.dataspace),
+        max_entries=4,
+    )
+    oracle = Scorer(
+        SpatialDatabase(final_objects, dataspace=database.dataspace),
+        use_kernel=False,
+    )
+
+    # --- top-k parity: plain, sharded, fresh, set-path oracle ---------
+    expected = fresh.query(query)
+    for engine in (live_plain, live_sharded):
+        got = engine.query(query)
+        assert list(map(entry_tuple, got.entries)) == list(
+            map(entry_tuple, expected.entries)
+        )
+    assert result_to_dict(oracle.top_k(query)) == result_to_dict(expected)
+
+    # --- why-not parity over all refinement paths ---------------------
+    ranked = fresh.scorer.rank_all(query)
+    missing_candidates = [
+        entry.obj.oid for entry in ranked if entry.rank > query.k
+    ]
+    if missing_candidates:
+        missing = [missing_candidates[-1]]
+        expected_answer = whynot_answer_to_dict(fresh.why_not(query, missing))
+        for engine in (live_plain, live_sharded):
+            got_answer = whynot_answer_to_dict(engine.why_not(query, missing))
+            assert got_answer == expected_answer
+
+    live_plain.close()
+    live_sharded.close()
+    fresh.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario=mutation_scenarios(), data=st.data())
+def test_mutated_scorer_matches_set_path_oracle(scenario, data):
+    """rank_all on the mutated kernel equals the set path on the final set."""
+    database, query = scenario
+    live = SpatialDatabase(database.objects, dataspace=database.dataspace)
+    scorer = Scorer(live)
+    from repro.core.mutations import MutableDatabase
+
+    mutable = MutableDatabase(live, model_code=scorer.kernel.model_code)
+    mutable.register_listener(scorer.kernel)
+    for batch in draw_batches(data.draw, live):
+        mutable.apply(batch)
+    oracle = Scorer(
+        SpatialDatabase(live.objects, dataspace=live.dataspace),
+        use_kernel=False,
+    )
+    got = scorer.rank_all(query)
+    want = oracle.rank_all(query)
+    assert list(map(entry_tuple, got)) == list(map(entry_tuple, want))
+    assert scorer.dual_points(query) == oracle.dual_points(query)

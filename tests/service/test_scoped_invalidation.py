@@ -1,0 +1,153 @@
+"""Executor-tier scoped invalidation + the index rebuild fallback."""
+
+from __future__ import annotations
+
+from repro.core.geometry import Point
+from repro.core.mutations import Mutation
+from repro.core.objects import SpatialObject
+from repro.core.query import SpatialKeywordQuery
+from repro.datasets.generators import SyntheticDatasetBuilder
+from repro.service.api import YaskEngine
+from repro.service.executor import QueryExecutor, WhyNotExecutor, WhyNotQuestion
+from tests.conftest import make_tiny_db
+
+
+def query_at(x: float, y: float, *keywords: str, k: int = 2):
+    return SpatialKeywordQuery(loc=Point(x, y), doc=frozenset(keywords), k=k)
+
+
+class TestScopedInvalidation:
+    def make(self):
+        engine = YaskEngine(make_tiny_db(), max_entries=4)
+        executor = QueryExecutor(engine, cache_capacity=16)
+        return engine, executor
+
+    def test_unaffected_entries_survive_affected_drop(self):
+        engine, executor = self.make()
+        near_sw = query_at(0.1, 0.1, "chinese")
+        near_ne = query_at(0.9, 0.9, "spanish")
+        executor.execute(near_sw)
+        executor.execute(near_ne)
+        report = engine.apply_mutations(
+            [
+                Mutation.insert(
+                    SpatialObject(10, Point(0.88, 0.9), frozenset({"spanish"}))
+                )
+            ]
+        )
+        tally = executor.invalidate_scoped(report.change.summary)
+        assert tally == {"dropped": 1, "kept": 1, "linked_dropped": 0}
+        assert executor.execute(near_sw).source == "cache"
+        refreshed = executor.execute(near_ne)
+        assert refreshed.source == "engine"
+        assert 10 in [e.obj.oid for e in refreshed.result.entries]
+        stats = executor.stats()
+        assert stats.scoped_invalidations == 1
+        assert stats.scoped_dropped == 1 and stats.scoped_kept == 1
+        executor.close()
+        engine.close()
+
+    def test_deleting_a_result_member_drops_only_its_entries(self):
+        engine, executor = self.make()
+        member_query = query_at(0.1, 0.1, "chinese")  # o1/o2 in result
+        other_query = query_at(0.9, 0.9, "spanish")
+        executor.execute(member_query)
+        executor.execute(other_query)
+        report = engine.apply_mutations([Mutation.delete(0)])
+        tally = executor.invalidate_scoped(report.change.summary)
+        assert tally["dropped"] == 1 and tally["kept"] == 1
+        assert executor.execute(other_query).source == "cache"
+        refreshed = executor.execute(member_query)
+        assert refreshed.source == "engine"
+        assert all(e.obj.oid != 0 for e in refreshed.result.entries)
+        executor.close()
+        engine.close()
+
+    def test_linked_whynot_cache_drops_wholesale(self):
+        engine, executor = self.make()
+        whynot = WhyNotExecutor(engine, executor, cache_capacity=8)
+        question = WhyNotQuestion(
+            query=query_at(0.1, 0.1, "chinese", k=2),
+            missing=(4,),
+            model="preference",
+        )
+        whynot.execute(question)
+        assert whynot.stats().size == 1
+        report = engine.apply_mutations(
+            [
+                Mutation.insert(
+                    SpatialObject(11, Point(0.9, 0.9), frozenset({"zzz"}))
+                )
+            ]
+        )
+        tally = executor.invalidate_scoped(report.change.summary)
+        assert tally["linked_dropped"] == 1
+        assert whynot.stats().size == 0
+        whynot.close()
+        executor.close()
+        engine.close()
+
+    def test_inflight_result_not_cached_across_scoped_invalidation(self):
+        """A computation racing a mutation must not populate the cache."""
+        engine, executor = self.make()
+        query = query_at(0.5, 0.5, "restaurant")
+        cache = executor._cache
+        flight_result = engine.query(query)
+
+        # Simulate the race: a leader computed pre-mutation, the scoped
+        # invalidation lands, then the leader tries to publish.
+        from repro.service.executor import _Inflight, _QueryMeta, query_fingerprint
+
+        key = query_fingerprint(query)
+        flight = _Inflight(cache._generation)
+        cache.inflight[key] = flight
+        report = engine.apply_mutations(
+            [
+                Mutation.insert(
+                    SpatialObject(12, Point(0.5, 0.5), frozenset({"x"}))
+                )
+            ]
+        )
+        executor.invalidate_scoped(report.change.summary)
+        published = cache._compute_as_leader(
+            key, flight, lambda: flight_result, _QueryMeta.of
+        )
+        assert published is flight_result  # the waiter still gets a value
+        assert executor.stats().size == 0  # but the cache stayed clean
+        executor.close()
+        engine.close()
+
+
+class TestIndexRebuildFallback:
+    def test_delete_heavy_batch_triggers_rebuild(self):
+        database = SyntheticDatasetBuilder(seed=3).build(
+            600, vocabulary_size=30, doc_length=(2, 5)
+        )
+        engine = YaskEngine(database, max_entries=4, index_rebuild_slack=0)
+        oids = [obj.oid for obj in database.objects][:590]
+        report = engine.apply_mutations(
+            [Mutation.delete(oid) for oid in oids]
+        )
+        assert "set_rtree" in report.indexes_rebuilt
+        assert "kcr_tree" in report.indexes_rebuilt
+        # Rebuilt in place: the engines' references see the new structure
+        # and it is exactly the STR ideal again.
+        assert engine.set_rtree.height() == engine.set_rtree.ideal_height()
+        engine.set_rtree.check_invariants()
+        engine.kcr_tree.check_invariants()
+        assert engine.mutation_stats()["indexes_rebuilt"] >= 2
+        # And answers still match a fresh engine.
+        from repro.core.objects import SpatialDatabase
+
+        fresh = YaskEngine(
+            SpatialDatabase(
+                engine.database.objects, dataspace=engine.database.dataspace
+            ),
+            max_entries=4,
+        )
+        probe = query_at(0.5, 0.5, "kw000", "kw001", k=5)
+        assert [
+            (e.obj.oid, e.score) for e in engine.query(probe).entries
+        ] == [(e.obj.oid, e.score) for e in fresh.query(probe).entries]
+        engine.close()
+        fresh.close()
