@@ -1,34 +1,45 @@
 # Developer entry points for the YASK reproduction.
 #
 #   make test        — the tier-1 suite (ROADMAP.md's verify command)
+#   make test-recovery — the durability tier at a deeper hypothesis
+#                      budget: the crash-point recovery property plus
+#                      the WAL, fault-injection and follower suites
+#                      (its own CI job; tier-1 runs the same files at
+#                      the default budget)
 #   make bench-smoke — the floor-asserting experiments: E9 + E10
 #                      (executor tiers: cold/warm and batch floors),
 #                      E11 (kernel: >=3x rank_all, >=2x cold why-not),
 #                      E12 (sharding: >=1.8x cold top-k, >=1.5x
-#                      cold why-not at 4 shards vs 1) and E13 (live
+#                      cold why-not at 4 shards vs 1), E13 (live
 #                      mutation: >=5x incremental ingest vs rebuild,
-#                      >50% warm top-k hit rate under writes)
-#   make bench-json  — refresh BENCH_E9/E10/E11/E12/E13.json at the
-#                      repo root (machine-readable perf trajectory)
+#                      >50% warm top-k hit rate under writes) and E14
+#                      (durability: logged ingest >=0.7x unlogged,
+#                      snapshot recovery >=5x vs full-log rebuild)
+#   make bench-json  — refresh BENCH_E9/…/E14.json at the repo root
+#                      (machine-readable perf trajectory)
 #   make lint        — byte-compile every source, test and benchmark
 #                      file (catches import-time and syntax breakage
 #                      without third-party tools)
 #   make docs-check  — every GET/POST route in server.py must appear
 #                      in docs/API.md, and every runnable fenced
-#                      Python snippet in README.md / docs/API.md must
-#                      execute cleanly against a live in-process
-#                      server (tools/check_doc_snippets.py)
+#                      Python snippet in README.md / docs/API.md /
+#                      docs/OPERATIONS.md must execute cleanly against
+#                      a live in-process server
+#                      (tools/check_doc_snippets.py)
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-json lint docs-check
+.PHONY: test test-recovery bench-smoke bench-json lint docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+test-recovery:
+	YASK_RECOVERY_EXAMPLES=40 $(PYTHON) -m pytest tests/properties/test_prop_recovery.py tests/service/test_wal.py tests/service/test_wal_faults.py tests/service/test_follower.py -q
+
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py benchmarks/bench_e10_whynot_executor.py benchmarks/bench_e11_kernel.py benchmarks/bench_e12_sharding.py benchmarks/bench_e13_mutations.py -q
+	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py benchmarks/bench_e10_whynot_executor.py benchmarks/bench_e11_kernel.py benchmarks/bench_e12_sharding.py benchmarks/bench_e13_mutations.py benchmarks/bench_e14_durability.py -q
 
 bench-json:
 	$(PYTHON) benchmarks/bench_json.py

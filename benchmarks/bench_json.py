@@ -1,10 +1,11 @@
-"""Machine-readable benchmark snapshots: ``BENCH_E9/E10/E11/E12/E13.json``.
+"""Machine-readable benchmark snapshots: ``BENCH_E9/…/E14.json``.
 
 ``make bench-json`` runs this script to refresh the JSON files at the
 repository root, so the perf trajectory of the serving tier (E9: query
 executor, E10: why-not executor), the compute tier (E11: columnar
-scoring kernel), the scatter tier (E12: spatial sharding) and the
-live-mutation tier (E13: incremental ingest + scoped invalidation) is
+scoring kernel), the scatter tier (E12: spatial sharding), the
+live-mutation tier (E13: incremental ingest + scoped invalidation) and
+the durability tier (E14: logged ingest + snapshot recovery) is
 tracked across PRs in a diffable form.
 
 The numbers here are in-process measurements sized to finish in tens of
@@ -339,6 +340,117 @@ def bench_e13() -> dict:
     }
 
 
+def bench_e14() -> dict:
+    """Durability: logged ingest overhead + snapshot-recovery speedup.
+
+    The ``bench_e14_durability.py`` shape: a 50-object seed ingests the
+    rest of a 20k synthetic dataset through the WAL in 50-object
+    batches, a snapshot lands at the 95% point, and recovery (snapshot
+    + 5% tail, bulk replay) races the full-rebuild path — replaying the
+    whole log through a live engine's incremental index maintenance.
+    """
+    import shutil
+    import tempfile
+    import time as _time
+    from pathlib import Path as _Path
+
+    from repro.core.mutations import Mutation
+    from repro.core.objects import SpatialDatabase
+    from repro.service.wal import (
+        WriteAheadLog,
+        read_records,
+        recover_engine,
+        replay_into,
+    )
+
+    base = SyntheticDatasetBuilder(seed=2016).build(
+        20_000,
+        vocabulary_size=50,
+        doc_length=(4, 8),
+        spatial="clustered",
+        clusters=12,
+    )
+    objects = base.objects
+    workdir = _Path(tempfile.mkdtemp(prefix="yask-bench-e14-"))
+    try:
+        # Logged-ingest overhead: the last 1000 objects into a 19k engine.
+        ingest_batches = [
+            [Mutation.insert(obj) for obj in objects[start : start + 50]]
+            for start in range(19_000, 20_000, 50)
+        ]
+
+        def ingest(wal=None) -> float:
+            engine = YaskEngine(
+                SpatialDatabase(objects[:19_000], dataspace=base.dataspace),
+                wal=wal,
+            )
+            started = _time.perf_counter()
+            for batch in ingest_batches:
+                engine.apply_mutations(batch)
+            elapsed = _time.perf_counter() - started
+            engine.close()
+            return elapsed
+
+        unlogged_s = min(ingest() for _ in range(3))
+        logged_s = min(
+            ingest(WriteAheadLog(workdir / f"never{i}", fsync="never"))
+            for i in range(3)
+        )
+        synced_s = ingest(WriteAheadLog(workdir / "always", fsync="always"))
+
+        # Recovery: seed + logged ingest of the rest, snapshot at 95%.
+        wal_dir = workdir / "wal"
+        seed = lambda: SpatialDatabase(objects[:50], dataspace=base.dataspace)
+        batches = [
+            [Mutation.insert(obj) for obj in objects[start : start + 50]]
+            for start in range(50, 20_000, 50)
+        ]
+        tail_records = round(20_000 * 0.05 / 50)
+        primary = YaskEngine(seed(), wal=WriteAheadLog(wal_dir, fsync="never"))
+        for index, batch in enumerate(batches):
+            if index == len(batches) - tail_records:
+                primary.snapshot()
+            primary.apply_mutations(batch)
+        primary.close()
+
+        replay_dir = workdir / "replay"
+        shutil.copytree(wal_dir, replay_dir)
+        (replay_dir / "MANIFEST.json").unlink()
+        for path in replay_dir.glob("snapshot-*.json"):
+            path.unlink()
+
+        def timed_recovery() -> float:
+            started = _time.perf_counter()
+            engine, _ = recover_engine(wal_dir, attach=False)
+            elapsed = _time.perf_counter() - started
+            engine.close()
+            return elapsed
+
+        snapshot_s = min(timed_recovery() for _ in range(3))
+        started = _time.perf_counter()
+        rebuilt = YaskEngine(seed())
+        replay_into(rebuilt, read_records(replay_dir))
+        rebuild_s = _time.perf_counter() - started
+        rebuilt.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "objects": 20_000,
+        "ingest_objects": 1_000,
+        "unlogged_ingest_ms": unlogged_s * 1000.0,
+        "logged_ingest_ms": logged_s * 1000.0,
+        "logged_ingest_fsync_always_ms": synced_s * 1000.0,
+        "logged_throughput_ratio": unlogged_s / logged_s,
+        "logged_throughput_floor": 0.7,
+        "log_records": len(batches),
+        "tail_records": tail_records,
+        "snapshot_recovery_ms": snapshot_s * 1000.0,
+        "full_rebuild_replay_ms": rebuild_s * 1000.0,
+        "recovery_speedup": rebuild_s / snapshot_s,
+        "recovery_floor": 5.0,
+    }
+
+
 def main() -> int:
     engine = YaskEngine(hong_kong_hotels())
     snapshots = {
@@ -367,6 +479,12 @@ def main() -> int:
             "live mutation: incremental ingest vs rebuild + scoped "
             "invalidation warm rate (20k synthetic)",
             bench_e13(),
+        ),
+        "BENCH_E14.json": _snapshot(
+            "E14",
+            "durability: logged ingest overhead + snapshot recovery vs "
+            "full-log rebuild (20k synthetic)",
+            bench_e14(),
         ),
     }
     for filename, snapshot in snapshots.items():

@@ -47,7 +47,7 @@ import math
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Callable, Protocol, Sequence
 
 from repro.core.geometry import Rect
 from repro.core.objects import SpatialDatabase, SpatialObject
@@ -252,6 +252,18 @@ class AppliedBatch:
     def removed_oids(self) -> frozenset[int]:
         return self.summary.removed_oids
 
+    @property
+    def is_noop(self) -> bool:
+        """True when the batch normalised to no net change.
+
+        ``insert(9); delete(9)`` is a valid batch whose net effect is
+        empty: nothing moves, nothing is logged, and ``generation`` is
+        the *unchanged* current generation — replaying a durable log
+        therefore reconstructs the exact same generation sequence
+        (replay idempotence).
+        """
+        return not self.removed and not self.appended
+
 
 class MutationListener(Protocol):
     """A structure maintained incrementally under mutation."""
@@ -351,9 +363,12 @@ class MutableDatabase:
         database: SpatialDatabase,
         *,
         model_code: str | None = None,
+        start_generation: int = 0,
     ) -> None:
+        if start_generation < 0:
+            raise ValueError("start_generation must be non-negative")
         self._database = database
-        self._generation = 0
+        self._generation = start_generation
         self._listeners: list[MutationListener] = []
         self._model_code = model_code
         self.stats = MutationStats()
@@ -364,7 +379,12 @@ class MutableDatabase:
 
     @property
     def generation(self) -> int:
-        """Number of batches applied so far (monotone)."""
+        """Number of effective batches applied so far (monotone).
+
+        Starts at ``start_generation`` — a durable engine recovered from
+        a snapshot resumes counting where the snapshot left off.
+        Batches that normalise to a net no-op do not advance it.
+        """
         return self._generation
 
     def register_listener(self, listener: MutationListener) -> None:
@@ -429,13 +449,32 @@ class MutableDatabase:
     # ------------------------------------------------------------------
     # Application
     # ------------------------------------------------------------------
-    def apply(self, mutations: Sequence[Mutation]) -> AppliedBatch:
+    def apply(
+        self,
+        mutations: Sequence[Mutation],
+        *,
+        pre_commit: Callable[[int, Sequence[Mutation]], None] | None = None,
+    ) -> AppliedBatch:
         """Validate, normalise and apply one batch; notify listeners.
 
         Returns the :class:`AppliedBatch` (with its
         :class:`BatchSummary`) so the serving tier can run scoped cache
         invalidation against exactly what changed.  Caller must hold the
         engine's write lock when readers may be concurrent.
+
+        ``pre_commit`` is the write-ahead hook: it is called with the
+        generation this batch is about to become and the validated
+        mutations *after* normalisation succeeds but *before* any state
+        moves.  If it raises, the batch is abandoned untouched — this is
+        how the durable engine guarantees a batch is on stable storage
+        before it is ever visible to a reader, and conversely that a
+        batch that failed to log is never half-applied.
+
+        A batch whose net effect is empty (``insert(9); delete(9)``)
+        returns an :class:`AppliedBatch` with ``is_noop`` set: the
+        generation does not advance, listeners are not notified and
+        ``pre_commit`` is not called, so a replayed log reconstructs the
+        exact generation sequence of the original run.
         """
         if not mutations:
             raise MutationError("a mutation batch must not be empty")
@@ -443,8 +482,21 @@ class MutableDatabase:
             mutations
         )
         appended_objects = tuple(appended.values())
+        if not removed and not appended_objects:
+            return AppliedBatch(
+                generation=self._generation,
+                removed=(),
+                appended=(),
+                inserted_count=inserted,
+                updated_count=updated,
+                deleted_count=deleted,
+                summary=self._summarise({}, ()),
+            )
+        generation = self._generation + 1
+        if pre_commit is not None:
+            pre_commit(generation, mutations)
         self._database._apply_mutations(set(removed), appended_objects)
-        self._generation += 1
+        self._generation = generation
         summary = self._summarise(removed, appended_objects)
         change = AppliedBatch(
             generation=self._generation,

@@ -20,7 +20,7 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.core.geometry import Rect
+from repro.core.geometry import Point, Rect
 from repro.core.objects import SpatialDatabase, SpatialObject
 from repro.index.irtree import IRTree
 from repro.index.kcrtree import KcRTree
@@ -28,7 +28,15 @@ from repro.index.rtree import RTree, RTreeEntry, RTreeNode
 from repro.index.setrtree import SetRTree
 from repro.text.similarity import CosineTfIdfSimilarity, SetSimilarityModel
 
-__all__ = ["IndexPersistenceError", "save_index", "load_index", "index_to_dict", "index_from_dict"]
+__all__ = [
+    "IndexPersistenceError",
+    "save_index",
+    "load_index",
+    "index_to_dict",
+    "index_from_dict",
+    "database_to_dict",
+    "database_from_dict",
+]
 
 #: Format version: bump on breaking layout changes.  Version 2 adds the
 #: optional ``vocabulary`` section — the interned keyword order of the
@@ -220,3 +228,110 @@ def load_index(
     except json.JSONDecodeError as exc:
         raise IndexPersistenceError(f"not a persisted index: {exc}") from None
     return index_from_dict(payload, database, text_model=text_model)
+
+
+# ----------------------------------------------------------------------
+# Database snapshots (the WAL's durable checkpoint payload)
+# ----------------------------------------------------------------------
+#: Database snapshot layout version, independent of the index format.
+_DATABASE_FORMAT_VERSION = 1
+
+
+def database_to_dict(database: SpatialDatabase) -> dict[str, Any]:
+    """Serialise a database's full logical state for a snapshot.
+
+    Captures everything a bit-for-bit rebuild needs: the objects *in
+    database order* (the order rule every incrementally-maintained
+    kernel shares), the pinned dataspace (score floats depend on its
+    diagonal) and — when interned — the vocabulary's bit-position order
+    (append-only growth means it is no longer globally sorted, and a
+    rebuilt kernel must intern identically).  Indexes are deliberately
+    excluded: bulk-loading from the objects is as fast as reattaching a
+    persisted structure and cannot desynchronise.
+    """
+    space = database.dataspace
+    payload: dict[str, Any] = {
+        "format": _DATABASE_FORMAT_VERSION,
+        "dataspace": [space.min_x, space.min_y, space.max_x, space.max_y],
+        "objects": [
+            {
+                "oid": obj.oid,
+                "x": obj.loc.x,
+                "y": obj.loc.y,
+                "keywords": sorted(obj.doc),
+                "name": obj.name,
+            }
+            for obj in database.objects
+        ],
+    }
+    if database.interned:
+        payload["vocabulary"] = list(database.vocabulary_index.keywords)
+    return payload
+
+
+def database_from_dict(payload: dict[str, Any]) -> SpatialDatabase:
+    """Rebuild a database saved by :func:`database_to_dict`."""
+    if not isinstance(payload, dict) or "objects" not in payload:
+        raise IndexPersistenceError("payload is not a persisted database")
+    if payload.get("format") != _DATABASE_FORMAT_VERSION:
+        raise IndexPersistenceError(
+            f"unsupported database format version {payload.get('format')!r}"
+        )
+    space = payload.get("dataspace")
+    if (
+        not isinstance(space, list)
+        or len(space) != 4
+        or not all(isinstance(value, (int, float)) for value in space)
+    ):
+        raise IndexPersistenceError(
+            "persisted dataspace must be [min_x, min_y, max_x, max_y]"
+        )
+    raw_objects = payload["objects"]
+    if not isinstance(raw_objects, list) or not raw_objects:
+        raise IndexPersistenceError(
+            "persisted database must hold at least one object"
+        )
+    objects: list[SpatialObject] = []
+    try:
+        for item in raw_objects:
+            name = item.get("name")
+            if name is not None and not isinstance(name, str):
+                raise IndexPersistenceError("object names must be strings")
+            objects.append(
+                SpatialObject(
+                    oid=int(item["oid"]),
+                    loc=Point(float(item["x"]), float(item["y"])),
+                    doc=frozenset(
+                        str(keyword) for keyword in item["keywords"]
+                    ),
+                    name=name,
+                )
+            )
+    except IndexPersistenceError:
+        raise
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise IndexPersistenceError(
+            f"malformed persisted object: {exc}"
+        ) from None
+    try:
+        database = SpatialDatabase(
+            objects,
+            dataspace=Rect(
+                float(space[0]), float(space[1]), float(space[2]), float(space[3])
+            ),
+        )
+    except ValueError as exc:
+        raise IndexPersistenceError(str(exc)) from None
+    vocabulary = payload.get("vocabulary")
+    if vocabulary is not None:
+        if not isinstance(vocabulary, list) or not all(
+            isinstance(keyword, str) for keyword in vocabulary
+        ):
+            raise IndexPersistenceError(
+                "persisted vocabulary must be a list of keywords"
+            )
+        try:
+            database.adopt_vocabulary(vocabulary)
+        except ValueError as exc:
+            raise IndexPersistenceError(str(exc)) from None
+    return database

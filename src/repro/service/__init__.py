@@ -9,6 +9,8 @@
 * :class:`repro.service.client.YaskClient` — the client counterpart.
 * :mod:`repro.service.session` — initial-query cache and query log.
 * :mod:`repro.service.panels` — text rendering of the GUI panels (Figs. 3-5).
+* :mod:`repro.service.wal` — durability: segmented write-ahead log,
+  snapshots, crash recovery and read-only followers.
 """
 
 from repro.service.api import TimedResult, YaskEngine
@@ -37,6 +39,16 @@ from repro.service.panels import (
 from repro.service.protocol import ProtocolError
 from repro.service.server import YaskHTTPServer, serve_forever
 from repro.service.session import LogEntry, QueryLog, Session, SessionManager
+from repro.service.wal import (
+    FollowerEngine,
+    FollowerLagError,
+    RecoveryReport,
+    WalCorruptionError,
+    WalError,
+    WalWriteError,
+    WriteAheadLog,
+    recover_engine,
+)
 
 __all__ = [
     "TimedResult",
@@ -67,4 +79,12 @@ __all__ = [
     "QueryLog",
     "Session",
     "SessionManager",
+    "FollowerEngine",
+    "FollowerLagError",
+    "RecoveryReport",
+    "WalCorruptionError",
+    "WalError",
+    "WalWriteError",
+    "WriteAheadLog",
+    "recover_engine",
 ]

@@ -43,6 +43,7 @@ from repro.whynot.engine import WhyNotAnswer, WhyNotEngine
 
 if TYPE_CHECKING:  # imported lazily: the executor fronts this module
     from repro.service.executor import WhyNotQuestion
+    from repro.service.wal import WriteAheadLog
 from repro.whynot.explanation import WhyNotExplanation
 from repro.whynot.keyword import KeywordRefinement
 from repro.whynot.preference import PreferenceRefinement
@@ -137,6 +138,19 @@ class YaskEngine:
         (default) tolerates the one extra level Guttman insertion
         typically costs; ``0`` rebuilds aggressively (churn-heavy
         workloads that must keep pruning bounds tight).
+    wal:
+        A :class:`~repro.service.wal.WriteAheadLog` to attach: every
+        mutation batch is durably appended *before* it is applied, so a
+        crash at any point reconstructs this engine exactly
+        (:func:`repro.service.wal.recover_engine`).  Requires a
+        mutation-capable (non-IR-tree) configuration, and the log's
+        last generation must equal this engine's — recovery replays the
+        log *before* attaching.
+    base_generation:
+        The generation this engine's state already embodies — the
+        snapshot generation when recovering.  The mutation counter
+        resumes from here so logged generations stay gap-free across
+        restarts.
     """
 
     def __init__(
@@ -153,6 +167,8 @@ class YaskEngine:
         partitioner: str = "grid",
         shard_workers: int | None = None,
         index_rebuild_slack: int = 1,
+        wal: "WriteAheadLog | None" = None,
+        base_generation: int = 0,
     ) -> None:
         self._database = database
         self._text_model = text_model
@@ -239,11 +255,14 @@ class YaskEngine:
         if index_rebuild_slack < 0:
             raise ValueError("index_rebuild_slack must be non-negative")
         self._index_rebuild_slack = index_rebuild_slack
+        if base_generation < 0:
+            raise ValueError("base_generation must be non-negative")
         if self._ir_tree is None:
             kernel = self._scorer.kernel
             self._mutable: MutableDatabase | None = MutableDatabase(
                 database,
                 model_code=kernel.model_code if kernel is not None else None,
+                start_generation=base_generation,
             )
             if kernel is not None:
                 self._mutable.register_listener(kernel)
@@ -251,9 +270,17 @@ class YaskEngine:
                 self._mutable.register_listener(self._shard_router)
         else:
             self._mutable = None
+            if base_generation:
+                raise MutationError(
+                    "an IR-tree engine cannot resume a mutation history: "
+                    "it does not support mutations"
+                )
+        self._wal: "WriteAheadLog | None" = None
+        if wal is not None:
+            self.attach_wal(wal)
 
     def close(self) -> None:
-        """Release the scatter pool of a sharded engine (idempotent).
+        """Release the scatter pool and flush any attached log (idempotent).
 
         Unsharded engines hold no threads and need no teardown; the
         HTTP server and the CLI batch paths call this alongside the
@@ -261,6 +288,8 @@ class YaskEngine:
         """
         if self._sharded_engine is not None:
             self._sharded_engine.close()
+        if self._wal is not None:
+            self._wal.close()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -344,6 +373,16 @@ class YaskEngine:
         """Execute a prepared spatial keyword top-k query."""
         with self._lock.read():
             return self._topk_engine.search(query)
+
+    def read_view(self):
+        """A shared-read context: no mutation batch applies inside it.
+
+        Lets a caller pair several reads — e.g. the current generation
+        and a query result — into one consistent snapshot.  Nested read
+        acquisition (calling :meth:`query` inside the view) is
+        deadlock-free by the readers-preference lock design.
+        """
+        return self._lock.read()
 
     def top_k(
         self,
@@ -440,19 +479,39 @@ class YaskEngine:
                 "rebuild the engine with the new object set instead"
             )
         started = time.perf_counter()
+        pre_commit = None
+        if self._wal is not None:
+            from repro.service.protocol import mutation_to_dict
+
+            wal = self._wal
+            # The write-ahead step: once normalisation has validated the
+            # batch (and proven it is not a net no-op), the raw batch is
+            # made durable *before* any in-memory state moves.  A failed
+            # append raises WalWriteError out of apply() with the engine
+            # untouched — a batch is either logged and applied, or
+            # neither.
+            payload = [mutation_to_dict(mutation) for mutation in mutations]
+
+            def pre_commit(generation: int, _mutations) -> None:
+                wal.append(generation, payload)
+
         with self._lock.write():
-            change = self._mutable.apply(mutations)
-            for tree in (self._set_rtree, self._kcr_tree):
-                if tree is None:
-                    continue
-                for obj in change.removed:
-                    tree.delete(obj, obj.loc)
-                # Batched: one deferred summary pass per tree instead of
-                # a count-map merge along every inserted object's path.
-                tree.insert_batch(
-                    (obj, obj.loc) for obj in change.appended
-                )
-            rebuilt = self._rebuild_degraded_indexes()
+            change = self._mutable.apply(mutations, pre_commit=pre_commit)
+            if change.is_noop:
+                rebuilt: tuple[str, ...] = ()
+            else:
+                for tree in (self._set_rtree, self._kcr_tree):
+                    if tree is None:
+                        continue
+                    for obj in change.removed:
+                        tree.delete(obj, obj.loc)
+                    # Batched: one deferred summary pass per tree instead
+                    # of a count-map merge along every inserted object's
+                    # path.
+                    tree.insert_batch(
+                        (obj, obj.loc) for obj in change.appended
+                    )
+                rebuilt = self._rebuild_degraded_indexes()
         kernel = self._scorer.kernel
         return MutationReport(
             change=change,
@@ -500,6 +559,74 @@ class YaskEngine:
             **self._mutable.to_dict(),
             "kernel": kernel.mutation_info() if kernel is not None else None,
             "indexes_rebuilt": self._indexes_rebuilt,
+        }
+
+    # ------------------------------------------------------------------
+    # Durability (write-ahead log + snapshots)
+    # ------------------------------------------------------------------
+    @property
+    def wal(self) -> "WriteAheadLog | None":
+        """The attached write-ahead log (None for a memory-only engine)."""
+        return self._wal
+
+    def attach_wal(self, wal: "WriteAheadLog") -> None:
+        """Make every future mutation batch durable through ``wal``.
+
+        The log's last generation must equal this engine's current
+        generation: an engine behind the log would re-apply logged
+        batches on recovery but skip them live, and an engine ahead
+        would log a gap.  :func:`repro.service.wal.recover_engine`
+        establishes the invariant by replaying before attaching.
+        """
+        if self._mutable is None:
+            raise MutationError(
+                "an IR-tree engine cannot attach a write-ahead log: "
+                "it does not support mutations"
+            )
+        if self._wal is not None:
+            raise ValueError("a write-ahead log is already attached")
+        if wal.last_generation != self.generation:
+            from repro.service.wal import WalError
+
+            raise WalError(
+                f"cannot attach: log is at generation {wal.last_generation} "
+                f"but the engine is at {self.generation}; recover the "
+                "engine from the log (replay) before attaching"
+            )
+        self._wal = wal
+
+    def snapshot(self) -> dict:
+        """Checkpoint the current state into the attached log.
+
+        Writes the full database payload
+        (:func:`repro.index.persistence.database_to_dict`) as a
+        snapshot covering the current generation, then compacts away
+        fully covered segments.  Recovery after this point loads the
+        snapshot and replays only the tail.  Returns the log's snapshot
+        report (``snapshot``, ``generation``, ``segments_compacted``).
+        """
+        if self._wal is None:
+            from repro.service.wal import WalError
+
+            raise WalError(
+                "no write-ahead log attached; snapshots checkpoint a log"
+            )
+        from repro.index.persistence import database_to_dict
+
+        with self._lock.read():
+            generation = self.generation
+            payload = database_to_dict(self._database)
+        return self._wal.write_snapshot(generation, payload)
+
+    def durability_stats(self) -> dict:
+        """The ``GET /api/stats`` durability section (primary side)."""
+        if self._wal is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "role": "primary",
+            "generation": self.generation,
+            **self._wal.to_dict(),
         }
 
     # ------------------------------------------------------------------

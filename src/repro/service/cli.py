@@ -14,6 +14,10 @@ Subcommands:
   caching :class:`~repro.service.executor.WhyNotExecutor`.
 * ``yask demo`` — print the full demonstration screen (Figs. 3-5) for
   the Carol scenario on the 539-hotel dataset.
+* ``yask recover --wal-dir DIR`` — rebuild an engine from a snapshot +
+  write-ahead log and print the recovery report.
+* ``yask follow --wal-dir DIR`` — serve read-only queries from a
+  replica that tails a primary's log directory.
 
 Datasets: ``hotels`` (the 539 Hong Kong hotels), ``coffee`` (Example 1's
 cafes) or a path to a JSON file produced by
@@ -89,11 +93,42 @@ def build_parser() -> argparse.ArgumentParser:
             help="shard partition strategy (round-robin is the ablation)",
         )
 
+    def add_wal_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--wal-dir",
+            default=None,
+            help=(
+                "write-ahead-log directory (enables durability; any "
+                "existing snapshot + log is recovered first, and the "
+                "given --dataset seeds a log that has neither)"
+            ),
+        )
+        command.add_argument(
+            "--fsync",
+            choices=("always", "never"),
+            default="always",
+            help=(
+                "WAL fsync policy: always = every batch is on disk "
+                "before it is acknowledged; never = leave flushing to "
+                "the OS (faster, may lose the tail on power failure)"
+            ),
+        )
+
     serve = sub.add_parser("serve", help="run the HTTP service")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--dataset", default="hotels")
     add_shard_args(serve)
+    add_wal_args(serve)
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        help=(
+            "write a snapshot (and compact the log) every N mutation "
+            "batches; requires --wal-dir"
+        ),
+    )
 
     def add_query_args(command: argparse.ArgumentParser) -> None:
         command.add_argument("--dataset", default="hotels")
@@ -179,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="apply the file in batches of this many mutations "
         "(0 = one atomic batch)",
     )
+    add_wal_args(mutate)
 
     whynot = sub.add_parser("whynot", help="ask a why-not question")
     add_query_args(whynot)
@@ -209,6 +245,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_query_args(audit)
 
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild an engine from a WAL directory and print the report",
+    )
+    recover.add_argument("--wal-dir", required=True)
+    recover.add_argument(
+        "--dataset",
+        default=None,
+        help=(
+            "seed dataset for a log with no snapshot (must be the same "
+            "database the log was started from; ignored when a snapshot "
+            "exists)"
+        ),
+    )
+    recover.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="write a fresh snapshot after recovery (compacts the log)",
+    )
+
+    follow = sub.add_parser(
+        "follow",
+        help="serve read-only queries by tailing a primary's WAL directory",
+    )
+    follow.add_argument("--wal-dir", required=True)
+    follow.add_argument("--host", default="127.0.0.1")
+    follow.add_argument("--port", type=int, default=8081)
+    follow.add_argument(
+        "--dataset",
+        default=None,
+        help="seed dataset for a log with no snapshot",
+    )
+    add_shard_args(follow)
+
     return parser
 
 
@@ -237,6 +307,30 @@ def _make_engine(args: argparse.Namespace) -> YaskEngine:
         shards=getattr(args, "shards", None),
         partitioner=getattr(args, "partitioner", "grid"),
     )
+
+
+def _make_durable_engine(args: argparse.Namespace) -> YaskEngine:
+    """Build the engine, recovering from ``--wal-dir`` when given."""
+    if getattr(args, "wal_dir", None) is None:
+        return _make_engine(args)
+    from repro.service.wal import WalError, recover_engine
+
+    try:
+        engine, report = recover_engine(
+            args.wal_dir,
+            database=load_dataset(args.dataset),
+            fsync=args.fsync,
+            shards=getattr(args, "shards", None),
+            partitioner=getattr(args, "partitioner", "grid"),
+        )
+    except WalError as exc:
+        raise SystemExit(f"recovery failed: {exc}")
+    print(
+        f"recovered generation {report.generation} from {args.wal_dir} "
+        f"({report.records_replayed} record(s) replayed)",
+        file=sys.stderr,
+    )
+    return engine
 
 
 def _run_query(args: argparse.Namespace) -> int:
@@ -375,7 +469,7 @@ def _run_mutate(args: argparse.Namespace) -> int:
     args.repeat = 1
     args.workers = 1
     payload = _load_workload(args, "mutations")
-    engine = _make_engine(args)
+    engine = _make_durable_engine(args)
     try:
         mutations = mutations_from_dict(payload, max_mutations=None)
     except ProtocolError as exc:
@@ -461,6 +555,51 @@ def _run_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_recover(args: argparse.Namespace) -> int:
+    """Recover an engine from a log directory and print the report.
+
+    Exit code 2 signals corruption (or a log that needs a seed
+    database), distinguishing "the log is bad" from transient errors.
+    """
+    from repro.service.wal import WalError, recover_engine
+
+    database = load_dataset(args.dataset) if args.dataset else None
+    try:
+        engine, report = recover_engine(args.wal_dir, database=database)
+    except WalError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 2
+    try:
+        payload = report.to_dict()
+        if args.snapshot:
+            engine.snapshot()
+            payload["durability"] = engine.durability_stats()
+    finally:
+        engine.close()
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _run_follow(args: argparse.Namespace) -> int:
+    from repro.service.wal import FollowerEngine, WalError
+
+    database = load_dataset(args.dataset) if args.dataset else None
+    try:
+        follower = FollowerEngine(
+            args.wal_dir,
+            database=database,
+            shards=args.shards,
+            partitioner=args.partitioner,
+        )
+    except WalError as exc:
+        print(f"follower bootstrap failed: {exc}", file=sys.stderr)
+        return 2
+    serve_forever(
+        follower.engine, host=args.host, port=args.port, follower=follower
+    )
+    return 0
+
+
 def _run_audit(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     try:
@@ -479,10 +618,13 @@ def _run_audit(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
+        if args.snapshot_every is not None and args.wal_dir is None:
+            raise SystemExit("--snapshot-every requires --wal-dir")
         serve_forever(
-            _make_engine(args),
+            _make_durable_engine(args),
             host=args.host,
             port=args.port,
+            snapshot_every=args.snapshot_every,
         )
         return 0
     if args.command == "query":
@@ -501,6 +643,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_stats(args)
     if args.command == "audit":
         return _run_audit(args)
+    if args.command == "recover":
+        return _run_recover(args)
+    if args.command == "follow":
+        return _run_follow(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -127,8 +127,15 @@ class YaskClient:
         k: int,
         *,
         ws: float | None = None,
+        min_generation: int | None = None,
     ) -> dict[str, Any]:
-        """Issue an initial top-k query; response carries ``session_id``."""
+        """Issue an initial top-k query; response carries ``session_id``.
+
+        ``min_generation`` is the read-your-writes consistency token:
+        pass the ``generation`` a mutation response acknowledged and a
+        follower that has not yet replayed that batch answers a
+        structured 503 instead of stale data.
+        """
         payload: dict[str, Any] = {
             "x": x,
             "y": y,
@@ -137,10 +144,15 @@ class YaskClient:
         }
         if ws is not None:
             payload["ws"] = ws
+        if min_generation is not None:
+            payload["min_generation"] = min_generation
         return self._call("POST", "/api/query", payload)
 
     def query_batch(
-        self, queries: Sequence[Mapping[str, Any]]
+        self,
+        queries: Sequence[Mapping[str, Any]],
+        *,
+        min_generation: int | None = None,
     ) -> dict[str, Any]:
         """Execute many top-k queries in one round trip (stateless).
 
@@ -148,11 +160,15 @@ class YaskClient:
         "keywords", "k"}`` plus optional ``"ws"`` — and the response
         carries one entry per query, in order, with ``cached`` marking
         results the server cache (or in-flight dedup) served without a
-        fresh execution.
+        fresh execution.  ``min_generation`` applies to the whole
+        batch (see :meth:`query`).
         """
-        return self._call(
-            "POST", "/api/query/batch", {"queries": [dict(q) for q in queries]}
-        )
+        payload: dict[str, Any] = {
+            "queries": [dict(q) for q in queries]
+        }
+        if min_generation is not None:
+            payload["min_generation"] = min_generation
+        return self._call("POST", "/api/query/batch", payload)
 
     def stats(self) -> dict[str, Any]:
         """The top-k executor's cache counters (hits, misses, ...)."""
@@ -162,8 +178,19 @@ class YaskClient:
         """The why-not executor's cache counters (hits, misses, ...)."""
         return self._call("GET", "/api/stats")["whynot_cache"]
 
+    def durability_stats(self) -> dict[str, Any]:
+        """The durability tier's state — WAL/snapshot on a primary
+        (``role: "primary"``), replay cursor on a follower
+        (``role: "follower"``), or ``{"enabled": False}`` when the
+        server runs without a write-ahead log.
+        """
+        return self._call("GET", "/api/stats")["durability"]
+
     def whynot_batch(
-        self, questions: Sequence[Mapping[str, Any]]
+        self,
+        questions: Sequence[Mapping[str, Any]],
+        *,
+        min_generation: int | None = None,
     ) -> dict[str, Any]:
         """Answer many why-not questions in one round trip (stateless).
 
@@ -176,13 +203,15 @@ class YaskClient:
         served without recomputing, ``topk_source`` reports where a
         freshly computed answer's initial top-k result came from, and an
         ill-posed question yields ``{"error": ...}`` for its entry
-        without failing the rest of the batch.
+        without failing the rest of the batch.  ``min_generation``
+        applies to the whole batch (see :meth:`query`).
         """
-        return self._call(
-            "POST",
-            "/api/whynot/batch",
-            {"questions": [dict(question) for question in questions]},
-        )
+        payload: dict[str, Any] = {
+            "questions": [dict(question) for question in questions]
+        }
+        if min_generation is not None:
+            payload["min_generation"] = min_generation
+        return self._call("POST", "/api/whynot/batch", payload)
 
     def explain(
         self, session_id: str, missing: Sequence[int | str]

@@ -41,7 +41,9 @@ __all__ = [
     "MAX_BATCH_QUERIES",
     "MAX_BATCH_QUESTIONS",
     "ProtocolError",
+    "min_generation_from_dict",
     "mutation_from_dict",
+    "mutation_to_dict",
     "mutations_from_dict",
     "spatial_object_from_dict",
     "query_to_dict",
@@ -212,6 +214,46 @@ def mutation_from_dict(payload: Mapping[str, Any]) -> "Mutation":
         raise ProtocolError(str(exc)) from None
     except (TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed mutation payload: {exc}") from None
+
+
+def mutation_to_dict(mutation: "Mutation") -> dict[str, Any]:
+    """Serialise one mutation (inverse of :func:`mutation_from_dict`).
+
+    The write-ahead log records batches in this wire shape, so a replay
+    parses them with the exact same code path a client request takes.
+    Floats survive the JSON round trip bit-for-bit (``repr`` shortest
+    round-trip), which is what makes recovered score floats identical.
+    """
+    if mutation.kind == "delete":
+        return {"op": "delete", "oid": mutation.oid}
+    obj = mutation.obj
+    payload: dict[str, Any] = {
+        "op": mutation.kind,
+        "oid": obj.oid,
+        "x": obj.loc.x,
+        "y": obj.loc.y,
+        "keywords": sorted(obj.doc),
+    }
+    if obj.name is not None:
+        payload["name"] = obj.name
+    return payload
+
+
+def min_generation_from_dict(payload: Mapping[str, Any]) -> int | None:
+    """Parse the optional ``min_generation`` consistency token.
+
+    A client that saw the primary acknowledge generation ``g`` sends
+    ``"min_generation": g`` on reads to refuse anything staler; absent
+    means "any generation is fine".
+    """
+    raw = payload.get("min_generation")
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise ProtocolError("'min_generation' must be a non-negative integer")
+    if raw < 0:
+        raise ProtocolError("'min_generation' must be a non-negative integer")
+    return raw
 
 
 def mutations_from_dict(

@@ -84,7 +84,9 @@ from repro.service.protocol import (
     result_to_dict,
     whynot_batch_execution_to_dict,
 )
+from repro.service.protocol import min_generation_from_dict
 from repro.service.session import SessionManager
+from repro.service.wal import FollowerEngine, FollowerLagError, WalWriteError
 from repro.whynot.errors import WhyNotError
 
 __all__ = ["YaskHTTPServer", "serve_forever"]
@@ -124,8 +126,29 @@ class YaskHTTPServer(ThreadingHTTPServer):
         cache_capacity: int = 1024,
         whynot_cache_capacity: int = 256,
         batch_workers: int = 8,
+        follower: FollowerEngine | None = None,
+        snapshot_every: int | None = None,
     ) -> None:
+        if follower is not None and follower.engine is not engine:
+            raise ValueError(
+                "the follower's engine must be the engine being served"
+            )
+        if snapshot_every is not None:
+            if snapshot_every < 1:
+                raise ValueError("snapshot_every must be positive")
+            if engine.wal is None:
+                raise ValueError(
+                    "snapshot_every requires an engine with a write-ahead log"
+                )
         self.engine = engine
+        # A follower server is read-only: reads poll the tailed log
+        # before executing, writes are refused with a structured 403.
+        self.follower = follower
+        self.snapshot_every = snapshot_every
+        self._snapshot_lock = threading.Lock()
+        self._snapshot_generation = (
+            engine.wal.snapshot_generation if engine.wal is not None else 0
+        )
         self.executor = QueryExecutor(
             engine, cache_capacity=cache_capacity, max_workers=batch_workers
         )
@@ -144,6 +167,38 @@ class YaskHTTPServer(ThreadingHTTPServer):
     def endpoint(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    def maybe_snapshot(self) -> dict | None:
+        """Checkpoint the log when the configured cadence is due.
+
+        Called after every applied batch; serialised so concurrent
+        mutation threads cannot race two snapshots (one would regress
+        the other's manifest generation).
+        """
+        if self.snapshot_every is None:
+            return None
+        with self._snapshot_lock:
+            due = (
+                self.engine.generation - self._snapshot_generation
+                >= self.snapshot_every
+            )
+            if not due:
+                return None
+            info = self.engine.snapshot()
+            self._snapshot_generation = info["generation"]
+            return info
+
+    def sync_follower(self) -> int:
+        """Tail the log before a read; drop caches if anything applied."""
+        if self.follower is None:
+            return 0
+        applied = self.follower.poll()
+        if applied:
+            # The replica advanced: cached results may predate the new
+            # records.  No batch summary survives replay here, so drop
+            # wholesale (cascades into the why-not cache).
+            self.executor.invalidate()
+        return applied
 
     def start_background(self) -> threading.Thread:
         """Serve requests on a daemon thread (tests and examples)."""
@@ -237,6 +292,16 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
                         "shards": (
                             router.to_dict() if router is not None else None
                         ),
+                        # Durability tier: {"enabled": False} for a
+                        # memory-only engine; otherwise the WAL's
+                        # generation/segment/sync counters (primary) or
+                        # the tailing replica's poll counters
+                        # (follower).
+                        "durability": (
+                            self.server.follower.to_dict()
+                            if self.server.follower is not None
+                            else self.server.engine.durability_stats()
+                        ),
                     },
                 )
             else:
@@ -272,6 +337,11 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
             self._send_json(exc.status, {"error": str(exc)})
         except ProtocolError as exc:
             self._send_json(400, {"error": str(exc)})
+        except (FollowerLagError, WalWriteError) as exc:
+            # Durability failures are 503s: the write was NOT applied
+            # (WalWriteError) or the replica is healthy but behind the
+            # client's consistency token (FollowerLagError); retry.
+            self._send_json(503, {"error": str(exc)})
         except MissingTargetError as exc:
             # An update/delete addressed an object that does not exist:
             # the mutation analogue of a 404, not an internal error.
@@ -294,6 +364,8 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, report)
         except _RequestError as exc:
             self._send_json(exc.status, {"error": str(exc)})
+        except WalWriteError as exc:
+            self._send_json(503, {"error": str(exc)})
         except MissingTargetError as exc:
             self._send_json(404, {"error": str(exc)})
         except MutationError as exc:
@@ -304,8 +376,30 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
+    def _sync_read_state(self, payload: Mapping[str, Any]) -> None:
+        """Enforce the ``min_generation`` consistency token on a read.
+
+        A follower tails the log first, so a token the primary just
+        acknowledged is normally satisfiable within one poll; a replica
+        still behind (and a primary asked for a future generation)
+        answers a structured 503 rather than stale data.
+        """
+        server = self.server
+        min_generation = min_generation_from_dict(payload)
+        server.sync_follower()
+        if min_generation is None:
+            return
+        generation = server.engine.generation
+        if generation < min_generation:
+            raise _RequestError(
+                503,
+                f"serving generation {generation}, but the request requires "
+                f"at least {min_generation}; retry shortly",
+            )
+
     def _handle_query(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         engine = self.server.engine
+        self._sync_read_state(payload)
         query = query_from_dict(payload, default_weights=engine.default_weights)
         execution = self.server.executor.execute(query)
         session = self.server.sessions.create(query, execution.result)
@@ -324,6 +418,7 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_query_batch(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         engine = self.server.engine
+        self._sync_read_state(payload)
         queries = batch_queries_from_dict(
             payload, default_weights=engine.default_weights
         )
@@ -343,6 +438,12 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         tally.
         """
         engine = self.server.engine
+        if self.server.follower is not None:
+            raise _RequestError(
+                403,
+                "this server is a read-only follower; send mutations to "
+                "the primary that owns the write-ahead log",
+            )
         if not engine.supports_mutations:
             raise _RequestError(
                 501,
@@ -353,7 +454,11 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         invalidation = self.server.executor.invalidate_scoped(
             report.change.summary
         )
-        return {**report.to_dict(), "cache_invalidation": invalidation}
+        snapshot = self.server.maybe_snapshot()
+        response = {**report.to_dict(), "cache_invalidation": invalidation}
+        if snapshot is not None:
+            response["snapshot"] = snapshot
+        return response
 
     def _handle_insert_objects(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         """``POST /api/objects``: insert one object or a list of objects."""
@@ -506,6 +611,7 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         self, payload: Mapping[str, Any]
     ) -> tuple[int, dict]:
         engine = self.server.engine
+        self._sync_read_state(payload)
         questions = batch_whynot_questions_from_dict(
             payload, default_weights=engine.default_weights
         )
@@ -585,11 +691,23 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
 
 
 def serve_forever(
-    engine: YaskEngine, *, host: str = "127.0.0.1", port: int = 8080
+    engine: YaskEngine,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    follower: FollowerEngine | None = None,
+    snapshot_every: int | None = None,
 ) -> None:
-    """Blocking entry point used by ``yask serve``."""
-    server = YaskHTTPServer(engine, host=host, port=port)
-    print(f"YASK server listening on {server.endpoint}")
+    """Blocking entry point used by ``yask serve`` and ``yask follow``."""
+    server = YaskHTTPServer(
+        engine,
+        host=host,
+        port=port,
+        follower=follower,
+        snapshot_every=snapshot_every,
+    )
+    role = "follower" if follower is not None else "server"
+    print(f"YASK {role} listening on {server.endpoint}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive path

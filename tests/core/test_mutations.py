@@ -321,3 +321,87 @@ class TestReadWriteLock:
         r.join(timeout=5)
         w.join(timeout=5)
         assert seen == ["reader", "writer"]
+
+
+class TestNoopBatchesAndPreCommit:
+    """Regressions for the durability tier's sequential-semantics fix.
+
+    A batch whose *net* effect is empty must not bump the generation
+    (or notify anyone): the WAL never logs it, so replaying the log
+    reproduces the exact generation sequence of the original run.
+    """
+
+    def make(self):
+        db = make_tiny_db()
+        return db, MutableDatabase(db, model_code="jaccard")
+
+    def test_net_empty_batch_is_a_noop(self):
+        db, mutable = self.make()
+        before = db.objects
+        change = mutable.apply([Mutation.insert(obj(9)), Mutation.delete(9)])
+        assert change.is_noop
+        assert change.generation == 0
+        assert mutable.generation == 0
+        assert db.objects == before
+        # The per-op counts are still reported faithfully.
+        assert change.inserted_count == 1
+        assert change.deleted_count == 1
+        # ...but the cumulative stats never saw a batch.
+        assert mutable.stats.to_dict()["batches"] == 0
+
+    def test_noop_batch_skips_listeners_and_pre_commit(self):
+        _, mutable = self.make()
+        calls: list = []
+
+        class Listener:
+            def apply_mutations(self, change):
+                calls.append(("listener", change.generation))
+
+        mutable.register_listener(Listener())
+        mutable.apply(
+            [Mutation.insert(obj(9)), Mutation.delete(9)],
+            pre_commit=lambda gen, muts: calls.append(("pre_commit", gen)),
+        )
+        assert calls == []
+
+    def test_generations_stay_contiguous_across_noops(self):
+        _, mutable = self.make()
+        mutable.apply([Mutation.insert(obj(9))])
+        noop = mutable.apply([Mutation.insert(obj(10)), Mutation.delete(10)])
+        real = mutable.apply([Mutation.insert(obj(11))])
+        assert noop.generation == 1
+        assert real.generation == 2  # no gap where the no-op sat
+
+    def test_pre_commit_sees_the_next_generation(self):
+        _, mutable = self.make()
+        seen: list[int] = []
+        mutable.apply(
+            [Mutation.insert(obj(9))],
+            pre_commit=lambda gen, muts: seen.append(gen),
+        )
+        assert seen == [1]
+        assert mutable.generation == 1
+
+    def test_pre_commit_failure_abandons_the_batch(self):
+        db, mutable = self.make()
+        before = db.objects
+
+        def refuse(gen, muts):
+            raise RuntimeError("log unavailable")
+
+        with pytest.raises(RuntimeError, match="log unavailable"):
+            mutable.apply([Mutation.insert(obj(9))], pre_commit=refuse)
+        assert mutable.generation == 0
+        assert db.objects == before
+        assert mutable.stats.to_dict()["batches"] == 0
+
+    def test_start_generation_resumes_a_snapshot(self):
+        db = make_tiny_db()
+        mutable = MutableDatabase(db, start_generation=7)
+        assert mutable.generation == 7
+        change = mutable.apply([Mutation.insert(obj(9))])
+        assert change.generation == 8
+
+    def test_negative_start_generation_rejected(self):
+        with pytest.raises(ValueError):
+            MutableDatabase(make_tiny_db(), start_generation=-1)

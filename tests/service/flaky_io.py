@@ -1,0 +1,119 @@
+"""Fault-injecting file wrapper for durability tests.
+
+:class:`FlakyOpener` stands in for the write-ahead log's ``opener``
+hook and wraps every handle it opens in a :class:`FlakyFile`.  Faults
+are armed on the opener and fire exactly once (or persistently, for
+read errors), so a test can line up "the next fsync fails" or "the
+next write stops short after N bytes" and then assert the log rolled
+back cleanly.
+
+``FlakyFile.sync()`` exists because :meth:`WriteAheadLog._sync`
+prefers a handle-level ``sync`` over ``os.fsync`` — precisely so this
+wrapper can simulate durability failures without touching the real
+disk (the un-armed ``sync`` is a no-op; per-append ``flush`` already
+covers process-crash durability in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["FlakyFile", "FlakyOpener"]
+
+
+class FlakyFile:
+    """Delegating file wrapper whose faults are armed on the opener."""
+
+    def __init__(self, handle: Any, opener: "FlakyOpener") -> None:
+        self._handle = handle
+        self._opener = opener
+
+    # -- faultable operations ------------------------------------------
+    def write(self, data: bytes) -> int:
+        short = self._opener.take_short_write()
+        if short is not None:
+            # A short write that *errors*: part of the frame lands on
+            # disk (the torn tail a crash would leave), then the device
+            # reports failure.
+            self._handle.write(data[:short])
+            self._handle.flush()
+            raise OSError(28, "injected device full mid-write")
+        if self._opener.take_write_error():
+            raise OSError(5, "injected write error")
+        return self._handle.write(data)
+
+    def sync(self) -> None:
+        if self._opener.take_sync_error():
+            raise OSError(5, "injected fsync failure")
+        # Un-armed: durability is simulated; flush already happened.
+
+    def read(self, *args: Any) -> bytes:
+        if self._opener.fail_reads:
+            raise OSError(5, "injected read error (EIO)")
+        return self._handle.read(*args)
+
+    def truncate(self, size: int | None = None) -> int:
+        if self._opener.take_truncate_error():
+            raise OSError(5, "injected truncate failure")
+        return self._handle.truncate(size)
+
+    # -- transparent delegation ----------------------------------------
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def seek(self, *args: Any) -> int:
+        return self._handle.seek(*args)
+
+    def tell(self) -> int:
+        return self._handle.tell()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def __enter__(self) -> "FlakyFile":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class FlakyOpener:
+    """An ``open``-alike that wraps handles and dispenses armed faults."""
+
+    def __init__(self) -> None:
+        self.short_write_bytes: int | None = None
+        self.write_errors = 0
+        self.sync_errors = 0
+        self.truncate_errors = 0
+        self.fail_reads = False
+        self.opened = 0
+
+    def __call__(self, path: str, mode: str) -> FlakyFile:
+        self.opened += 1
+        return FlakyFile(open(path, mode), self)
+
+    # -- one-shot fault dispensers -------------------------------------
+    def take_short_write(self) -> int | None:
+        short, self.short_write_bytes = self.short_write_bytes, None
+        return short
+
+    def take_write_error(self) -> bool:
+        if self.write_errors > 0:
+            self.write_errors -= 1
+            return True
+        return False
+
+    def take_sync_error(self) -> bool:
+        if self.sync_errors > 0:
+            self.sync_errors -= 1
+            return True
+        return False
+
+    def take_truncate_error(self) -> bool:
+        if self.truncate_errors > 0:
+            self.truncate_errors -= 1
+            return True
+        return False

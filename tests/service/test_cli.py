@@ -173,3 +173,135 @@ class TestBatchCommands:
         path.write_text(json.dumps([{"x": 1.0}]))
         with pytest.raises(SystemExit):
             main(["whynot-batch", "--dataset", "coffee", "--file", str(path)])
+
+
+class TestDurabilityCommands:
+    def mutations_file(self, tmp_path):
+        path = tmp_path / "mutations.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {
+                        "op": "insert",
+                        "oid": 9000,
+                        "x": 114.15,
+                        "y": 22.28,
+                        "keywords": ["espresso"],
+                        "name": "logged cafe",
+                    }
+                ]
+            )
+        )
+        return str(path)
+
+    def test_serve_parses_wal_args(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--wal-dir", "/tmp/wal", "--fsync", "never",
+                "--snapshot-every", "16",
+            ]
+        )
+        assert args.wal_dir == "/tmp/wal"
+        assert args.fsync == "never"
+        assert args.snapshot_every == 16
+
+    def test_serve_snapshot_cadence_requires_wal(self):
+        with pytest.raises(SystemExit, match="--wal-dir"):
+            main(["serve", "--snapshot-every", "4"])
+
+    def test_recover_and_follow_parse(self):
+        args = build_parser().parse_args(
+            ["recover", "--wal-dir", "/tmp/wal", "--snapshot"]
+        )
+        assert args.command == "recover"
+        assert args.snapshot
+        args = build_parser().parse_args(["follow", "--wal-dir", "/tmp/wal"])
+        assert args.command == "follow"
+        assert args.port == 8081
+
+    def test_mutate_with_wal_dir_logs_and_recovers(self, capsys, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        code = main(
+            [
+                "mutate", "--dataset", "coffee",
+                "--file", self.mutations_file(tmp_path),
+                "--wal-dir", wal_dir, "--fsync", "never",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "recovered generation 0" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["batches"][0]["generation"] == 1
+
+        # The batch is durable: `yask recover` reports it without the
+        # mutation file.
+        code = main(
+            ["recover", "--wal-dir", wal_dir, "--dataset", "coffee"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["generation"] == 1
+        assert report["records_replayed"] == 1
+        assert report["objects"] == 61  # 60 cafes + the logged insert
+
+    def test_recover_with_snapshot_compacts(self, capsys, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        main(
+            [
+                "mutate", "--dataset", "coffee",
+                "--file", self.mutations_file(tmp_path),
+                "--wal-dir", wal_dir, "--fsync", "never",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "recover", "--wal-dir", wal_dir, "--dataset", "coffee",
+                "--snapshot",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["durability"]["snapshot_generation"] == 1
+        # A snapshot now covers the log: recovery no longer needs the
+        # seed dataset at all.
+        code = main(["recover", "--wal-dir", wal_dir])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["generation"] == 1
+
+    def test_recover_corrupt_log_exits_2(self, capsys, tmp_path):
+        wal_dir = tmp_path / "wal"
+        main(
+            [
+                "mutate", "--dataset", "coffee",
+                "--file", self.mutations_file(tmp_path),
+                "--wal-dir", str(wal_dir), "--fsync", "never",
+            ]
+        )
+        capsys.readouterr()
+        (wal_dir / "MANIFEST.json").write_text("{broken")
+        code = main(["recover", "--wal-dir", str(wal_dir)])
+        assert code == 2
+        assert "recovery failed" in capsys.readouterr().err
+
+    def test_recover_without_seed_or_snapshot_exits_2(self, capsys, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        main(
+            [
+                "mutate", "--dataset", "coffee",
+                "--file", self.mutations_file(tmp_path),
+                "--wal-dir", wal_dir, "--fsync", "never",
+            ]
+        )
+        capsys.readouterr()
+        code = main(["recover", "--wal-dir", wal_dir])
+        assert code == 2
+        assert "seed database" in capsys.readouterr().err
+
+    def test_follow_missing_directory_exits_2(self, capsys, tmp_path):
+        code = main(
+            ["follow", "--wal-dir", str(tmp_path / "nope")]
+        )
+        assert code == 2
+        assert "follower bootstrap failed" in capsys.readouterr().err

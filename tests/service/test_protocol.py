@@ -123,3 +123,79 @@ class TestResponseSerialisation:
         json.dumps(payload)
         assert payload["model"] == "keyword-adaption"
         assert payload["added"] == sorted(refinement.added)
+
+
+class TestMutationWireRoundTrip:
+    """mutation_to_dict (the WAL's record shape) inverts mutation_from_dict."""
+
+    def roundtrip(self, mutation):
+        from repro.service.protocol import mutation_from_dict, mutation_to_dict
+
+        payload = mutation_to_dict(mutation)
+        assert json.loads(json.dumps(payload)) == payload  # JSON-clean
+        return mutation_from_dict(payload)
+
+    def test_insert_round_trips(self):
+        from repro.core.mutations import Mutation
+        from repro.core.objects import SpatialObject
+
+        original = Mutation.insert(
+            SpatialObject(
+                7, Point(0.125, 0.375), frozenset({"b", "a"}), "named"
+            )
+        )
+        assert self.roundtrip(original) == original
+
+    def test_update_without_name_round_trips(self):
+        from repro.core.mutations import Mutation
+        from repro.core.objects import SpatialObject
+
+        original = Mutation.update(
+            SpatialObject(3, Point(0.1, 0.9), frozenset({"only"}))
+        )
+        restored = self.roundtrip(original)
+        assert restored == original
+        assert restored.obj.name is None
+
+    def test_delete_round_trips(self):
+        from repro.core.mutations import Mutation
+
+        original = Mutation.delete(11)
+        assert self.roundtrip(original) == original
+
+    def test_awkward_floats_survive_bit_for_bit(self):
+        # JSON float repr round-trips exactly — the property replay
+        # parity depends on it.
+        from repro.core.mutations import Mutation
+        from repro.core.objects import SpatialObject
+
+        original = Mutation.insert(
+            SpatialObject(
+                7, Point(0.1 + 0.2, 1.0 / 3.0), frozenset({"w"})
+            )
+        )
+        restored = self.roundtrip(original)
+        assert restored.obj.loc.x == original.obj.loc.x
+        assert restored.obj.loc.y == original.obj.loc.y
+
+
+class TestMinGenerationToken:
+    def parse(self, payload):
+        from repro.service.protocol import min_generation_from_dict
+
+        return min_generation_from_dict(payload)
+
+    def test_absent_means_any(self):
+        assert self.parse({}) is None
+        assert self.parse({"min_generation": None}) is None
+
+    def test_valid_tokens(self):
+        assert self.parse({"min_generation": 0}) == 0
+        assert self.parse({"min_generation": 12}) == 12
+
+    @pytest.mark.parametrize(
+        "bad", [True, False, -1, 1.5, "3", [3], {}]
+    )
+    def test_invalid_tokens_are_protocol_errors(self, bad):
+        with pytest.raises(ProtocolError, match="min_generation"):
+            self.parse({"min_generation": bad})

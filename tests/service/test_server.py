@@ -430,3 +430,74 @@ class TestSessionWhyNotCaching:
         client.explain(first_session, missing)
         response = client.explain(second_session, missing)
         assert response["cached"] is True
+
+
+class TestDurabilityOverHTTP:
+    def test_stats_report_durability_disabled_by_default(self, client):
+        response = json.loads(
+            request.urlopen(client._base_url + "/api/stats").read()
+        )
+        assert response["durability"] == {"enabled": False}
+
+    def test_min_generation_on_a_primary(self, client, scenario):
+        q = scenario.query
+        # The current generation is always satisfiable...
+        response = client.query(
+            q.loc.x, q.loc.y, sorted(q.doc), q.k, min_generation=0
+        )
+        assert "result" in response
+        # ...a future one is a structured 503, not stale data.
+        with pytest.raises(YaskClientError) as exc:
+            client.query(
+                q.loc.x, q.loc.y, sorted(q.doc), q.k, min_generation=10**6
+            )
+        assert exc.value.status == 503
+        assert "retry" in str(exc.value)
+
+    def test_invalid_token_is_400(self, client, scenario):
+        q = scenario.query
+        payload = {
+            "x": q.loc.x,
+            "y": q.loc.y,
+            "keywords": sorted(q.doc),
+            "k": q.k,
+            "min_generation": -3,
+        }
+        with pytest.raises(YaskClientError) as exc:
+            client._call("POST", "/api/query", payload)
+        assert exc.value.status == 400
+
+    def test_durable_server_snapshots_on_cadence(self, tmp_path, small_db):
+        from repro.core.objects import SpatialDatabase
+        from repro.service.wal import WriteAheadLog
+
+        engine = YaskEngine(
+            SpatialDatabase(small_db.objects, dataspace=small_db.dataspace),
+            wal=WriteAheadLog(tmp_path, fsync="never"),
+        )
+        server = YaskHTTPServer(engine, snapshot_every=2)
+        server.start_background()
+        try:
+            durable = YaskClient(server.endpoint)
+            first = durable.mutate([{"op": "delete", "oid": 0}])
+            assert "snapshot" not in first  # cadence of 2 not yet due
+            second = durable.mutate([{"op": "delete", "oid": 1}])
+            assert second["snapshot"]["generation"] == 2
+            stats = durable.durability_stats()
+            assert stats["role"] == "primary"
+            assert stats["last_generation"] == 2
+            assert stats["snapshot_generation"] == 2
+            assert stats["snapshots_written"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_snapshot_every_requires_a_wal(self, small_db):
+        from repro.core.objects import SpatialDatabase
+
+        engine = YaskEngine(
+            SpatialDatabase(small_db.objects, dataspace=small_db.dataspace)
+        )
+        with pytest.raises(ValueError, match="snapshot_every"):
+            YaskHTTPServer(engine, snapshot_every=2)
+        engine.close()

@@ -1,7 +1,8 @@
 """Execute the documentation's fenced Python snippets against a live server.
 
 ``make docs-check`` runs this script so the quickstart code in
-``README.md`` and ``docs/API.md`` cannot rot: every fenced
+``README.md``, ``docs/API.md`` and ``docs/OPERATIONS.md`` cannot rot:
+every fenced
 ```` ```python ```` block is executed in its own namespace, with a real
 in-process :class:`~repro.service.server.YaskHTTPServer` (hotels
 dataset, 4 spatial shards) listening on an ephemeral port.  Snippets
@@ -27,7 +28,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-DOC_FILES = ("README.md", "docs/API.md")
+DOC_FILES = ("README.md", "docs/API.md", "docs/OPERATIONS.md")
 SKIP_MARKER = "<!-- docs-check: skip -->"
 DOCUMENTED_ENDPOINT = "http://127.0.0.1:8080"
 
