@@ -18,8 +18,14 @@
 #   make bench-json  — refresh BENCH_E9/…/E14.json at the repo root
 #                      (machine-readable perf trajectory)
 #   make lint        — byte-compile every source, test and benchmark
-#                      file (catches import-time and syntax breakage
-#                      without third-party tools)
+#                      file, then run yasklint (the project-invariant
+#                      static analyser in tools/analysis/yasklint —
+#                      rule catalogue in docs/DEVELOPMENT.md) over src/
+#                      and mypy (skipped with a notice when not
+#                      installed; the CI analysis job always runs it)
+#   make test-lockdep — the concurrency suites with the runtime
+#                      lock-order sanitizer enabled (YASK_LOCKDEP=1):
+#                      hammer tests + the analysis test suite
 #   make docs-check  — every GET/POST route in server.py must appear
 #                      in docs/API.md, and every runnable fenced
 #                      Python snippet in README.md / docs/API.md /
@@ -30,7 +36,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-recovery bench-smoke bench-json lint docs-check
+.PHONY: test test-recovery test-lockdep bench-smoke bench-json lint docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,9 +50,18 @@ bench-smoke:
 bench-json:
 	$(PYTHON) benchmarks/bench_json.py
 
+test-lockdep:
+	YASK_LOCKDEP=1 $(PYTHON) -m pytest tests/analysis tests/service/test_concurrency.py tests/service/test_mutation_hammer.py tests/service/test_stats_snapshot.py tests/service/test_follower.py -q
+
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples tools
-	@echo "lint ok: all sources byte-compile"
+	$(PYTHON) -m tools.analysis.yasklint src
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --config-file mypy.ini -p repro && echo "lint ok: mypy clean"; \
+	else \
+		echo "lint: mypy not installed, skipping (the CI analysis job runs it)"; \
+	fi
+	@echo "lint ok: sources byte-compile and yasklint is clean"
 
 docs-check:
 	@missing=0; \

@@ -1,0 +1,151 @@
+"""Lock construction shim: named, levelled locks with opt-in sanitizing.
+
+Every lock in the serving stack is created through this module instead
+of bare ``threading.Lock()`` calls (yasklint rule YASK105 enforces this
+for ``src/repro/service/``).  Each lock carries
+
+* a **name** — a stable dotted identifier (``"executor.domain"``) used
+  as the node key in the runtime lock-acquisition graph, and
+* a **level** — its position in the documented lock-order hierarchy
+  (see ``docs/DEVELOPMENT.md``).  A thread may only acquire a lock with
+  a level *strictly greater* than every lock it already holds, so the
+  hierarchy is deadlock-free by construction:
+
+  ====== ==========================================================
+  level  lock
+  ====== ==========================================================
+  10     ``server.snapshot`` — HTTP server snapshot-cadence lock
+  15     ``wal.follower`` — follower replay lock
+  20     ``engine.rw`` — the engine's reader/writer lock
+  30     ``wal.log`` — WAL segment/manifest lock
+  40     ``executor.domain`` — executor invalidation-domain lock
+  50     leaf locks: result caches, stats counters, sessions
+  ====== ==========================================================
+
+* a **fsync-safe** flag — whether the write-ahead contract *requires*
+  an ``fsync`` to happen while this lock is held.  The engine RW lock,
+  the WAL lock and the snapshot-cadence lock are sanctioned (durability
+  is the point of holding them); an fsync under any *other* lock is a
+  latency hazard the sanitizer reports.
+
+In normal operation (``YASK_LOCKDEP`` unset) every factory returns the
+plain ``threading`` primitive — zero wrapping, zero overhead.  With
+``YASK_LOCKDEP=1`` and the repo's ``tools/`` package importable, the
+factories return instrumented locks that feed the runtime lock-order
+sanitizer in :mod:`tools.analysis.lockdep`, which raises
+``LockOrderError`` on level inversions, acquisition cycles, self
+deadlocks and unsanctioned held-lock-across-fsync hazards.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from tools.analysis.lockdep import LockDepMonitor, LockSanitizer
+
+LOCKDEP_ENV = "YASK_LOCKDEP"
+
+# The documented lock-order hierarchy (low acquires high, never back).
+LEVEL_SNAPSHOT = 10
+LEVEL_FOLLOWER = 15
+LEVEL_ENGINE = 20
+LEVEL_WAL = 30
+LEVEL_DOMAIN = 40
+LEVEL_LEAF = 50
+
+_warned_unavailable = False
+
+
+def lockdep_enabled() -> bool:
+    """``True`` when the ``YASK_LOCKDEP=1`` opt-in is set."""
+    return os.environ.get(LOCKDEP_ENV, "") == "1"
+
+
+def _monitor() -> Optional["LockDepMonitor"]:
+    """The process-wide sanitizer, or ``None`` when instrumentation is off.
+
+    ``tools`` is a repo-root package, not part of the installed
+    ``repro`` distribution, so the import is lazy and failure is soft:
+    enabling ``YASK_LOCKDEP`` outside a repo checkout degrades to plain
+    locks with a one-time warning rather than breaking the service.
+    """
+    global _warned_unavailable
+    if not lockdep_enabled():
+        return None
+    try:
+        from tools.analysis.lockdep import global_monitor
+    except ImportError:
+        if not _warned_unavailable:
+            _warned_unavailable = True
+            warnings.warn(
+                f"{LOCKDEP_ENV}=1 but tools.analysis.lockdep is not importable; "
+                "lock-order sanitizing is disabled (run from a repo checkout)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return None
+    return global_monitor()
+
+
+def lockdep_active() -> bool:
+    """``True`` when locks created *now* would be instrumented."""
+    return _monitor() is not None
+
+
+def ordered_lock(name: str, level: int, *, fsync_safe: bool = False) -> Any:
+    """A mutex at ``level`` in the documented hierarchy.
+
+    Returns a plain ``threading.Lock`` unless lockdep is active.
+    """
+    monitor = _monitor()
+    if monitor is None:
+        return threading.Lock()
+    from tools.analysis.lockdep import InstrumentedLock
+
+    return InstrumentedLock(monitor, name, level=level, fsync_safe=fsync_safe)
+
+
+def ordered_rlock(name: str, level: int, *, fsync_safe: bool = False) -> Any:
+    """A re-entrant mutex at ``level`` in the documented hierarchy."""
+    monitor = _monitor()
+    if monitor is None:
+        return threading.RLock()
+    from tools.analysis.lockdep import InstrumentedLock
+
+    return InstrumentedLock(
+        monitor, name, level=level, fsync_safe=fsync_safe, reentrant=True
+    )
+
+
+def lock_sanitizer(
+    name: str, *, level: int | None = None, fsync_safe: bool = False
+) -> Optional["LockSanitizer"]:
+    """Manual acquire/release hooks for hand-rolled primitives.
+
+    :class:`repro.core.mutations.ReadWriteLock` implements its own
+    blocking protocol on a ``Condition``; it cannot be wrapped, so it
+    reports acquisitions through this object instead.  ``None`` when
+    instrumentation is off — callers keep a fast ``if san is None``
+    path.
+    """
+    monitor = _monitor()
+    if monitor is None:
+        return None
+    from tools.analysis.lockdep import LockSanitizer
+
+    return LockSanitizer(monitor, name, level=level, fsync_safe=fsync_safe)
+
+
+def note_fsync(context: str = "") -> None:
+    """Record that the calling thread is about to ``fsync``.
+
+    No-op unless lockdep is active; under the sanitizer it raises if
+    the thread holds any lock that is not fsync-sanctioned.
+    """
+    monitor = _monitor()
+    if monitor is not None:
+        monitor.note_fsync(context)

@@ -1,0 +1,30 @@
+"""The ``@hot_path`` marker: a per-row scan loop under the E11/E12 floors.
+
+Purely declarative — the decorator returns the function unchanged (no
+wrapper: a wrapper would itself be a per-call cost) and sets a
+``__yask_hot_path__`` attribute.  Its teeth are static: yasklint rule
+YASK104 forbids allocation-heavy constructs (list/set/dict
+comprehensions, ``getattr``/``setattr``/``hasattr``, try/except,
+lambdas, nested defs) inside the *innermost* loops of any marked
+function, because those re-run once per database row and erode the
+columnar kernel's measured wins.  Setup work before the loops —
+hoisting columns into locals, precomputing masks — is exactly what the
+kernel's style encourages and is not policed.
+
+Mark a function when its innermost loop iterates once per object/row
+of the database (kernel full passes, shard scan loops).  Do not mark
+coordination-tier code; the rule is a perf contract, not a style
+preference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., object])
+
+
+def hot_path(func: F) -> F:
+    """Mark ``func`` as a per-row hot loop (see module docstring)."""
+    func.__yask_hot_path__ = True  # type: ignore[attr-defined]
+    return func

@@ -33,10 +33,11 @@ models, tie orders and empty-doc edge cases.
 from __future__ import annotations
 
 import math
-import threading
 from array import array
 from typing import TYPE_CHECKING, AbstractSet, Iterable, Mapping, Sequence
 
+from repro import concurrency
+from repro.core.hotpath import hot_path
 from repro.core.objects import SpatialDatabase, SpatialObject
 from repro.core.query import SpatialKeywordQuery
 from repro.text.similarity import (
@@ -48,6 +49,7 @@ from repro.text.similarity import (
 
 if TYPE_CHECKING:  # pragma: no cover - scoring imports this module
     from repro.core.scoring import DualPoint
+    from repro.text.vocabulary import Vocabulary
 
 __all__ = ["KernelStats", "ScoringKernel", "KernelQuery", "DocContext", "DualView"]
 
@@ -115,7 +117,7 @@ class KernelStats:
     __slots__ = ("_lock",) + _FIELDS
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = concurrency.ordered_lock("kernel.stats", concurrency.LEVEL_LEAF)
         for field in self._FIELDS:
             setattr(self, field, 0)
 
@@ -168,6 +170,7 @@ class DocContext:
     def tsim_oid(self, oid: int) -> float:
         return self.tsim_row(self._kernel._row_of[oid])
 
+    @hot_path
     def rank_scan(
         self,
         ws: float,
@@ -350,6 +353,7 @@ class DualView:
             if (x - am) * (y - bm) < 0.0
         ]
 
+    @hot_path
     def ranks_at(
         self, ws: float, wt: float, target_oids: Sequence[int]
     ) -> dict[int, int]:
@@ -379,6 +383,7 @@ class DualView:
             out[target_oid] = beaten + 1
         return out
 
+    @hot_path
     def strictly_above_at_zero(self, target_oid: int) -> int:
         """Objects strictly outranking the target as ``w → 0+``.
 
@@ -396,6 +401,7 @@ class DualView:
                 above += 1
         return above
 
+    @hot_path
     def permanent_ties_smaller(self, target_oid: int) -> int:
         """Objects with an identical score line and a smaller object id."""
         row = self._row_of[target_oid]
@@ -506,7 +512,7 @@ class ScoringKernel:
         return self._database
 
     @property
-    def vocabulary(self):
+    def vocabulary(self) -> "Vocabulary":
         return self._database.vocabulary_index
 
     @property
@@ -641,6 +647,7 @@ class ScoringKernel:
             query.wt,
         )
 
+    @hot_path
     def components_all(
         self, query: SpatialKeywordQuery
     ) -> tuple[list[float], list[float], list[float]]:
@@ -694,6 +701,7 @@ class ScoringKernel:
                 push_score(ws * (1.0 - d) + wt * t)
         return sdists, tsims, scores
 
+    @hot_path
     def _score_list(self, query: SpatialKeywordQuery) -> list[float]:
         """The score column alone (the rank primitives' shared pass)."""
         self.stats.bump("score_passes")
@@ -766,6 +774,7 @@ class ScoringKernel:
     # ------------------------------------------------------------------
     # Dual-space view (preference adjustment substrate)
     # ------------------------------------------------------------------
+    @hot_path
     def dual_view(self, query: SpatialKeywordQuery) -> DualView:
         """Flat ``(a, b) = (1 − SDist, TSim)`` columns under ``query``.
 
@@ -816,6 +825,7 @@ class ScoringKernel:
     # ------------------------------------------------------------------
     # Rank primitives
     # ------------------------------------------------------------------
+    @hot_path
     def count_better(
         self, score: float, oid: int, query: SpatialKeywordQuery
     ) -> int:
@@ -838,6 +848,7 @@ class ScoringKernel:
                 better += 1
         return better
 
+    @hot_path
     def rank_of_many(
         self, target_oids: Iterable[int], query: SpatialKeywordQuery
     ) -> dict[int, int]:

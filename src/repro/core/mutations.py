@@ -47,8 +47,9 @@ import math
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence
+from typing import Callable, Iterator, Protocol, Sequence
 
+from repro import concurrency
 from repro.core.geometry import Rect
 from repro.core.objects import SpatialDatabase, SpatialObject
 
@@ -277,7 +278,9 @@ class MutationStats:
     __slots__ = ("_lock", "batches", "inserted", "updated", "deleted")
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = concurrency.ordered_lock(
+            "mutations.stats", concurrency.LEVEL_LEAF
+        )
         self.batches = 0
         self.inserted = 0
         self.updated = 0
@@ -309,21 +312,43 @@ class ReadWriteLock:
     re-enters the engine for its initial top-k — deadlock-free by
     construction.  Mutation batches are rare relative to queries, so
     writer starvation is not a practical concern at this tier.
+
+    ``name``/``level``/``fsync_safe`` place the lock in the documented
+    hierarchy (:mod:`repro.concurrency`); under ``YASK_LOCKDEP=1`` the
+    lock reports acquisitions to the runtime sanitizer through a
+    :func:`repro.concurrency.lock_sanitizer` (it implements its own
+    blocking protocol, so it cannot be wrapped like a plain mutex).
+    Nested same-instance *reads* are reported as such and allowed;
+    read-under-write or write-under-read on one thread is flagged.
     """
 
-    __slots__ = ("_cond", "_readers", "_writing")
+    __slots__ = ("_cond", "_readers", "_writing", "_sanitizer")
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        name: str = "rwlock",
+        level: int | None = None,
+        fsync_safe: bool = False,
+    ) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writing = False
+        self._sanitizer = concurrency.lock_sanitizer(
+            name, level=level, fsync_safe=fsync_safe
+        )
 
     @contextmanager
-    def read(self):
+    def read(self) -> Iterator[None]:
+        san = self._sanitizer
+        if san is not None:
+            san.acquiring("read")
         with self._cond:
             while self._writing:
                 self._cond.wait()
             self._readers += 1
+        if san is not None:
+            san.acquired("read")
         try:
             yield
         finally:
@@ -331,19 +356,28 @@ class ReadWriteLock:
                 self._readers -= 1
                 if self._readers == 0:
                     self._cond.notify_all()
+            if san is not None:
+                san.released("read")
 
     @contextmanager
-    def write(self):
+    def write(self) -> Iterator[None]:
+        san = self._sanitizer
+        if san is not None:
+            san.acquiring("write")
         with self._cond:
             while self._writing or self._readers:
                 self._cond.wait()
             self._writing = True
+        if san is not None:
+            san.acquired("write")
         try:
             yield
         finally:
             with self._cond:
                 self._writing = False
                 self._cond.notify_all()
+            if san is not None:
+                san.released("write")
 
 
 class MutableDatabase:

@@ -72,12 +72,13 @@ counts.
 from __future__ import annotations
 
 import math
-import threading
 from typing import TYPE_CHECKING, AbstractSet, Callable, Iterable, Sequence
 
 from dataclasses import dataclass
 
+from repro import concurrency
 from repro.core.geometry import Rect
+from repro.core.hotpath import hot_path
 from repro.core.kernel import DocContext, DualView, ScoringKernel
 from repro.core.objects import SpatialDatabase, SpatialObject
 from repro.core.query import SpatialKeywordQuery
@@ -221,7 +222,7 @@ class ShardStats:
     __slots__ = ("_lock",) + _FIELDS
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = concurrency.ordered_lock("shards.stats", concurrency.LEVEL_LEAF)
         for field in self._FIELDS:
             setattr(self, field, 0.0 if field.endswith("_ms") else 0)
 
@@ -689,6 +690,7 @@ class ShardedDocContext(DocContext):
             self._shard_masks[shard_index] = mask
         return mask
 
+    @hot_path
     def rank_scan(
         self,
         ws: float,
@@ -848,6 +850,7 @@ class ShardedDualView:
     # ------------------------------------------------------------------
     # Sweep primitives (DualView interface, shard-pruned)
     # ------------------------------------------------------------------
+    @hot_path
     def ranks_at(
         self, ws: float, wt: float, target_oids: Sequence[int]
     ) -> dict[int, int]:
@@ -936,6 +939,7 @@ class ShardedDualView:
         found.sort()
         return [point for _, point in found]
 
+    @hot_path
     def strictly_above_at_zero(self, target_oid: int) -> int:
         """Objects strictly outranking the target as ``w → 0+``."""
         shard_index, local = self._locate_oid(target_oid)
@@ -951,6 +955,7 @@ class ShardedDualView:
                     above += 1
         return above
 
+    @hot_path
     def permanent_ties_smaller(self, target_oid: int) -> int:
         """Objects with an identical score line and a smaller object id."""
         shard_index, local = self._locate_oid(target_oid)
@@ -1035,6 +1040,7 @@ class ShardedKernel(ScoringKernel):
     # ------------------------------------------------------------------
     # Rank primitives (shard-pruned)
     # ------------------------------------------------------------------
+    @hot_path
     def count_better(
         self, score: float, oid: int, query: SpatialKeywordQuery
     ) -> int:
@@ -1057,6 +1063,7 @@ class ShardedKernel(ScoringKernel):
         stats.bump("count_shards_skipped", skipped)
         return better
 
+    @hot_path
     def rank_of_many(
         self, target_oids: Iterable[int], query: SpatialKeywordQuery
     ) -> dict[int, int]:

@@ -16,6 +16,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, AbstractSet, Iterable, Sequence
 
+from repro import concurrency
 from repro.core.geometry import Point
 from repro.core.mutations import (
     AppliedBatch,
@@ -250,7 +251,13 @@ class YaskEngine:
         # that cannot be maintained incrementally — its tf-idf weights
         # depend on corpus-wide document frequencies, so every insert
         # would reweigh every node — and mutations are refused there.
-        self._lock = ReadWriteLock()
+        # Level 20 in the documented hierarchy: above the snapshot and
+        # follower locks, below the WAL lock (apply_mutations holds the
+        # write side across wal.append — fsync there is the write-ahead
+        # guarantee, hence fsync_safe).
+        self._lock = ReadWriteLock(
+            name="engine.rw", level=concurrency.LEVEL_ENGINE, fsync_safe=True
+        )
         self._indexes_rebuilt = 0
         if index_rebuild_slack < 0:
             raise ValueError("index_rebuild_slack must be non-negative")

@@ -129,6 +129,16 @@ def build_parser() -> argparse.ArgumentParser:
             "batches; requires --wal-dir"
         ),
     )
+    serve.add_argument(
+        "--snapshot-interval-secs",
+        type=float,
+        default=None,
+        help=(
+            "also snapshot on a wall-clock cadence: every N seconds, if "
+            "any batches landed since the last snapshot; combines with "
+            "--snapshot-every and requires --wal-dir"
+        ),
+    )
 
     def add_query_args(command: argparse.ArgumentParser) -> None:
         command.add_argument("--dataset", default="hotels")
@@ -620,11 +630,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "serve":
         if args.snapshot_every is not None and args.wal_dir is None:
             raise SystemExit("--snapshot-every requires --wal-dir")
+        if args.snapshot_interval_secs is not None and args.wal_dir is None:
+            raise SystemExit("--snapshot-interval-secs requires --wal-dir")
         serve_forever(
             _make_durable_engine(args),
             host=args.host,
             port=args.port,
             snapshot_every=args.snapshot_every,
+            snapshot_interval_secs=args.snapshot_interval_secs,
         )
         return 0
     if args.command == "query":

@@ -44,6 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol, Sequence
 
+from repro import concurrency
 from repro.core.query import QueryResult, SpatialKeywordQuery
 from repro.whynot.errors import WhyNotError
 
@@ -346,11 +347,13 @@ class _ResultCache:
     join a pre-invalidation flight (its generation no longer matches).
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, *, name: str = "executor.cache") -> None:
         if capacity < 0:
             raise ValueError("cache_capacity must be non-negative")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        # Leaf of the lock hierarchy: taken after the domain lock
+        # during invalidation, never while acquiring anything else.
+        self._lock = concurrency.ordered_lock(name, concurrency.LEVEL_LEAF)
         # key → (value, meta).  ``meta`` is the caller's invalidation
         # descriptor (see ``fetch``'s ``meta_of``); None when the caller
         # supplied none — such entries never survive a scoped drop.
@@ -596,7 +599,9 @@ class QueryExecutor:
         # can observe this cache from one generation and a linked cache
         # from another.  Per-cache locks are acquired inside it, never
         # the other way around, so there is no ordering hazard.
-        self._domain_lock = threading.Lock()
+        self._domain_lock = concurrency.ordered_lock(
+            "executor.domain", concurrency.LEVEL_DOMAIN
+        )
 
     @property
     def engine(self) -> SupportsQuery:
@@ -784,7 +789,7 @@ class WhyNotExecutor:
             raise ValueError("max_workers must be at least 1")
         self._engine = engine
         self._topk = topk
-        self._cache = _ResultCache(cache_capacity)
+        self._cache = _ResultCache(cache_capacity, name="whynot.cache")
         self._pool: ThreadPoolExecutor | None = (
             ThreadPoolExecutor(
                 max_workers=max_workers, thread_name_prefix="yask-whynot"

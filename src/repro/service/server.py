@@ -52,11 +52,13 @@ server-side response time.
 from __future__ import annotations
 
 import json
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs, unquote, urlparse
 
+from repro import concurrency
 from repro.core.mutations import MissingTargetError, Mutation, MutationError
 from repro.service.api import YaskEngine
 from repro.service.executor import (
@@ -128,6 +130,7 @@ class YaskHTTPServer(ThreadingHTTPServer):
         batch_workers: int = 8,
         follower: FollowerEngine | None = None,
         snapshot_every: int | None = None,
+        snapshot_interval_secs: float | None = None,
     ) -> None:
         if follower is not None and follower.engine is not engine:
             raise ValueError(
@@ -140,15 +143,42 @@ class YaskHTTPServer(ThreadingHTTPServer):
                 raise ValueError(
                     "snapshot_every requires an engine with a write-ahead log"
                 )
+        if snapshot_interval_secs is not None:
+            if snapshot_interval_secs <= 0:
+                raise ValueError("snapshot_interval_secs must be positive")
+            if engine.wal is None:
+                raise ValueError(
+                    "snapshot_interval_secs requires an engine with a "
+                    "write-ahead log"
+                )
         self.engine = engine
         # A follower server is read-only: reads poll the tailed log
         # before executing, writes are refused with a structured 403.
         self.follower = follower
         self.snapshot_every = snapshot_every
-        self._snapshot_lock = threading.Lock()
+        self.snapshot_interval_secs = snapshot_interval_secs
+        # Root of the lock hierarchy: held across engine.snapshot(),
+        # which takes the engine read lock and then the WAL lock (and
+        # fsyncs — sanctioned, that is the snapshot's durability point).
+        self._snapshot_lock = concurrency.ordered_lock(
+            "server.snapshot", concurrency.LEVEL_SNAPSHOT, fsync_safe=True
+        )
         self._snapshot_generation = (
             engine.wal.snapshot_generation if engine.wal is not None else 0
         )
+        # Wall-clock cadence (ROADMAP item 2 follow-up): a batch burst
+        # followed by a quiet hour must not leave the whole burst
+        # un-checkpointed just because the *next* batch never arrives.
+        # The timer thread snapshots whenever records accumulated since
+        # the last checkpoint and the interval elapsed.
+        self._snapshot_timer_stop = threading.Event()
+        self._snapshot_timer: threading.Thread | None = None
+        if snapshot_interval_secs is not None:
+            self._snapshot_timer = threading.Thread(
+                target=self._snapshot_on_interval,
+                name="yask-snapshot-timer",
+                daemon=True,
+            )
         self.executor = QueryExecutor(
             engine, cache_capacity=cache_capacity, max_workers=batch_workers
         )
@@ -162,6 +192,8 @@ class YaskHTTPServer(ThreadingHTTPServer):
         )
         self.sessions = SessionManager(capacity=session_capacity)
         super().__init__((host, port), _YaskRequestHandler)
+        if self._snapshot_timer is not None:
+            self._snapshot_timer.start()
 
     @property
     def endpoint(self) -> str:
@@ -188,6 +220,34 @@ class YaskHTTPServer(ThreadingHTTPServer):
             self._snapshot_generation = info["generation"]
             return info
 
+    def _snapshot_if_dirty(self) -> dict | None:
+        """Checkpoint if any records landed since the last snapshot.
+
+        The wall-clock cadence path: unlike :meth:`maybe_snapshot` it
+        has no record-count threshold — one un-checkpointed batch that
+        sat for a full interval is reason enough.
+        """
+        with self._snapshot_lock:
+            if self.engine.generation == self._snapshot_generation:
+                return None
+            info = self.engine.snapshot()
+            self._snapshot_generation = info["generation"]
+            return info
+
+    def _snapshot_on_interval(self) -> None:
+        """Body of the ``yask-snapshot-timer`` daemon thread."""
+        interval = self.snapshot_interval_secs
+        assert interval is not None
+        while not self._snapshot_timer_stop.wait(interval):
+            try:
+                self._snapshot_if_dirty()
+            except Exception as exc:  # pragma: no cover - WAL fault path
+                # A failing snapshot must not kill the cadence thread;
+                # the same fault will surface loudly on the write path.
+                print(
+                    f"yask: interval snapshot failed: {exc}", file=sys.stderr
+                )
+
     def sync_follower(self) -> int:
         """Tail the log before a read; drop caches if anything applied."""
         if self.follower is None:
@@ -207,6 +267,9 @@ class YaskHTTPServer(ThreadingHTTPServer):
         return thread
 
     def server_close(self) -> None:
+        if self._snapshot_timer is not None:
+            self._snapshot_timer_stop.set()
+            self._snapshot_timer.join(timeout=5.0)
         super().server_close()
         self.executor.close()
         self.whynot_executor.close()
@@ -697,6 +760,7 @@ def serve_forever(
     port: int = 8080,
     follower: FollowerEngine | None = None,
     snapshot_every: int | None = None,
+    snapshot_interval_secs: float | None = None,
 ) -> None:
     """Blocking entry point used by ``yask serve`` and ``yask follow``."""
     server = YaskHTTPServer(
@@ -705,6 +769,7 @@ def serve_forever(
         port=port,
         follower=follower,
         snapshot_every=snapshot_every,
+        snapshot_interval_secs=snapshot_interval_secs,
     )
     role = "follower" if follower is not None else "server"
     print(f"YASK {role} listening on {server.endpoint}")

@@ -23,11 +23,11 @@ executor-tier provenance (``cached``) of each response.
 from __future__ import annotations
 
 import itertools
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
+from repro import concurrency
 from repro.core.query import QueryResult, SpatialKeywordQuery
 
 __all__ = ["LogEntry", "QueryLog", "Session", "SessionManager"]
@@ -65,7 +65,7 @@ class QueryLog:
     def __init__(self) -> None:
         self._entries: list[LogEntry] = []
         self._counter = itertools.count(1)
-        self._lock = threading.Lock()
+        self._lock = concurrency.ordered_lock("session.log", concurrency.LEVEL_LEAF)
 
     def record(
         self,
@@ -125,7 +125,9 @@ class SessionManager:
             raise ValueError("capacity must be at least 1")
         self._capacity = capacity
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = concurrency.ordered_lock(
+            "session.manager", concurrency.LEVEL_LEAF
+        )
         self._counter = itertools.count(1)
 
     def __len__(self) -> int:

@@ -46,12 +46,12 @@ from __future__ import annotations
 import json
 import os
 import struct
-import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
 
+from repro import concurrency
 from repro.index.persistence import IndexPersistenceError, database_from_dict
 
 if TYPE_CHECKING:  # the engine imports this module's errors lazily
@@ -360,7 +360,12 @@ class WriteAheadLog:
         self._fsync = fsync
         self._segment_bytes = segment_bytes
         self._opener = opener
-        self._lock = threading.RLock()
+        # Re-entrant: write_snapshot compacts under the same lock.
+        # fsync-sanctioned — flushing the log under it IS the write-
+        # ahead guarantee.
+        self._lock = concurrency.ordered_rlock(
+            "wal.log", concurrency.LEVEL_WAL, fsync_safe=True
+        )
         self._file: Any | None = None
         self._file_path: Path | None = None
         self._file_size = 0
@@ -523,6 +528,7 @@ class WriteAheadLog:
 
     @staticmethod
     def _sync(handle: Any) -> None:
+        concurrency.note_fsync("wal")
         sync = getattr(handle, "sync", None)
         if sync is not None:
             sync()
@@ -915,7 +921,11 @@ class FollowerEngine:
                 f"no write-ahead log directory at {self._directory}"
             )
         self._opener = opener
-        self._lock = threading.Lock()
+        # Below the engine lock: poll() holds it while replaying into
+        # engine.apply_mutations (engine write lock, level 20).
+        self._lock = concurrency.ordered_lock(
+            "wal.follower", concurrency.LEVEL_FOLLOWER
+        )
         from repro.service.api import YaskEngine
 
         final_db, self._base_generation, generation, applied, _ = (

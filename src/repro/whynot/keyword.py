@@ -397,7 +397,7 @@ class KeywordAdapter:
                     stats.objects_scored += 1
                     score = ranker.score(other)
                     if score > theta or (
-                        score == theta and other.oid < missing_obj.oid
+                        score == theta and other.oid < missing_obj.oid  # yasklint: disable=YASK103 -- the documented (score desc, oid asc) tie rule; scores are bit-identical by the kernel parity contract
                     ):
                         beaters += 1
             else:
@@ -555,6 +555,6 @@ class _CandidateRanker:
             if other.oid == missing_oid:
                 continue
             score = self.score(other)
-            if score > theta or (score == theta and other.oid < missing_oid):
+            if score > theta or (score == theta and other.oid < missing_oid):  # yasklint: disable=YASK103 -- the documented (score desc, oid asc) tie rule; scores are bit-identical by the kernel parity contract
                 beaters += 1
         return beaters + 1

@@ -432,7 +432,7 @@ class PreferenceAdjuster:
         """
         other_score = w * other.a + (1.0 - w) * other.b
         m_score = w * m_dual.a + (1.0 - w) * m_dual.b
-        if other_score != m_score:
+        if other_score != m_score:  # yasklint: disable=YASK103 -- dual-space comparator mirrors the kernel operation-for-operation; equality means a true permanent tie
             return other_score > m_score
         return other.oid < m_dual.oid
 
@@ -590,7 +590,7 @@ class PreferenceAdjuster:
                 if other.oid == oid:
                     continue
                 if other_score > target_score or (
-                    other_score == target_score and other.oid < oid
+                    other_score == target_score and other.oid < oid  # yasklint: disable=YASK103 -- the documented (score desc, oid asc) tie rule; scores are bit-identical by the kernel parity contract
                 ):
                     beaten[oid] += 1
         return {oid: count + 1 for oid, count in beaten.items()}

@@ -1,0 +1,41 @@
+"""YASK104 fixture: allocation-heavy constructs inside @hot_path loops.
+
+Not real kernel code — a seeded-violation corpus file proving the rule
+fires with exact ids and line numbers (tests/analysis/test_yasklint.py).
+"""
+
+from repro.core.hotpath import hot_path
+
+
+@hot_path
+def sneaky_scan(rows, masks, qmask):
+    beaters = 0
+    # Setup comprehensions BEFORE the loop are the kernel's idiom: fine.
+    live = [row for row in rows if row >= 0]
+    for row in live:
+        shared = [m for m in masks if m & qmask]  # line 16: YASK104 (comp)
+        try:  # line 17: YASK104 (try/except per row)
+            beaters += len(shared)
+        except TypeError:
+            pass
+        value = getattr(masks, "count")  # line 21: YASK104 (getattr)
+        key = lambda m: m & qmask  # noqa: E731  line 22: YASK104 (lambda)
+    return beaters
+
+
+@hot_path
+def clean_scan(rows, scores, theta):
+    # Innermost loop is pure arithmetic: no findings.
+    beaters = 0
+    for row in rows:
+        if scores[row] > theta:
+            beaters += 1
+    return beaters
+
+
+def unmarked_scan(rows, masks, qmask):
+    # Not @hot_path: comprehensions in loops are unpoliced here.
+    total = 0
+    for row in rows:
+        total += len([m for m in masks if m & qmask])
+    return total

@@ -1,0 +1,21 @@
+"""YASK102 fixture: in-place file writes in the service tier.
+
+Not real service code — a seeded-violation corpus file proving the rule
+fires with exact ids and line numbers (tests/analysis/test_yasklint.py).
+"""
+
+from pathlib import Path
+
+
+def sneak_writes(path: Path, payload: str) -> None:
+    with open(path, "w") as handle:  # line 11: YASK102 (write mode)
+        handle.write(payload)
+    with open(path, mode="ab") as handle:  # line 13: YASK102 (mode kwarg)
+        handle.write(payload.encode())
+    path.write_text(payload)  # line 15: YASK102 (Path.write_text)
+    path.write_bytes(payload.encode())  # line 16: YASK102 (Path.write_bytes)
+
+
+def fine_reads(path: Path) -> str:
+    with open(path) as handle:  # default mode "r": reading is fine
+        return handle.read()

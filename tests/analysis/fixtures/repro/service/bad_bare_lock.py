@@ -1,0 +1,26 @@
+"""YASK105 fixture: bare threading locks in the service tier.
+
+Not real service code — a seeded-violation corpus file proving the rule
+fires with exact ids and line numbers (tests/analysis/test_yasklint.py).
+"""
+
+import threading
+from threading import Lock, RLock
+
+from repro import concurrency
+
+
+class SneakyLocks:
+    def __init__(self) -> None:
+        self._a = threading.Lock()  # line 15: YASK105 (module attribute)
+        self._b = threading.RLock()  # line 16: YASK105 (RLock)
+        self._c = Lock()  # line 17: YASK105 (bare imported name)
+        self._d = RLock()  # line 18: YASK105 (bare imported name)
+        self._e = threading.Condition()  # line 19: YASK105 (Condition)
+
+
+class LevelledLocks:
+    def __init__(self) -> None:
+        # The sanctioned construction: named, levelled, sanitizable.
+        self._lock = concurrency.ordered_lock("fixture.leaf", concurrency.LEVEL_LEAF)
+        self._event = threading.Event()  # Events are not locks: fine

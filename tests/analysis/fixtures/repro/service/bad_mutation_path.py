@@ -1,0 +1,18 @@
+"""YASK101 fixture: direct mutation/WAL writes outside the approved modules.
+
+Not real service code — a seeded-violation corpus file proving the rule
+fires with exact ids and line numbers (tests/analysis/test_yasklint.py).
+"""
+
+
+def sneak_apply(mutable, coordinator, wal, batch, generation, payload):
+    change = mutable.apply(batch)  # line 9: YASK101 (mutable .apply)
+    coordinator.apply(batch)  # line 10: YASK101 (coordinator .apply)
+    wal.append(generation, payload)  # line 11: YASK101 (wal .append)
+    wal.write_snapshot(generation, payload)  # line 12: YASK101 (snapshot)
+    return change
+
+
+def fine_paths(engine, batch, entries):
+    engine.apply_mutations(batch)  # the sanctioned entry point
+    entries.append(1)  # plain list append: not a WAL receiver

@@ -1,0 +1,27 @@
+"""YASK103 fixture: exact float comparison on score values.
+
+Not real why-not code — a seeded-violation corpus file proving the rule
+fires with exact ids and line numbers (tests/analysis/test_yasklint.py).
+"""
+
+
+def sneak_compares(score: float, other_score: float, theta: float) -> bool:
+    if score == other_score:  # line 9: YASK103 (== on scores)
+        return True
+    if theta != score:  # line 11: YASK103 (!= involving theta)
+        return False
+    return score == 0.0  # line 13: YASK103 (== against a literal)
+
+
+def fine_compares(score: float, theta: float, count: int) -> bool:
+    if score > theta:  # ordering comparisons are the documented idiom
+        return True
+    return count == 0  # integer equality is not score equality
+
+
+def suppressed_compare(score: float, theta: float) -> bool:
+    return score == theta  # yasklint: disable=YASK103 -- fixture: justified suppression must silence the finding
+
+
+def badly_suppressed_compare(score: float, theta: float) -> bool:
+    return score == theta  # yasklint: disable=YASK103

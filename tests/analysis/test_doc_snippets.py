@@ -1,0 +1,101 @@
+"""Regression tests for the doc-snippet runner's thread-failure path.
+
+The bug: a snippet that spawned a thread whose body raised was reported
+as passing — the exception died with the thread and ``docs-check``
+exited zero.  ``execute_snippet`` now installs a ``threading.excepthook``
+around each run, joins every snippet-spawned thread, and returns a
+failure record carrying the ``file:line`` label and the thread's
+traceback.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.check_doc_snippets import execute_snippet, extract_snippets
+
+
+def test_passing_snippet_returns_none() -> None:
+    assert execute_snippet("README.md:1", "x = 1 + 1\nprint(x)") is None
+
+
+def test_synchronous_failure_reported() -> None:
+    failure = execute_snippet("README.md:10", "raise ValueError('boom')")
+    assert failure is not None
+    assert failure.label == "README.md:10"
+    assert not failure.in_thread
+    assert "ValueError: boom" in failure.traceback_text
+    assert "README.md:10" in failure.report("raise ValueError('boom')")
+
+
+def test_thread_failure_no_longer_swallowed() -> None:
+    """The regression: a raise inside a spawned thread must fail."""
+    source = textwrap.dedent(
+        """
+        import threading
+
+        def worker():
+            raise RuntimeError("died in a thread")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        """
+    )
+    failure = execute_snippet("docs/API.md:42", source)
+    assert failure is not None
+    assert failure.in_thread
+    assert failure.label == "docs/API.md:42"
+    assert "RuntimeError: died in a thread" in failure.traceback_text
+    report = failure.report(source)
+    assert "docs/API.md:42" in report
+    assert "snippet-spawned thread" in report
+
+
+def test_unjoined_thread_failure_still_caught() -> None:
+    """Even a thread the snippet forgot to join is joined and checked."""
+    source = textwrap.dedent(
+        """
+        import threading
+
+        def worker():
+            raise RuntimeError("unjoined and doomed")
+
+        threading.Thread(target=worker).start()
+        """
+    )
+    failure = execute_snippet("docs/OPERATIONS.md:7", source)
+    assert failure is not None
+    assert failure.in_thread
+    assert "unjoined and doomed" in failure.traceback_text
+
+
+def test_thread_success_not_reported() -> None:
+    source = textwrap.dedent(
+        """
+        import threading
+
+        results = []
+        thread = threading.Thread(target=lambda: results.append(1))
+        thread.start()
+        thread.join()
+        assert results == [1]
+        """
+    )
+    assert execute_snippet("README.md:99", source) is None
+
+
+def test_extract_snippets_line_numbers(tmp_path) -> None:
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "intro\n"
+        "```python\n"
+        "x = 1\n"
+        "```\n"
+        "<!-- docs-check: skip -->\n"
+        "```python\n"
+        "skipped\n"
+        "```\n"
+    )
+    snippets = extract_snippets(doc)
+    assert snippets == [(3, "x = 1")]

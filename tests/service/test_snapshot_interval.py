@@ -1,0 +1,128 @@
+"""Wall-clock snapshot cadence (``--snapshot-interval-secs``).
+
+ROADMAP item 2 follow-up: the record-count cadence (``snapshot_every``)
+never checkpoints a burst followed by silence — the Nth-next batch that
+would trigger it may be hours away.  The interval timer closes that
+hole: a server-loop test drives real mutations through the HTTP tier
+and watches the background thread checkpoint them with no further
+writes arriving.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.datasets.hotels import hong_kong_hotels
+from repro.service.api import YaskEngine
+from repro.service.server import YaskHTTPServer
+from repro.service.wal import WriteAheadLog
+
+
+def _post(endpoint: str, route: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        endpoint + route,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def _mutation(oid: int) -> dict:
+    return {
+        "mutations": [
+            {"op": "insert", "oid": oid, "x": 0.42, "y": 0.42, "keywords": ["spa"]}
+        ]
+    }
+
+
+def test_interval_requires_wal() -> None:
+    engine = YaskEngine(hong_kong_hotels(), shards=2)
+    try:
+        with pytest.raises(ValueError, match="write-ahead log"):
+            YaskHTTPServer(
+                engine, host="127.0.0.1", port=0, snapshot_interval_secs=0.05
+            )
+    finally:
+        engine.close()
+
+
+def test_interval_must_be_positive(tmp_path) -> None:
+    engine = YaskEngine(hong_kong_hotels(), shards=2)
+    engine.attach_wal(WriteAheadLog(tmp_path / "wal"))
+    try:
+        with pytest.raises(ValueError, match="positive"):
+            YaskHTTPServer(
+                engine, host="127.0.0.1", port=0, snapshot_interval_secs=0.0
+            )
+    finally:
+        engine.close()
+
+
+def test_server_loop_snapshots_on_interval(tmp_path) -> None:
+    """A burst of writes is checkpointed by wall clock, not by count."""
+    wal = WriteAheadLog(tmp_path / "wal")
+    engine = YaskEngine(hong_kong_hotels(), shards=2)
+    engine.attach_wal(wal)
+    server = YaskHTTPServer(
+        engine,
+        host="127.0.0.1",
+        port=0,
+        # Count cadence far out of reach: only the timer can checkpoint.
+        snapshot_every=10_000,
+        snapshot_interval_secs=0.05,
+    )
+    server.start_background()
+    try:
+        assert wal.snapshot_generation == 0
+        _post(server.endpoint, "/api/mutations", _mutation(95001))
+        _post(server.endpoint, "/api/mutations", _mutation(95002))
+        deadline = time.monotonic() + 5.0
+        while wal.snapshot_generation < 2 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert wal.snapshot_generation == 2
+        # Quiet period: no further records, so the timer must not
+        # write redundant snapshots for the same generation.
+        settled = wal.manifest_writes if hasattr(wal, "manifest_writes") else None
+        time.sleep(0.2)
+        assert wal.snapshot_generation == 2
+        if settled is not None:
+            assert wal.manifest_writes == settled
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_interval_timer_stops_on_close(tmp_path) -> None:
+    wal = WriteAheadLog(tmp_path / "wal")
+    engine = YaskEngine(hong_kong_hotels(), shards=2)
+    engine.attach_wal(wal)
+    server = YaskHTTPServer(
+        engine, host="127.0.0.1", port=0, snapshot_interval_secs=0.05
+    )
+    server.start_background()
+    timer = server._snapshot_timer
+    assert timer is not None and timer.is_alive()
+    server.shutdown()
+    server.server_close()
+    assert not timer.is_alive()
+
+
+def test_cli_flag_requires_wal_dir() -> None:
+    from repro.service.cli import main
+
+    with pytest.raises(SystemExit, match="snapshot-interval-secs"):
+        main(["serve", "--snapshot-interval-secs", "5"])
+
+
+def test_cli_parser_accepts_interval() -> None:
+    from repro.service.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--wal-dir", "/tmp/x", "--snapshot-interval-secs", "2.5"]
+    )
+    assert args.snapshot_interval_secs == 2.5

@@ -1,0 +1,1 @@
+"""Repo-root developer tooling (not part of the installed ``repro`` package)."""

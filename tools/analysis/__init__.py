@@ -1,0 +1,12 @@
+"""Correctness tooling for the YASK codebase.
+
+Two halves, documented in ``docs/DEVELOPMENT.md``:
+
+* :mod:`tools.analysis.yasklint` — AST-based static analysis encoding
+  the project invariants (write-ahead mutation path, atomic file
+  writes, float tie-rule discipline, allocation-free hot loops,
+  levelled locks).  Runs in ``make lint`` and CI.
+* :mod:`tools.analysis.lockdep` — the runtime lock-order sanitizer
+  behind the ``YASK_LOCKDEP=1`` opt-in, fed by the
+  :mod:`repro.concurrency` shim.
+"""

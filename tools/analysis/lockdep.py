@@ -1,0 +1,332 @@
+"""Runtime lock-order sanitizer (TSan-style) for the serving stack.
+
+Opt-in via ``YASK_LOCKDEP=1``: the :mod:`repro.concurrency` factories
+then return :class:`InstrumentedLock` wrappers (and hand-rolled
+primitives report through :class:`LockSanitizer`) so every acquisition
+in the process flows through one :class:`LockDepMonitor`.  The monitor
+enforces, *before* the underlying acquire can block:
+
+* **Level order** — a thread may only acquire a lock whose level is
+  strictly greater than every levelled lock it already holds.  The
+  hierarchy is documented in :mod:`repro.concurrency` and
+  ``docs/DEVELOPMENT.md``.
+* **Acquisition cycles** — every nested acquisition records a directed
+  edge ``held-name → acquired-name`` in a process-wide graph; an edge
+  that closes a cycle is reported even when the locks carry no levels
+  (catching A→B on one thread and B→A on another before the schedules
+  that would actually deadlock).
+* **Self deadlock** — re-acquiring a held non-reentrant lock on the
+  same thread.  Re-entrant locks and same-instance nested *read*
+  acquisitions (the readers-preference ``ReadWriteLock`` re-enters by
+  design) are allowed; read-under-write and write-under-read on the
+  same instance are reported.
+* **fsync hazards** — :func:`repro.concurrency.note_fsync` reports if
+  the calling thread holds any lock not flagged ``fsync_safe``.  The
+  write-ahead contract *requires* the engine RW / WAL / snapshot locks
+  across fsync; anything else stalling on disk flushes is a latency
+  bug.
+
+Violations raise :exc:`LockOrderError` at the offending call site (and
+are also kept on ``monitor.violations`` for post-mortem assertions).
+Checks happen before the real acquire, so an ordering bug surfaces as
+a stack trace instead of a wedged hammer test.
+
+Graph nodes are keyed by lock *name*, not instance: all
+``executor.cache`` locks share one node, so an ordering learned from
+the top-k cache applies to the why-not cache too — same-name nesting
+of distinct instances is itself reported as a one-edge cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator
+
+
+class LockOrderError(RuntimeError):
+    """A lock-order, cycle, self-deadlock or fsync-hazard violation."""
+
+
+class _Held:
+    """One live acquisition on one thread's stack."""
+
+    __slots__ = ("key", "name", "level", "mode", "fsync_safe", "count")
+
+    def __init__(
+        self, key: int, name: str, level: int | None, mode: str, fsync_safe: bool
+    ) -> None:
+        self.key = key
+        self.name = name
+        self.level = level
+        self.mode = mode
+        self.fsync_safe = fsync_safe
+        self.count = 1
+
+    def describe(self) -> str:
+        level = "unlevelled" if self.level is None else f"level {self.level}"
+        return f"{self.name} ({level}, {self.mode})"
+
+
+class LockDepMonitor:
+    """Process-wide acquisition-graph recorder and checker."""
+
+    def __init__(self) -> None:
+        self._tls = threading.local()
+        self._graph_lock = threading.Lock()
+        # name -> {successor name -> witness description}
+        self._edges: dict[str, dict[str, str]] = {}
+        self._violations: list[str] = []
+
+    # -- per-thread held stack -------------------------------------------
+
+    def _stack(self) -> list[_Held]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held_names(self) -> tuple[str, ...]:
+        """Names of locks the calling thread currently holds (oldest first)."""
+        return tuple(h.name for h in self._stack())
+
+    @property
+    def violations(self) -> tuple[str, ...]:
+        with self._graph_lock:
+            return tuple(self._violations)
+
+    def edges(self) -> dict[str, tuple[str, ...]]:
+        """The recorded acquisition graph, for reports and tests."""
+        with self._graph_lock:
+            return {name: tuple(succ) for name, succ in self._edges.items()}
+
+    def _fail(self, message: str) -> None:
+        with self._graph_lock:
+            self._violations.append(message)
+        raise LockOrderError(message)
+
+    # -- checks ----------------------------------------------------------
+
+    def acquiring(
+        self,
+        key: int,
+        name: str,
+        *,
+        level: int | None,
+        mode: str = "exclusive",
+        reentrant: bool = False,
+    ) -> None:
+        """Validate an acquisition the calling thread is about to block on."""
+        stack = self._stack()
+        held_same = [h for h in stack if h.key == key]
+        if held_same:
+            if reentrant:
+                return  # RLock-style: nothing new to learn from a re-entry
+            if mode == "read" and all(h.mode == "read" for h in held_same):
+                return  # readers-preference RW re-entry is deadlock-free
+            self._fail(
+                f"self deadlock: thread re-acquires {name} ({mode}) while "
+                f"already holding it ({held_same[-1].mode})"
+            )
+        others = [h for h in stack if h.key != key]
+        if level is not None:
+            for held in others:
+                if held.level is not None and held.level >= level:
+                    self._fail(
+                        f"lock-order violation: acquiring {name} (level {level}) "
+                        f"while holding {held.describe()}; levels must strictly "
+                        "increase along every acquisition chain"
+                    )
+        if others:
+            thread = threading.current_thread().name
+            with self._graph_lock:
+                for held in others:
+                    path = self._find_path(name, held.name)
+                    if path is not None:
+                        chain = " -> ".join([held.name, *path])
+                        witness = self._edges.get(path[0], {}).get(
+                            path[1] if len(path) > 1 else held.name, ""
+                        )
+                        self._violations.append(chain)
+                        raise LockOrderError(
+                            f"lock acquisition cycle: acquiring {name} while "
+                            f"holding {held.name}, but the reverse order "
+                            f"{chain} was already observed ({witness or 'earlier'})"
+                        )
+                for held in others:
+                    self._edges.setdefault(held.name, {}).setdefault(
+                        name, f"thread {thread}"
+                    )
+
+    def _find_path(self, source: str, target: str) -> list[str] | None:
+        """A recorded path ``source -> ... -> target``, or ``None``.
+
+        Caller holds ``_graph_lock``.
+        """
+        if source == target:
+            return [source]
+        seen = {source}
+        frontier: list[list[str]] = [[source]]
+        while frontier:
+            path = frontier.pop()
+            for successor in self._edges.get(path[-1], ()):
+                if successor == target:
+                    return path + [successor]
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(path + [successor])
+        return None
+
+    def acquired(
+        self,
+        key: int,
+        name: str,
+        *,
+        level: int | None,
+        mode: str = "exclusive",
+        fsync_safe: bool = False,
+    ) -> None:
+        """Push a successful acquisition onto the thread's held stack."""
+        stack = self._stack()
+        for held in stack:
+            if held.key == key and held.mode == mode:
+                held.count += 1
+                return
+        stack.append(_Held(key, name, level, mode, fsync_safe))
+
+    def released(self, key: int, *, mode: str = "exclusive") -> None:
+        """Pop one acquisition of ``key`` from the thread's held stack."""
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            held = stack[index]
+            if held.key == key and held.mode == mode:
+                held.count -= 1
+                if held.count == 0:
+                    del stack[index]
+                return
+        # Releasing a lock this thread never recorded: tolerated (a lock
+        # may have been created before instrumentation was enabled).
+
+    def note_fsync(self, context: str = "") -> None:
+        """Report any non-sanctioned lock held across an fsync."""
+        offenders = [h for h in self._stack() if not h.fsync_safe]
+        if offenders:
+            where = f" in {context}" if context else ""
+            held = ", ".join(h.describe() for h in offenders)
+            self._fail(
+                f"fsync hazard{where}: flushing to disk while holding "
+                f"non-fsync-sanctioned lock(s) {held}; only the engine RW, "
+                "WAL and snapshot locks may be held across fsync"
+            )
+
+    def reset_thread(self) -> None:
+        """Drop the calling thread's held stack (test isolation helper)."""
+        self._tls.stack = []
+
+
+class InstrumentedLock:
+    """A ``threading.Lock``/``RLock`` stand-in that reports to a monitor.
+
+    Duck-types the primitive interface the codebase uses: ``acquire`` /
+    ``release`` / context manager / ``locked``.
+    """
+
+    def __init__(
+        self,
+        monitor: LockDepMonitor,
+        name: str,
+        *,
+        level: int | None = None,
+        fsync_safe: bool = False,
+        reentrant: bool = False,
+    ) -> None:
+        self._monitor = monitor
+        self.name = name
+        self.level = level
+        self.fsync_safe = fsync_safe
+        self.reentrant = reentrant
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._monitor.acquiring(
+            id(self), self.name, level=self.level, reentrant=self.reentrant
+        )
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._monitor.acquired(
+                id(self), self.name, level=self.level, fsync_safe=self.fsync_safe
+            )
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._monitor.released(id(self))
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        level = "?" if self.level is None else self.level
+        return f"<InstrumentedLock {self.name} level={level}>"
+
+
+class LockSanitizer:
+    """Manual hooks for primitives that implement their own blocking.
+
+    ``ReadWriteLock`` reports through this: ``acquiring(mode)`` before
+    blocking, ``acquired(mode)`` once in, ``released(mode)`` on the way
+    out.  One sanitizer instance == one lock instance in the monitor.
+    """
+
+    __slots__ = ("_monitor", "name", "level", "fsync_safe")
+
+    def __init__(
+        self,
+        monitor: LockDepMonitor,
+        name: str,
+        *,
+        level: int | None = None,
+        fsync_safe: bool = False,
+    ) -> None:
+        self._monitor = monitor
+        self.name = name
+        self.level = level
+        self.fsync_safe = fsync_safe
+
+    def acquiring(self, mode: str) -> None:
+        self._monitor.acquiring(id(self), self.name, level=self.level, mode=mode)
+
+    def acquired(self, mode: str) -> None:
+        self._monitor.acquired(
+            id(self), self.name, level=self.level, mode=mode, fsync_safe=self.fsync_safe
+        )
+
+    def released(self, mode: str) -> None:
+        self._monitor.released(id(self), mode=mode)
+
+
+_monitor_guard = threading.Lock()
+_global_monitor: LockDepMonitor | None = None
+
+
+def global_monitor() -> LockDepMonitor:
+    """The process-wide monitor (one acquisition graph per process)."""
+    global _global_monitor
+    with _monitor_guard:
+        if _global_monitor is None:
+            _global_monitor = LockDepMonitor()
+        return _global_monitor
+
+
+def fresh_monitor() -> LockDepMonitor:
+    """Swap in an empty process-wide monitor (test isolation helper)."""
+    global _global_monitor
+    with _monitor_guard:
+        _global_monitor = LockDepMonitor()
+        return _global_monitor

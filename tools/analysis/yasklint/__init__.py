@@ -1,0 +1,284 @@
+"""yasklint: AST-based static analysis for YASK project invariants.
+
+The framework half of :mod:`tools.analysis`: a checker runner with a
+pluggable rule registry, per-line suppressions, path-scoped rule
+configuration and human/JSON output.  The rules themselves live in
+:mod:`tools.analysis.yasklint.rules`; each encodes an invariant the
+codebase relies on but Python does not enforce (see
+``docs/DEVELOPMENT.md`` for the catalogue).
+
+Vocabulary
+----------
+
+* A **rule** is a callable ``(File) -> Iterable[Violation]`` registered
+  under a stable id (``YASK101``) with a :class:`Scope` restricting the
+  paths it applies to and an optional set of **approved** paths that
+  are exempt by design (e.g. ``service/wal.py`` owns the atomic-write
+  helpers the rest of ``service/`` must go through).
+* A **suppression** is an inline comment::
+
+      risky_line()  # yasklint: disable=YASK103 -- exact parity audit
+
+  The ``--`` justification is mandatory: an unjustified suppression is
+  itself a violation (YASK100).  ``disable`` with no ``=RULE`` list
+  suppresses every rule on that line (still requires a justification).
+
+Run it as ``python -m tools.analysis.yasklint src`` (what ``make
+lint`` does) or with ``--format json`` for machine-readable output.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Protocol
+
+SUPPRESS_RE = re.compile(
+    r"#\s*yasklint:\s*disable(?:=(?P<rules>[A-Za-z0-9_,\s]+?))?"
+    r"\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, and what to do about it."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format_human(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def format_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# yasklint: disable`` comment on one line."""
+
+    line: int
+    rules: frozenset[str]  # empty == all rules
+    reason: str
+
+    def covers(self, rule_id: str) -> bool:
+        return not self.rules or rule_id in self.rules
+
+
+@dataclass
+class File:
+    """One parsed source file handed to every applicable rule."""
+
+    path: Path
+    relpath: str  # posix-style, relative to the scan root
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, Suppression] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "File":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:  # linting a file outside the root
+            relpath = path.as_posix()
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            suppressions=_parse_suppressions(source),
+        )
+
+
+def _parse_suppressions(source: str) -> dict[int, Suppression]:
+    """Map line number -> suppression for every ``yasklint:`` comment."""
+    suppressions: dict[int, Suppression] = {}
+    readline = iter(source.splitlines(keepends=True)).__next__
+    try:
+        tokens = list(tokenize.generate_tokens(readline))
+    except tokenize.TokenError:  # unterminated string etc.: ast.parse said ok
+        tokens = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        raw_rules = match.group("rules") or ""
+        rules = frozenset(
+            rule.strip().upper() for rule in raw_rules.split(",") if rule.strip()
+        )
+        suppressions[token.start[0]] = Suppression(
+            line=token.start[0],
+            rules=rules,
+            reason=(match.group("reason") or "").strip(),
+        )
+    return suppressions
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Which files a rule applies to, as globs over the posix relpath.
+
+    ``include`` gates the rule on; ``approved`` exempts modules that
+    implement the invariant itself (the mechanism behind "outside
+    approved modules" wording in the rule catalogue).
+    """
+
+    include: tuple[str, ...] = ("**/*.py",)
+    approved: tuple[str, ...] = ()
+
+    def applies(self, relpath: str) -> bool:
+        return _matches(relpath, self.include) and not _matches(relpath, self.approved)
+
+
+def _matches(relpath: str, patterns: tuple[str, ...]) -> bool:
+    return any(
+        fnmatch.fnmatch(relpath, pattern) or fnmatch.fnmatch(Path(relpath).name, pattern)
+        for pattern in patterns
+    )
+
+
+class RuleCheck(Protocol):
+    def __call__(self, file: File) -> Iterable[Violation]: ...
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: id, one-line contract, scope and checker."""
+
+    rule_id: str
+    summary: str
+    scope: Scope
+    check: RuleCheck
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_id: str, summary: str, scope: Scope) -> Callable[[RuleCheck], RuleCheck]:
+    """Class/function decorator adding a checker to the registry."""
+
+    def wrap(check: RuleCheck) -> RuleCheck:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate yasklint rule id {rule_id}")
+        _REGISTRY[rule_id] = Rule(rule_id, summary, scope, check)
+        return check
+
+    return wrap
+
+
+def registered_rules() -> tuple[Rule, ...]:
+    """All rules, id-sorted (importing :mod:`.rules` to populate)."""
+    from tools.analysis.yasklint import rules as _rules  # noqa: F401
+
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def check_file(file: File, rules: Iterable[Rule] | None = None) -> list[Violation]:
+    """Run every applicable rule on one file and apply suppressions."""
+    if rules is None:
+        rules = registered_rules()
+    raw: list[Violation] = []
+    for rule in rules:
+        if rule.scope.applies(file.relpath):
+            raw.extend(rule.check(file))
+    kept: list[Violation] = []
+    for violation in raw:
+        suppression = file.suppressions.get(violation.line)
+        if suppression is not None and suppression.covers(violation.rule_id):
+            if suppression.reason:
+                continue
+            # Unjustified suppression: keep the original finding AND
+            # let YASK100 (below) flag the comment itself.
+        kept.append(violation)
+    for line, suppression in sorted(file.suppressions.items()):
+        if not suppression.reason:
+            kept.append(
+                Violation(
+                    path=file.relpath,
+                    line=line,
+                    col=0,
+                    rule_id="YASK100",
+                    message=(
+                        "suppression without justification; write "
+                        "'# yasklint: disable=RULE -- why this line is exempt'"
+                    ),
+                )
+            )
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return kept
+
+
+def run(
+    paths: Iterable[Path], root: Path, rules: Iterable[Rule] | None = None
+) -> tuple[list[Violation], int]:
+    """Lint ``paths``; returns (violations, files scanned)."""
+    if rules is None:
+        rules = registered_rules()
+    rules = tuple(rules)
+    violations: list[Violation] = []
+    scanned = 0
+    for path in iter_python_files(paths):
+        scanned += 1
+        file = File.load(path, root)
+        violations.extend(check_file(file, rules))
+    return violations, scanned
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="yasklint", description="YASK project-invariant static analysis"
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument("--format", choices=("human", "json"), default="human")
+    parser.add_argument(
+        "--root", default=".", help="path the reported relpaths are relative to"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in registered_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    root = Path(options.root)
+    violations, scanned = run([Path(p) for p in options.paths], root)
+    if options.format == "json":
+        print(json.dumps([v.format_json() for v in violations], indent=2))
+    else:
+        for violation in violations:
+            print(violation.format_human())
+        status = "clean" if not violations else f"{len(violations)} violation(s)"
+        print(f"yasklint: {scanned} file(s) scanned, {status}", file=sys.stderr)
+    return 1 if violations else 0

@@ -1,0 +1,8 @@
+"""``python -m tools.analysis.yasklint`` entry point."""
+
+import sys
+
+from tools.analysis.yasklint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,14 @@ A block can opt out by placing ``<!-- docs-check: skip -->`` on any of
 the three lines above its opening fence (for illustrative fragments
 that are not self-contained).  Snippet stdout is captured and shown
 only on failure.
+
+Snippets that spawn threads (the batching and concurrency examples) are
+checked for *thread* failures too: a ``threading.excepthook`` installed
+around each execution records any exception escaping a snippet-spawned
+thread, every thread the snippet started is joined before moving on,
+and a recorded thread failure fails the run with the same ``file:line``
+report as a synchronous raise — previously those died silently inside
+the thread and the check passed.
 """
 
 from __future__ import annotations
@@ -21,8 +29,10 @@ from __future__ import annotations
 import io
 import re
 import sys
+import threading
 import traceback
 from contextlib import redirect_stdout
+from dataclasses import dataclass
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -59,6 +69,79 @@ def extract_snippets(path: Path) -> list[tuple[int, str]]:
     return snippets
 
 
+@dataclass
+class SnippetFailure:
+    """Why one snippet failed: where, its output, and the traceback(s)."""
+
+    label: str  # "file.md:line"
+    output: str
+    traceback_text: str
+    in_thread: bool
+
+    def report(self, source: str) -> str:
+        where = " (in a snippet-spawned thread)" if self.in_thread else ""
+        return "\n".join(
+            [
+                f"docs-check: snippet at {self.label} FAILED{where}",
+                "--- snippet ---",
+                source,
+                "--- output ---",
+                self.output,
+                "--- traceback ---",
+                self.traceback_text,
+            ]
+        )
+
+
+def execute_snippet(label: str, runnable: str) -> SnippetFailure | None:
+    """Run one snippet; ``None`` on success, a failure record otherwise.
+
+    Failures *inside snippet-spawned threads* count: a thread-scoped
+    ``threading.excepthook`` collects them, and every thread the
+    snippet started is joined (bounded) before the verdict, so a
+    slow-failing worker cannot outlive its snippet and be missed.
+    """
+    namespace: dict[str, object] = {"__name__": "__docs_check__"}
+    stdout = io.StringIO()
+    thread_tracebacks: list[str] = []
+    threads_before = set(threading.enumerate())
+    previous_hook = threading.excepthook
+
+    def record_thread_exception(args: "threading.ExceptHookArgs") -> None:
+        thread_tracebacks.append(
+            "".join(
+                traceback.format_exception(
+                    args.exc_type, args.exc_value, args.exc_traceback
+                )
+            )
+        )
+
+    threading.excepthook = record_thread_exception
+    try:
+        try:
+            with redirect_stdout(stdout):
+                exec(compile(runnable, label, "exec"), namespace)
+        except Exception:
+            return SnippetFailure(
+                label=label,
+                output=stdout.getvalue(),
+                traceback_text=traceback.format_exc(),
+                in_thread=False,
+            )
+        for thread in set(threading.enumerate()) - threads_before:
+            thread.join(timeout=30.0)
+    finally:
+        threading.excepthook = previous_hook
+    if thread_tracebacks:
+        return SnippetFailure(
+            label=label,
+            output=stdout.getvalue(),
+            traceback_text="\n".join(thread_tracebacks),
+            in_thread=True,
+        )
+    return None
+
+
 def main() -> int:
     from repro.datasets.hotels import hong_kong_hotels
     from repro.service.api import YaskEngine
@@ -76,20 +159,10 @@ def main() -> int:
             for line, source in extract_snippets(path):
                 executed += 1
                 runnable = source.replace(DOCUMENTED_ENDPOINT, server.endpoint)
-                namespace: dict[str, object] = {"__name__": "__docs_check__"}
-                stdout = io.StringIO()
-                try:
-                    with redirect_stdout(stdout):
-                        exec(compile(runnable, f"{name}:{line}", "exec"), namespace)
-                except Exception:
+                failure = execute_snippet(f"{name}:{line}", runnable)
+                if failure is not None:
                     failures += 1
-                    print(f"docs-check: snippet at {name}:{line} FAILED")
-                    print("--- snippet ---")
-                    print(source)
-                    print("--- output ---")
-                    print(stdout.getvalue())
-                    print("--- traceback ---")
-                    traceback.print_exc()
+                    print(failure.report(source))
     finally:
         server.shutdown()
         server.server_close()
