@@ -23,6 +23,12 @@
 #                      rule catalogue in docs/DEVELOPMENT.md) over src/
 #                      and mypy (skipped with a notice when not
 #                      installed; the CI analysis job always runs it)
+#   make test-chaos  — the graceful-degradation suite: seeded fault
+#                      plans (tests/chaos/) replayed against live
+#                      in-process servers, asserting every response is
+#                      exact, honestly degraded or a structured error
+#                      (its own CI job; deterministic — same seed,
+#                      same outcome, no wall-clock sleeps)
 #   make test-lockdep — the concurrency suites with the runtime
 #                      lock-order sanitizer enabled (YASK_LOCKDEP=1):
 #                      hammer tests + the analysis test suite
@@ -36,13 +42,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-recovery test-lockdep bench-smoke bench-json lint docs-check
+.PHONY: test test-recovery test-chaos test-lockdep bench-smoke bench-json lint docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-recovery:
 	YASK_RECOVERY_EXAMPLES=40 $(PYTHON) -m pytest tests/properties/test_prop_recovery.py tests/service/test_wal.py tests/service/test_wal_faults.py tests/service/test_follower.py -q
+
+test-chaos:
+	$(PYTHON) -m pytest tests/chaos -q
 
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py benchmarks/bench_e10_whynot_executor.py benchmarks/bench_e11_kernel.py benchmarks/bench_e12_sharding.py benchmarks/bench_e13_mutations.py benchmarks/bench_e14_durability.py -q

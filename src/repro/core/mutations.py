@@ -47,7 +47,7 @@ import math
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator, Protocol, Sequence
+from typing import Callable, Iterator, Mapping, Protocol, Sequence
 
 from repro import concurrency
 from repro.core.geometry import Rect
@@ -392,12 +392,19 @@ class MutableDatabase:
     its stats counters.
     """
 
+    #: Bound on remembered idempotency tokens (oldest evicted first) —
+    #: a retry storm cannot grow the map without limit, and a client
+    #: that retries within the newest TOKEN_CAPACITY batches still
+    #: dedups exactly.
+    TOKEN_CAPACITY = 4096
+
     def __init__(
         self,
         database: SpatialDatabase,
         *,
         model_code: str | None = None,
         start_generation: int = 0,
+        tokens: Mapping[str, int] | None = None,
     ) -> None:
         if start_generation < 0:
             raise ValueError("start_generation must be non-negative")
@@ -405,6 +412,11 @@ class MutableDatabase:
         self._generation = start_generation
         self._listeners: list[MutationListener] = []
         self._model_code = model_code
+        # token -> the generation its batch became; insertion-ordered
+        # for bounded LRU-ish eviction.  Seeded from WAL replay so a
+        # client retry spanning a restart still dedups.
+        self._tokens: dict[str, int] = dict(tokens) if tokens else {}
+        self._evict_tokens()
         self.stats = MutationStats()
 
     @property
@@ -423,6 +435,25 @@ class MutableDatabase:
 
     def register_listener(self, listener: MutationListener) -> None:
         self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Idempotency tokens
+    # ------------------------------------------------------------------
+    def token_generation(self, token: str) -> int | None:
+        """The generation ``token``'s batch became, or ``None`` if unknown."""
+        return self._tokens.get(token)
+
+    def known_tokens(self) -> dict[str, int]:
+        """A copy of the token map (recovery seeds a rebuilt engine with it)."""
+        return dict(self._tokens)
+
+    def _remember_token(self, token: str, generation: int) -> None:
+        self._tokens[token] = generation
+        self._evict_tokens()
+
+    def _evict_tokens(self) -> None:
+        while len(self._tokens) > self.TOKEN_CAPACITY:
+            self._tokens.pop(next(iter(self._tokens)))
 
     # ------------------------------------------------------------------
     # Batch normalisation
@@ -488,6 +519,7 @@ class MutableDatabase:
         mutations: Sequence[Mutation],
         *,
         pre_commit: Callable[[int, Sequence[Mutation]], None] | None = None,
+        token: str | None = None,
     ) -> AppliedBatch:
         """Validate, normalise and apply one batch; notify listeners.
 
@@ -504,6 +536,13 @@ class MutableDatabase:
         before it is ever visible to a reader, and conversely that a
         batch that failed to log is never half-applied.
 
+        ``token`` is the client's idempotency token: it is remembered
+        (bounded) against the batch's resulting generation *only after*
+        the batch fully commits, so the engine-level dedup check never
+        acknowledges a batch that failed mid-way.  Dedup lookup itself
+        happens in the engine, under its write lock, before this method
+        runs.
+
         A batch whose net effect is empty (``insert(9); delete(9)``)
         returns an :class:`AppliedBatch` with ``is_noop`` set: the
         generation does not advance, listeners are not notified and
@@ -517,6 +556,8 @@ class MutableDatabase:
         )
         appended_objects = tuple(appended.values())
         if not removed and not appended_objects:
+            if token is not None:
+                self._remember_token(token, self._generation)
             return AppliedBatch(
                 generation=self._generation,
                 removed=(),
@@ -543,6 +584,8 @@ class MutableDatabase:
         )
         for listener in self._listeners:
             listener.apply_mutations(change)
+        if token is not None:
+            self._remember_token(token, self._generation)
         self.stats.record(change)
         return change
 

@@ -76,7 +76,7 @@ from typing import TYPE_CHECKING, AbstractSet, Callable, Iterable, Sequence
 
 from dataclasses import dataclass
 
-from repro import concurrency
+from repro import concurrency, faults
 from repro.core.geometry import Rect
 from repro.core.hotpath import hot_path
 from repro.core.kernel import DocContext, DualView, ScoringKernel
@@ -715,6 +715,7 @@ class ShardedDocContext(DocContext):
         scanned = 0
         skipped = 0
         for index, shard in enumerate(router.shards):
+            faults.check_deadline()
             tsim_ub = shard.tsim_upper_bound(self.mask, qlen)
             if ws * proximities.shard_maxima[index] + wt * tsim_ub < theta:
                 skipped += 1
@@ -872,6 +873,7 @@ class ShardedDualView:
         a_max = self._a_max
         b_max = self._b_max
         for index, view in enumerate(views):
+            faults.check_deadline()
             if a_max is not None:
                 corner = ws * a_max[index] + wt * b_max[index]
                 live = [t for t in targets if corner >= t[1]]
@@ -1054,6 +1056,7 @@ class ShardedKernel(ScoringKernel):
         scanned = 0
         skipped = 0
         for shard, bound in zip(router.shards, bounds):
+            faults.check_deadline()
             if bound < threshold:
                 skipped += 1
                 continue
@@ -1079,6 +1082,7 @@ class ShardedKernel(ScoringKernel):
         scanned = 0
         skipped = 0
         for shard, bound in zip(router.shards, bounds):
+            faults.check_deadline()
             live = [t for t in targets if bound >= t[1] - _SKIP_MARGIN]
             if not live:
                 skipped += 1

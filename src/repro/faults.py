@@ -1,0 +1,653 @@
+"""Deterministic fault injection and request deadlines.
+
+The graceful-degradation tier's substrate: every failure-path test in
+``tests/chaos/`` drives the *production* code through the hooks in this
+module instead of monkeypatching internals, and every degradation
+decision in the serving stack (shard skips, partial top-k envelopes,
+circuit-breaker cooldowns) reads time through :func:`now` so seeded
+fault plans reproduce byte-for-byte.
+
+Two cooperating halves:
+
+**Fault plans.**  A :class:`FaultPlan` is a seeded, declarative list of
+rules — *delay*, *raise*, *short-write* or *torn-write* at named
+injection points ("sites") such as ``"wal.sync"``, ``"shard.scan.2"``
+or ``"follower.poll"``.  Production code calls :func:`trip` at each
+site; when no plan is armed the call is a single global ``None`` check
+(zero overhead), and when one is armed via :func:`armed` the plan's
+matching rule fires deterministically.  File-level faults ride on the
+same mechanism through :func:`guarded_opener`, which the write-ahead
+log threads through all of its file I/O: while a plan is armed, opened
+handles are wrapped so ``write``/``sync``/``read``/``truncate`` become
+injection sites too (including partial "short" writes and "torn" writes
+whose rollback truncate also fails — the crash shapes the WAL's
+recovery scan must absorb).
+
+**Virtual time.**  An armed plan carries a frozen virtual clock:
+*delay* rules advance it instead of sleeping, and :func:`now` returns
+the plan's clock while armed (``time.monotonic()`` otherwise).  A
+:class:`Deadline` built on :func:`now` therefore expires exactly when a
+seeded delay says it does — chaos tests never wall-clock-sleep, and the
+same seed yields the same degraded envelope every run.
+
+Deadlines are propagated *ambiently*: the executor arms a
+thread-local scope around the engine compute (:func:`deadline_scope`
+for the absorbing top-k path, :func:`strict_deadline_scope` for rank
+arithmetic that must complete exactly or abort), and the scatter /
+rank-scan loops poll :func:`current_deadline`.  The why-not pipeline
+runs strict: a partial *rank count* would be a silently-wrong answer,
+so expiry raises :class:`DeadlineExceeded` instead of degrading.
+
+This module also hosts the imperative :class:`FlakyFile` /
+:class:`FlakyOpener` pair (grown out of the old
+``tests/service/flaky_io.py`` helper): countdown-style one-shot faults
+for unit tests that want a specific failure *now* without building a
+plan.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FlakyFile",
+    "FlakyOpener",
+    "armed",
+    "active_plan",
+    "current_deadline",
+    "deadline_scope",
+    "guarded_opener",
+    "now",
+    "shielded",
+    "strict_deadline_scope",
+    "trip",
+]
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+_DELAY = "delay"
+_RAISE = "raise"
+_SHORT_WRITE = "short-write"
+_TORN_WRITE = "torn-write"
+
+
+@dataclass
+class _Rule:
+    """One declarative injection: where, what, and how many times."""
+
+    site: str  # fnmatch pattern over site names
+    action: str  # _DELAY / _RAISE / _SHORT_WRITE / _TORN_WRITE
+    ms: float = 0.0  # virtual-clock advance for delays
+    prefix_bytes: int = 0  # bytes that "reach the device" for partial writes
+    remaining: int | None = 1  # firings left; None = unlimited
+    skip: int = 0  # matching trips to let pass before firing
+    exc_factory: Callable[[str], BaseException] | None = None
+
+
+class FaultPlan:
+    """A seeded, reproducible schedule of injected faults.
+
+    Rules are declared with the fluent builders (:meth:`delay`,
+    :meth:`fail`, :meth:`short_write`, :meth:`torn_write`) and fire in
+    declaration order: the first non-exhausted rule whose site pattern
+    matches a tripped site wins.  Every firing is appended to
+    :attr:`injections`, so two runs of the same seeded scenario can be
+    compared record-for-record.
+
+    The plan is shared across threads (the HTTP server trips sites from
+    worker threads); all bookkeeping happens under one internal lock.
+    ``seed`` drives :attr:`rng`, the *only* sanctioned randomness for
+    building randomized-but-reproducible scenarios.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._rules: list[_Rule] = []
+        self._virtual = 0.0  # seconds on the frozen clock
+        self._injections: list[dict[str, object]] = []
+
+    # -- builders ------------------------------------------------------
+    def delay(
+        self, site: str, ms: float, *, times: int | None = None, after: int = 0
+    ) -> "FaultPlan":
+        """Advance the virtual clock by ``ms`` when ``site`` trips."""
+        self._rules.append(
+            _Rule(site=site, action=_DELAY, ms=ms, remaining=times, skip=after)
+        )
+        return self
+
+    def fail(
+        self,
+        site: str,
+        *,
+        times: int | None = 1,
+        after: int = 0,
+        exc: Callable[[str], BaseException] | None = None,
+    ) -> "FaultPlan":
+        """Raise at ``site`` (an ``OSError(EIO)`` unless ``exc`` is given)."""
+        self._rules.append(
+            _Rule(site=site, action=_RAISE, remaining=times, skip=after, exc_factory=exc)
+        )
+        return self
+
+    def short_write(
+        self, site: str, *, prefix_bytes: int, times: int | None = 1, after: int = 0
+    ) -> "FaultPlan":
+        """Write only ``prefix_bytes`` then raise ``ENOSPC`` (rollback works)."""
+        self._rules.append(
+            _Rule(
+                site=site,
+                action=_SHORT_WRITE,
+                prefix_bytes=prefix_bytes,
+                remaining=times,
+                skip=after,
+            )
+        )
+        return self
+
+    def torn_write(
+        self, site: str, *, prefix_bytes: int, times: int | None = 1, after: int = 0
+    ) -> "FaultPlan":
+        """Like :meth:`short_write`, but the rollback truncate fails too.
+
+        The torn frame stays on disk — the crash shape the WAL reader's
+        torn-tail recovery must absorb on the next open.
+        """
+        self._rules.append(
+            _Rule(
+                site=site,
+                action=_TORN_WRITE,
+                prefix_bytes=prefix_bytes,
+                remaining=times,
+                skip=after,
+            )
+        )
+        return self
+
+    # -- introspection -------------------------------------------------
+    @property
+    def injections(self) -> tuple[dict[str, object], ...]:
+        """Every fault fired so far, in firing order (for replay asserts)."""
+        with self._lock:
+            return tuple(dict(entry) for entry in self._injections)
+
+    def now(self) -> float:
+        """Seconds on the plan's frozen virtual clock."""
+        with self._lock:
+            return self._virtual
+
+    def advance(self, ms: float) -> None:
+        """Manually advance the virtual clock (breaker-cooldown tests)."""
+        with self._lock:
+            self._virtual += ms / 1000.0
+
+    # -- firing --------------------------------------------------------
+    def _take(self, site: str, actions: tuple[str, ...]) -> _Rule | None:
+        """Consume and return the first matching live rule, else ``None``."""
+        with self._lock:
+            for rule in self._rules:
+                if rule.action not in actions:
+                    continue
+                if not fnmatchcase(site, rule.site):
+                    continue
+                if rule.skip > 0:
+                    rule.skip -= 1
+                    return None
+                if rule.remaining is not None:
+                    if rule.remaining == 0:
+                        continue
+                    rule.remaining -= 1
+                record: dict[str, object] = {"site": site, "action": rule.action}
+                if rule.action == _DELAY:
+                    record["ms"] = rule.ms
+                    self._virtual += rule.ms / 1000.0
+                elif rule.action in (_SHORT_WRITE, _TORN_WRITE):
+                    record["prefix_bytes"] = rule.prefix_bytes
+                self._injections.append(record)
+                return rule
+            return None
+
+    def trip(self, site: str) -> None:
+        """Fire any delay, then any raise, scheduled at ``site``."""
+        self._take(site, (_DELAY,))
+        rule = self._take(site, (_RAISE,))
+        if rule is not None:
+            if rule.exc_factory is not None:
+                raise rule.exc_factory(site)
+            raise OSError(errno.EIO, f"injected fault at {site}")
+
+    def write_rule(self, site: str) -> _Rule | None:
+        """The pending short/torn-write rule for ``site``, if any."""
+        return self._take(site, (_SHORT_WRITE, _TORN_WRITE))
+
+
+# ----------------------------------------------------------------------
+# The armed plan and the clock
+# ----------------------------------------------------------------------
+_active: FaultPlan | None = None
+
+
+@contextmanager
+def armed(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Arm ``plan`` process-wide for the duration of the block.
+
+    Only one plan may be armed at a time (chaos scenarios own the whole
+    process — server worker threads must see the same plan the test
+    armed).
+    """
+    global _active
+    if _active is not None:
+        raise RuntimeError("a FaultPlan is already armed")
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The armed plan, or ``None`` (the common, zero-overhead case)."""
+    return _active
+
+
+def trip(site: str) -> None:
+    """Injection hook: fire the armed plan's rules for ``site``, if any."""
+    plan = _active
+    if plan is not None:
+        plan.trip(site)
+
+
+def now() -> float:
+    """Monotonic seconds — the armed plan's virtual clock, else wall time.
+
+    Every latency-sensitive decision in the serving stack (deadline
+    expiry, breaker cooldowns, retry backoff bookkeeping) reads this
+    instead of ``time.monotonic()`` so seeded fault plans control time
+    deterministically.
+    """
+    plan = _active
+    if plan is not None:
+        return plan.now()
+    return time.monotonic()
+
+
+# ----------------------------------------------------------------------
+# Request deadlines
+# ----------------------------------------------------------------------
+class DeadlineExceeded(Exception):
+    """A strict deadline expired mid-computation; no partial answer exists."""
+
+
+class Deadline:
+    """One request's time budget plus its degradation ledger.
+
+    Built from a ``timeout_ms`` request field (or ``--deadline-ms`` on
+    the CLI), armed around the engine compute by the executors, and
+    polled by the scatter/rank-scan loops.  The ledger counts how the
+    budget was spent: shards whose contribution is exactly accounted
+    (scanned, or provably pruned by the score bounds) versus shards
+    skipped past expiry or lost to injected/real faults — the payload
+    of the response's ``degraded`` envelope.
+    """
+
+    __slots__ = (
+        "budget_ms",
+        "_expires_at",
+        "shards_answered",
+        "shards_skipped",
+        "shards_failed",
+        "_reasons",
+    )
+
+    def __init__(self, budget_ms: float) -> None:
+        if budget_ms <= 0:
+            raise ValueError(f"deadline budget must be positive, got {budget_ms}")
+        self.budget_ms = budget_ms
+        self._expires_at = now() + budget_ms / 1000.0
+        self.shards_answered = 0
+        self.shards_skipped = 0
+        self.shards_failed = 0
+        self._reasons: list[str] = []
+
+    def expired(self) -> bool:
+        return now() >= self._expires_at
+
+    def remaining_ms(self) -> float:
+        return max(0.0, (self._expires_at - now()) * 1000.0)
+
+    # -- the degradation ledger ---------------------------------------
+    def note_answered(self, count: int = 1) -> None:
+        self.shards_answered += count
+
+    def note_skipped(self, count: int, reason: str) -> None:
+        self.shards_skipped += count
+        if reason not in self._reasons:
+            self._reasons.append(reason)
+
+    def note_failed(self, reason: str) -> None:
+        self.shards_failed += 1
+        if reason not in self._reasons:
+            self._reasons.append(reason)
+
+    @property
+    def degraded(self) -> bool:
+        return self.shards_skipped > 0 or self.shards_failed > 0
+
+    def to_dict(self) -> dict[str, object]:
+        """The response's ``degraded`` envelope."""
+        return {
+            "budget_ms": self.budget_ms,
+            "shards_answered": self.shards_answered,
+            "shards_skipped": self.shards_skipped + self.shards_failed,
+            "reason": "; ".join(self._reasons) if self._reasons else "deadline",
+        }
+
+
+_tls = threading.local()
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline) -> Iterator[Deadline]:
+    """Arm an *absorbing* deadline: scatter loops degrade to partials."""
+    previous = getattr(_tls, "scope", None)
+    _tls.scope = (deadline, False)
+    try:
+        yield deadline
+    finally:
+        _tls.scope = previous
+
+
+@contextmanager
+def strict_deadline_scope(deadline: Deadline) -> Iterator[Deadline]:
+    """Arm a *strict* deadline: expiry raises :class:`DeadlineExceeded`.
+
+    Used around rank arithmetic (the why-not pipeline), where a partial
+    scan would be a silently-wrong count rather than an honest partial.
+    """
+    previous = getattr(_tls, "scope", None)
+    _tls.scope = (deadline, True)
+    try:
+        yield deadline
+    finally:
+        _tls.scope = previous
+
+
+@contextmanager
+def shielded() -> Iterator[None]:
+    """Clear any ambient deadline: the shielded compute is always exact."""
+    previous = getattr(_tls, "scope", None)
+    _tls.scope = None
+    try:
+        yield
+    finally:
+        _tls.scope = previous
+
+
+def current_deadline() -> Deadline | None:
+    """The thread's ambient deadline (absorbing or strict), if armed."""
+    scope = getattr(_tls, "scope", None)
+    return None if scope is None else scope[0]
+
+
+def current_scope() -> tuple[Deadline, bool] | None:
+    """The ambient ``(deadline, strict)`` pair, if armed."""
+    return getattr(_tls, "scope", None)
+
+
+def check_deadline() -> None:
+    """Raise :class:`DeadlineExceeded` if the ambient deadline expired.
+
+    The polling hook for exact computations (rank scans): a no-op when
+    no deadline is armed, and *always* a raise on expiry — an exact scan
+    has no honest partial result to fall back to.
+    """
+    scope = getattr(_tls, "scope", None)
+    if scope is None:
+        return
+    deadline = scope[0]
+    if deadline.expired():
+        raise DeadlineExceeded(
+            f"deadline of {deadline.budget_ms:g}ms exceeded during an exact scan"
+        )
+
+
+# ----------------------------------------------------------------------
+# Plan-driven file faults (the WAL's injection surface)
+# ----------------------------------------------------------------------
+class _FaultInjectingFile:
+    """A file handle whose ops are injection sites of the armed plan.
+
+    Sites are ``<prefix>.write`` / ``.sync`` / ``.read`` / ``.truncate``
+    (``prefix`` is ``"wal"`` for the write-ahead log).  Short/torn write
+    rules flush the configured prefix through before raising ``ENOSPC``,
+    so the bytes genuinely reach the underlying file — exactly the
+    half-frame shapes the WAL's rollback and torn-tail recovery handle.
+    """
+
+    def __init__(self, inner: Any, prefix: str) -> None:
+        self._inner = inner
+        self._prefix = prefix
+        self._fail_truncate = False
+
+    # -- faultable operations ------------------------------------------
+    def write(self, data: bytes) -> int:
+        plan = _active
+        if plan is None:
+            return self._inner.write(data)
+        site = f"{self._prefix}.write"
+        plan.trip(site)
+        rule = plan.write_rule(site)
+        if rule is None:
+            return self._inner.write(data)
+        prefix_bytes = min(rule.prefix_bytes, len(data))
+        self._inner.write(data[:prefix_bytes])
+        self._inner.flush()
+        if rule.action == _TORN_WRITE:
+            self._fail_truncate = True
+        raise OSError(
+            errno.ENOSPC,
+            f"injected {rule.action} at {site} after {prefix_bytes} bytes",
+        )
+
+    def truncate(self, size: int | None = None) -> int:
+        if self._fail_truncate:
+            self._fail_truncate = False
+            raise OSError(
+                errno.EIO, "injected truncate failure (torn frame left on disk)"
+            )
+        plan = _active
+        if plan is not None:
+            plan.trip(f"{self._prefix}.truncate")
+        if size is None:
+            return self._inner.truncate()
+        return self._inner.truncate(size)
+
+    def sync(self) -> None:
+        plan = _active
+        if plan is not None:
+            plan.trip(f"{self._prefix}.sync")
+        inner_sync = getattr(self._inner, "sync", None)
+        if inner_sync is not None:
+            inner_sync()
+        else:
+            self._inner.flush()
+            os.fsync(self._inner.fileno())
+
+    def read(self, *args: Any) -> Any:
+        plan = _active
+        if plan is not None:
+            plan.trip(f"{self._prefix}.read")
+        return self._inner.read(*args)
+
+    # -- transparent passthroughs --------------------------------------
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def seek(self, *args: Any) -> int:
+        return self._inner.seek(*args)
+
+    def tell(self) -> int:
+        return self._inner.tell()
+
+    def fileno(self) -> int:
+        return self._inner.fileno()
+
+    def __enter__(self) -> "_FaultInjectingFile":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __iter__(self) -> Any:
+        return iter(self._inner)
+
+
+class _GuardedOpener:
+    """An opener that injects faults only while a plan is armed.
+
+    Unarmed, it returns the raw handle of the wrapped opener — the hot
+    path pays one global ``None`` check per *open*, nothing per I/O op.
+    """
+
+    __slots__ = ("_inner", "_prefix")
+
+    def __init__(self, inner: Callable[[str, str], Any], prefix: str) -> None:
+        self._inner = inner
+        self._prefix = prefix
+
+    def __call__(self, path: str, mode: str = "r") -> Any:
+        plan = _active
+        if plan is None:
+            return self._inner(path, mode)
+        plan.trip(f"{self._prefix}.open")
+        return _FaultInjectingFile(self._inner(path, mode), self._prefix)
+
+
+def guarded_opener(
+    inner: Callable[[str, str], Any] = open, prefix: str = "wal"
+) -> Callable[[str, str], Any]:
+    """Wrap ``inner`` so its handles become injection sites when armed."""
+    if isinstance(inner, _GuardedOpener):
+        return inner
+    return _GuardedOpener(inner, prefix)
+
+
+# ----------------------------------------------------------------------
+# Imperative countdown faults (grown out of tests/service/flaky_io.py)
+# ----------------------------------------------------------------------
+class FlakyFile:
+    """A file wrapper with imperative countdown-armed I/O faults.
+
+    The unit-test counterpart to the plan-driven wrapper above: tests
+    that want one specific failure *right now* set a countdown knob on
+    the shared :class:`FlakyOpener` instead of declaring a plan.
+
+    * ``write_errors`` — fail the next N writes outright (nothing hits
+      the device).
+    * ``short_write_bytes`` — one-shot: the next write persists only
+      this prefix, then raises ``ENOSPC`` (the frame is half on disk).
+    * ``sync_errors`` — fail the next N ``sync()`` calls (an armed
+      handle exposes ``sync``, which the WAL prefers over ``os.fsync``
+      so fault tests need no real disk).
+    * ``truncate_errors`` — fail the next N truncates: rollback itself
+      fails, leaving the torn frame for recovery to clean.
+    * ``fail_reads`` — persistent: every read raises ``EIO``.
+    """
+
+    def __init__(self, inner: Any, knobs: "FlakyOpener") -> None:
+        self._inner = inner
+        self._knobs = knobs
+
+    def write(self, data: bytes) -> int:
+        knobs = self._knobs
+        if knobs.short_write_bytes is not None:
+            prefix = data[: knobs.short_write_bytes]
+            knobs.short_write_bytes = None
+            self._inner.write(prefix)
+            self._inner.flush()
+            raise OSError(errno.ENOSPC, "injected device full mid-write")
+        if knobs.write_errors > 0:
+            knobs.write_errors -= 1
+            raise OSError(errno.EIO, "injected write error")
+        return self._inner.write(data)
+
+    def sync(self) -> None:
+        knobs = self._knobs
+        if knobs.sync_errors > 0:
+            knobs.sync_errors -= 1
+            raise OSError(errno.EIO, "injected fsync failure")
+        # Un-armed: flush is enough — fault tests run on real files but
+        # must not require a real fsync round-trip per append.
+        self._inner.flush()
+
+    def read(self, *args: Any) -> Any:
+        if self._knobs.fail_reads:
+            raise OSError(errno.EIO, "injected read error (EIO)")
+        return self._inner.read(*args)
+
+    def truncate(self, size: int | None = None) -> int:
+        knobs = self._knobs
+        if knobs.truncate_errors > 0:
+            knobs.truncate_errors -= 1
+            raise OSError(errno.EIO, "injected truncate error")
+        if size is None:
+            return self._inner.truncate()
+        return self._inner.truncate(size)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def seek(self, *args: Any) -> int:
+        return self._inner.seek(*args)
+
+    def tell(self) -> int:
+        return self._inner.tell()
+
+    def fileno(self) -> int:
+        return self._inner.fileno()
+
+    def __enter__(self) -> "FlakyFile":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __iter__(self) -> Any:
+        return iter(self._inner)
+
+
+class FlakyOpener:
+    """Shared countdown knobs + the opener that arms them on every handle."""
+
+    def __init__(self) -> None:
+        self.opened = 0
+        self.write_errors = 0
+        self.short_write_bytes: int | None = None
+        self.sync_errors = 0
+        self.truncate_errors = 0
+        self.fail_reads = False
+
+    def __call__(self, path: str, mode: str = "r") -> FlakyFile:
+        self.opened += 1
+        return FlakyFile(open(path, mode), self)

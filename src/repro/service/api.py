@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, AbstractSet, Iterable, Sequence
+from typing import TYPE_CHECKING, AbstractSet, Iterable, Mapping, Sequence
 
 from repro import concurrency
 from repro.core.geometry import Point
@@ -68,28 +68,44 @@ class MutationReport:
     :class:`~repro.core.mutations.BatchSummary`) so the serving tier can
     run scoped cache invalidation against exactly what moved; the scalar
     fields are the wire-friendly view ``to_dict`` serialises.
+
+    A *deduplicated* report (``deduplicated=True``, ``change=None``)
+    means the batch token was already committed: nothing moved, and
+    ``generation`` is the generation the original commit produced — the
+    answer an idempotent retry needs.
     """
 
-    change: AppliedBatch
+    change: AppliedBatch | None
     objects: int
     kernel: dict | None
     indexes_rebuilt: tuple[str, ...]
     response_ms: float
+    deduplicated: bool = False
+    dedup_generation: int = 0
 
     @property
     def generation(self) -> int:
+        if self.change is None:
+            return self.dedup_generation
         return self.change.generation
 
     def to_dict(self) -> dict:
+        if self.change is None:
+            inserted = updated = deleted = 0
+        else:
+            inserted = self.change.inserted_count
+            updated = self.change.updated_count
+            deleted = self.change.deleted_count
         return {
-            "generation": self.change.generation,
-            "inserted": self.change.inserted_count,
-            "updated": self.change.updated_count,
-            "deleted": self.change.deleted_count,
+            "generation": self.generation,
+            "inserted": inserted,
+            "updated": updated,
+            "deleted": deleted,
             "objects": self.objects,
             "kernel": self.kernel,
             "indexes_rebuilt": list(self.indexes_rebuilt),
             "response_ms": self.response_ms,
+            "deduplicated": self.deduplicated,
         }
 
 
@@ -152,6 +168,10 @@ class YaskEngine:
         snapshot generation when recovering.  The mutation counter
         resumes from here so logged generations stay gap-free across
         restarts.
+    batch_tokens:
+        Seed map of idempotency token → committed generation, restored
+        from the write-ahead log on recovery so client mutation retries
+        stay deduplicated across restarts.
     """
 
     def __init__(
@@ -170,6 +190,7 @@ class YaskEngine:
         index_rebuild_slack: int = 1,
         wal: "WriteAheadLog | None" = None,
         base_generation: int = 0,
+        batch_tokens: Mapping[str, int] | None = None,
     ) -> None:
         self._database = database
         self._text_model = text_model
@@ -270,6 +291,7 @@ class YaskEngine:
                 database,
                 model_code=kernel.model_code if kernel is not None else None,
                 start_generation=base_generation,
+                tokens=batch_tokens,
             )
             if kernel is not None:
                 self._mutable.register_listener(kernel)
@@ -464,7 +486,12 @@ class YaskEngine:
         """Mutation batches applied so far (0 for a fresh engine)."""
         return self._mutable.generation if self._mutable is not None else 0
 
-    def apply_mutations(self, mutations: Sequence[Mutation]) -> MutationReport:
+    def apply_mutations(
+        self,
+        mutations: Sequence[Mutation],
+        *,
+        batch_token: str | None = None,
+    ) -> MutationReport:
         """Apply one mutation batch through every layer, atomically.
 
         Under the exclusive write lock: the database (incremental
@@ -478,6 +505,13 @@ class YaskEngine:
         touched here — the caller holds them; pass
         ``report.change.summary`` to
         :meth:`repro.service.executor.QueryExecutor.invalidate_scoped`.
+
+        ``batch_token`` makes the call idempotent: a token already seen
+        (committed, or a committed no-op) short-circuits under the same
+        write lock into a ``deduplicated`` report carrying the original
+        generation — a client retry after a lost response re-applies
+        nothing.  The token rides the WAL record, so deduplication
+        survives recovery and follower re-bootstrap.
         """
         if self._mutable is None:
             raise MutationError(
@@ -500,10 +534,27 @@ class YaskEngine:
             payload = [mutation_to_dict(mutation) for mutation in mutations]
 
             def pre_commit(generation: int, _mutations) -> None:
-                wal.append(generation, payload)
+                wal.append(generation, payload, token=batch_token)
 
         with self._lock.write():
-            change = self._mutable.apply(mutations, pre_commit=pre_commit)
+            if batch_token is not None:
+                # Dedup lookup under the same exclusive lock that commits
+                # tokens: two concurrent retries of one batch serialise
+                # here, so exactly one applies.
+                seen = self._mutable.token_generation(batch_token)
+                if seen is not None:
+                    return MutationReport(
+                        change=None,
+                        objects=len(self._database),
+                        kernel=None,
+                        indexes_rebuilt=(),
+                        response_ms=(time.perf_counter() - started) * 1000.0,
+                        deduplicated=True,
+                        dedup_generation=seen,
+                    )
+            change = self._mutable.apply(
+                mutations, pre_commit=pre_commit, token=batch_token
+            )
             if change.is_noop:
                 rebuilt: tuple[str, ...] = ()
             else:

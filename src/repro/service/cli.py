@@ -27,10 +27,12 @@ cafes) or a path to a JSON file produced by
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import Sequence
 
+from repro import faults
 from repro.core.geometry import Point
 from repro.core.objects import SpatialDatabase
 from repro.core.query import Weights
@@ -114,10 +116,23 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def add_inflight_arg(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--max-inflight",
+            type=int,
+            default=None,
+            help=(
+                "admission-control bound: requests beyond this many "
+                "in flight are shed with a structured 503 and a "
+                "Retry-After header (default: unbounded)"
+            ),
+        )
+
     serve = sub.add_parser("serve", help="run the HTTP service")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--dataset", default="hotels")
+    add_inflight_arg(serve)
     add_shard_args(serve)
     add_wal_args(serve)
     serve.add_argument(
@@ -156,8 +171,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="spatial weight (default: server parameter 0.5)",
         )
 
+    def add_deadline_arg(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--deadline-ms",
+            type=float,
+            default=None,
+            help=(
+                "time budget in milliseconds: a top-k query degrades to "
+                "a partial answer over the shards that responded (with a "
+                "'degraded' envelope saying what was skipped); a why-not "
+                "question either answers exactly or reports degradation "
+                "— never a silently wrong count"
+            ),
+        )
+
     query = sub.add_parser("query", help="run one top-k query")
     add_query_args(query)
+    add_deadline_arg(query)
 
     batch = sub.add_parser(
         "batch",
@@ -228,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     whynot = sub.add_parser("whynot", help="ask a why-not question")
     add_query_args(whynot)
+    add_deadline_arg(whynot)
     whynot.add_argument(
         "--missing",
         required=True,
@@ -282,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     follow.add_argument("--wal-dir", required=True)
     follow.add_argument("--host", default="127.0.0.1")
     follow.add_argument("--port", type=int, default=8081)
+    add_inflight_arg(follow)
     follow.add_argument(
         "--dataset",
         default=None,
@@ -343,18 +375,42 @@ def _make_durable_engine(args: argparse.Namespace) -> YaskEngine:
     return engine
 
 
+def _deadline_of(args: argparse.Namespace) -> faults.Deadline | None:
+    budget = getattr(args, "deadline_ms", None)
+    if budget is None:
+        return None
+    if budget <= 0:
+        raise SystemExit("--deadline-ms must be positive")
+    return faults.Deadline(budget)
+
+
 def _run_query(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
+    deadline = _deadline_of(args)
     try:
         weights = Weights.from_spatial(args.ws) if args.ws is not None else None
         query = engine.make_query(
             Point(args.x, args.y), _parse_keywords(args.keywords), args.k,
             weights=weights,
         )
-        timed = engine.timed_query(query)
+        scope = (
+            faults.deadline_scope(deadline)
+            if deadline is not None
+            else contextlib.nullcontext()
+        )
+        with scope:
+            timed = engine.timed_query(query)
     finally:
         engine.close()
-    print(json.dumps(result_to_dict(timed.value), indent=2))
+    payload = result_to_dict(timed.value)
+    if deadline is not None and deadline.degraded:
+        payload["degraded"] = deadline.to_dict()
+        print(
+            f"degraded: {deadline.to_dict()['shards_skipped']} shard(s) "
+            "skipped past the deadline",
+            file=sys.stderr,
+        )
+    print(json.dumps(payload, indent=2))
     print(f"executed in {timed.response_ms:.2f} ms", file=sys.stderr)
     return 0
 
@@ -515,22 +571,46 @@ def _run_mutate(args: argparse.Namespace) -> int:
 
 def _run_whynot(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
+    deadline = _deadline_of(args)
     weights = Weights.from_spatial(args.ws) if args.ws is not None else None
     query = engine.make_query(
         Point(args.x, args.y), _parse_keywords(args.keywords), args.k,
         weights=weights,
     )
     missing = _parse_missing(args.missing)
+    scope = (
+        faults.strict_deadline_scope(deadline)
+        if deadline is not None
+        else contextlib.nullcontext()
+    )
     try:
-        payload: dict = {
-            "explanation": explanation_to_dict(engine.explain(query, missing))
-        }
-        if args.model in ("preference", "both"):
-            refinement = engine.refine_preference(query, missing, lam=args.lam)
-            payload["preference"] = preference_refinement_to_dict(refinement)
-        if args.model in ("keywords", "both"):
-            refinement = engine.refine_keywords(query, missing, lam=args.lam)
-            payload["keywords"] = keyword_refinement_to_dict(refinement)
+        with scope:
+            payload: dict = {
+                "explanation": explanation_to_dict(
+                    engine.explain(query, missing)
+                )
+            }
+            if args.model in ("preference", "both"):
+                refinement = engine.refine_preference(
+                    query, missing, lam=args.lam
+                )
+                payload["preference"] = preference_refinement_to_dict(
+                    refinement
+                )
+            if args.model in ("keywords", "both"):
+                refinement = engine.refine_keywords(
+                    query, missing, lam=args.lam
+                )
+                payload["keywords"] = keyword_refinement_to_dict(refinement)
+    except faults.DeadlineExceeded as exc:
+        deadline.note_failed("why-not answering exceeded the deadline")
+        print(
+            json.dumps(
+                {"degraded": deadline.to_dict(), "error": str(exc)}, indent=2
+            )
+        )
+        print(f"why-not degraded: {exc}", file=sys.stderr)
+        return 3
     except WhyNotError as exc:
         print(f"why-not error: {exc}", file=sys.stderr)
         return 2
@@ -605,7 +685,11 @@ def _run_follow(args: argparse.Namespace) -> int:
         print(f"follower bootstrap failed: {exc}", file=sys.stderr)
         return 2
     serve_forever(
-        follower.engine, host=args.host, port=args.port, follower=follower
+        follower.engine,
+        host=args.host,
+        port=args.port,
+        follower=follower,
+        max_inflight=args.max_inflight,
     )
     return 0
 
@@ -638,6 +722,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             port=args.port,
             snapshot_every=args.snapshot_every,
             snapshot_interval_secs=args.snapshot_interval_secs,
+            max_inflight=args.max_inflight,
         )
         return 0
     if args.command == "query":

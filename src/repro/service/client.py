@@ -4,12 +4,22 @@ Plays the role of the paper's browser front end (Section 3.2): it issues
 the initial top-k query, keeps the returned ``session_id`` and sends the
 follow-up why-not requests against it.  Transport is the standard
 library's ``urllib`` so the client works wherever the server does.
+
+Resilience: every request carries a socket timeout, retriable failures
+(load-shedding/degraded-mode 503s, and connection errors on idempotent
+requests) are retried with jittered exponential backoff honouring the
+server's ``Retry-After``, and mutations become safely retriable by
+passing a ``batch_token`` — the server deduplicates a retry of an
+already-committed batch through the WAL generation record and returns
+the original generation instead of applying it twice.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Iterable, Mapping, Sequence
+import random
+import time
+from typing import Any, Callable, Iterable, Mapping, Sequence
 from urllib import error, request
 from urllib.parse import quote
 
@@ -17,28 +27,86 @@ __all__ = ["YaskClientError", "YaskClient"]
 
 
 class YaskClientError(RuntimeError):
-    """An error response from the YASK server."""
+    """An error response from the YASK server.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``status`` is the HTTP status (0 for a connection failure) and
+    ``retry_after`` the server's ``Retry-After`` advice in seconds,
+    when it sent one.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.retry_after = retry_after
 
 
 class YaskClient:
-    """Thin JSON-over-HTTP client mirroring the server's endpoints."""
+    """Thin JSON-over-HTTP client mirroring the server's endpoints.
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    Parameters
+    ----------
+    base_url:
+        The server endpoint, e.g. ``http://127.0.0.1:8080``.
+    timeout:
+        Socket timeout (seconds) for every request — a hung server
+        surfaces as a connection error, never an indefinite block.
+    retries:
+        Extra attempts for retriable failures: a 503 (the server says
+        the request was *not* applied — load shedding, breaker-open
+        read-only mode, follower lag) is always retriable; a connection
+        error is retried only for idempotent requests (reads, and
+        mutations carrying a ``batch_token``).
+    backoff_ms / max_backoff_ms:
+        Jittered exponential backoff base and cap.  The server's
+        ``Retry-After`` header, when present, overrides the computed
+        delay.
+    sleep / rng:
+        Injectable for deterministic tests: ``sleep`` replaces
+        :func:`time.sleep`, ``rng`` supplies the backoff jitter.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff_ms: float = 100.0,
+        max_backoff_ms: float = 5000.0,
+        sleep: Callable[[float], None] | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff_ms <= 0 or max_backoff_ms < backoff_ms:
+            raise ValueError(
+                "backoff_ms must be positive and at most max_backoff_ms"
+            )
         self._base_url = base_url.rstrip("/")
         self._timeout = timeout
+        self._retries = retries
+        self._backoff_ms = backoff_ms
+        self._max_backoff_ms = max_backoff_ms
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._rng = rng if rng is not None else random.Random()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _call(
+    def _call_once(
         self,
         method: str,
         path: str,
         payload: Mapping[str, Any] | None = None,
+        accept_statuses: frozenset[int] = frozenset(),
     ) -> dict[str, Any]:
         url = f"{self._base_url}{path}"
         data = None
@@ -51,21 +119,96 @@ class YaskClient:
             with request.urlopen(req, timeout=self._timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except error.HTTPError as exc:
+            raw = exc.read()
+            if exc.code in accept_statuses:
+                return json.loads(raw.decode("utf-8"))
             try:
-                message = json.loads(exc.read().decode("utf-8")).get(
+                message = json.loads(raw.decode("utf-8")).get(
                     "error", exc.reason
                 )
             except Exception:  # body not JSON
                 message = str(exc.reason)
-            raise YaskClientError(exc.code, message) from None
+            retry_after: float | None = None
+            advised = exc.headers.get("Retry-After") if exc.headers else None
+            if advised is not None:
+                try:
+                    retry_after = float(advised)
+                except ValueError:
+                    retry_after = None
+            raise YaskClientError(
+                exc.code, message, retry_after=retry_after
+            ) from None
         except error.URLError as exc:
             raise YaskClientError(0, f"connection failed: {exc.reason}") from None
+        except TimeoutError:
+            raise YaskClientError(0, "connection failed: socket timeout") from None
+
+    def _backoff_seconds(self, attempt: int) -> float:
+        """Full-jitter exponential backoff for retry ``attempt`` (0-based)."""
+        ceiling = min(
+            self._max_backoff_ms, self._backoff_ms * (2.0**attempt)
+        )
+        return (self._rng.uniform(ceiling / 2.0, ceiling)) / 1000.0
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+        *,
+        idempotent: bool = True,
+        accept_statuses: frozenset[int] = frozenset(),
+    ) -> dict[str, Any]:
+        """One logical request, with the retry policy applied.
+
+        A 503 means the server did *not* apply the request (shed,
+        breaker-open, follower lag) and is always retriable.  A
+        connection failure leaves the outcome unknown, so it is retried
+        only when ``idempotent`` — reads, and mutations whose
+        ``batch_token`` makes a double-apply impossible.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(method, path, payload, accept_statuses)
+            except YaskClientError as exc:
+                retriable = exc.status == 503 or (
+                    exc.status == 0 and idempotent
+                )
+                if not retriable or attempt >= self._retries:
+                    raise
+                delay = (
+                    exc.retry_after
+                    if exc.retry_after is not None
+                    else self._backoff_seconds(attempt)
+                )
+                self._sleep(delay)
+                attempt += 1
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
     def health(self) -> dict[str, Any]:
         return self._call("GET", "/healthz")
+
+    def health_live(self) -> dict[str, Any]:
+        """Liveness probe: answers ``{"status": "ok"}`` while the
+        process serves HTTP at all, regardless of degraded state."""
+        return self._call("GET", "/api/health/live")
+
+    def health_ready(self) -> dict[str, Any]:
+        """Readiness probe: the full readiness body, whether the server
+        answered 200 (``status: "ok"``) or 503 (``status: "degraded"``,
+        e.g. the WAL circuit breaker is open).  Never retried — a probe
+        wants the current truth, not an eventual success."""
+        return self._call_once(
+            "GET", "/api/health/ready", accept_statuses=frozenset({503})
+        )
+
+    def resilience_stats(self) -> dict[str, Any]:
+        """The resilience section of ``/api/stats`` — in-flight gauge,
+        WAL circuit breaker, and the advertised read-only flag."""
+        return self._call("GET", "/api/stats")["resilience"]
 
     def objects(self) -> list[dict[str, Any]]:
         """All objects — the grey markers of the map panel (Fig. 3)."""
@@ -81,38 +224,69 @@ class YaskClient:
     # Live mutation
     # ------------------------------------------------------------------
     def insert_objects(
-        self, objects: Sequence[Mapping[str, Any]]
+        self,
+        objects: Sequence[Mapping[str, Any]],
+        *,
+        batch_token: str | None = None,
     ) -> dict[str, Any]:
         """Ingest new objects: ``[{"oid", "x", "y", "keywords", "name"?}]``.
 
         Returns the mutation report: generation, per-op counts, kernel
         column occupancy and the scoped cache-invalidation tally
         (``cache_invalidation.kept`` is the number of warm results that
-        provably survived the write).
+        provably survived the write).  Passing a ``batch_token`` (any
+        unique string) makes the request idempotent: a retry of an
+        already-committed batch is deduplicated server-side and
+        acknowledges the original generation with
+        ``deduplicated: true`` — so connection failures become
+        retriable.
         """
+        payload: dict[str, Any] = {
+            "objects": [dict(obj) for obj in objects]
+        }
+        if batch_token is not None:
+            payload["batch_token"] = batch_token
         return self._call(
-            "POST", "/api/objects", {"objects": [dict(obj) for obj in objects]}
+            "POST",
+            "/api/objects",
+            payload,
+            idempotent=batch_token is not None,
         )
 
     def delete_object(self, reference: int | str) -> dict[str, Any]:
-        """Retire one object by id or name; returns the mutation report."""
+        """Retire one object by id or name; returns the mutation report.
+
+        Naturally idempotent — deleting an absent object is a no-op —
+        so connection failures are retried.
+        """
         return self._call(
             "DELETE", f"/api/objects/{quote(str(reference))}"
         )
 
     def mutate(
-        self, mutations: Sequence[Mapping[str, Any]]
+        self,
+        mutations: Sequence[Mapping[str, Any]],
+        *,
+        batch_token: str | None = None,
     ) -> dict[str, Any]:
         """Apply a mixed batch: ``[{"op": "insert"|"update"|"delete", ...}]``.
 
         Inserts/updates carry the object fields inline; deletes carry
         ``"oid"``.  The batch applies atomically — queries served
-        concurrently see either all of it or none of it.
+        concurrently see either all of it or none of it.  A
+        ``batch_token`` makes the batch idempotent and hence safely
+        retriable (see :meth:`insert_objects`).
         """
+        payload: dict[str, Any] = {
+            "mutations": [dict(mutation) for mutation in mutations]
+        }
+        if batch_token is not None:
+            payload["batch_token"] = batch_token
         return self._call(
             "POST",
             "/api/mutations",
-            {"mutations": [dict(mutation) for mutation in mutations]},
+            payload,
+            idempotent=batch_token is not None,
         )
 
     def mutation_stats(self) -> dict[str, Any]:
@@ -128,13 +302,17 @@ class YaskClient:
         *,
         ws: float | None = None,
         min_generation: int | None = None,
+        timeout_ms: float | None = None,
     ) -> dict[str, Any]:
         """Issue an initial top-k query; response carries ``session_id``.
 
         ``min_generation`` is the read-your-writes consistency token:
         pass the ``generation`` a mutation response acknowledged and a
         follower that has not yet replayed that batch answers a
-        structured 503 instead of stale data.
+        structured 503 instead of stale data.  ``timeout_ms`` sets a
+        server-side deadline: shards still unanswered when it expires
+        are skipped and the response carries a ``degraded`` envelope
+        describing exactly what was omitted.
         """
         payload: dict[str, Any] = {
             "x": x,
@@ -146,6 +324,8 @@ class YaskClient:
             payload["ws"] = ws
         if min_generation is not None:
             payload["min_generation"] = min_generation
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
         return self._call("POST", "/api/query", payload)
 
     def query_batch(
@@ -153,6 +333,7 @@ class YaskClient:
         queries: Sequence[Mapping[str, Any]],
         *,
         min_generation: int | None = None,
+        timeout_ms: float | None = None,
     ) -> dict[str, Any]:
         """Execute many top-k queries in one round trip (stateless).
 
@@ -161,13 +342,16 @@ class YaskClient:
         carries one entry per query, in order, with ``cached`` marking
         results the server cache (or in-flight dedup) served without a
         fresh execution.  ``min_generation`` applies to the whole
-        batch (see :meth:`query`).
+        batch (see :meth:`query`); ``timeout_ms`` is a shared budget
+        for the whole batch.
         """
         payload: dict[str, Any] = {
             "queries": [dict(q) for q in queries]
         }
         if min_generation is not None:
             payload["min_generation"] = min_generation
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
         return self._call("POST", "/api/query/batch", payload)
 
     def stats(self) -> dict[str, Any]:
@@ -214,13 +398,24 @@ class YaskClient:
         return self._call("POST", "/api/whynot/batch", payload)
 
     def explain(
-        self, session_id: str, missing: Sequence[int | str]
+        self,
+        session_id: str,
+        missing: Sequence[int | str],
+        *,
+        timeout_ms: float | None = None,
     ) -> dict[str, Any]:
-        return self._call(
-            "POST",
-            "/api/whynot/explain",
-            {"session_id": session_id, "missing": list(missing)},
-        )
+        """Why-not explanation for ``missing`` against the session's
+        query.  With ``timeout_ms``, an answer that cannot be computed
+        exactly within the budget comes back as a ``degraded`` envelope
+        instead of a partial (and possibly wrong) explanation.
+        """
+        payload: dict[str, Any] = {
+            "session_id": session_id,
+            "missing": list(missing),
+        }
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        return self._call("POST", "/api/whynot/explain", payload)
 
     def refine_preference(
         self,
@@ -228,12 +423,16 @@ class YaskClient:
         missing: Sequence[int | str],
         *,
         lam: float = 0.5,
+        timeout_ms: float | None = None,
     ) -> dict[str, Any]:
-        return self._call(
-            "POST",
-            "/api/whynot/preference",
-            {"session_id": session_id, "missing": list(missing), "lambda": lam},
-        )
+        payload: dict[str, Any] = {
+            "session_id": session_id,
+            "missing": list(missing),
+            "lambda": lam,
+        }
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        return self._call("POST", "/api/whynot/preference", payload)
 
     def refine_keywords(
         self,
@@ -241,12 +440,16 @@ class YaskClient:
         missing: Sequence[int | str],
         *,
         lam: float = 0.5,
+        timeout_ms: float | None = None,
     ) -> dict[str, Any]:
-        return self._call(
-            "POST",
-            "/api/whynot/keywords",
-            {"session_id": session_id, "missing": list(missing), "lambda": lam},
-        )
+        payload: dict[str, Any] = {
+            "session_id": session_id,
+            "missing": list(missing),
+            "lambda": lam,
+        }
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        return self._call("POST", "/api/whynot/keywords", payload)
 
     def refine_combined(
         self,
@@ -254,13 +457,17 @@ class YaskClient:
         missing: Sequence[int | str],
         *,
         lam: float = 0.5,
+        timeout_ms: float | None = None,
     ) -> dict[str, Any]:
         """Both refinement functions applied together (Section 3.2)."""
-        return self._call(
-            "POST",
-            "/api/whynot/combined",
-            {"session_id": session_id, "missing": list(missing), "lambda": lam},
-        )
+        payload: dict[str, Any] = {
+            "session_id": session_id,
+            "missing": list(missing),
+            "lambda": lam,
+        }
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        return self._call("POST", "/api/whynot/combined", payload)
 
     def query_log(self, session_id: str) -> list[dict[str, Any]]:
         """The query-log panel of Fig. 4 (Panel 5)."""

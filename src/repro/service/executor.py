@@ -44,7 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol, Sequence
 
-from repro import concurrency
+from repro import concurrency, faults
 from repro.core.query import QueryResult, SpatialKeywordQuery
 from repro.whynot.errors import WhyNotError
 
@@ -233,6 +233,12 @@ class Execution:
     ``source`` is ``"engine"`` (a fresh index traversal), ``"cache"``
     (served from the LRU cache) or ``"inflight"`` (piggy-backed on an
     identical concurrent execution).
+
+    ``degraded`` is None for an exact answer; under a deadline that ran
+    out it is the honest-envelope dict
+    (:meth:`repro.faults.Deadline.to_dict`) and ``result`` holds the
+    partial top-k assembled from the shards that did answer.  Degraded
+    results are never cached.
     """
 
     query: SpatialKeywordQuery
@@ -240,6 +246,7 @@ class Execution:
     response_ms: float
     source: str
     fingerprint: str
+    degraded: dict | None = None
 
     @property
     def cached(self) -> bool:
@@ -271,7 +278,11 @@ class WhyNotExecution:
 
     ``source`` follows :class:`Execution`'s vocabulary (``"engine"``,
     ``"cache"``, ``"inflight"``) plus ``"error"`` for a batch member the
-    engine rejected (``answer`` is then None and ``error`` the message).
+    engine rejected (``answer`` is then None and ``error`` the message)
+    and ``"degraded"`` for a question whose deadline expired mid-answer
+    (``answer`` is None, ``degraded`` the envelope — the refinement
+    arithmetic either completes exactly or reports degradation, never a
+    silently-wrong partial count).
     ``topk_source`` records where the initial top-k result came from
     when the model consumed one — ``"cache"`` is the tier doing its job:
     the question's underlying query never re-ran the search.  It is None
@@ -286,11 +297,12 @@ class WhyNotExecution:
     fingerprint: str
     topk_source: str | None = None
     error: str | None = None
+    degraded: dict | None = None
 
     @property
     def cached(self) -> bool:
         """True when no why-not computation was charged to this request."""
-        return self.source not in ("engine", "error")
+        return self.source not in ("engine", "error", "degraded")
 
     @property
     def ok(self) -> bool:
@@ -450,6 +462,47 @@ class _ResultCache:
         flight.result = result
         flight.event.set()
         return result
+
+    def peek(self, key: str) -> tuple[Any, str] | None:
+        """Cache-only lookup: ``(value, "cache")`` on a hit, else None.
+
+        The deadline-bounded execution path uses this instead of
+        :meth:`fetch`: a cached value is exact and free, but a miss must
+        neither join nor lead an open-ended in-flight rendezvous — the
+        caller computes under its own deadline and decides afterwards
+        (via :meth:`put`) whether the result is exact enough to cache.
+        A miss is counted here; :meth:`put` adds no second count.
+        """
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return cached[0], "cache"
+            self._misses += 1
+            return None
+
+    def generation(self) -> int:
+        """The current invalidation generation (pair with :meth:`put`)."""
+        with self._lock:
+            return self._generation
+
+    def put(self, key: str, value: Any, meta: Any, generation: int) -> bool:
+        """Insert a value computed outside :meth:`fetch`; True if stored.
+
+        ``generation`` is the :meth:`generation` observed before the
+        computation began: if an invalidation landed in between, the
+        value may reflect the old dataset and is discarded.
+        """
+        with self._lock:
+            if self.capacity <= 0 or generation != self._generation:
+                return False
+            self._cache[key] = (value, meta)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+            return True
 
     def invalidate(self) -> int:
         """Drop every cached value; returns how many were dropped.
@@ -619,38 +672,86 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # Single-query execution
     # ------------------------------------------------------------------
-    def execute(self, query: SpatialKeywordQuery) -> Execution:
-        """Execute a query through the cache and in-flight dedup layers."""
+    def execute(
+        self,
+        query: SpatialKeywordQuery,
+        *,
+        deadline: "faults.Deadline | None" = None,
+    ) -> Execution:
+        """Execute a query through the cache and in-flight dedup layers.
+
+        With a ``deadline`` the engine call runs under an *absorbing*
+        deadline scope (:func:`repro.faults.deadline_scope`): the
+        sharded scatter skips shards past the budget and absorbs shard
+        failures, and the execution carries the honest ``degraded``
+        envelope when anything was skipped.  A cache hit is served as
+        usual (exact, free); a degraded result is never cached and the
+        in-flight rendezvous is bypassed — waiting on another request's
+        open-ended computation would defeat the budget.
+        """
         fingerprint = query_fingerprint(query)
         started = time.perf_counter()
-        result, source = self._cache.fetch(
-            fingerprint, lambda: self._engine.query(query), _QueryMeta.of
-        )
+        if deadline is None:
+            result, source = self._cache.fetch(
+                fingerprint, lambda: self._engine.query(query), _QueryMeta.of
+            )
+            return Execution(
+                query=query,
+                result=result,
+                response_ms=(time.perf_counter() - started) * 1000.0,
+                source=source,
+                fingerprint=fingerprint,
+            )
+        peeked = self._cache.peek(fingerprint)
+        if peeked is not None:
+            return Execution(
+                query=query,
+                result=peeked[0],
+                response_ms=(time.perf_counter() - started) * 1000.0,
+                source="cache",
+                fingerprint=fingerprint,
+            )
+        generation = self._cache.generation()
+        with faults.deadline_scope(deadline):
+            result = self._engine.query(query)
+        if not deadline.degraded:
+            self._cache.put(
+                fingerprint, result, _QueryMeta.of(result), generation
+            )
         return Execution(
             query=query,
             result=result,
             response_ms=(time.perf_counter() - started) * 1000.0,
-            source=source,
+            source="engine",
             fingerprint=fingerprint,
+            degraded=deadline.to_dict() if deadline.degraded else None,
         )
 
     # ------------------------------------------------------------------
     # Batched execution
     # ------------------------------------------------------------------
     def execute_batch(
-        self, queries: Sequence[SpatialKeywordQuery]
+        self,
+        queries: Sequence[SpatialKeywordQuery],
+        *,
+        deadline: "faults.Deadline | None" = None,
     ) -> BatchExecution:
         """Fan a list of queries across the worker pool, order-preserving.
 
         Duplicates inside a batch flow through the same cache and
         in-flight dedup as everything else, so a batch of one popular
-        query repeated a hundred times costs one index traversal.
+        query repeated a hundred times costs one index traversal.  A
+        ``deadline`` is one budget *shared* across the whole batch; the
+        batch then runs sequentially (deterministic member order — the
+        budget runs out at the same member every time).
         """
         started = time.perf_counter()
         if not queries:
             return BatchExecution(executions=(), total_ms=0.0)
-        if self._pool is None or len(queries) == 1:
-            executions = tuple(self.execute(query) for query in queries)
+        if deadline is not None or self._pool is None or len(queries) == 1:
+            executions = tuple(
+                self.execute(query, deadline=deadline) for query in queries
+            )
         else:
             executions = tuple(self._pool.map(self.execute, queries))
         return BatchExecution(
@@ -834,38 +935,96 @@ class WhyNotExecutor:
         )
         return whynot_fingerprint(question.query, oids, question.model, lam)
 
-    def execute(self, question: WhyNotQuestion) -> WhyNotExecution:
+    def execute(
+        self,
+        question: WhyNotQuestion,
+        *,
+        deadline: "faults.Deadline | None" = None,
+    ) -> WhyNotExecution:
         """Answer a question through the cache and in-flight dedup layers.
 
         Engine rejections (:class:`~repro.whynot.errors.WhyNotError`,
         e.g. a "missing" object that is actually in the result)
         propagate to the caller and are never cached.
+
+        With a ``deadline`` the answer computation runs under a
+        *strict* deadline scope: why-not rank arithmetic is count-exact
+        or worthless, so a budget that runs out mid-scan raises out of
+        the engine and this method returns a ``source == "degraded"``
+        execution (``answer`` None, ``degraded`` the envelope) instead
+        of a silently-wrong partial count.  The initial top-k fetch
+        stays outside the scope — it must be exact for the explanation
+        to mean anything.  Degraded executions are never cached.
         """
         fingerprint = self.fingerprint(question)
         started = time.perf_counter()
         topk_source: str | None = None
 
-        def compute() -> object:
-            nonlocal topk_source
-            initial_result: QueryResult | None = None
-            if question.model in _MODELS_USING_INITIAL:
-                initial = self._topk.execute(question.query)
-                initial_result = initial.result
-                topk_source = initial.source
-            return self._engine.answer_whynot(
-                question, initial_result=initial_result
+        if deadline is None:
+
+            def compute() -> object:
+                nonlocal topk_source
+                initial_result: QueryResult | None = None
+                if question.model in _MODELS_USING_INITIAL:
+                    initial = self._topk.execute(question.query)
+                    initial_result = initial.result
+                    topk_source = initial.source
+                return self._engine.answer_whynot(
+                    question, initial_result=initial_result
+                )
+
+            answer, source = self._cache.fetch(fingerprint, compute)
+            return WhyNotExecution(
+                question=question,
+                answer=answer,
+                response_ms=(time.perf_counter() - started) * 1000.0,
+                source=source,
+                fingerprint=fingerprint,
+                # topk_source is only meaningful when *this* call computed:
+                # cache/inflight responses charged no top-k fetch at all.
+                topk_source=topk_source if source == "engine" else None,
             )
 
-        answer, source = self._cache.fetch(fingerprint, compute)
+        peeked = self._cache.peek(fingerprint)
+        if peeked is not None:
+            return WhyNotExecution(
+                question=question,
+                answer=peeked[0],
+                response_ms=(time.perf_counter() - started) * 1000.0,
+                source="cache",
+                fingerprint=fingerprint,
+            )
+        generation = self._cache.generation()
+        initial_result: QueryResult | None = None
+        if question.model in _MODELS_USING_INITIAL:
+            initial = self._topk.execute(question.query)
+            initial_result = initial.result
+            topk_source = initial.source
+        try:
+            with faults.strict_deadline_scope(deadline):
+                answer = self._engine.answer_whynot(
+                    question, initial_result=initial_result
+                )
+        except faults.DeadlineExceeded as exc:
+            deadline.note_failed("why-not refinement exceeded the deadline")
+            return WhyNotExecution(
+                question=question,
+                answer=None,
+                response_ms=(time.perf_counter() - started) * 1000.0,
+                source="degraded",
+                fingerprint=fingerprint,
+                topk_source=topk_source,
+                error=str(exc),
+                degraded=deadline.to_dict(),
+            )
+        self._cache.put(fingerprint, answer, None, generation)
         return WhyNotExecution(
             question=question,
             answer=answer,
             response_ms=(time.perf_counter() - started) * 1000.0,
-            source=source,
+            source="engine",
             fingerprint=fingerprint,
-            # topk_source is only meaningful when *this* call computed:
-            # cache/inflight responses charged no top-k fetch at all.
-            topk_source=topk_source if source == "engine" else None,
+            topk_source=topk_source,
         )
 
     # ------------------------------------------------------------------

@@ -40,8 +40,11 @@ __all__ = [
     "MAX_BATCH_MUTATIONS",
     "MAX_BATCH_QUERIES",
     "MAX_BATCH_QUESTIONS",
+    "MAX_BATCH_TOKEN_LENGTH",
     "ProtocolError",
+    "batch_token_from_dict",
     "min_generation_from_dict",
+    "timeout_ms_from_dict",
     "mutation_from_dict",
     "mutation_to_dict",
     "mutations_from_dict",
@@ -256,6 +259,47 @@ def min_generation_from_dict(payload: Mapping[str, Any]) -> int | None:
     return raw
 
 
+#: Defensive cap on idempotency-token length: the token is persisted in
+#: every WAL record that carries it, so an adversarially long token must
+#: not bloat the log.
+MAX_BATCH_TOKEN_LENGTH = 128
+
+
+def timeout_ms_from_dict(payload: Mapping[str, Any]) -> float | None:
+    """Parse the optional ``timeout_ms`` request budget (positive number).
+
+    Absent (or null) means no deadline — the request runs to exact
+    completion however long that takes.
+    """
+    raw = payload.get("timeout_ms")
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise ProtocolError("'timeout_ms' must be a positive number")
+    budget = float(raw)
+    if not budget > 0.0:
+        raise ProtocolError("'timeout_ms' must be a positive number")
+    return budget
+
+
+def batch_token_from_dict(payload: Mapping[str, Any]) -> str | None:
+    """Parse the optional ``batch_token`` idempotency token.
+
+    A non-empty string of at most :data:`MAX_BATCH_TOKEN_LENGTH`
+    characters; absent means the mutation batch is not retriable.
+    """
+    raw = payload.get("batch_token")
+    if raw is None:
+        return None
+    if not isinstance(raw, str) or not raw:
+        raise ProtocolError("'batch_token' must be a non-empty string")
+    if len(raw) > MAX_BATCH_TOKEN_LENGTH:
+        raise ProtocolError(
+            f"'batch_token' exceeds {MAX_BATCH_TOKEN_LENGTH} characters"
+        )
+    return raw
+
+
 def mutations_from_dict(
     payload: Mapping[str, Any],
     *,
@@ -409,13 +453,20 @@ def result_to_dict(result: QueryResult) -> dict[str, Any]:
 # Executor responses
 # ----------------------------------------------------------------------
 def execution_to_dict(execution: "Execution") -> dict[str, Any]:
-    """Serialise one executor :class:`Execution` (single or batch member)."""
-    return {
+    """Serialise one executor :class:`Execution` (single or batch member).
+
+    ``degraded`` appears only on deadline-degraded partial results, so
+    exact responses are byte-identical to the pre-deadline protocol.
+    """
+    payload: dict[str, Any] = {
         "response_ms": execution.response_ms,
         "cached": execution.cached,
         "source": execution.source,
         "result": result_to_dict(execution.result),
     }
+    if execution.degraded is not None:
+        payload["degraded"] = execution.degraded
+    return payload
 
 
 def batch_execution_to_dict(batch: "BatchExecution") -> dict[str, Any]:
@@ -538,6 +589,8 @@ def whynot_execution_to_dict(execution: "WhyNotExecution") -> dict[str, Any]:
         "source": execution.source,
         "topk_source": execution.topk_source,
     }
+    if execution.degraded is not None:
+        payload["degraded"] = execution.degraded
     if execution.error is not None:
         payload["error"] = execution.error
         payload["answer"] = None

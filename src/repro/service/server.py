@@ -32,7 +32,11 @@ request flow:
 * ``GET /api/log?session_id=…`` — the query-log panel (Fig. 4, Panel 5).
 * ``GET /api/stats`` — cache hit/miss/eviction counters for both
   executor tiers (top-k and why-not).
-* ``GET /healthz`` — liveness probe.
+* ``GET /healthz`` — liveness probe (historical alias).
+* ``GET /api/health/live`` — liveness: the process answers, nothing else.
+* ``GET /api/health/ready`` — readiness: 503 + detail while the WAL
+  circuit breaker holds the server in read-only degraded mode;
+  otherwise 200 with breaker state, in-flight gauge and follower lag.
 
 All top-k executions — single and batch — flow through one
 :class:`repro.service.executor.QueryExecutor`, so a repeated query is a
@@ -52,13 +56,14 @@ server-side response time.
 from __future__ import annotations
 
 import json
+import math
 import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs, unquote, urlparse
 
-from repro import concurrency
+from repro import concurrency, faults
 from repro.core.mutations import MissingTargetError, Mutation, MutationError
 from repro.service.api import YaskEngine
 from repro.service.executor import (
@@ -72,6 +77,7 @@ from repro.service.protocol import (
     ProtocolError,
     batch_execution_to_dict,
     batch_queries_from_dict,
+    batch_token_from_dict,
     batch_whynot_questions_from_dict,
     combined_refinement_to_dict,
     explanation_to_dict,
@@ -84,9 +90,11 @@ from repro.service.protocol import (
     preference_refinement_to_dict,
     query_from_dict,
     result_to_dict,
+    timeout_ms_from_dict,
     whynot_batch_execution_to_dict,
 )
 from repro.service.protocol import min_generation_from_dict
+from repro.service.resilience import CLOSED, CircuitBreaker, InflightGauge
 from repro.service.session import SessionManager
 from repro.service.wal import FollowerEngine, FollowerLagError, WalWriteError
 from repro.whynot.errors import WhyNotError
@@ -97,11 +105,47 @@ _MAX_BODY_BYTES = 1 << 20  # defensive cap on request bodies
 
 
 class _RequestError(Exception):
-    """An error with an HTTP status code attached."""
+    """An error with an HTTP status code (and optional Retry-After)."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self, status: int, message: str, *, retry_after: float | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+
+class _FollowerEngineProxy:
+    """The executors' engine handle on a follower server.
+
+    A follower's engine object can be *replaced* mid-flight: when log
+    compaction outruns the tail position,
+    :meth:`~repro.service.wal.FollowerEngine.poll` re-bootstraps from
+    the newest snapshot and swaps in a fresh engine.  The executors
+    must always talk to the current one, so they hold this proxy
+    (re-reading ``follower.engine`` per call) instead of a direct
+    reference that would silently pin the pre-rebootstrap state.
+    """
+
+    __slots__ = ("_follower",)
+
+    def __init__(self, follower: FollowerEngine) -> None:
+        self._follower = follower
+
+    def query(self, query):
+        return self._follower.engine.query(query)
+
+    def resolve_missing_oids(self, references):
+        return self._follower.engine.resolve_missing_oids(references)
+
+    def answer_whynot(self, question, *, initial_result=None):
+        return self._follower.engine.answer_whynot(
+            question, initial_result=initial_result
+        )
+
+    @property
+    def scorer(self):
+        return self._follower.engine.scorer
 
 
 def _keyerror_message(exc: KeyError) -> str:
@@ -131,6 +175,9 @@ class YaskHTTPServer(ThreadingHTTPServer):
         follower: FollowerEngine | None = None,
         snapshot_every: int | None = None,
         snapshot_interval_secs: float | None = None,
+        max_inflight: int | None = None,
+        breaker_failure_threshold: int = 3,
+        breaker_cooldown_ms: float = 1000.0,
     ) -> None:
         if follower is not None and follower.engine is not engine:
             raise ValueError(
@@ -151,10 +198,28 @@ class YaskHTTPServer(ThreadingHTTPServer):
                     "snapshot_interval_secs requires an engine with a "
                     "write-ahead log"
                 )
-        self.engine = engine
+        self._engine = engine
         # A follower server is read-only: reads poll the tailed log
         # before executing, writes are refused with a structured 403.
         self.follower = follower
+        # Admission control: a bounded in-flight gauge sheds excess
+        # POST/DELETE traffic with a structured 503 + Retry-After
+        # instead of queueing it behind a saturated worker pool.  GETs
+        # (health probes, stats) are always admitted — an overloaded
+        # server must still answer "am I alive".
+        self.inflight = InflightGauge(max_inflight)
+        # The WAL circuit breaker: persistent WalWriteErrors flip the
+        # primary into an advertised read-only degraded mode instead of
+        # grinding through a failing append on every mutation.  Only a
+        # primary with a log has one (a follower is read-only anyway).
+        self.breaker: CircuitBreaker | None = (
+            CircuitBreaker(
+                failure_threshold=breaker_failure_threshold,
+                cooldown_ms=breaker_cooldown_ms,
+            )
+            if engine.wal is not None and follower is None
+            else None
+        )
         self.snapshot_every = snapshot_every
         self.snapshot_interval_secs = snapshot_interval_secs
         # Root of the lock hierarchy: held across engine.snapshot(),
@@ -179,13 +244,21 @@ class YaskHTTPServer(ThreadingHTTPServer):
                 name="yask-snapshot-timer",
                 daemon=True,
             )
+        # On a follower the executors hold a proxy, not the engine
+        # itself: a compaction-outrun poll may swap the follower's
+        # engine (snapshot re-bootstrap), and the executors must follow.
+        served_engine = (
+            _FollowerEngineProxy(follower) if follower is not None else engine
+        )
         self.executor = QueryExecutor(
-            engine, cache_capacity=cache_capacity, max_workers=batch_workers
+            served_engine,
+            cache_capacity=cache_capacity,
+            max_workers=batch_workers,
         )
         # Shares the top-k executor's invalidation domain and reuses its
         # cached results as why-not starting points.
         self.whynot_executor = WhyNotExecutor(
-            engine,
+            served_engine,
             self.executor,
             cache_capacity=whynot_cache_capacity,
             max_workers=batch_workers,
@@ -196,9 +269,34 @@ class YaskHTTPServer(ThreadingHTTPServer):
             self._snapshot_timer.start()
 
     @property
+    def engine(self) -> YaskEngine:
+        """The engine currently being served.
+
+        On a follower this re-reads ``follower.engine`` every time: a
+        compaction-outrun poll re-bootstraps the follower from the
+        newest snapshot and swaps in a fresh engine, and every handler
+        must see the swap immediately.
+        """
+        if self.follower is not None:
+            return self.follower.engine
+        return self._engine
+
+    @property
     def endpoint(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    def resilience_stats(self) -> dict[str, Any]:
+        """The ``resilience`` section of ``GET /api/stats``."""
+        breaker = self.breaker
+        return {
+            "inflight": self.inflight.to_dict(),
+            "breaker": breaker.to_dict() if breaker is not None else None,
+            "read_only": (
+                self.follower is not None
+                or (breaker is not None and breaker.state != CLOSED)
+            ),
+        }
 
     def maybe_snapshot(self) -> dict | None:
         """Checkpoint the log when the configured cadence is due.
@@ -252,7 +350,18 @@ class YaskHTTPServer(ThreadingHTTPServer):
         """Tail the log before a read; drop caches if anything applied."""
         if self.follower is None:
             return 0
-        applied = self.follower.poll()
+        try:
+            applied = self.follower.poll()
+        except OSError as exc:
+            # The replica could not reach the primary's log (shared
+            # volume hiccup, injected fault).  The replica itself is
+            # healthy, merely unable to advance right now: a retryable
+            # 503, not an internal error.
+            raise _RequestError(
+                503,
+                f"replica tailing failed: {exc}; retry shortly",
+                retry_after=1.0,
+            ) from exc
         if applied:
             # The replica advanced: cached results may predate the new
             # records.  No batch summary survives replay here, so drop
@@ -292,6 +401,14 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         try:
             if parsed.path == "/healthz":
                 self._send_json(200, {"status": "ok", "objects": len(self.server.engine.database)})
+            elif parsed.path == "/api/health/live":
+                # Liveness: the process accepts connections and can
+                # serialise a response.  Never consults engine state —
+                # a degraded server is still alive.
+                self._send_json(200, {"status": "ok"})
+            elif parsed.path == "/api/health/ready":
+                status, body = self._readiness()
+                self._send_json(status, body)
             elif parsed.path.startswith("/api/objects/"):
                 obj = self._resolve_object(parsed.path)
                 self._send_json(200, {"object": object_to_dict(obj)})
@@ -365,12 +482,18 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
                             if self.server.follower is not None
                             else self.server.engine.durability_stats()
                         ),
+                        # Graceful-degradation tier: in-flight gauge,
+                        # WAL circuit breaker and the advertised
+                        # read-only flag.
+                        "resilience": self.server.resilience_stats(),
                     },
                 )
             else:
                 self._send_json(404, {"error": f"unknown path {parsed.path}"})
         except _RequestError as exc:
-            self._send_json(exc.status, {"error": str(exc)})
+            self._send_json(
+                exc.status, {"error": str(exc)}, retry_after=exc.retry_after
+            )
         except Exception as exc:  # pragma: no cover - last-resort guard
             self._send_json(500, {"error": f"internal error: {exc}"})
 
@@ -392,19 +515,35 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         if handler is None:
             self._send_json(404, {"error": f"unknown path {parsed.path}"})
             return
+        if not self.server.inflight.try_enter():
+            # Load-shedding: beyond the in-flight bound the request is
+            # refused *before* any body is read or lock is touched, so
+            # an overloaded server answers in microseconds.
+            self._send_json(
+                503,
+                {
+                    "error": "server overloaded: too many requests in "
+                    "flight; retry after the advertised delay",
+                    "shed": True,
+                },
+                retry_after=1.0,
+            )
+            return
         try:
             payload = self._read_json()
             status, body = handler(payload)
             self._send_json(status, body)
         except _RequestError as exc:
-            self._send_json(exc.status, {"error": str(exc)})
+            self._send_json(
+                exc.status, {"error": str(exc)}, retry_after=exc.retry_after
+            )
         except ProtocolError as exc:
             self._send_json(400, {"error": str(exc)})
         except (FollowerLagError, WalWriteError) as exc:
             # Durability failures are 503s: the write was NOT applied
             # (WalWriteError) or the replica is healthy but behind the
             # client's consistency token (FollowerLagError); retry.
-            self._send_json(503, {"error": str(exc)})
+            self._send_json(503, {"error": str(exc)}, retry_after=1.0)
         except MissingTargetError as exc:
             # An update/delete addressed an object that does not exist:
             # the mutation analogue of a 404, not an internal error.
@@ -415,9 +554,22 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
             self._send_json(422, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - last-resort guard
             self._send_json(500, {"error": f"internal error: {exc}"})
+        finally:
+            self.server.inflight.exit()
 
     def do_DELETE(self) -> None:  # noqa: N802
         parsed = urlparse(self.path)
+        if not self.server.inflight.try_enter():
+            self._send_json(
+                503,
+                {
+                    "error": "server overloaded: too many requests in "
+                    "flight; retry after the advertised delay",
+                    "shed": True,
+                },
+                retry_after=1.0,
+            )
+            return
         try:
             if not parsed.path.startswith("/api/objects/"):
                 self._send_json(404, {"error": f"unknown path {parsed.path}"})
@@ -426,15 +578,19 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
             report = self._apply_and_invalidate([Mutation.delete(obj.oid)])
             self._send_json(200, report)
         except _RequestError as exc:
-            self._send_json(exc.status, {"error": str(exc)})
+            self._send_json(
+                exc.status, {"error": str(exc)}, retry_after=exc.retry_after
+            )
         except WalWriteError as exc:
-            self._send_json(503, {"error": str(exc)})
+            self._send_json(503, {"error": str(exc)}, retry_after=1.0)
         except MissingTargetError as exc:
             self._send_json(404, {"error": str(exc)})
         except MutationError as exc:
             self._send_json(409, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - last-resort guard
             self._send_json(500, {"error": f"internal error: {exc}"})
+        finally:
+            self.server.inflight.exit()
 
     # ------------------------------------------------------------------
     # Handlers
@@ -460,11 +616,18 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
                 f"at least {min_generation}; retry shortly",
             )
 
+    @staticmethod
+    def _deadline_of(payload: Mapping[str, Any]) -> "faults.Deadline | None":
+        """Build the request's deadline from an optional ``timeout_ms``."""
+        budget = timeout_ms_from_dict(payload)
+        return faults.Deadline(budget) if budget is not None else None
+
     def _handle_query(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         engine = self.server.engine
         self._sync_read_state(payload)
         query = query_from_dict(payload, default_weights=engine.default_weights)
-        execution = self.server.executor.execute(query)
+        deadline = self._deadline_of(payload)
+        execution = self.server.executor.execute(query, deadline=deadline)
         session = self.server.sessions.create(query, execution.result)
         session.log.record(
             "top-k query",
@@ -472,12 +635,17 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
             execution.response_ms,
             cached=execution.cached,
         )
-        return 200, {
+        body = {
             "session_id": session.session_id,
             "response_ms": execution.response_ms,
             "cached": execution.cached,
             "result": result_to_dict(execution.result),
         }
+        if execution.degraded is not None:
+            # Partial results, honestly labelled: the shards that
+            # answered are exact, the envelope says what was skipped.
+            body["degraded"] = execution.degraded
+        return 200, body
 
     def _handle_query_batch(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         engine = self.server.engine
@@ -485,13 +653,17 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         queries = batch_queries_from_dict(
             payload, default_weights=engine.default_weights
         )
-        batch = self.server.executor.execute_batch(queries)
+        batch = self.server.executor.execute_batch(
+            queries, deadline=self._deadline_of(payload)
+        )
         return 200, batch_execution_to_dict(batch)
 
     # ------------------------------------------------------------------
     # Mutation handlers (live insert / update / delete)
     # ------------------------------------------------------------------
-    def _apply_and_invalidate(self, mutations) -> dict:
+    def _apply_and_invalidate(
+        self, mutations, *, batch_token: str | None = None
+    ) -> dict:
         """Apply a batch through the engine, then invalidate *scoped*.
 
         Only cached top-k results the batch could actually affect are
@@ -499,6 +671,14 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         against the batch summary); unaffected entries stay warm.  The
         response reports both the engine-side report and the cache
         tally.
+
+        The WAL circuit breaker fronts the whole path: while OPEN the
+        server is in advertised read-only degraded mode and mutations
+        are refused fast with a ``Retry-After`` of the remaining
+        cooldown; a half-open probe that succeeds closes it again.  A
+        ``batch_token`` retry of an already-committed batch returns the
+        original generation with ``deduplicated: true`` and touches
+        neither the WAL, the indexes nor the caches.
         """
         engine = self.server.engine
         if self.server.follower is not None:
@@ -513,7 +693,32 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
                 "this engine cannot apply mutations (IR-tree/cosine "
                 "configuration); rebuild the engine with the new objects",
             )
-        report = engine.apply_mutations(mutations)
+        breaker = self.server.breaker
+        if breaker is not None:
+            admitted, retry_after = breaker.allow()
+            if not admitted:
+                raise _RequestError(
+                    503,
+                    "read-only degraded mode: the write-ahead log is "
+                    "failing and the circuit breaker is open; reads are "
+                    "served, mutations are refused until a probe "
+                    "succeeds",
+                    retry_after=retry_after,
+                )
+        try:
+            report = engine.apply_mutations(
+                mutations, batch_token=batch_token
+            )
+        except WalWriteError:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        if report.deduplicated:
+            # Nothing moved: the token's original commit already did
+            # the invalidation and (maybe) the snapshot.
+            return report.to_dict()
         invalidation = self.server.executor.invalidate_scoped(
             report.change.summary
         )
@@ -550,12 +755,16 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         else:
             objects = [spatial_object_from_dict(payload)]
         mutations = [Mutation.insert(obj) for obj in objects]
-        return 200, self._apply_and_invalidate(mutations)
+        return 200, self._apply_and_invalidate(
+            mutations, batch_token=batch_token_from_dict(payload)
+        )
 
     def _handle_mutations(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         """``POST /api/mutations``: a mixed insert/update/delete batch."""
         mutations = mutations_from_dict(payload)
-        return 200, self._apply_and_invalidate(mutations)
+        return 200, self._apply_and_invalidate(
+            mutations, batch_token=batch_token_from_dict(payload)
+        )
 
     def _ask_whynot(
         self, payload: Mapping[str, Any], model: str
@@ -576,11 +785,33 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
             model=model,
             lam=lam,
         )
-        execution = self.server.whynot_executor.execute(question)
+        execution = self.server.whynot_executor.execute(
+            question, deadline=self._deadline_of(payload)
+        )
         return session, question, execution
+
+    def _degraded_whynot_body(
+        self, session, execution: "WhyNotExecution"
+    ) -> dict:
+        """The response body of a deadline-degraded why-not execution.
+
+        Why-not arithmetic is count-exact or worthless, so there is no
+        partial answer to return — only the honest envelope.  The
+        status stays 200: the request was handled as asked, within the
+        budget the client itself set.
+        """
+        return {
+            "session_id": session.session_id,
+            "response_ms": execution.response_ms,
+            "cached": False,
+            "degraded": execution.degraded,
+            "error": execution.error,
+        }
 
     def _handle_explain(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         session, question, execution = self._ask_whynot(payload, "explain")
+        if execution.degraded is not None:
+            return 200, self._degraded_whynot_body(session, execution)
         session.log.record(
             "why-not explanation",
             {"missing": len(question.missing)},
@@ -602,6 +833,8 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_preference(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         session, question, execution = self._ask_whynot(payload, "preference")
+        if execution.degraded is not None:
+            return 200, self._degraded_whynot_body(session, execution)
         refinement = execution.answer
         session.log.record(
             "preference adjustment",
@@ -625,6 +858,8 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_keywords(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         session, question, execution = self._ask_whynot(payload, "keywords")
+        if execution.degraded is not None:
+            return 200, self._degraded_whynot_body(session, execution)
         refinement = execution.answer
         session.log.record(
             "keyword adaption",
@@ -649,6 +884,8 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_combined(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
         session, question, execution = self._ask_whynot(payload, "combined")
+        if execution.degraded is not None:
+            return 200, self._degraded_whynot_body(session, execution)
         refinement = execution.answer
         session.log.record(
             "combined refinement",
@@ -744,11 +981,43 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
         except KeyError as exc:
             raise _RequestError(404, str(exc)) from None
 
-    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+    def _readiness(self) -> tuple[int, dict]:
+        """``GET /api/health/ready``: can this server serve *fully*?
+
+        503 while the WAL circuit breaker is open (advertised read-only
+        degraded mode — a load balancer should prefer healthy
+        primaries); 200 otherwise, always with the full detail: breaker
+        state, in-flight gauge and (on a follower) the replica's tail
+        position, so operators see *why* readiness flipped.
+        """
+        server = self.server
+        breaker = server.breaker
+        degraded = breaker is not None and breaker.state != CLOSED
+        body: dict[str, Any] = {
+            "status": "degraded" if degraded else "ok",
+            "role": "follower" if server.follower is not None else "primary",
+            "generation": server.engine.generation,
+            "resilience": server.resilience_stats(),
+        }
+        if server.follower is not None:
+            body["follower"] = server.follower.to_dict()
+        return (503 if degraded else 200), body
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Mapping[str, Any],
+        *,
+        retry_after: float | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # An integral number of seconds, rounded up: "Retry-After: 0"
+            # would invite an immediate hammer.
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -761,6 +1030,7 @@ def serve_forever(
     follower: FollowerEngine | None = None,
     snapshot_every: int | None = None,
     snapshot_interval_secs: float | None = None,
+    max_inflight: int | None = None,
 ) -> None:
     """Blocking entry point used by ``yask serve`` and ``yask follow``."""
     server = YaskHTTPServer(
@@ -770,6 +1040,7 @@ def serve_forever(
         follower=follower,
         snapshot_every=snapshot_every,
         snapshot_interval_secs=snapshot_interval_secs,
+        max_inflight=max_inflight,
     )
     role = "follower" if follower is not None else "server"
     print(f"YASK {role} listening on {server.endpoint}")

@@ -45,6 +45,7 @@ from itertools import chain
 from operator import neg
 from typing import Sequence
 
+from repro import faults
 from repro.core.query import QueryResult, RankedObject, SpatialKeywordQuery
 from repro.core.scoring import Scorer
 from repro.core.sharding import Shard, ShardRouter, _SKIP_MARGIN
@@ -127,11 +128,22 @@ class ShardedEngine:
         ``(score desc, oid asc)`` order, so candidate lists from
         different shards merge with plain heap selection.
         """
+        faults.trip(f"shard.scan.{shard.shard_id}")
         scores = shard.kernel._score_list(query)
         return nsmallest(k, zip(map(neg, scores), shard.kernel.oids))
 
     def search(self, query: SpatialKeywordQuery) -> QueryResult:
-        """Exact top-k by scatter-gather with shard-bound skipping."""
+        """Exact top-k by scatter-gather with shard-bound skipping.
+
+        Under an absorbing deadline scope
+        (:func:`repro.faults.deadline_scope`) the gather degrades
+        instead of hanging: shards past the deadline are skipped and
+        failing shards are absorbed, each recorded on the scope's
+        :class:`~repro.faults.Deadline` ledger so the serving tier can
+        attach an honest ``degraded`` envelope to the partial result.
+        Bound-pruned shards provably cannot contribute and count as
+        answered — pruning is exactness, not degradation.
+        """
         router = self._router
         stats = router.stats
         stats.bump("topk_searches")
@@ -147,7 +159,32 @@ class ShardedEngine:
         scanned = 0
         skipped = 0
 
-        if self._pool is None or len(order) == 1:
+        scope = faults.current_scope()
+        deadline = scope[0] if scope is not None and not scope[1] else None
+        if deadline is not None:
+            # Degradable sequential gather: deterministic visit order
+            # (bound-descending), deadline checked between shard scans.
+            for position, index in enumerate(order):
+                if (
+                    len(best) == k
+                    and bounds[index] < -best[k - 1][0] - _SKIP_MARGIN
+                ):
+                    skipped += 1
+                    deadline.note_answered()
+                    continue
+                if deadline.expired():
+                    deadline.note_skipped(len(order) - position, "deadline")
+                    break
+                shard = shards[index]
+                try:
+                    piece = self._scan_shard(shard, query, k)
+                except Exception as exc:
+                    deadline.note_failed(f"shard {shard.shard_id}: {exc}")
+                    continue
+                scanned += 1
+                deadline.note_answered()
+                best = nsmallest(k, chain(best, piece))
+        elif self._pool is None or len(order) == 1:
             # Sequential adaptive gather: every scanned shard tightens
             # the threshold for the ones after it.
             for index in order:

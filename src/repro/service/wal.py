@@ -51,7 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
 
-from repro import concurrency
+from repro import concurrency, faults
 from repro.index.persistence import IndexPersistenceError, database_from_dict
 
 if TYPE_CHECKING:  # the engine imports this module's errors lazily
@@ -126,10 +126,17 @@ class FollowerLagError(WalError):
 
 @dataclass(frozen=True, slots=True)
 class WalRecord:
-    """One logged batch: its generation and the wire-shaped mutations."""
+    """One logged batch: its generation and the wire-shaped mutations.
+
+    ``token`` is the client-supplied idempotency token of the batch, if
+    any — replay repopulates the engine's dedup map from it, so a
+    client retrying a mutation across a primary restart still gets the
+    original generation back instead of a double-apply.
+    """
 
     generation: int
     mutations: tuple[Mapping[str, Any], ...]
+    token: str | None = None
 
 
 def _segment_name(start_generation: int) -> str:
@@ -156,10 +163,15 @@ def _list_segments(directory: Path) -> list[Path]:
     return sorted(segments, key=_segment_start)
 
 
-def _encode_record(generation: int, mutations: Sequence[Mapping[str, Any]]) -> bytes:
-    payload = json.dumps(
-        {"g": generation, "m": list(mutations)}, separators=(",", ":")
-    ).encode("utf-8")
+def _encode_record(
+    generation: int,
+    mutations: Sequence[Mapping[str, Any]],
+    token: str | None = None,
+) -> bytes:
+    record: dict[str, Any] = {"g": generation, "m": list(mutations)}
+    if token is not None:
+        record["t"] = token
+    payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
@@ -177,22 +189,48 @@ def _scan_records(
     total = len(raw)
     while True:
         if offset + _HEADER.size > total:
-            reason = None if offset == total else "truncated record header"
+            reason = (
+                None
+                if offset == total
+                else (
+                    f"truncated record header at offset {offset} "
+                    f"({total - offset} of {_HEADER.size} header bytes)"
+                )
+            )
             return records, offset, reason
         length, crc = _HEADER.unpack_from(raw, offset)
         if length > _MAX_RECORD_BYTES:
-            return records, offset, f"implausible record length {length}"
+            return (
+                records,
+                offset,
+                f"implausible record length {length} at offset {offset}",
+            )
         start = offset + _HEADER.size
         end = start + length
         if end > total:
-            return records, offset, "truncated record payload"
+            return (
+                records,
+                offset,
+                f"truncated record payload at offset {offset} "
+                f"({total - start} of {length} payload bytes)",
+            )
         payload = raw[start:end]
-        if zlib.crc32(payload) != crc:
-            return records, offset, "record checksum mismatch"
+        actual_crc = zlib.crc32(payload)
+        if actual_crc != crc:
+            return (
+                records,
+                offset,
+                f"record checksum mismatch at offset {offset}: expected "
+                f"CRC 0x{crc:08x}, got 0x{actual_crc:08x}",
+            )
         try:
             decoded = json.loads(payload)
         except (UnicodeDecodeError, json.JSONDecodeError):
-            return records, offset, "record payload is not JSON"
+            return (
+                records,
+                offset,
+                f"record payload at offset {offset} is not JSON",
+            )
         if (
             not isinstance(decoded, dict)
             or not isinstance(decoded.get("g"), int)
@@ -201,12 +239,44 @@ def _scan_records(
             or not isinstance(decoded.get("m"), list)
             or not decoded["m"]
             or not all(isinstance(item, dict) for item in decoded["m"])
+            or not (
+                decoded.get("t") is None or isinstance(decoded.get("t"), str)
+            )
         ):
-            return records, offset, "malformed record payload"
+            return (
+                records,
+                offset,
+                f"malformed record payload at offset {offset}",
+            )
         records.append(
-            WalRecord(generation=decoded["g"], mutations=tuple(decoded["m"]))
+            WalRecord(
+                generation=decoded["g"],
+                mutations=tuple(decoded["m"]),
+                token=decoded.get("t"),
+            )
         )
         offset = end
+
+
+def _corruption_message(path: Path, torn_reason: str, is_tail: bool) -> str:
+    """Name the failure class: recoverable torn tail vs mid-log damage.
+
+    A torn *tail* (final segment, crash mid-append) is self-healing —
+    reopening the writer truncates it — so its message says exactly
+    that.  Damage behind intact records or in a non-final segment is
+    unrecoverable corruption and the message must never suggest
+    truncation would fix it.
+    """
+    if is_tail:
+        return (
+            f"recoverable torn tail in segment {path.name}: {torn_reason}; "
+            "reopening the write-ahead log writer truncates it away"
+        )
+    return (
+        f"mid-log corruption in segment {path.name}: {torn_reason}; "
+        "the log cannot be replayed past this point — restore from a "
+        "snapshot or a replica"
+    )
 
 
 def _read_bytes(path: Path, opener: Opener) -> bytes:
@@ -246,7 +316,9 @@ def read_records(
         if torn_reason is not None and not (
             tolerate_torn_tail and index == len(segments) - 1
         ):
-            raise WalCorruptionError(f"{path.name}: {torn_reason}")
+            raise WalCorruptionError(
+                _corruption_message(path, torn_reason, index == len(segments) - 1)
+            )
         for record in records:
             if record.generation > after:
                 yield record
@@ -359,6 +431,10 @@ class WriteAheadLog:
         self._directory.mkdir(parents=True, exist_ok=True)
         self._fsync = fsync
         self._segment_bytes = segment_bytes
+        # All file I/O flows through the fault-injection guard: inert
+        # (raw handles, one None check per open) unless a chaos plan is
+        # armed via repro.faults.armed().
+        opener = faults.guarded_opener(opener, "wal")
         self._opener = opener
         # Re-entrant: write_snapshot compacts under the same lock.
         # fsync-sanctioned — flushing the log under it IS the write-
@@ -443,7 +519,9 @@ class WriteAheadLog:
             )
             if torn_reason is not None:
                 if not is_last:
-                    raise WalCorruptionError(f"{path.name}: {torn_reason}")
+                    raise WalCorruptionError(
+                        _corruption_message(path, torn_reason, False)
+                    )
                 self._truncate_file(path, clean_end)
             if records:
                 last_generation = max(last_generation, records[-1].generation)
@@ -468,11 +546,17 @@ class WriteAheadLog:
     # Appending (the write-ahead step)
     # ------------------------------------------------------------------
     def append(
-        self, generation: int, mutations: Sequence[Mapping[str, Any]]
+        self,
+        generation: int,
+        mutations: Sequence[Mapping[str, Any]],
+        *,
+        token: str | None = None,
     ) -> None:
         """Durably log one batch as generation ``generation``.
 
-        Raises :class:`WalWriteError` when the frame could not be made
+        ``token`` is the client's idempotency token, persisted in the
+        record so recovery and followers rebuild the dedup map.  Raises
+        :class:`WalWriteError` when the frame could not be made
         durable; the log is rolled back to its pre-append state (or, if
         even that fails, marked failed so every later append refuses
         fast rather than risking a half-written tail).
@@ -493,7 +577,7 @@ class WriteAheadLog:
                     f"non-contiguous append: expected generation "
                     f"{self._last_generation + 1}, got {generation}"
                 )
-            frame = _encode_record(generation, mutations)
+            frame = _encode_record(generation, mutations, token)
             handle = self._ensure_segment(generation)
             offset = self._file_size
             try:
@@ -581,6 +665,9 @@ class WriteAheadLog:
             try:
                 self._file.flush()
             except (OSError, ValueError):
+                # Best-effort pre-read flush: a failing handle surfaces
+                # as a structured WalWriteError on the next append, not
+                # mid-read.
                 pass
 
     # ------------------------------------------------------------------
@@ -713,7 +800,7 @@ class RecoveryReport:
 def _replay(
     records: Iterator[WalRecord] | Sequence[WalRecord],
     generation_of: Callable[[], int],
-    apply: Callable[[Sequence[Any]], Any],
+    apply: Callable[[Sequence[Any], str | None], Any],
 ) -> tuple[int, int]:
     """The shared replay loop: decode, gap-check, apply, verify.
 
@@ -745,7 +832,7 @@ def _replay(
             raise WalCorruptionError(
                 f"record {record.generation} holds a malformed mutation: {exc}"
             ) from None
-        report = apply(mutations)
+        report = apply(mutations, record.token)
         if report.generation != record.generation:
             raise WalCorruptionError(
                 f"record {record.generation} replayed as generation "
@@ -769,7 +856,13 @@ def replay_into(
     generation *gap* raises :class:`WalCorruptionError` (records lost,
     or a follower outrun by compaction).
     """
-    return _replay(records, lambda: engine.generation, engine.apply_mutations)
+    return _replay(
+        records,
+        lambda: engine.generation,
+        lambda mutations, token: engine.apply_mutations(
+            mutations, batch_token=token
+        ),
+    )
 
 
 def _recovered_database(
@@ -787,9 +880,10 @@ def _recovered_database(
     normalisation and generation checking, but none of the engine's
     incremental index maintenance, which recovery would only throw away
     rebuilding the engine anyway.  Returns ``(database,
-    base_generation, final_generation, records, mutations)``; the
-    caller builds the engine (indexes, kernel, shards) once, over the
-    final state.
+    base_generation, final_generation, records, mutations, tokens)``;
+    the caller builds the engine (indexes, kernel, shards) once, over
+    the final state, seeding it with the replayed idempotency tokens so
+    client retries dedup across the restart.
     """
     from repro.core.mutations import MutableDatabase
 
@@ -816,7 +910,7 @@ def _recovered_database(
             tolerate_torn_tail=tolerate_torn_tail,
         ),
         lambda: coordinator.generation,
-        coordinator.apply,
+        lambda mutations, token: coordinator.apply(mutations, token=token),
     )
     return (
         database,
@@ -824,6 +918,7 @@ def _recovered_database(
         coordinator.generation,
         records_applied,
         mutations_applied,
+        coordinator.known_tokens(),
     )
 
 
@@ -857,13 +952,16 @@ def recover_engine(
         directory, fsync=fsync, segment_bytes=segment_bytes, opener=opener
     )
     try:
-        final_db, base_generation, generation, records, mutations = (
+        final_db, base_generation, generation, records, mutations, tokens = (
             _recovered_database(
                 log.directory, database, opener, tolerate_torn_tail=False
             )
         )
         engine = YaskEngine(
-            final_db, base_generation=generation, **engine_kwargs
+            final_db,
+            base_generation=generation,
+            batch_tokens=tokens,
+            **engine_kwargs,
         )
     except BaseException:
         log.close()
@@ -902,9 +1000,13 @@ class FollowerEngine:
     replica has not caught up.
 
     If the primary compacts away segments the follower has not read
-    yet (its lag exceeded the snapshot cadence), polling raises
-    :class:`WalCorruptionError`; restart the follower — it will
-    bootstrap from the newer snapshot.
+    yet (its lag exceeded the snapshot cadence), polling detects the
+    generation gap, confirms the manifest's snapshot has moved past the
+    replica, and *re-bootstraps in place* from that newer snapshot —
+    the engine object is swapped under the follower lock, no restart
+    required.  :attr:`rebootstraps` counts these events; serving tiers
+    holding a reference to :attr:`engine` must re-read the property
+    after each poll (the HTTP server does).
     """
 
     def __init__(
@@ -920,7 +1022,11 @@ class FollowerEngine:
             raise WalError(
                 f"no write-ahead log directory at {self._directory}"
             )
+        # Follower file I/O gets its own injection prefix so chaos
+        # plans can fail replica tailing without touching the primary.
+        opener = faults.guarded_opener(opener, "follower.wal")
         self._opener = opener
+        self._engine_kwargs = engine_kwargs
         # Below the engine lock: poll() holds it while replaying into
         # engine.apply_mutations (engine write lock, level 20).
         self._lock = concurrency.ordered_lock(
@@ -928,18 +1034,22 @@ class FollowerEngine:
         )
         from repro.service.api import YaskEngine
 
-        final_db, self._base_generation, generation, applied, _ = (
+        final_db, self._base_generation, generation, applied, _, tokens = (
             _recovered_database(
                 self._directory, database, opener, tolerate_torn_tail=True
             )
         )
         self._engine = YaskEngine(
-            final_db, base_generation=generation, **engine_kwargs
+            final_db,
+            base_generation=generation,
+            batch_tokens=tokens,
+            **engine_kwargs,
         )
         self._records_applied = applied
         self._cursor: tuple[str, int] | None = None
         self.polls = 0
         self.poll_skips = 0
+        self.rebootstraps = 0
         self.poll()
 
     @property
@@ -973,23 +1083,67 @@ class FollowerEngine:
         return False
 
     def poll(self) -> int:
-        """Apply any newly durable records; returns how many were applied."""
+        """Apply any newly durable records; returns how many were applied.
+
+        When the tail has a generation gap because the primary's
+        compaction outran this replica, the follower re-bootstraps from
+        the newer snapshot instead of dying: the return value then
+        counts the generations the engine advanced, so callers that
+        invalidate caches on ``applied > 0`` stay correct.
+        """
+        faults.trip("follower.poll")
         with self._lock:
             self.polls += 1
             if self._tail_unchanged():
                 self.poll_skips += 1
                 return 0
-            applied, _ = replay_into(
-                self._engine,
-                read_records(
-                    self._directory,
-                    after=self._engine.generation,
-                    opener=self._opener,
-                    tolerate_torn_tail=True,
-                ),
-            )
+            try:
+                applied, _ = replay_into(
+                    self._engine,
+                    read_records(
+                        self._directory,
+                        after=self._engine.generation,
+                        opener=self._opener,
+                        tolerate_torn_tail=True,
+                    ),
+                )
+            except WalCorruptionError:
+                snapshot_generation = _load_manifest(
+                    self._directory, self._opener
+                )["snapshot_generation"]
+                if snapshot_generation <= self._engine.generation:
+                    # Not compaction outrunning us — genuine damage.
+                    raise
+                applied = self._rebootstrap()
             self._records_applied += applied
             return applied
+
+    def _rebootstrap(self) -> int:
+        """Rebuild the replica engine from the newest snapshot, in place.
+
+        Called under the follower lock when compaction removed the
+        segments between the replica's generation and the primary's.
+        Returns the number of generations advanced (always >= 1).
+        """
+        from repro.service.api import YaskEngine
+
+        final_db, base_generation, generation, _, _, tokens = (
+            _recovered_database(
+                self._directory, None, self._opener, tolerate_torn_tail=True
+            )
+        )
+        previous = self._engine
+        before = previous.generation
+        self._engine = YaskEngine(
+            final_db,
+            base_generation=generation,
+            batch_tokens=tokens,
+            **self._engine_kwargs,
+        )
+        self._base_generation = base_generation
+        self.rebootstraps += 1
+        previous.close()
+        return max(1, generation - before)
 
     def read(
         self,
@@ -1033,6 +1187,7 @@ class FollowerEngine:
                 "records_applied": self._records_applied,
                 "polls": self.polls,
                 "poll_skips": self.poll_skips,
+                "rebootstraps": self.rebootstraps,
             }
 
     def close(self) -> None:

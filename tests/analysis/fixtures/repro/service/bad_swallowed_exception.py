@@ -1,0 +1,50 @@
+"""Seeded YASK106 violations: silently swallowed exceptions."""
+
+
+def swallow_everything(handle):
+    try:
+        handle.close()
+    except Exception:
+        pass
+
+
+def swallow_specific(path):
+    import os
+
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def swallow_bare(work):
+    try:
+        work()
+    except:
+        pass
+
+
+# --- everything below is sanctioned and must NOT be flagged -----------
+
+
+def cleanup_with_reason(handle):
+    try:
+        handle.close()
+    except Exception:
+        pass  # best-effort cleanup: the handle may already be gone
+
+
+def reason_on_the_except_line(path):
+    import os
+
+    try:
+        os.unlink(path)
+    except OSError:  # the probe file is optional; absence is fine
+        pass
+
+
+def handler_that_actually_handles(work, log):
+    try:
+        work()
+    except ValueError as exc:
+        log.append(str(exc))

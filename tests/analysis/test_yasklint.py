@@ -108,6 +108,26 @@ def test_yask105_ordered_lock_and_event_not_flagged() -> None:
     assert not any(v.line >= 22 for v in violations)
 
 
+def test_yask106_swallowed_exception_lines() -> None:
+    assert findings(
+        "repro/service/bad_swallowed_exception.py", "YASK106"
+    ) == [
+        (7, "YASK106"),
+        (16, "YASK106"),
+        (23, "YASK106"),
+    ]
+
+
+def test_yask106_commented_and_handled_exempt() -> None:
+    violations = [
+        v
+        for v in lint_fixture("repro/service/bad_swallowed_exception.py")
+        if v.rule_id == "YASK106"
+    ]
+    # The reason-commented handlers and the one that logs must be clean.
+    assert not any(v.line >= 27 for v in violations)
+
+
 def test_justified_suppression_silences_finding() -> None:
     violations = lint_fixture("repro/whynot/bad_float_eq.py")
     assert not any(v.line == 23 for v in violations)
@@ -128,7 +148,14 @@ def test_scope_excludes_approved_modules() -> None:
 
 def test_rule_catalogue_registered() -> None:
     ids = [rule.rule_id for rule in registered_rules()]
-    assert ids == ["YASK101", "YASK102", "YASK103", "YASK104", "YASK105"]
+    assert ids == [
+        "YASK101",
+        "YASK102",
+        "YASK103",
+        "YASK104",
+        "YASK105",
+        "YASK106",
+    ]
 
 
 def test_src_lints_clean() -> None:

@@ -1,0 +1,97 @@
+"""Shared machinery for the chaos suite.
+
+Every test here drives a *live in-process HTTP server* through seeded
+:class:`repro.faults.FaultPlan`s and asserts the graceful-degradation
+contract: each response is exact, honestly degraded (a ``degraded``
+envelope saying what was omitted), or a structured error — never a
+hang, a crash, or a silently wrong answer.  Time is the armed plan's
+virtual clock, so nothing sleeps and the same seed replays the same
+outcome.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.core.geometry import Point, Rect
+from repro.core.objects import SpatialDatabase, SpatialObject
+from repro.service.server import YaskHTTPServer
+
+#: Measured wall-clock fields, per-run identifiers and instantaneous
+#: gauge readings: observability, not outcome.  Masked before
+#: byte-for-byte comparison.  ``inflight``/``peak`` are racy by design:
+#: a handler releases the gauge *after* writing its response, so a
+#: back-to-back stats read may or may not still see it in flight.
+NONDETERMINISTIC_KEYS = frozenset(
+    {
+        "response_ms",
+        "total_ms",
+        "scatter_ms",
+        "gather_ms",
+        "session_id",
+        "directory",
+        "inflight",
+        "peak",
+    }
+)
+
+#: The far-corner object why-not questions ask about (never in a
+#: south-west top-k) and the oid block the hammer's mutators own.
+FAR_OID = 47
+HAMMER_OID_BASE = 1000
+
+
+def make_chaos_db(count: int = 48) -> SpatialDatabase:
+    """A deterministic grid of objects that shards non-trivially.
+
+    Every object carries ``food`` (so any shard can contribute to the
+    canonical query), alternating ``cafe``/``bar``, and a rotating
+    topic keyword.  Object 0 sits closest to the canonical south-west
+    query point; object ``FAR_OID`` is the far-corner why-not target.
+    """
+    objects = []
+    for i in range(count):
+        x = 0.06 + (i % 8) * 0.125
+        y = 0.06 + (i // 8) * 0.15
+        keywords = {"food", "cafe" if i % 2 == 0 else "bar", f"topic{i % 5}"}
+        objects.append(
+            SpatialObject(i, Point(x, y), frozenset(keywords), f"obj{i}")
+        )
+    return SpatialDatabase(objects, dataspace=Rect(0.0, 0.0, 1.0, 1.0))
+
+
+@contextmanager
+def running_server(engine: Any, **kwargs: Any) -> Iterator[YaskHTTPServer]:
+    """A live background server, always torn down (no leaked threads)."""
+    server = YaskHTTPServer(engine, **kwargs)
+    server.start_background()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def canonical(payload: Any) -> str:
+    """A byte-comparable rendering with measured-time fields masked."""
+
+    def masked(key: str, val: Any) -> bool:
+        # Only scalar leaves are masked: the resilience section's
+        # "inflight" *container* must still be compared (its admitted
+        # and shed counters are deterministic), only the identically
+        # named instantaneous reading inside it is not.
+        return key in NONDETERMINISTIC_KEYS and not isinstance(val, (dict, list))
+
+    def scrub(value: Any) -> Any:
+        if isinstance(value, dict):
+            return {
+                key: ("<masked>" if masked(key, val) else scrub(val))
+                for key, val in value.items()
+            }
+        if isinstance(value, list):
+            return [scrub(item) for item in value]
+        return value
+
+    return json.dumps(scrub(payload), sort_keys=True)

@@ -1,0 +1,162 @@
+"""Unit tests for the fault-injection and deadline substrate.
+
+The chaos suite (``tests/chaos/``) exercises these primitives through
+the whole serving stack; here each mechanism is pinned in isolation —
+rule matching and ordering, virtual-clock arithmetic, scope semantics
+and the zero-overhead unarmed paths.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import faults
+from repro.faults import Deadline, DeadlineExceeded, FaultPlan
+
+
+class TestFaultPlan:
+    def test_unarmed_trip_is_a_no_op(self):
+        assert faults.active_plan() is None
+        faults.trip("anything.at.all")  # must not raise
+
+    def test_armed_plan_fires_matching_rule(self):
+        plan = FaultPlan().fail("wal.sync")
+        with faults.armed(plan):
+            with pytest.raises(OSError, match="injected fault at wal.sync"):
+                faults.trip("wal.sync")
+        assert [e["site"] for e in plan.injections] == ["wal.sync"]
+
+    def test_rules_match_by_fnmatch_pattern(self):
+        plan = FaultPlan().fail("shard.scan.*", times=None)
+        with faults.armed(plan):
+            with pytest.raises(OSError):
+                faults.trip("shard.scan.3")
+            faults.trip("follower.poll")  # no match, no fire
+
+    def test_rule_firing_budget_and_skip(self):
+        plan = FaultPlan().fail("s", times=1, after=1)
+        with faults.armed(plan):
+            faults.trip("s")  # skipped
+            with pytest.raises(OSError):
+                faults.trip("s")  # fires
+            faults.trip("s")  # exhausted
+
+    def test_custom_exception_factory(self):
+        plan = FaultPlan().fail("s", exc=lambda site: ValueError(site))
+        with faults.armed(plan):
+            with pytest.raises(ValueError, match="s"):
+                faults.trip("s")
+
+    def test_delay_advances_virtual_clock_without_sleeping(self):
+        plan = FaultPlan().delay("slow", 250.0)
+        with faults.armed(plan):
+            t0 = faults.now()
+            faults.trip("slow")
+            assert faults.now() - t0 == pytest.approx(0.250)
+        # Disarmed: back to the wall clock.
+        assert faults.now() > 1.0
+
+    def test_double_arming_is_refused(self):
+        with faults.armed(FaultPlan()):
+            with pytest.raises(RuntimeError, match="already armed"):
+                with faults.armed(FaultPlan()):
+                    pass
+
+    def test_same_seed_reproduces_the_same_injections(self):
+        def run(seed: int) -> tuple:
+            plan = FaultPlan(seed)
+            jitter = plan.rng.randrange(3)
+            plan.fail("site.*", times=2, after=jitter)
+            plan.delay("site.*", 10.0, times=1)
+            with faults.armed(plan):
+                for i in range(6):
+                    try:
+                        faults.trip(f"site.{i}")
+                    except OSError:
+                        pass  # the injected fault is the point
+            return plan.injections
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+
+class TestDeadline:
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+    def test_expiry_on_the_virtual_clock(self):
+        plan = FaultPlan()
+        with faults.armed(plan):
+            deadline = Deadline(100.0)
+            assert not deadline.expired()
+            assert deadline.remaining_ms() == pytest.approx(100.0)
+            plan.advance(99.0)
+            assert not deadline.expired()
+            plan.advance(1.0)
+            assert deadline.expired()
+            assert deadline.remaining_ms() == 0.0
+
+    def test_ledger_and_envelope(self):
+        deadline = Deadline(50.0)
+        assert not deadline.degraded
+        deadline.note_answered(3)
+        deadline.note_skipped(2, "deadline")
+        deadline.note_failed("shard 4: boom")
+        assert deadline.degraded
+        assert deadline.to_dict() == {
+            "budget_ms": 50.0,
+            "shards_answered": 3,
+            "shards_skipped": 3,
+            "reason": "deadline; shard 4: boom",
+        }
+
+    def test_fully_answered_is_not_degraded(self):
+        deadline = Deadline(50.0)
+        deadline.note_answered(4)
+        assert not deadline.degraded
+
+
+class TestDeadlineScopes:
+    def test_no_scope_by_default(self):
+        assert faults.current_deadline() is None
+        assert faults.current_scope() is None
+        faults.check_deadline()  # no-op
+
+    def test_absorbing_and_strict_scopes(self):
+        deadline = Deadline(10.0)
+        with faults.deadline_scope(deadline):
+            assert faults.current_scope() == (deadline, False)
+        with faults.strict_deadline_scope(deadline):
+            assert faults.current_scope() == (deadline, True)
+        assert faults.current_scope() is None
+
+    def test_shielded_clears_the_ambient_deadline(self):
+        deadline = Deadline(10.0)
+        with faults.deadline_scope(deadline):
+            with faults.shielded():
+                assert faults.current_deadline() is None
+            assert faults.current_deadline() is deadline
+
+    def test_check_deadline_raises_on_expiry(self):
+        plan = FaultPlan()
+        with faults.armed(plan):
+            deadline = Deadline(5.0)
+            with faults.strict_deadline_scope(deadline):
+                faults.check_deadline()
+                plan.advance(5.0)
+                with pytest.raises(DeadlineExceeded, match="5ms exceeded"):
+                    faults.check_deadline()
+
+    def test_scope_is_thread_local(self):
+        deadline = Deadline(10.0)
+        seen: list[object] = []
+        with faults.deadline_scope(deadline):
+            thread = threading.Thread(
+                target=lambda: seen.append(faults.current_deadline())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]

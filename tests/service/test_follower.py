@@ -98,21 +98,49 @@ class TestTailing:
         primary.close()
 
     def test_compaction_outruns_a_stale_follower(self, tmp_path):
+        """Satellite (a): the follower re-bootstraps itself in place.
+
+        Compacting away the segments a stale follower still needs used
+        to strand it behind a WalCorruptionError; now the poll detects
+        that the manifest's snapshot is ahead of its replay cursor and
+        rebuilds the serving engine from that snapshot, transparently.
+        """
         primary = make_primary(tmp_path, segment_bytes=1)
         primary.apply_mutations([make_insert(900)])
         follower = FollowerEngine(tmp_path, database=make_tiny_db())
         assert follower.generation == 1
+        stale_engine = follower.engine
         for oid in (0, 1, 2):
             primary.apply_mutations([Mutation.delete(oid)])
         primary.snapshot()  # compacts the segments the follower needs
-        with pytest.raises(WalCorruptionError, match="gap"):
-            follower.poll()
+        applied = follower.poll()
+        assert applied == primary.generation - 1
+        assert follower.generation == primary.generation
+        assert follower.engine is not stale_engine
+        assert follower.engine.database.objects == primary.database.objects
+        assert follower.rebootstraps == 1
+        assert follower.to_dict()["rebootstraps"] == 1
+        # Subsequent polls are back to cheap incremental tailing.
+        assert follower.poll() == 0
+        assert follower.rebootstraps == 1
         follower.close()
-        # A fresh follower bootstraps from the snapshot and is current.
-        fresh = FollowerEngine(tmp_path)
-        assert fresh.generation == primary.generation
-        assert fresh.engine.database.objects == primary.database.objects
-        fresh.close()
+        primary.close()
+
+    def test_rebootstrap_requires_a_newer_snapshot(self, tmp_path):
+        """A genuine log gap (no snapshot ahead) still raises."""
+        primary = make_primary(tmp_path, segment_bytes=1)
+        primary.apply_mutations([make_insert(900)])
+        follower = FollowerEngine(tmp_path, database=make_tiny_db())
+        primary.apply_mutations([Mutation.delete(0)])
+        primary.apply_mutations([Mutation.delete(1)])
+        # Remove the middle segment WITHOUT snapshotting: the tail now
+        # has a genuine gap and nothing newer to re-bootstrap from, so
+        # the error surfaces instead of a silent skip.
+        sorted(tmp_path.glob("wal-*.log"))[1].unlink()
+        with pytest.raises(WalCorruptionError):
+            follower.poll()
+        assert follower.rebootstraps == 0
+        follower.close()
         primary.close()
 
 

@@ -174,6 +174,121 @@ class TestTornTail:
         assert generations == [1, 2]
 
 
+class TestCorruptionMessages:
+    """Satellite (b): the two failure classes are named, with evidence.
+
+    A recoverable torn tail and unrecoverable mid-log corruption demand
+    opposite operator responses (reopen the writer vs restore from a
+    snapshot/replica), so the messages must say which one occurred, in
+    which segment, and why the scan stopped.
+    """
+
+    def test_torn_tail_message_names_segment_and_remedy(self, tmp_path):
+        log = WriteAheadLog(tmp_path, fsync="never")
+        _append_n(log, 2)
+        log.close()
+        segment = tmp_path / _segment_files(tmp_path)[-1]
+        segment.write_bytes(segment.read_bytes() + b"\x01\x02half")
+        with pytest.raises(WalCorruptionError) as exc:
+            list(read_records(tmp_path, tolerate_torn_tail=False))
+        message = str(exc.value)
+        assert message.startswith(
+            f"recoverable torn tail in segment {segment.name}: "
+        )
+        assert "reopening the write-ahead log writer truncates it away" in message
+
+    def test_mid_log_message_names_segment_and_remedy(self, tmp_path):
+        log = WriteAheadLog(tmp_path, fsync="never", segment_bytes=1)
+        _append_n(log, 3)
+        log.close()
+        first = tmp_path / _segment_files(tmp_path)[0]
+        first.write_bytes(first.read_bytes()[:-3])
+        with pytest.raises(WalCorruptionError) as exc:
+            list(read_records(tmp_path))
+        message = str(exc.value)
+        assert message.startswith(
+            f"mid-log corruption in segment {first.name}: "
+        )
+        assert "restore from a snapshot or a replica" in message
+        assert "truncates it away" not in message
+
+    def test_crc_mismatch_reports_offset_and_both_checksums(self, tmp_path):
+        log = WriteAheadLog(tmp_path, fsync="never", segment_bytes=1)
+        _append_n(log, 2)
+        log.close()
+        first = tmp_path / _segment_files(tmp_path)[0]
+        raw = bytearray(first.read_bytes())
+        raw[-1] ^= 0xFF  # flip a payload byte under the CRC
+        first.write_bytes(bytes(raw))
+        with pytest.raises(
+            WalCorruptionError,
+            match=(
+                r"record checksum mismatch at offset \d+: "
+                r"expected CRC 0x[0-9a-f]{8}, got 0x[0-9a-f]{8}"
+            ),
+        ):
+            list(read_records(tmp_path))
+
+
+class TestBatchTokens:
+    """Idempotency tokens ride the log and survive recovery."""
+
+    def test_token_round_trips_through_the_log(self, tmp_path):
+        log = WriteAheadLog(tmp_path, fsync="never")
+        log.append(1, [INSERT_900], token="client-abc")
+        log.append(2, [DELETE_900])
+        records = log.records()
+        assert records[0].token == "client-abc"
+        assert records[1].token is None
+        log.close()
+        assert [r.token for r in read_records(tmp_path)] == ["client-abc", None]
+
+    def test_engine_deduplicates_a_replayed_token(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        engine = YaskEngine(make_tiny_db(), wal=wal)
+        first = engine.apply_mutations(
+            [Mutation.delete(0)], batch_token="tok-1"
+        )
+        assert not first.deduplicated
+        assert first.generation == 1
+        # The exact same batch again, same token: acknowledged, not
+        # re-applied, and nothing new reaches the log.
+        replay = engine.apply_mutations(
+            [Mutation.delete(0)], batch_token="tok-1"
+        )
+        assert replay.deduplicated
+        assert replay.generation == 1
+        assert replay.to_dict()["deduplicated"] is True
+        assert replay.to_dict()["inserted"] == 0
+        assert engine.generation == 1
+        assert wal.last_generation == 1
+        engine.close()
+
+    def test_tokens_survive_recovery(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        engine = YaskEngine(make_tiny_db(), wal=wal)
+        engine.apply_mutations([Mutation.delete(0)], batch_token="tok-9")
+        engine.close()
+        recovered, report = recover_engine(tmp_path, database=make_tiny_db())
+        assert report.generation == 1
+        replay = recovered.apply_mutations(
+            [Mutation.delete(0)], batch_token="tok-9"
+        )
+        assert replay.deduplicated
+        assert replay.generation == 1
+        assert recovered.generation == 1
+        recovered.close()
+
+    def test_distinct_tokens_apply_normally(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        engine = YaskEngine(make_tiny_db(), wal=wal)
+        engine.apply_mutations([Mutation.delete(0)], batch_token="a")
+        report = engine.apply_mutations([Mutation.delete(1)], batch_token="b")
+        assert not report.deduplicated
+        assert report.generation == 2
+        engine.close()
+
+
 class TestSegments:
     def test_rollover_names_segments_by_start_generation(self, tmp_path):
         log = WriteAheadLog(tmp_path, fsync="never", segment_bytes=1)

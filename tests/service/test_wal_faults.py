@@ -21,8 +21,8 @@ from repro.service.wal import (
     read_records,
     recover_engine,
 )
+from repro.faults import FlakyOpener
 from tests.conftest import make_tiny_db
-from tests.service.flaky_io import FlakyOpener
 
 DELETE_0 = {"op": "delete", "oid": 0}
 
@@ -147,12 +147,15 @@ class TestHTTPFaults:
         server = YaskHTTPServer(YaskEngine(make_tiny_db(), wal=wal))
         server.start_background()
         try:
-            client = YaskClient(server.endpoint)
+            # retries=0: this test pins the raw 503 contract; the client's
+            # own retry loop is covered by the chaos suite.
+            client = YaskClient(server.endpoint, retries=0)
             opener.sync_errors = 1
             with pytest.raises(YaskClientError) as exc:
                 client.mutate([{"op": "delete", "oid": 0}])
             assert exc.value.status == 503
             assert "NOT applied" in str(exc.value)
+            assert exc.value.retry_after is not None
             # The engine still serves its pre-batch state...
             assert client.get_object(0)["oid"] == 0
             assert client.mutation_stats()["generation"] == 0

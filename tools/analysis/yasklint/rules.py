@@ -361,3 +361,50 @@ def check_bare_locks(file: File) -> Iterator[Violation]:
                 "ordered_lock(name, level) so the lock carries its "
                 "documented lock-order level",
             )
+
+
+# ---------------------------------------------------------------------------
+# YASK106 — no silently swallowed exceptions
+
+
+@register(
+    "YASK106",
+    "no swallowed exceptions: an `except ...: pass` handler must carry a "
+    "comment saying why dropping the error is safe",
+    Scope(include=("*repro/*",)),
+)
+def check_swallowed_exceptions(file: File) -> Iterator[Violation]:
+    """The degradation tier promises *honest* failure, never silent.
+
+    Every degraded answer, shed request and tripped breaker exists
+    because an error was caught and *reported* — a bare
+    ``except ...: pass`` is the opposite: it turns a fault into
+    silence, exactly the failure mode the chaos suite hunts.  When
+    dropping an exception really is correct (best-effort cleanup,
+    probing for an optional capability), say why in a comment on the
+    handler or its ``pass`` body; the comment is the reviewable claim
+    that silence is safe.
+    """
+    lines = file.source.splitlines()
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if len(node.body) != 1 or not isinstance(node.body[0], ast.Pass):
+            continue
+        start = node.lineno
+        end = max(node.body[0].lineno, node.body[0].end_lineno or 0)
+        commented = any(
+            "#" in lines[lineno - 1]
+            for lineno in range(start, min(end, len(lines)) + 1)
+        )
+        if commented:
+            continue
+        caught = "..." if node.type is None else ast.unparse(node.type)
+        yield _violation(
+            file,
+            node,
+            "YASK106",
+            f"except {caught}: pass swallows the error silently; handle "
+            "it, degrade honestly, or add a comment saying why dropping "
+            "it is safe",
+        )
