@@ -1,6 +1,11 @@
 # Developer entry points for the YASK reproduction.
 #
-#   make test        — the tier-1 suite (ROADMAP.md's verify command)
+#   make test        — the tier-1 suite (ROADMAP.md's verify command).
+#                      pytest.ini deselects @pytest.mark.slow here (the
+#                      chaos/hammer/deep-property tier); the dedicated
+#                      targets below re-enable it with
+#                      -m "slow or not slow" (marker policy:
+#                      docs/DEVELOPMENT.md)
 #   make test-recovery — the durability tier at a deeper hypothesis
 #                      budget: the crash-point recovery property plus
 #                      the WAL, fault-injection and follower suites
@@ -15,7 +20,11 @@
 #                      >50% warm top-k hit rate under writes) and E14
 #                      (durability: logged ingest >=0.7x unlogged,
 #                      snapshot recovery >=5x vs full-log rebuild)
-#   make bench-json  — refresh BENCH_E9/…/E14.json at the repo root
+#                      and E15 (process workers: top-k parity with the
+#                      threaded scatter, shared segments freed, and
+#                      >=1.5x proc vs threads at 4 shards on hosts
+#                      with >=4 cores)
+#   make bench-json  — refresh BENCH_E9/…/E15.json at the repo root
 #                      (machine-readable perf trajectory)
 #   make lint        — byte-compile every source, test and benchmark
 #                      file, then run yasklint (the project-invariant
@@ -32,6 +41,10 @@
 #   make test-lockdep — the concurrency suites with the runtime
 #                      lock-order sanitizer enabled (YASK_LOCKDEP=1):
 #                      hammer tests + the analysis test suite
+#   make test-procpool — the process-worker tier: the cross-process
+#                      parity property suite plus the kill -9 /
+#                      fault-plan / mutate-while-scanning chaos suite
+#                      (its own CI job across interpreter versions)
 #   make docs-check  — every GET/POST route in server.py must appear
 #                      in docs/API.md, and every runnable fenced
 #                      Python snippet in README.md / docs/API.md /
@@ -42,25 +55,32 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-recovery test-chaos test-lockdep bench-smoke bench-json lint docs-check
+.PHONY: test test-recovery test-chaos test-lockdep test-procpool bench-smoke bench-json lint docs-check
+
+# Re-enables @pytest.mark.slow suites that pytest.ini's default
+# deselects; the dedicated tiers below must run them.
+ALL_MARKS = -m "slow or not slow"
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-recovery:
-	YASK_RECOVERY_EXAMPLES=40 $(PYTHON) -m pytest tests/properties/test_prop_recovery.py tests/service/test_wal.py tests/service/test_wal_faults.py tests/service/test_follower.py -q
+	YASK_RECOVERY_EXAMPLES=40 $(PYTHON) -m pytest tests/properties/test_prop_recovery.py tests/service/test_wal.py tests/service/test_wal_faults.py tests/service/test_follower.py -q $(ALL_MARKS)
 
 test-chaos:
-	$(PYTHON) -m pytest tests/chaos -q
+	$(PYTHON) -m pytest tests/chaos -q $(ALL_MARKS)
+
+test-procpool:
+	$(PYTHON) -m pytest tests/properties/test_prop_procpool.py tests/chaos/test_procpool_chaos.py tests/service/test_socket_hygiene.py -q $(ALL_MARKS)
 
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py benchmarks/bench_e10_whynot_executor.py benchmarks/bench_e11_kernel.py benchmarks/bench_e12_sharding.py benchmarks/bench_e13_mutations.py benchmarks/bench_e14_durability.py -q
+	$(PYTHON) -m pytest benchmarks/bench_e9_executor.py benchmarks/bench_e10_whynot_executor.py benchmarks/bench_e11_kernel.py benchmarks/bench_e12_sharding.py benchmarks/bench_e13_mutations.py benchmarks/bench_e14_durability.py benchmarks/bench_e15_procpool.py -q $(ALL_MARKS)
 
 bench-json:
 	$(PYTHON) benchmarks/bench_json.py
 
 test-lockdep:
-	YASK_LOCKDEP=1 $(PYTHON) -m pytest tests/analysis tests/service/test_concurrency.py tests/service/test_mutation_hammer.py tests/service/test_stats_snapshot.py tests/service/test_follower.py -q
+	YASK_LOCKDEP=1 $(PYTHON) -m pytest tests/analysis tests/service/test_concurrency.py tests/service/test_mutation_hammer.py tests/service/test_stats_snapshot.py tests/service/test_follower.py -q $(ALL_MARKS)
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples tools

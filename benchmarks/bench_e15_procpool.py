@@ -1,0 +1,167 @@
+"""E15 — process shard workers vs. the threaded scatter.
+
+PR 9 moves shard scans out of the GIL: each shard's kernel columns are
+exported once into a ``multiprocessing.shared_memory`` segment and a
+long-lived worker process attaches them zero-copy
+(``repro.service.procpool``).  The scatter then costs one pickled
+request/response per surviving shard — the query scalars out, the
+``(neg score, oid)`` pairs back — instead of a Python-bytecode scan
+competing for one interpreter lock.
+
+Correctness is asserted unconditionally, the speedup floor only where
+it can physically exist:
+
+* top-k parity with the threaded scatter is bit-for-bit, including tie
+  order and the scanned/skipped scatter counters;
+* why-not answers are identical across the process boundary;
+* close() provably unlinks every shared segment (nothing left in
+  ``/dev/shm``);
+* on hosts with >= 4 cores, cold top-k through the worker pool must be
+  at least 1.5x the threaded scatter at 4 shards.  A single-core
+  container cannot demonstrate parallel speedup — there the floor is
+  skipped (the parity and hygiene assertions still run) and CI's
+  multi-core runners hold the line.
+
+Run with
+``PYTHONPATH=src python -m pytest benchmarks/bench_e15_procpool.py -q``
+(add ``-s`` for the speedup table).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import Table, time_call
+from repro.bench.workloads import QueryWorkload, generate_whynot_scenarios
+from repro.datasets.generators import SyntheticDatasetBuilder
+from repro.service.api import YaskEngine
+
+#: Acceptance floor (ISSUE 9): proc vs threads at 4 shards, >= 4 cores.
+PROC_FLOOR = 1.5
+
+OBJECTS = 20_000
+SHARDS = 4
+
+multicore = pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason=f"parallel floor needs >= 4 cores, host has {os.cpu_count()}",
+)
+
+
+@pytest.fixture(scope="module")
+def shard_db():
+    """Same geo-local category-search corpus as E12."""
+    return SyntheticDatasetBuilder(seed=2016).build(
+        OBJECTS,
+        vocabulary_size=50,
+        doc_length=(4, 8),
+        spatial="clustered",
+        clusters=12,
+    )
+
+
+@pytest.fixture(scope="module")
+def threaded_engine(shard_db):
+    """The threaded scatter at its parallel shape — the oracle."""
+    engine = YaskEngine(shard_db, shards=SHARDS, shard_workers=SHARDS)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def proc_engine(shard_db):
+    engine = YaskEngine(shard_db, shards=SHARDS, shard_workers="proc")
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def topk_queries(shard_db):
+    workload = QueryWorkload(
+        shard_db, seed=7, k=10, keywords_per_query=(1, 2),
+        location_jitter=0.01,
+    )
+    return list(workload.queries(12))
+
+
+def test_e15_topk_parity_with_threaded_scatter(
+    threaded_engine, proc_engine, topk_queries
+):
+    """Bit-for-bit entries and identical scatter counters."""
+    threaded_engine.shard_router.stats.reset()
+    proc_engine.shard_router.stats.reset()
+    for query in topk_queries:
+        assert [tuple(e) for e in proc_engine.query(query)] == [
+            tuple(e) for e in threaded_engine.query(query)
+        ]
+    threaded = threaded_engine.shard_router.stats.to_dict()
+    proc = proc_engine.shard_router.stats.to_dict()
+    assert proc["topk_shards_scanned"] == threaded["topk_shards_scanned"]
+    assert proc["topk_shards_skipped"] == threaded["topk_shards_skipped"]
+    assert proc_engine.worker_pool.to_dict()["restarts"] == 0
+
+
+def test_e15_whynot_parity(threaded_engine, proc_engine):
+    """Whole why-not answers agree across the process boundary."""
+    scenarios = generate_whynot_scenarios(
+        threaded_engine.scorer, count=3, k=10, missing_count=2,
+        rank_window=20, seed=42,
+    )
+    for scenario in scenarios:
+        missing = [obj.oid for obj in scenario.missing]
+        expected = threaded_engine.why_not(scenario.query, missing, lam=0.5)
+        actual = proc_engine.why_not(scenario.query, missing, lam=0.5)
+        assert actual.preference == expected.preference
+        assert actual.keyword == expected.keyword
+        assert actual.best_model == expected.best_model
+
+
+@multicore
+def test_e15_cold_topk_proc_1_5x(threaded_engine, proc_engine, topk_queries):
+    """Acceptance: the worker pool >= 1.5x the threaded scatter."""
+
+    def run(engine):
+        return [engine.query(query) for query in topk_queries]
+
+    proc_results, proc_timing = time_call(lambda: run(proc_engine), repeat=5)
+    threaded_results, threaded_timing = time_call(
+        lambda: run(threaded_engine), repeat=5
+    )
+    for fast, slow in zip(proc_results, threaded_results):
+        assert [tuple(e) for e in fast] == [tuple(e) for e in slow]
+
+    speedup = threaded_timing.best / proc_timing.best
+    table = Table(
+        "configuration", "best_ms", "median_ms",
+        title=(
+            f"E15: cold top-k, {SHARDS} shards "
+            f"({OBJECTS} objects x {len(topk_queries)} queries)"
+        ),
+    )
+    table.add_row(f"{SHARDS} threads (GIL-bound)", threaded_timing.best_ms,
+                  threaded_timing.median_ms)
+    table.add_row(f"{SHARDS} worker processes", proc_timing.best_ms,
+                  proc_timing.median_ms)
+    table.add_row(f"speedup {speedup:.2f}x (floor {PROC_FLOOR}x)", "", "")
+    table.print()
+    assert speedup >= PROC_FLOOR, (
+        f"process scatter only {speedup:.2f}x the threaded scatter "
+        f"({proc_timing.best_ms:.1f}ms vs {threaded_timing.best_ms:.1f}ms)"
+    )
+
+
+def test_e15_segments_freed_on_close(shard_db, topk_queries):
+    """Shutdown provably unlinks every shared-memory segment."""
+    engine = YaskEngine(shard_db, shards=SHARDS, shard_workers="proc")
+    try:
+        engine.query(topk_queries[0])
+        names = engine.worker_pool.segment_names()
+        assert len(names) == SHARDS
+        for name in names:
+            assert os.path.exists(f"/dev/shm/{name}")
+    finally:
+        engine.close()
+    leaked = [name for name in names if os.path.exists(f"/dev/shm/{name}")]
+    assert leaked == []

@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import math
 from array import array
+from heapq import nsmallest
+from operator import neg
 from typing import TYPE_CHECKING, AbstractSet, Iterable, Mapping, Sequence
 
 from repro import concurrency
@@ -563,7 +565,41 @@ class ScoringKernel:
         trivially aligned.
         """
         appended: Sequence[SpatialObject] = change.appended
-        for oid in change.removed_oids:
+        encode = self.vocabulary.encode
+        rows = tuple(
+            (obj.loc.x, obj.loc.y, encode(obj.doc), len(obj.doc), obj.oid)
+            for obj in appended
+        )
+        self.apply_raw(
+            change.removed_oids,
+            rows,
+            objects=appended,
+            force_compact=force_compact,
+        )
+
+    def apply_raw(
+        self,
+        removed_oids: Iterable[int],
+        rows: Sequence[tuple[float, float, int, int, int]],
+        *,
+        objects: Sequence[SpatialObject] | None = None,
+        force_compact: bool = False,
+    ) -> None:
+        """Apply a pre-encoded column delta: tombstone, append, compact.
+
+        ``rows`` are ``(x, y, mask, doc_len, oid)`` tuples with masks in
+        *this kernel's* bit space — exactly what
+        :meth:`apply_mutations` encodes, and exactly what the process
+        workers receive over the pipe (a worker holds no vocabulary, so
+        the primary encodes).  ``objects`` optionally supplies the
+        row-aligned :class:`SpatialObject` instances for the
+        materialisation column; a worker passes nothing and keeps
+        ``None`` placeholders (it only ever serves ``(score, oid)``
+        candidates).  Running the identical cell writes on both sides
+        of the process boundary is what keeps a worker's columns
+        bit-for-bit equal to the primary's shard kernel.
+        """
+        for oid in removed_oids:
             row = self._row_of.pop(oid)
             self._xs[row] = _DEAD_COORD
             self._ys[row] = _DEAD_COORD
@@ -573,26 +609,24 @@ class ScoringKernel:
             self._objects[row] = None
             self._alive[row] = False
             self._dead_count += 1
-        if appended:
-            encode = self.vocabulary.encode
-            for obj in appended:
-                self._xs.append(obj.loc.x)
-                self._ys.append(obj.loc.y)
-                self._masks.append(encode(obj.doc))
-                self._lens.append(len(obj.doc))
-                self._oids.append(obj.oid)
-                self._objects.append(obj)
-                self._alive.append(True)
-                self._row_of[obj.oid] = self._n
-                self._n += 1
-                # Incremental oid-order tracking: deletes preserve a
-                # rising live sequence, appends keep it only past the
-                # highest id ever seen (conservative after the max is
-                # deleted — the decorated sort is always correct).
-                if obj.oid > self._max_seen_oid:
-                    self._max_seen_oid = obj.oid
-                else:
-                    self._oids_ascending = False
+        for index, (x, y, mask, doc_len, oid) in enumerate(rows):
+            self._xs.append(x)
+            self._ys.append(y)
+            self._masks.append(mask)
+            self._lens.append(doc_len)
+            self._oids.append(oid)
+            self._objects.append(None if objects is None else objects[index])
+            self._alive.append(True)
+            self._row_of[oid] = self._n
+            self._n += 1
+            # Incremental oid-order tracking: deletes preserve a
+            # rising live sequence, appends keep it only past the
+            # highest id ever seen (conservative after the max is
+            # deleted — the decorated sort is always correct).
+            if oid > self._max_seen_oid:
+                self._max_seen_oid = oid
+            else:
+                self._oids_ascending = False
         if self._dead_count and (
             force_compact
             or self._dead_count > self.compaction_threshold * self._n
@@ -630,6 +664,116 @@ class ScoringKernel:
             "compactions": self.compactions,
             "compaction_threshold": self.compaction_threshold,
         }
+
+    # ------------------------------------------------------------------
+    # Column transport (repro.service.procpool)
+    # ------------------------------------------------------------------
+    def export_columns(self) -> tuple[dict, bytes]:
+        """``(meta, blob)`` — the columns packed for shared memory.
+
+        The blob lays the numeric columns out back to back (``xs``,
+        ``ys`` as float64; ``lens``, ``oids`` as int64) followed by the
+        doc bitmasks as fixed-width little-endian rows, so an attached
+        process can :meth:`from_columns` the numeric columns as
+        zero-copy ``memoryview`` casts.  Requires a compacted kernel:
+        the scatter tiers keep shard kernels dense (``force_compact``),
+        and exporting tombstones would ship rows the attaching side
+        cannot re-tombstone by oid.
+        """
+        if self._dead_count:
+            raise ValueError(
+                "export_columns requires a compacted kernel "
+                f"({self._dead_count} tombstoned row(s) present)"
+            )
+        mask_bits = 1
+        for mask in self._masks:
+            bits = mask.bit_length()
+            if bits > mask_bits:
+                mask_bits = bits
+        mask_width = (mask_bits + 7) // 8
+        parts = [
+            self._xs.tobytes(),
+            self._ys.tobytes(),
+            self._lens.tobytes(),
+            self._oids.tobytes(),
+        ]
+        for mask in self._masks:
+            parts.append(mask.to_bytes(mask_width, "little"))
+        meta = {
+            "n": self._n,
+            "model_code": self.model_code,
+            "normaliser": self._normaliser,
+            "mask_width": mask_width,
+            "compaction_threshold": self.compaction_threshold,
+        }
+        return meta, b"".join(parts)
+
+    @classmethod
+    def from_columns(cls, meta: dict, buffer) -> "ScoringKernel":
+        """Attach a kernel to columns exported by :meth:`export_columns`.
+
+        The numeric columns are zero-copy ``memoryview`` casts into
+        ``buffer`` (typically a ``multiprocessing.shared_memory``
+        segment), so a forked worker pays nothing per row to come up;
+        the bitmask column is decoded once into Python ints (the
+        ``bit_count`` arithmetic needs them anyway).  The result has no
+        database, vocabulary or objects — it serves the scalar scan and
+        rank primitives plus :meth:`apply_raw` deltas, which is the
+        whole worker contract.  Call :meth:`thaw_columns` before the
+        first ``apply_raw``: appends cannot extend a fixed segment.
+        """
+        n = int(meta["n"])
+        mask_width = int(meta["mask_width"])
+        view = memoryview(buffer)
+        kernel = object.__new__(cls)
+        kernel._database = None
+        kernel._model = None
+        kernel.model_code = meta["model_code"]
+        kernel._n = n
+        offset = 0
+        kernel._xs = view[offset : offset + 8 * n].cast("d")
+        offset += 8 * n
+        kernel._ys = view[offset : offset + 8 * n].cast("d")
+        offset += 8 * n
+        kernel._lens = view[offset : offset + 8 * n].cast("q")
+        offset += 8 * n
+        kernel._oids = view[offset : offset + 8 * n].cast("q")
+        offset += 8 * n
+        masks: list[int] = []
+        for row in range(n):
+            start = offset + row * mask_width
+            masks.append(int.from_bytes(view[start : start + mask_width], "little"))
+        kernel._masks = masks
+        kernel._objects = [None] * n
+        kernel._alive = [True] * n
+        kernel._dead_count = 0
+        kernel._row_of = {oid: row for row, oid in enumerate(kernel._oids)}
+        kernel._oids_ascending = all(
+            kernel._oids[row] < kernel._oids[row + 1] for row in range(n - 1)
+        )
+        kernel._max_seen_oid = max(kernel._oids, default=0)
+        kernel._normaliser = meta["normaliser"]
+        kernel.compaction_threshold = meta["compaction_threshold"]
+        kernel.compactions = 0
+        kernel.stats = KernelStats()
+        return kernel
+
+    def thaw_columns(self) -> bool:
+        """Copy memoryview-backed columns into appendable local arrays.
+
+        A :meth:`from_columns` kernel reads straight out of the shared
+        segment until its first delta; mutation needs appendable
+        columns, so the worker thaws (copies) once, after which the
+        segment can be closed.  Returns whether anything was copied —
+        ``False`` means the columns were already local arrays.
+        """
+        if not isinstance(self._xs, memoryview):
+            return False
+        self._xs = array("d", self._xs)
+        self._ys = array("d", self._ys)
+        self._lens = array("q", self._lens)
+        self._oids = array("q", self._oids)
+        return True
 
     # ------------------------------------------------------------------
     # Whole-database passes
@@ -701,11 +845,32 @@ class ScoringKernel:
                 push_score(ws * (1.0 - d) + wt * t)
         return sdists, tsims, scores
 
-    @hot_path
     def _score_list(self, query: SpatialKeywordQuery) -> list[float]:
         """The score column alone (the rank primitives' shared pass)."""
+        return self.scalar_scores(*self._query_scalars(query))
+
+    @hot_path
+    def scalar_scores(
+        self,
+        qx: float,
+        qy: float,
+        qmask: int,
+        qlen: int,
+        ws: float,
+        wt: float,
+    ) -> list[float]:
+        """The score column from pre-extracted query scalars.
+
+        The query-free core of :meth:`_score_list`: everything a scan
+        needs is six scalars, so a worker *process* holding only the
+        flat columns (no database, no vocabulary) runs the identical
+        pass on scalars prepared by the primary — the parent encodes
+        the query against this kernel's vocabulary and ships
+        ``(qx, qy, qmask, qlen, ws, wt)`` over the pipe.  One
+        implementation for both sides is what makes cross-process
+        parity bit-for-bit rather than merely close.
+        """
         self.stats.bump("score_passes")
-        qx, qy, qmask, qlen, ws, wt = self._query_scalars(query)
         norm = self._normaliser
         hypot = math.hypot
         scores: list[float] = []
@@ -740,6 +905,29 @@ class ScoringKernel:
     def score_all(self, query: SpatialKeywordQuery) -> array:
         """``ST(o, q)`` for every object, in database order."""
         return array("d", self._score_list(query))
+
+    def scan_top_k(
+        self,
+        k: int,
+        qx: float,
+        qy: float,
+        qmask: int,
+        qlen: int,
+        ws: float,
+        wt: float,
+    ) -> list[tuple[float, int]]:
+        """The best ``k`` rows as ``(−score, oid)`` pairs, merge-ready.
+
+        ``(−score, oid)`` ascending is exactly the oracle's
+        ``(score desc, oid asc)`` order, so candidate lists from
+        different shards merge with plain heap selection.  This is the
+        one scan both scatter tiers run — the thread path through
+        :meth:`ShardedEngine._scan_shard` and the process workers of
+        :mod:`repro.service.procpool` — so their candidates are
+        bit-identical by construction.
+        """
+        scores = self.scalar_scores(qx, qy, qmask, qlen, ws, wt)
+        return nsmallest(k, zip(map(neg, scores), self._oids))
 
     def order_rows(self, scores: Sequence[float]) -> list[int]:
         """Rows in (score desc, oid asc) rank order for a score column.

@@ -494,6 +494,13 @@ class ShardRouter:
         self._shard_of_row = shard_of
         self._local_of_row = local_of
         self.stats = ShardStats()
+        # Per-batch delta ledger for downstream listeners (the process
+        # worker pool replays these against its remote kernels).  Keyed
+        # by stable ``Shard.shard_id``, refreshed on every batch.
+        self.last_shard_deltas: dict[
+            int, tuple[tuple[int, ...], tuple[SpatialObject, ...]]
+        ] = {}
+        self.last_dropped: tuple[int, ...] = ()
 
     @staticmethod
     def _validate_partition(assignments: list[list[int]], n: int) -> None:
@@ -578,15 +585,24 @@ class ShardRouter:
             index = self._choose_shard(obj)
             per_shard_appended.setdefault(index, []).append(obj)
         survivors: list[Shard] = []
+        deltas: dict[int, tuple[tuple[int, ...], tuple[SpatialObject, ...]]] = {}
+        dropped: list[int] = []
         for index, shard in enumerate(self._shards):
             removed = per_shard_removed.get(index, [])
             appended = per_shard_appended.get(index, [])
             if len(removed) == len(shard) and not appended:
+                dropped.append(shard.shard_id)
                 continue  # emptied: drop the shard
             if removed or appended:
                 shard.apply_mutations(removed, appended, self._database)
+                deltas[shard.shard_id] = (
+                    tuple(obj.oid for obj in removed),
+                    tuple(appended),
+                )
             survivors.append(shard)
         self._shards = tuple(survivors)
+        self.last_shard_deltas = deltas
+        self.last_dropped = tuple(dropped)
         self._rebuild_row_maps()
 
     def _rebuild_row_maps(self) -> None:

@@ -147,7 +147,12 @@ class YaskEngine:
     shard_workers:
         Scatter pool width for the sharded engine (``None`` = one per
         shard, capped by the CPU count; single-core hosts therefore run
-        the sequential threshold-adaptive gather).
+        the sequential threshold-adaptive gather).  The string
+        ``"proc"`` selects the process worker tier instead
+        (:mod:`repro.service.procpool`): one long-lived worker process
+        per shard scanning shared-memory kernel columns, escaping the
+        GIL entirely.  Results are bit-for-bit identical on every
+        path.
     index_rebuild_slack:
         Live-mutation rebuild fallback sensitivity: after a mutation
         batch, any R-tree taller than its STR bulk-load ideal by more
@@ -186,7 +191,7 @@ class YaskEngine:
         candidate_budget: int | None = None,
         shards: int | None = None,
         partitioner: str = "grid",
-        shard_workers: int | None = None,
+        shard_workers: int | str | None = None,
         index_rebuild_slack: int = 1,
         wal: "WriteAheadLog | None" = None,
         base_generation: int = 0,
@@ -226,8 +231,23 @@ class YaskEngine:
         if self._shard_router is not None:
             from repro.service.sharded import ShardedEngine
 
+            worker_pool = None
+            max_workers = shard_workers
+            if isinstance(shard_workers, str):
+                if shard_workers != "proc":
+                    raise ValueError(
+                        f"unknown shard_workers mode {shard_workers!r}; "
+                        "expected an integer or 'proc'"
+                    )
+                from repro.service.procpool import ShardWorkerPool
+
+                worker_pool = ShardWorkerPool(self._shard_router)
+                max_workers = None
             self._sharded_engine = ShardedEngine(
-                self._shard_router, self._scorer, max_workers=shard_workers
+                self._shard_router,
+                self._scorer,
+                max_workers=max_workers,
+                worker_pool=worker_pool,
             )
             self._topk_engine = self._sharded_engine
         elif not use_index:
@@ -297,6 +317,12 @@ class YaskEngine:
                 self._mutable.register_listener(kernel)
             if self._shard_router is not None:
                 self._mutable.register_listener(self._shard_router)
+                # The worker pool replays the router's per-shard deltas,
+                # so it must observe each batch *after* the router has
+                # routed it (listener order is delivery order).
+                pool = self.worker_pool
+                if pool is not None:
+                    self._mutable.register_listener(pool)
         else:
             self._mutable = None
             if base_generation:
@@ -350,6 +376,17 @@ class YaskEngine:
         ``GET /api/stats`` as the ``shards`` section.
         """
         return self._shard_router
+
+    @property
+    def worker_pool(self):
+        """The process worker pool (None unless ``shard_workers="proc"``).
+
+        Its :meth:`~repro.service.procpool.ShardWorkerPool.to_dict`
+        surfaces through ``GET /api/stats`` as the ``procpool`` section.
+        """
+        if self._sharded_engine is None:
+            return None
+        return self._sharded_engine.worker_pool
 
     @property
     def default_weights(self) -> Weights:

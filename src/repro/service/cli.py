@@ -94,6 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
             default="grid",
             help="shard partition strategy (round-robin is the ablation)",
         )
+        command.add_argument(
+            "--shard-workers",
+            type=_shard_workers_arg,
+            default=None,
+            metavar="N|proc",
+            help=(
+                "scatter width for the sharded engine: an integer "
+                "thread-pool width, or 'proc' for one worker process "
+                "per shard over shared-memory kernel columns "
+                "(escapes the GIL; default: thread pool sized to the "
+                "CPU count)"
+            ),
+        )
 
     def add_wal_args(command: argparse.ArgumentParser) -> None:
         command.add_argument(
@@ -343,11 +356,27 @@ def _parse_missing(raw: str) -> list[int | str]:
     return refs
 
 
+def _shard_workers_arg(value: str) -> "int | str":
+    """``--shard-workers`` values: a positive integer or ``proc``."""
+    if value == "proc":
+        return "proc"
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'proc', got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError("worker count must be at least 1")
+    return workers
+
+
 def _make_engine(args: argparse.Namespace) -> YaskEngine:
     return YaskEngine(
         load_dataset(args.dataset),
         shards=getattr(args, "shards", None),
         partitioner=getattr(args, "partitioner", "grid"),
+        shard_workers=getattr(args, "shard_workers", None),
     )
 
 
@@ -364,6 +393,7 @@ def _make_durable_engine(args: argparse.Namespace) -> YaskEngine:
             fsync=args.fsync,
             shards=getattr(args, "shards", None),
             partitioner=getattr(args, "partitioner", "grid"),
+            shard_workers=getattr(args, "shard_workers", None),
         )
     except WalError as exc:
         raise SystemExit(f"recovery failed: {exc}")
@@ -680,6 +710,7 @@ def _run_follow(args: argparse.Namespace) -> int:
             database=database,
             shards=args.shards,
             partitioner=args.partitioner,
+            shard_workers=getattr(args, "shard_workers", None),
         )
     except WalError as exc:
         print(f"follower bootstrap failed: {exc}", file=sys.stderr)

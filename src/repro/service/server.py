@@ -94,6 +94,7 @@ from repro.service.protocol import (
     whynot_batch_execution_to_dict,
 )
 from repro.service.protocol import min_generation_from_dict
+from repro.service.procpool import WorkerCrashedError
 from repro.service.resilience import CLOSED, CircuitBreaker, InflightGauge
 from repro.service.session import SessionManager
 from repro.service.wal import FollowerEngine, FollowerLagError, WalWriteError
@@ -486,6 +487,20 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
                         # WAL circuit breaker and the advertised
                         # read-only flag.
                         "resilience": self.server.resilience_stats(),
+                        # Process worker tier (None unless the engine
+                        # runs shard_workers="proc"): worker count,
+                        # start method, scan/delta/restart tallies and
+                        # per-shard generations.
+                        "procpool": (
+                            worker_pool.to_dict()
+                            if (
+                                worker_pool := getattr(
+                                    self.server.engine, "worker_pool", None
+                                )
+                            )
+                            is not None
+                            else None
+                        ),
                     },
                 )
             else:
@@ -539,6 +554,16 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
             )
         except ProtocolError as exc:
             self._send_json(400, {"error": str(exc)})
+        except WorkerCrashedError as exc:
+            # A shard worker process died mid-scan.  The pool has
+            # already restarted it from the shard's current columns, so
+            # the failure is transient by construction: a structured
+            # 503 with Retry-After, and the retried query is exact.
+            self._send_json(
+                503,
+                {"error": str(exc), "worker_crashed": True},
+                retry_after=1.0,
+            )
         except (FollowerLagError, WalWriteError) as exc:
             # Durability failures are 503s: the write was NOT applied
             # (WalWriteError) or the replica is healthy but behind the

@@ -69,6 +69,13 @@ class ShardedEngine:
         ``min(len(shards), cpu count)``; ``1`` selects the sequential
         threshold-adaptive gather.  Results are identical either way —
         only the wall-clock/pruning trade-off differs.
+    worker_pool:
+        A :class:`~repro.service.procpool.ShardWorkerPool`.  When set,
+        shard scans dispatch to its worker *processes* instead of the
+        thread pool — same scatter shape (best-bound first, prune,
+        fan survivors), same results bit for bit, but the kernel loops
+        run outside the parent's GIL.  The thread path stays available
+        as the parity oracle.
     """
 
     def __init__(
@@ -77,6 +84,7 @@ class ShardedEngine:
         scorer: Scorer,
         *,
         max_workers: int | None = None,
+        worker_pool=None,
     ) -> None:
         if scorer.database is not router.database:
             raise ValueError("router and scorer must share the same database")
@@ -84,6 +92,7 @@ class ShardedEngine:
             raise ValueError("max_workers must be at least 1")
         self._router = router
         self._scorer = scorer
+        self._worker_pool = worker_pool
         workers = (
             max_workers
             if max_workers is not None
@@ -93,7 +102,7 @@ class ShardedEngine:
             ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="yask-shard"
             )
-            if workers > 1
+            if workers > 1 and worker_pool is None
             else None
         )
 
@@ -110,10 +119,17 @@ class ShardedEngine:
         """The router's :class:`~repro.core.sharding.ShardStats`."""
         return self._router.stats
 
+    @property
+    def worker_pool(self):
+        """The process worker pool, or ``None`` on the thread path."""
+        return self._worker_pool
+
     def close(self) -> None:
-        """Shut down the scatter pool (idempotent; the shards survive)."""
+        """Shut down the scatter pools (idempotent; the shards survive)."""
         if self._pool is not None:
             self._pool.shutdown(wait=False)
+        if self._worker_pool is not None:
+            self._worker_pool.close()
 
     # ------------------------------------------------------------------
     # Search
@@ -131,6 +147,23 @@ class ShardedEngine:
         faults.trip(f"shard.scan.{shard.shard_id}")
         scores = shard.kernel._score_list(query)
         return nsmallest(k, zip(map(neg, scores), shard.kernel.oids))
+
+    def _scan_one(
+        self, shard: Shard, query: SpatialKeywordQuery, k: int
+    ) -> list[tuple[float, int]]:
+        """One shard's candidates via whichever scan tier is configured.
+
+        The fault site trips in the *parent* either way, so seeded
+        plans and deadline bookkeeping are process-transparent; the
+        worker receives the prepared query scalars and runs the same
+        ``scan_top_k`` the in-process path runs.
+        """
+        if self._worker_pool is None:
+            return self._scan_shard(shard, query, k)
+        faults.trip(f"shard.scan.{shard.shard_id}")
+        return self._worker_pool.scan_one(
+            shard, k, shard.kernel._query_scalars(query)
+        )
 
     def search(self, query: SpatialKeywordQuery) -> QueryResult:
         """Exact top-k by scatter-gather with shard-bound skipping.
@@ -177,13 +210,34 @@ class ShardedEngine:
                     break
                 shard = shards[index]
                 try:
-                    piece = self._scan_shard(shard, query, k)
+                    piece = self._scan_one(shard, query, k)
                 except Exception as exc:
                     deadline.note_failed(f"shard {shard.shard_id}: {exc}")
                     continue
                 scanned += 1
                 deadline.note_answered()
                 best = nsmallest(k, chain(best, piece))
+        elif self._worker_pool is not None:
+            # Process scatter: same shape as the thread fan below (the
+            # best-bound shard sets the threshold, survivors fan), so
+            # scanned/skipped stats match the thread oracle exactly.
+            first, rest = order[0], order[1:]
+            scanned += 1
+            best = self._scan_one(shards[first], query, k)
+            requests = []
+            for index in rest:
+                if len(best) == k and bounds[index] < -best[k - 1][0] - _SKIP_MARGIN:
+                    skipped += 1
+                    continue
+                shard = shards[index]
+                faults.trip(f"shard.scan.{shard.shard_id}")
+                requests.append(
+                    (shard, k, shard.kernel._query_scalars(query))
+                )
+            scanned += len(requests)
+            if requests:
+                pieces = self._worker_pool.scan_many(requests)
+                best = nsmallest(k, chain(best, *pieces.values()))
         elif self._pool is None or len(order) == 1:
             # Sequential adaptive gather: every scanned shard tightens
             # the threshold for the ones after it.

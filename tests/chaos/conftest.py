@@ -64,14 +64,27 @@ def make_chaos_db(count: int = 48) -> SpatialDatabase:
 
 @contextmanager
 def running_server(engine: Any, **kwargs: Any) -> Iterator[YaskHTTPServer]:
-    """A live background server, always torn down (no leaked threads)."""
+    """A live background server, always torn down (no leaked sockets).
+
+    The construction already binds the listening socket, so everything
+    after it — including ``start_background`` itself — runs inside the
+    ``try``, and ``server_close`` is reached even when ``shutdown``
+    raises: an assertion failing mid-test must never leak the socket
+    (asserted under ``-W error::ResourceWarning`` by
+    ``tests/service/test_socket_hygiene.py``).
+    """
     server = YaskHTTPServer(engine, **kwargs)
-    server.start_background()
+    started = False
     try:
+        server.start_background()
+        started = True
         yield server
     finally:
-        server.shutdown()
-        server.server_close()
+        try:
+            if started:
+                server.shutdown()
+        finally:
+            server.server_close()
 
 
 def canonical(payload: Any) -> str:

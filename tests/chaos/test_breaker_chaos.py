@@ -17,6 +17,8 @@ from repro.service.wal import WriteAheadLog
 
 from tests.chaos.conftest import make_chaos_db, running_server
 
+pytestmark = pytest.mark.slow
+
 DELETE_0 = [{"op": "delete", "oid": 0}]
 DELETE_1 = [{"op": "delete", "oid": 1}]
 DELETE_2 = [{"op": "delete", "oid": 2}]

@@ -20,6 +20,8 @@ from repro.service.wal import WriteAheadLog
 
 from tests.chaos.conftest import make_chaos_db, running_server
 
+pytestmark = pytest.mark.slow
+
 
 def recording_client(endpoint: str, **kwargs) -> tuple[YaskClient, list[float]]:
     slept: list[float] = []

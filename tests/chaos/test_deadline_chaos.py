@@ -19,6 +19,8 @@ from repro.service.client import YaskClient
 
 from tests.chaos.conftest import FAR_OID, make_chaos_db, running_server
 
+pytestmark = pytest.mark.slow
+
 SHARDS = 4
 
 

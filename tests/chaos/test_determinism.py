@@ -16,6 +16,10 @@ from repro.service.wal import WriteAheadLog
 
 from tests.chaos.conftest import canonical, make_chaos_db, running_server
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def run_scenario(seed: int, wal_dir) -> tuple[tuple, list[str]]:
     """One seeded pass: returns (injection log, canonical outputs).

@@ -18,6 +18,8 @@ from repro.service.wal import FollowerEngine, WriteAheadLog
 
 from tests.chaos.conftest import make_chaos_db, running_server
 
+pytestmark = pytest.mark.slow
+
 
 def make_primary(wal_dir) -> YaskEngine:
     return YaskEngine(make_chaos_db(), wal=WriteAheadLog(wal_dir))

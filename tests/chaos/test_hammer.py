@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import threading
 
+import pytest
+
 from repro.service.api import YaskEngine
 from repro.service.client import YaskClient, YaskClientError
 
@@ -24,6 +26,8 @@ from tests.chaos.conftest import (
     make_chaos_db,
     running_server,
 )
+
+pytestmark = pytest.mark.slow
 
 THREADS = 8
 ROUNDS = 10

@@ -1,0 +1,273 @@
+"""Cross-process chaos: the worker pool under kills, delays and churn.
+
+Worker processes die for real here (``SIGKILL``, no cleanup handlers),
+and the contract is the PR-8 degradation envelope stretched across the
+process boundary: a crash surfaces as a structured 503 *after* the
+pool has already restarted the worker (the retried query is exact), a
+seeded delay plan honors ``timeout_ms`` by absorbing partials exactly
+as the threaded tier does, and a mutate-while-scanning hammer must
+never observe a torn generation — a worker serving pre-batch columns
+against a post-batch parent would return oids the database no longer
+holds or scores no single generation could produce.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.core.geometry import Point
+from repro.core.mutations import Mutation
+from repro.core.objects import SpatialObject
+from repro.core.query import SpatialKeywordQuery, Weights
+from repro.faults import FaultPlan
+from repro.service.api import YaskEngine
+from repro.service.client import YaskClient, YaskClientError
+from repro.service.procpool import WorkerCrashedError
+
+from tests.chaos.conftest import canonical, make_chaos_db, running_server
+
+pytestmark = pytest.mark.slow
+
+SHARDS = 4
+#: k above any shard's population: no shard can be bound-pruned, so a
+#: scan visits every worker and a killed one is guaranteed to surface.
+UNPRUNABLE_K = 20
+
+
+@pytest.fixture()
+def proc_engine():
+    engine = YaskEngine(make_chaos_db(), shards=SHARDS, shard_workers="proc")
+    yield engine
+    engine.close()
+
+
+def kill_worker(pool, shard_id: int, *, stall: bool = False) -> None:
+    """``kill -9`` one worker, optionally mid-request (stalled in a
+    ``sleep`` op, exactly where a real scan would be executing)."""
+    pid = pool.worker_pid(shard_id)
+    assert pid is not None
+    process = pool._handles[shard_id].process
+    if stall:
+        pool.inject_stall(shard_id, 30.0)
+        time.sleep(0.05)  # let the worker dequeue the stall op
+    os.kill(pid, signal.SIGKILL)
+    process.join(timeout=5.0)  # reap: kill(pid, 0) sees zombies as alive
+    assert not process.is_alive(), f"worker {pid} survived SIGKILL"
+
+
+class TestWorkerCrash:
+    def test_kill9_mid_scan_is_a_structured_503_then_exact(self, proc_engine):
+        """Crash → 503 with Retry-After → automatic restart → exact."""
+        reference = YaskEngine(make_chaos_db())
+        expected = [
+            (entry.obj.oid, entry.score)
+            for entry in reference.top_k(
+                Point(0.5, 0.5), {"food"}, k=UNPRUNABLE_K
+            ).entries
+        ]
+        reference.close()
+        pool = proc_engine.worker_pool
+        with running_server(proc_engine) as server:
+            client = YaskClient(server.endpoint, retries=0)
+            shard_id = proc_engine.shard_router.shards[0].shard_id
+            kill_worker(pool, shard_id, stall=True)
+            with pytest.raises(YaskClientError) as excinfo:
+                client.query(0.5, 0.5, ["food"], UNPRUNABLE_K)
+            assert excinfo.value.status == 503
+            assert excinfo.value.retry_after is not None
+            assert "worker" in str(excinfo.value)
+            # The pool restarted the worker before the 503 left the
+            # building: the very next query is exact, not degraded.
+            body = client.query(0.5, 0.5, ["food"], UNPRUNABLE_K)
+            assert "degraded" not in body
+            got = [
+                (e["object"]["oid"], e["score"])
+                for e in body["result"]["entries"]
+            ]
+            assert got == expected
+        assert pool.restarts >= 1
+
+    def test_crash_is_absorbed_under_a_deadline(self, proc_engine):
+        """An absorbing deadline treats a dead worker as a failed shard."""
+        pool = proc_engine.worker_pool
+        with running_server(proc_engine) as server:
+            client = YaskClient(server.endpoint, retries=0)
+            shard_id = proc_engine.shard_router.shards[1].shard_id
+            kill_worker(pool, shard_id)
+            body = client.query(
+                0.5, 0.5, ["food"], UNPRUNABLE_K, timeout_ms=100000.0
+            )
+            envelope = body["degraded"]
+            assert envelope["shards_answered"] == SHARDS - 1
+            assert "shard" in envelope["reason"]
+            # And with the worker restarted, headroom or not, exact:
+            exact = client.query(
+                0.5, 0.5, ["food"], UNPRUNABLE_K, timeout_ms=100000.0
+            )
+            assert "degraded" not in exact
+            assert len(exact["result"]["entries"]) == UNPRUNABLE_K
+
+    def test_delta_to_a_dead_worker_self_heals(self, proc_engine):
+        """A batch landing on a dead worker respawns it post-batch."""
+        pool = proc_engine.worker_pool
+        shard_id = proc_engine.shard_router.shards[2].shard_id
+        kill_worker(pool, shard_id)
+        proc_engine.apply_mutations(
+            [
+                Mutation.insert(
+                    SpatialObject(
+                        900, Point(0.51, 0.52), frozenset({"food", "fresh"})
+                    )
+                )
+            ]
+        )
+        reference = YaskEngine(make_chaos_db())
+        reference.apply_mutations(
+            [
+                Mutation.insert(
+                    SpatialObject(
+                        900, Point(0.51, 0.52), frozenset({"food", "fresh"})
+                    )
+                )
+            ]
+        )
+        query = SpatialKeywordQuery(
+            loc=Point(0.5, 0.5),
+            doc=frozenset({"food", "fresh"}),
+            k=UNPRUNABLE_K,
+            weights=Weights.from_spatial(0.5),
+        )
+        try:
+            assert [tuple(e) for e in proc_engine.query(query)] == [
+                tuple(e) for e in reference.query(query)
+            ]
+        finally:
+            reference.close()
+        assert pool.restarts >= 1
+
+
+class TestDeadlineAcrossProcesses:
+    def test_seeded_delay_plan_degrades_identically_to_threads(self):
+        """One seeded plan, two scan tiers, byte-identical responses.
+
+        The fault site trips in the parent before each dispatch, so the
+        virtual clock's arithmetic — and therefore which shards the
+        deadline absorbs — cannot depend on which side of the process
+        boundary the scan runs.
+        """
+        bodies = {}
+        for mode in ("proc", 2):
+            engine = YaskEngine(
+                make_chaos_db(), shards=SHARDS, shard_workers=mode
+            )
+            plan = FaultPlan(seed=41).delay("shard.scan.*", 60.0, times=None)
+            with faults.armed(plan):
+                with running_server(engine) as server:
+                    client = YaskClient(server.endpoint, retries=0)
+                    bodies[mode] = client.query(
+                        0.5, 0.5, ["food", "cafe"], 10, timeout_ms=150.0
+                    )
+        assert canonical(bodies["proc"]) == canonical(bodies[2])
+        envelope = bodies["proc"]["degraded"]
+        assert envelope["budget_ms"] == 150.0
+        assert envelope["shards_skipped"] >= 1
+        assert envelope["reason"] == "deadline"
+
+
+class TestMutateWhileScanning:
+    def test_hammer_never_serves_a_torn_generation(self, proc_engine):
+        """Concurrent writers and readers, every answer single-generation.
+
+        A stale worker would return tombstoned oids (the parent's
+        materialise step would blow up on the lookup) or scores that no
+        longer recompute from the served components; a torn delta would
+        surface as a generation-skew :class:`WorkerCrashedError`.  The
+        hammer requires none of the above for its whole duration, and
+        zero silent restarts.
+        """
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def fail(message: str) -> None:
+            failures.append(message)
+            stop.set()
+
+        query = SpatialKeywordQuery(
+            loc=Point(0.5, 0.5),
+            doc=frozenset({"food"}),
+            k=UNPRUNABLE_K,
+            weights=Weights.from_spatial(0.5),
+        )
+
+        def writer() -> None:
+            next_oid = 2000
+            owned: list[int] = []
+            while not stop.is_set():
+                try:
+                    batch: list[Mutation] = []
+                    for _ in range(3):
+                        if len(owned) > 6:
+                            batch.append(Mutation.delete(owned.pop(0)))
+                        else:
+                            obj = SpatialObject(
+                                next_oid,
+                                Point(
+                                    (next_oid % 97) / 97.0,
+                                    (next_oid % 89) / 89.0,
+                                ),
+                                frozenset({"food", f"topic{next_oid % 5}"}),
+                            )
+                            owned.append(next_oid)
+                            next_oid += 1
+                            batch.append(Mutation.insert(obj))
+                    proc_engine.apply_mutations(batch)
+                except Exception as exc:  # noqa: BLE001 - the test's point
+                    fail(f"writer raised: {exc!r}")
+                    return
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    result = proc_engine.query(query)
+                    entries = result.entries
+                    ranks = [entry.rank for entry in entries]
+                    if ranks != list(range(1, len(entries) + 1)):
+                        fail(f"non-contiguous ranks: {ranks}")
+                    scores = [entry.score for entry in entries]
+                    if scores != sorted(scores, reverse=True):
+                        fail(f"scores out of order: {scores}")
+                    for entry in entries:
+                        recomputed = query.ws * (
+                            1.0 - entry.sdist
+                        ) + query.wt * entry.tsim
+                        if recomputed != entry.score:
+                            fail(
+                                f"torn entry for oid {entry.obj.oid}: "
+                                f"{entry.score} != {recomputed}"
+                            )
+                except WorkerCrashedError as exc:
+                    fail(f"generation skew or crash under hammer: {exc}")
+                    return
+                except Exception as exc:  # noqa: BLE001
+                    fail(f"reader raised: {exc!r}")
+                    return
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(1.2)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not failures, failures[:3]
+        stats = proc_engine.worker_pool.to_dict()
+        assert stats["restarts"] == 0, "a worker died silently under load"
+        assert stats["deltas"] > 0, "the hammer never exercised deltas"

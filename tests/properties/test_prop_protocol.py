@@ -16,6 +16,10 @@ from repro.service.protocol import ProtocolError, query_from_dict, query_to_dict
 
 from tests.properties.strategies import ALPHABET
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 # Arbitrary JSON-shaped values to throw at the parser.
 json_scalars = st.one_of(
     st.none(),

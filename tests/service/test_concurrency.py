@@ -16,11 +16,10 @@ from repro.service.server import YaskHTTPServer
 
 @pytest.fixture(scope="module")
 def server(small_db):
-    server = YaskHTTPServer(YaskEngine(small_db, max_entries=8))
-    server.start_background()
-    yield server
-    server.shutdown()
-    server.server_close()
+    from tests.service.conftest import running_server
+
+    with running_server(YaskEngine(small_db, max_entries=8)) as server:
+        yield server
 
 
 @pytest.fixture(scope="module")

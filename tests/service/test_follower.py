@@ -286,23 +286,22 @@ class TestFollowerHammer:
 class TestFollowerHTTP:
     @pytest.fixture()
     def replica_pair(self, tmp_path):
-        from repro.service.client import YaskClient
-        from repro.service.server import YaskHTTPServer
+        from contextlib import ExitStack
 
-        primary = make_primary(tmp_path)
-        primary_server = YaskHTTPServer(primary)
-        primary_server.start_background()
-        follower = FollowerEngine(tmp_path, database=make_tiny_db())
-        follower_server = YaskHTTPServer(follower.engine, follower=follower)
-        follower_server.start_background()
-        yield (
-            YaskClient(primary_server.endpoint),
-            YaskClient(follower_server.endpoint),
-        )
-        follower_server.shutdown()
-        follower_server.server_close()
-        primary_server.shutdown()
-        primary_server.server_close()
+        from repro.service.client import YaskClient
+        from tests.service.conftest import running_server
+
+        with ExitStack() as stack:
+            primary = make_primary(tmp_path)
+            primary_server = stack.enter_context(running_server(primary))
+            follower = FollowerEngine(tmp_path, database=make_tiny_db())
+            follower_server = stack.enter_context(
+                running_server(follower.engine, follower=follower)
+            )
+            yield (
+                YaskClient(primary_server.endpoint),
+                YaskClient(follower_server.endpoint),
+            )
 
     def test_write_to_primary_read_your_writes_on_follower(
         self, replica_pair

@@ -15,12 +15,12 @@ from tests.conftest import make_tiny_db
 
 @pytest.fixture()
 def served():
-    server = YaskHTTPServer(YaskEngine(make_tiny_db(), max_entries=4), port=0)
-    server.start_background()
-    try:
+    from tests.service.conftest import running_server
+
+    with running_server(
+        YaskEngine(make_tiny_db(), max_entries=4), port=0
+    ) as server:
         yield server, YaskClient(server.endpoint)
-    finally:
-        server.server_close()
 
 
 class TestObjectLookup:
@@ -295,9 +295,9 @@ class TestUnsupportedEngine:
             ),
             max_entries=4,
         )
-        server = YaskHTTPServer(engine, port=0)
-        server.start_background()
-        try:
+        from tests.service.conftest import running_server
+
+        with running_server(engine, port=0) as server:
             client = YaskClient(server.endpoint)
             assert client.mutation_stats() == {"supported": False}
             with pytest.raises(YaskClientError) as excinfo:
@@ -305,5 +305,3 @@ class TestUnsupportedEngine:
                     [{"oid": 60, "x": 0.5, "y": 0.5, "keywords": ["x"]}]
                 )
             assert excinfo.value.status == 501
-        finally:
-            server.server_close()

@@ -29,6 +29,10 @@ from repro.service.executor import (
 )
 from repro.whynot.errors import WhyNotError
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 DURATION_S = 1.2
 
 

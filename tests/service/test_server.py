@@ -17,11 +17,10 @@ from repro.service.server import YaskHTTPServer
 
 @pytest.fixture(scope="module")
 def server(small_db):
-    server = YaskHTTPServer(YaskEngine(small_db, max_entries=8))
-    server.start_background()
-    yield server
-    server.shutdown()
-    server.server_close()
+    from tests.service.conftest import running_server
+
+    with running_server(YaskEngine(small_db, max_entries=8)) as server:
+        yield server
 
 
 @pytest.fixture(scope="module")
@@ -475,9 +474,9 @@ class TestDurabilityOverHTTP:
             SpatialDatabase(small_db.objects, dataspace=small_db.dataspace),
             wal=WriteAheadLog(tmp_path, fsync="never"),
         )
-        server = YaskHTTPServer(engine, snapshot_every=2)
-        server.start_background()
-        try:
+        from tests.service.conftest import running_server
+
+        with running_server(engine, snapshot_every=2) as server:
             durable = YaskClient(server.endpoint)
             first = durable.mutate([{"op": "delete", "oid": 0}])
             assert "snapshot" not in first  # cadence of 2 not yet due
@@ -488,9 +487,6 @@ class TestDurabilityOverHTTP:
             assert stats["last_generation"] == 2
             assert stats["snapshot_generation"] == 2
             assert stats["snapshots_written"] == 1
-        finally:
-            server.shutdown()
-            server.server_close()
 
     def test_snapshot_every_requires_a_wal(self, small_db):
         from repro.core.objects import SpatialDatabase

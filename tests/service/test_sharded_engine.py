@@ -143,11 +143,10 @@ class TestCachedWhyNotRunsNoScatter:
 class TestStatsEndpoint:
     @pytest.fixture()
     def server(self, hotels):
-        server = YaskHTTPServer(YaskEngine(hotels, shards=4), port=0)
-        server.start_background()
-        yield server
-        server.shutdown()
-        server.server_close()
+        from tests.service.conftest import running_server
+
+        with running_server(YaskEngine(hotels, shards=4), port=0) as server:
+            yield server
 
     def test_shards_section(self, server):
         client = YaskClient(server.endpoint)
@@ -165,14 +164,13 @@ class TestStatsEndpoint:
         assert shards["topk_scatter_ms"] >= 0.0
 
     def test_unsharded_server_reports_null(self, hotels):
-        server = YaskHTTPServer(YaskEngine(hotels), port=0)
-        server.start_background()
-        try:
+        from tests.service.conftest import running_server
+
+        with running_server(YaskEngine(hotels), port=0) as server:
             client = YaskClient(server.endpoint)
-            assert client._call("GET", "/api/stats")["shards"] is None
-        finally:
-            server.shutdown()
-            server.server_close()
+            stats = client._call("GET", "/api/stats")
+            assert stats["shards"] is None
+            assert stats["procpool"] is None
 
 
 class TestCli:

@@ -68,16 +68,16 @@ def test_server_loop_snapshots_on_interval(tmp_path) -> None:
     wal = WriteAheadLog(tmp_path / "wal")
     engine = YaskEngine(hong_kong_hotels(), shards=2)
     engine.attach_wal(wal)
-    server = YaskHTTPServer(
+    from tests.service.conftest import running_server
+
+    with running_server(
         engine,
         host="127.0.0.1",
         port=0,
         # Count cadence far out of reach: only the timer can checkpoint.
         snapshot_every=10_000,
         snapshot_interval_secs=0.05,
-    )
-    server.start_background()
-    try:
+    ) as server:
         assert wal.snapshot_generation == 0
         _post(server.endpoint, "/api/mutations", _mutation(95001))
         _post(server.endpoint, "/api/mutations", _mutation(95002))
@@ -92,9 +92,6 @@ def test_server_loop_snapshots_on_interval(tmp_path) -> None:
         assert wal.snapshot_generation == 2
         if settled is not None:
             assert wal.manifest_writes == settled
-    finally:
-        server.shutdown()
-        server.server_close()
 
 
 def test_interval_timer_stops_on_close(tmp_path) -> None:

@@ -140,13 +140,11 @@ class TestEngineFaults:
 class TestHTTPFaults:
     def test_wal_write_error_maps_to_structured_503(self, tmp_path):
         from repro.service.client import YaskClient, YaskClientError
-        from repro.service.server import YaskHTTPServer
+        from tests.service.conftest import running_server
 
         opener = FlakyOpener()
         wal = WriteAheadLog(tmp_path, fsync="always", opener=opener)
-        server = YaskHTTPServer(YaskEngine(make_tiny_db(), wal=wal))
-        server.start_background()
-        try:
+        with running_server(YaskEngine(make_tiny_db(), wal=wal)) as server:
             # retries=0: this test pins the raw 503 contract; the client's
             # own retry loop is covered by the chaos suite.
             client = YaskClient(server.endpoint, retries=0)
@@ -165,6 +163,3 @@ class TestHTTPFaults:
             with pytest.raises(YaskClientError) as exc:
                 client.get_object(0)
             assert exc.value.status == 404
-        finally:
-            server.shutdown()
-            server.server_close()
