@@ -80,7 +80,7 @@ bench-json:
 	$(PYTHON) benchmarks/bench_json.py
 
 test-lockdep:
-	YASK_LOCKDEP=1 $(PYTHON) -m pytest tests/analysis tests/service/test_concurrency.py tests/service/test_mutation_hammer.py tests/service/test_stats_snapshot.py tests/service/test_follower.py -q $(ALL_MARKS)
+	YASK_LOCKDEP=1 $(PYTHON) -m pytest tests/analysis tests/service/test_concurrency.py tests/service/test_mutation_hammer.py tests/service/test_stats_snapshot.py tests/service/test_follower.py tests/properties/test_prop_skyband.py -q $(ALL_MARKS)
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples tools

@@ -325,6 +325,45 @@ def bench_e13() -> dict:
     stats = executor.stats()
     executor.close()
     engine.close()
+
+    # Patch-on-write (answer maintenance): the same read/write shape,
+    # but the writes land *on* cached queries — the adversarial regime
+    # for drop-on-write — and the executor patches skybands in place.
+    engine = YaskEngine(
+        SpatialDatabase(base.objects, dataspace=base.dataspace)
+    )
+    executor = QueryExecutor(
+        engine, cache_capacity=256, max_workers=1, skyband_delta=8
+    )
+    for query in queries:
+        executor.execute(query)
+    maintained_hits = maintained_reads = 0
+    for _ in range(6):
+        batch = []
+        for _ in range(20):
+            target = rng.choice(queries)
+            batch.append(
+                Mutation.insert(
+                    SpatialObject(
+                        next_oid,
+                        Point(
+                            min(max(target.loc.x + rng.uniform(-0.01, 0.01), 0.0), 1.0),
+                            min(max(target.loc.y + rng.uniform(-0.01, 0.01), 0.0), 1.0),
+                        ),
+                        frozenset(target.doc),
+                    )
+                )
+            )
+            next_oid += 1
+        report = engine.apply_mutations(batch)
+        executor.maintain(report.change)
+        for query in queries:
+            maintained_reads += 1
+            if executor.execute(query).source == "cache":
+                maintained_hits += 1
+    maintained_stats = executor.stats()
+    executor.close()
+    engine.close()
     return {
         "objects": 20_000,
         "ingest_objects": len(ingest),
@@ -336,8 +375,20 @@ def bench_e13() -> dict:
         "post_write_reads": reads,
         "post_write_hit_rate": hits / reads,
         "hit_rate_floor": 0.5,
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+        "scoped_invalidations": stats.scoped_invalidations,
         "scoped_dropped": stats.scoped_dropped,
         "scoped_kept": stats.scoped_kept,
+        "maintained_post_write_hit_rate": maintained_hits / maintained_reads,
+        "maintained_warmth_floor_vs_drop": 2.0,
+        "maintained_cache_hits": maintained_stats.hits,
+        "maintained_cache_misses": maintained_stats.misses,
+        "maintenance_passes": maintained_stats.maintenance_passes,
+        "maintained_kept": maintained_stats.maintained_kept,
+        "maintained_patched": maintained_stats.maintained_patched,
+        "maintained_dropped": maintained_stats.maintained_dropped,
+        "skyband_rescans": maintained_stats.skyband_rescans,
     }
 
 
@@ -535,7 +586,7 @@ def main() -> int:
         "BENCH_E13.json": _snapshot(
             "E13",
             "live mutation: incremental ingest vs rebuild + scoped "
-            "invalidation warm rate (20k synthetic)",
+            "invalidation and answer-maintenance warm rates (20k synthetic)",
             bench_e13(),
         ),
         "BENCH_E14.json": _snapshot(

@@ -53,7 +53,14 @@ if TYPE_CHECKING:  # pragma: no cover - scoring imports this module
     from repro.core.scoring import DualPoint
     from repro.text.vocabulary import Vocabulary
 
-__all__ = ["KernelStats", "ScoringKernel", "KernelQuery", "DocContext", "DualView"]
+__all__ = [
+    "KernelStats",
+    "ScoringKernel",
+    "KernelQuery",
+    "DocContext",
+    "DualView",
+    "score_delta_rows",
+]
 
 
 #: Exact-type dispatch: the kernel replicates each model's float formula
@@ -88,6 +95,67 @@ _DEAD_COORD = 1e300
 #: Default tombstone fraction beyond which a mutation batch triggers
 #: compaction (dead rows physically dropped, rows renumbered).
 DEFAULT_COMPACTION_THRESHOLD = 0.25
+
+
+def score_delta_rows(
+    rows: Sequence[tuple[float, float, int, int, int]],
+    qx: float,
+    qy: float,
+    qmask: int,
+    qlen: int,
+    ws: float,
+    wt: float,
+    *,
+    normaliser: float,
+    model_code: str,
+) -> list[tuple[int, float, float, float]]:
+    """Score pre-encoded rows against prepared query scalars.
+
+    ``(oid, score, sdist, tsim)`` per ``(x, y, mask, doc_len, oid)``
+    row — the same hypot / diagonal division / clamp / convex
+    combination as :meth:`ScoringKernel.components_all`, so the floats
+    are bit-identical to what a full column pass (or
+    ``Scorer.breakdown``) produces for the same object.
+
+    This is the cache-maintenance primitive: a mutation batch carries
+    its added and removed objects as pre-encoded rows
+    (:class:`repro.core.mutations.BatchSummary`), and the executor tier
+    scores just those rows against each cached query's scalars instead
+    of rescanning the database.  Deliberately a pure module-level
+    function — no kernel instance, no stats bump, no lock — so it is
+    safe to call while holding a cache leaf lock and gives identical
+    results whether the engine scatters over threads or processes.
+    """
+    hypot = math.hypot
+    out: list[tuple[int, float, float, float]] = []
+    push = out.append
+    if model_code == "jaccard":
+        for x, y, m, length, oid in rows:
+            d = hypot(x - qx, y - qy) / normaliser
+            if d > 1.0:
+                d = 1.0
+            s = (m & qmask).bit_count()
+            t = s / (length + qlen - s) if s else 0.0
+            push((oid, ws * (1.0 - d) + wt * t, d, t))
+    elif model_code == "dice":
+        for x, y, m, length, oid in rows:
+            d = hypot(x - qx, y - qy) / normaliser
+            if d > 1.0:
+                d = 1.0
+            s = (m & qmask).bit_count()
+            t = 2.0 * s / (length + qlen) if s else 0.0
+            push((oid, ws * (1.0 - d) + wt * t, d, t))
+    elif model_code == "overlap":
+        for x, y, m, length, oid in rows:
+            d = hypot(x - qx, y - qy) / normaliser
+            if d > 1.0:
+                d = 1.0
+            s = (m & qmask).bit_count()
+            t = s / min(length, qlen) if s else 0.0
+            push((oid, ws * (1.0 - d) + wt * t, d, t))
+    else:
+        raise ValueError(f"unknown kernel model code: {model_code!r}")
+    return out
 
 
 class KernelStats:
@@ -565,16 +633,31 @@ class ScoringKernel:
         trivially aligned.
         """
         appended: Sequence[SpatialObject] = change.appended
-        encode = self.vocabulary.encode
-        rows = tuple(
-            (obj.loc.x, obj.loc.y, encode(obj.doc), len(obj.doc), obj.oid)
-            for obj in appended
-        )
+        rows = self.encode_rows(appended, self.vocabulary)
         self.apply_raw(
             change.removed_oids,
             rows,
             objects=appended,
             force_compact=force_compact,
+        )
+
+    @staticmethod
+    def encode_rows(
+        objects: Sequence[SpatialObject], vocabulary: "Vocabulary"
+    ) -> tuple[tuple[float, float, int, int, int], ...]:
+        """Pre-encode objects as ``(x, y, mask, doc_len, oid)`` rows.
+
+        The one definition of the column-delta wire format: the kernel's
+        own :meth:`apply_mutations`, the mutation tier's
+        :class:`~repro.core.mutations.BatchSummary` row payload and the
+        process pool's delta broadcast all encode through here, so a row
+        means the same thing on every side of a thread or process
+        boundary.
+        """
+        encode = vocabulary.encode
+        return tuple(
+            (obj.loc.x, obj.loc.y, encode(obj.doc), len(obj.doc), obj.oid)
+            for obj in objects
         )
 
     def apply_raw(

@@ -539,9 +539,12 @@ class YaskEngine:
         a degraded tree is bulk-reloaded.  After this returns, every
         query answer is bit-for-bit what a fresh engine built from the
         new object set would produce.  Serving-tier caches are *not*
-        touched here — the caller holds them; pass
-        ``report.change.summary`` to
-        :meth:`repro.service.executor.QueryExecutor.invalidate_scoped`.
+        touched here — the caller holds them; pass ``report.change``
+        to :meth:`repro.service.executor.QueryExecutor.maintain`
+        (patch-on-write: cached answers are carried through the batch
+        arithmetically) or ``report.change.summary`` to
+        :meth:`repro.service.executor.QueryExecutor.invalidate_scoped`
+        (drop-on-write).
 
         ``batch_token`` makes the call idempotent: a token already seen
         (committed, or a committed no-op) short-circuits under the same

@@ -232,7 +232,11 @@ class YaskClient:
         """Ingest new objects: ``[{"oid", "x", "y", "keywords", "name"?}]``.
 
         Returns the mutation report: generation, per-op counts, kernel
-        column occupancy and the scoped cache-invalidation tally
+        column occupancy and the answer-maintenance tallies —
+        ``cache_maintenance`` breaks the patch-on-write pass down into
+        kept / patched / dropped / rescans (and the ``linked_*``
+        why-not equivalents); ``cache_invalidation`` summarises the
+        same pass in the legacy dropped/kept shape
         (``cache_invalidation.kept`` is the number of warm results that
         provably survived the write).  Passing a ``batch_token`` (any
         unique string) makes the request idempotent: a retry of an

@@ -37,15 +37,18 @@ result is exactly the result a fresh computation would produce until
 
 from __future__ import annotations
 
+import math
 import threading
 import time
+from bisect import insort
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import Any, Callable, Protocol, Sequence
 
 from repro import concurrency, faults
-from repro.core.query import QueryResult, SpatialKeywordQuery
+from repro.core.kernel import score_delta_rows
+from repro.core.query import QueryResult, RankedObject, SpatialKeywordQuery
 from repro.whynot.errors import WhyNotError
 
 __all__ = [
@@ -185,6 +188,15 @@ class CacheStats:
     test and were evicted, ``scoped_kept`` provably could not change
     and survived the write — the counter that shows warm caches staying
     warm under write traffic.
+
+    ``maintained_*`` and ``skyband_rescans`` count the patch-on-write
+    tier (:meth:`QueryExecutor.maintain`): per maintenance pass an
+    entry is ``maintained_kept`` (provably unchanged, restamped),
+    ``maintained_patched`` (skyband merge or rank repair produced the
+    post-batch answer in O(Δ)), ``maintained_dropped`` (no proof and no
+    repair — evicted exactly like drop-on-write), or counted in
+    ``skyband_rescans`` (deletes underflowed the skyband below ``k``;
+    the entry is evicted and the next fetch re-primes the buffer).
     """
 
     hits: int
@@ -197,6 +209,11 @@ class CacheStats:
     scoped_invalidations: int = 0
     scoped_dropped: int = 0
     scoped_kept: int = 0
+    maintenance_passes: int = 0
+    maintained_kept: int = 0
+    maintained_patched: int = 0
+    maintained_dropped: int = 0
+    skyband_rescans: int = 0
 
     @property
     def requests(self) -> int:
@@ -223,6 +240,11 @@ class CacheStats:
             "scoped_invalidations": self.scoped_invalidations,
             "scoped_dropped": self.scoped_dropped,
             "scoped_kept": self.scoped_kept,
+            "maintenance_passes": self.maintenance_passes,
+            "maintained_kept": self.maintained_kept,
+            "maintained_patched": self.maintained_patched,
+            "maintained_dropped": self.maintained_dropped,
+            "skyband_rescans": self.skyband_rescans,
         }
 
 
@@ -380,6 +402,11 @@ class _ResultCache:
         self._scoped_invalidations = 0
         self._scoped_dropped = 0
         self._scoped_kept = 0
+        self._maintenance_passes = 0
+        self._maintained_kept = 0
+        self._maintained_patched = 0
+        self._maintained_dropped = 0
+        self._skyband_rescans = 0
 
     def fetch(
         self,
@@ -542,6 +569,89 @@ class _ResultCache:
             self._scoped_kept += len(survivors)
             return dropped, len(survivors)
 
+    def peek_entry(self, key: str) -> tuple[Any, Any] | None:
+        """Introspective ``(value, meta)`` lookup: no counters, no LRU move.
+
+        The why-not executor uses this to learn which engine generation
+        a cached initial top-k result was computed under, without
+        charging a second hit for the same request.
+        """
+        with self._lock:
+            return self._cache.get(key)
+
+    def entries_snapshot(self) -> tuple[int, tuple[tuple[str, Any, Any], ...]]:
+        """``(generation, ((key, value, meta), ...))`` under the leaf lock.
+
+        First half of the two-phase maintenance protocol: the caller
+        computes per-entry patches *outside* this cache's leaf lock
+        (patching may consult the engine under its read lock, which
+        ranks below the leaf level) and applies them atomically with
+        :meth:`apply_maintenance`.
+        """
+        with self._lock:
+            return self._generation, tuple(
+                (key, value, meta) for key, (value, meta) in self._cache.items()
+            )
+
+    def apply_maintenance(
+        self,
+        snapshot_generation: int,
+        patches: dict[str, tuple[Any, str, Any, Any]],
+        *,
+        current: Callable[[Any], bool],
+    ) -> dict[str, int]:
+        """Apply patch-on-write decisions; returns the action tally.
+
+        ``patches`` maps each snapshotted key to ``(snapshot_value,
+        action, new_value, new_meta)`` where ``action`` is ``"kept"``,
+        ``"patched"``, ``"dropped"`` or ``"rescan"``.  A patch only
+        applies when the entry still holds the snapshotted value (an
+        eviction + fresh recompute in the window must not be clobbered
+        with a patch of the evicted value).  Entries that appeared
+        after the snapshot are kept only when ``current(meta)`` proves
+        they were computed against the post-batch dataset; anything
+        else in the window raced the mutation and is dropped.
+
+        The generation advances exactly as in :meth:`invalidate_where`,
+        for the same reason: an in-flight computation that read the
+        pre-mutation dataset must not land afterwards.
+        """
+        tally = {"kept": 0, "patched": 0, "dropped": 0, "rescans": 0}
+        with self._lock:
+            if self._generation != snapshot_generation:
+                # A whole-domain invalidation raced the patch
+                # computation; it already cleared everything the
+                # patches describe, so there is nothing left to fix.
+                return tally
+            survivors: "OrderedDict[str, tuple[Any, Any]]" = OrderedDict()
+            for key, (value, meta) in self._cache.items():
+                patch = patches.get(key)
+                if patch is None or patch[0] is not value:
+                    if current(meta):
+                        survivors[key] = (value, meta)
+                    else:
+                        tally["dropped"] += 1
+                    continue
+                _, action, new_value, new_meta = patch
+                if action == "kept":
+                    survivors[key] = (new_value, new_meta)
+                    tally["kept"] += 1
+                elif action == "patched":
+                    survivors[key] = (new_value, new_meta)
+                    tally["patched"] += 1
+                elif action == "rescan":
+                    tally["rescans"] += 1
+                else:
+                    tally["dropped"] += 1
+            self._cache = survivors
+            self._generation += 1
+            self._maintenance_passes += 1
+            self._maintained_kept += tally["kept"]
+            self._maintained_patched += tally["patched"]
+            self._maintained_dropped += tally["dropped"]
+            self._skyband_rescans += tally["rescans"]
+            return tally
+
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(
@@ -555,6 +665,11 @@ class _ResultCache:
                 scoped_invalidations=self._scoped_invalidations,
                 scoped_dropped=self._scoped_dropped,
                 scoped_kept=self._scoped_kept,
+                maintenance_passes=self._maintenance_passes,
+                maintained_kept=self._maintained_kept,
+                maintained_patched=self._maintained_patched,
+                maintained_dropped=self._maintained_dropped,
+                skyband_rescans=self._skyband_rescans,
             )
 
     def keys(self) -> tuple[str, ...]:
@@ -604,6 +719,56 @@ class _QueryMeta:
         )
 
 
+@dataclass(frozen=True, slots=True)
+class _SkybandMeta(_QueryMeta):
+    """Maintenance descriptor of one cached top-k result with a skyband.
+
+    ``entries`` holds the *extended* ranked buffer (up to ``k + delta``
+    entries: the served ``k`` plus the skyband of runners-up below
+    them), ``complete`` records whether the buffer exhausted the
+    database (the extended query returned fewer than ``k + delta``
+    entries — then membership of any insertion is decidable without a
+    tail threshold), and ``generation`` stamps the engine generation
+    the buffer was computed under, so :meth:`QueryExecutor.maintain`
+    can apply exactly the one mutation batch that advances it.
+
+    The inherited ``kth_score`` / ``result_oids`` / ``full`` fields
+    describe the **buffer**, not the served prefix: a scoped
+    invalidation keep then proves the whole buffer (and a fortiori the
+    served result) unchanged, which keeps a later restamp sound.
+    """
+
+    query: SpatialKeywordQuery = None  # type: ignore[assignment]
+    entries: tuple[RankedObject, ...] = ()
+    complete: bool = False
+    generation: int | None = None
+    delta: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class _WhyNotMeta:
+    """Maintenance descriptor of one cached why-not answer.
+
+    Exactly the fields
+    :meth:`repro.core.mutations.BatchSummary.affects_whynot` tests
+    (``missing_oids`` / ``loc`` / ``keyword_universe`` /
+    ``min_missing_prox`` / ``initial``), plus what rank repair needs:
+    the original question and the engine generation the answer was
+    computed under.  ``keyword_universe`` is ``q.doc ∪ ⋃ missing
+    docs`` — the keyword adapter only edits within this set, so a
+    delta object disjoint from it has TSim 0 under every candidate
+    refinement.
+    """
+
+    missing_oids: frozenset[int]
+    loc: Any
+    keyword_universe: frozenset[str]
+    min_missing_prox: float
+    initial: _QueryMeta | None
+    question: WhyNotQuestion
+    generation: int | None
+
+
 class QueryExecutor:
     """Thread-safe caching/deduplicating/batching front of a query engine.
 
@@ -618,6 +783,13 @@ class QueryExecutor:
         dedup still applies).
     max_workers:
         Worker-pool width for :meth:`execute_batch`.
+    skyband_delta:
+        Width Δ of the k-skyband buffer each cached entry keeps below
+        the served ``k`` (requires an engine exposing ``read_view`` /
+        ``generation``; 0 keeps plain entries).  A wider skyband
+        absorbs more member-deletes before a
+        :attr:`CacheStats.skyband_rescans` eviction; inserts are merged
+        in O(Δ) regardless.
     """
 
     def __init__(
@@ -626,12 +798,16 @@ class QueryExecutor:
         *,
         cache_capacity: int = 1024,
         max_workers: int = 8,
+        skyband_delta: int = 0,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if skyband_delta < 0:
+            raise ValueError("skyband_delta must be non-negative")
         self._engine = engine
         self._cache = _ResultCache(cache_capacity)
         self._max_workers = max_workers
+        self._skyband_delta = skyband_delta
         # One pool for the executor's lifetime (threads spawn lazily on
         # first use), not one per batch: a per-request pool would pay
         # thread startup/teardown on the serving hot path.
@@ -645,7 +821,15 @@ class QueryExecutor:
         # Caches living in the same invalidation domain (the why-not
         # executor registers here): invalidating this executor drops
         # them too, because their values derive from the same dataset.
-        self._linked_invalidations: list[Callable[[], int]] = []
+        # Each record is (drop, scoped, maintain); scoped/maintain are
+        # None for caches that only support wholesale drops.
+        self._linked_invalidations: list[
+            tuple[
+                Callable[[], int],
+                Callable[[Any], tuple[int, int]] | None,
+                Callable[[Any, int | None], dict[str, int]] | None,
+            ]
+        ] = []
         # Serialises a whole-domain invalidation against whole-domain
         # stats snapshots: holding it across both cache drops (and, in
         # consistent_stats, across both stats reads) means no reader
@@ -692,9 +876,37 @@ class QueryExecutor:
         fingerprint = query_fingerprint(query)
         started = time.perf_counter()
         if deadline is None:
-            result, source = self._cache.fetch(
-                fingerprint, lambda: self._engine.query(query), _QueryMeta.of
-            )
+            holder: list[tuple[QueryResult, int | None]] = []
+
+            def compute() -> QueryResult:
+                del holder[:]
+                read_view = getattr(self._engine, "read_view", None)
+                if read_view is None:
+                    # Stub engines: plain entry, drop-on-write semantics.
+                    return self._engine.query(query)
+                delta = self._skyband_delta
+                extended_query = (
+                    query.with_k(query.k + delta) if delta > 0 else query
+                )
+                with read_view():
+                    generation = getattr(self._engine, "generation", None)
+                    extended = self._engine.query(extended_query)
+                if delta > 0:
+                    # The served result is the exact top-k prefix of the
+                    # extended buffer (same floats, same tie order).
+                    result = QueryResult(query, extended.entries[: query.k])
+                else:
+                    result = extended
+                holder.append((extended, generation))
+                return result
+
+            def meta_of(result: QueryResult) -> Any:
+                if not holder:
+                    return _QueryMeta.of(result)
+                extended, generation = holder[0]
+                return self._skyband_meta(query, result, extended, generation)
+
+            result, source = self._cache.fetch(fingerprint, compute, meta_of)
             return Execution(
                 query=query,
                 result=result,
@@ -767,16 +979,28 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # Cache management and introspection
     # ------------------------------------------------------------------
-    def link_invalidation(self, drop: Callable[[], int]) -> None:
+    def link_invalidation(
+        self,
+        drop: Callable[[], int],
+        *,
+        scoped: Callable[[Any], tuple[int, int]] | None = None,
+        maintain: Callable[[Any, int | None], dict[str, int]] | None = None,
+    ) -> None:
         """Register a dependent cache to drop whenever this one drops.
 
         The why-not executor's answers are derived from the same dataset
         as the top-k results, so both caches form one invalidation
         domain: :meth:`invalidate` here cascades into every linked
         ``drop`` callable (and :meth:`WhyNotExecutor.invalidate`
-        delegates back here).
+        delegates back here).  ``scoped`` (called with a
+        :class:`~repro.core.mutations.BatchSummary`, returning a
+        ``(dropped, kept)`` pair) lets the linked cache apply its own
+        could-this-affect-you test during :meth:`invalidate_scoped`
+        instead of dropping wholesale; ``maintain`` (called with the
+        summary and the current engine generation) cascades
+        :meth:`maintain` passes the same way.
         """
-        self._linked_invalidations.append(drop)
+        self._linked_invalidations.append((drop, scoped, maintain))
 
     def invalidate(self) -> int:
         """Drop every cached result (the dataset changed); returns count.
@@ -790,7 +1014,7 @@ class QueryExecutor:
         """
         with self._domain_lock:
             dropped = self._cache.invalidate()
-            for drop in self._linked_invalidations:
+            for drop, _, _ in self._linked_invalidations:
                 drop()
             return dropped
 
@@ -802,23 +1026,258 @@ class QueryExecutor:
         only when the summary *proves* the batch cannot change it (no
         removed/added id in the result, and every added object's score
         bound strictly below the cached k-th score).  Linked why-not
-        caches are dropped wholesale: a why-not answer depends on the
-        ranks of the *entire* database (the refinement sweeps consider
-        every weight and keyword candidate), so no cheap per-entry proof
-        of safety exists — conservatism over staleness.
+        caches apply their own scoped test
+        (:meth:`~repro.core.mutations.BatchSummary.affects_whynot`'s
+        dominance argument) when they registered one; caches without a
+        scoped callback are dropped wholesale — conservatism over
+        staleness.
 
         Returns the drop/keep tally for the mutation report and stats.
         """
         with self._domain_lock:
             dropped, kept = self._cache.invalidate_where(summary.affects_topk)
             linked_dropped = 0
-            for drop in self._linked_invalidations:
-                linked_dropped += drop()
+            linked_kept = 0
+            for drop, scoped, _ in self._linked_invalidations:
+                if scoped is not None:
+                    scoped_dropped, scoped_kept = scoped(summary)
+                    linked_dropped += scoped_dropped
+                    linked_kept += scoped_kept
+                else:
+                    linked_dropped += drop()
             return {
                 "dropped": dropped,
                 "kept": kept,
                 "linked_dropped": linked_dropped,
+                "linked_kept": linked_kept,
             }
+
+    # ------------------------------------------------------------------
+    # Patch-on-write maintenance
+    # ------------------------------------------------------------------
+    def _skyband_meta(
+        self,
+        query: SpatialKeywordQuery,
+        result: QueryResult,
+        extended: QueryResult,
+        generation: int | None,
+    ) -> "_SkybandMeta | None":
+        entries = getattr(extended, "entries", None)
+        if entries is None or getattr(result, "entries", None) is None:
+            return None
+        delta = self._skyband_delta
+        return _SkybandMeta(
+            loc=query.loc,
+            doc=query.doc,
+            ws=query.ws,
+            wt=query.wt,
+            # kth_score/result_oids/full describe the buffer (see class
+            # docstring): a scoped keep must prove the skyband intact.
+            kth_score=entries[-1].score if entries else float("-inf"),
+            result_oids=frozenset(entry.obj.oid for entry in entries),
+            full=len(entries) >= query.k + delta,
+            query=query,
+            entries=entries,
+            complete=len(entries) < query.k + delta,
+            generation=generation,
+            delta=delta,
+        )
+
+    def maintain(self, change) -> dict[str, int]:
+        """Patch cached answers through a mutation batch (patch-on-write).
+
+        ``change`` is the applied batch
+        (:class:`~repro.core.mutations.AppliedBatch`): its summary
+        carries the delta objects as pre-encoded kernel rows, and
+        ``change.appended`` the object instances those rows describe.
+        Each cached entry is brought from the pre-batch to the
+        post-batch dataset *arithmetically* — deletes prune the
+        skyband, inserts are scored with
+        :func:`repro.core.kernel.score_delta_rows` against the entry's
+        own query scalars and merged in O(Δ) — so the maintained answer
+        is bit-for-bit the answer a cold rescan would produce.  Entries
+        the arithmetic cannot carry (skyband underflow, missing
+        generation stamp, batches without kernel rows) are dropped
+        exactly as :meth:`invalidate_scoped` would drop them.
+
+        Linked why-not caches registered with a ``maintain`` callback
+        are repaired in the same pass under the same domain lock.
+        Returns the combined action tally.
+
+        With ``skyband_delta=0`` the pass degrades to exactly the
+        scoped drop-on-write of :meth:`invalidate_scoped` — affected
+        entries drop, provably-unaffected entries keep, nothing is
+        patched — so the knob is a true ablation switch.
+        """
+        if self._skyband_delta == 0:
+            scoped = self.invalidate_scoped(change.summary)
+            return {
+                "kept": scoped["kept"],
+                "patched": 0,
+                "dropped": scoped["dropped"],
+                "rescans": 0,
+                "linked_kept": scoped["linked_kept"],
+                "linked_patched": 0,
+                "linked_dropped": scoped["linked_dropped"],
+            }
+        read_view = getattr(self._engine, "read_view", None)
+        if read_view is None:
+            return self._maintain_locked(change, None)
+        # The engine read lock (level below the domain lock) is held
+        # across the whole pass: the engine generation cannot advance
+        # mid-maintenance, so engine-consulting repairs (why-not weight
+        # intervals) see exactly the post-batch dataset.
+        with read_view():
+            engine_generation = getattr(self._engine, "generation", None)
+            return self._maintain_locked(change, engine_generation)
+
+    def _maintain_locked(
+        self, change, engine_generation: int | None
+    ) -> dict[str, int]:
+        summary = change.summary
+        with self._domain_lock:
+            snapshot_generation, entries = self._cache.entries_snapshot()
+            patch = self._topk_patch(change)
+            patches = {
+                key: (value,) + patch(value, meta)
+                for key, value, meta in entries
+            }
+
+            def is_current(meta: Any) -> bool:
+                stamp = getattr(meta, "generation", None)
+                return stamp is not None and stamp >= summary.generation
+
+            tally = self._cache.apply_maintenance(
+                snapshot_generation, patches, current=is_current
+            )
+            result = {
+                "kept": tally["kept"],
+                "patched": tally["patched"],
+                "dropped": tally["dropped"],
+                "rescans": tally["rescans"],
+                "linked_kept": 0,
+                "linked_patched": 0,
+                "linked_dropped": 0,
+            }
+            for drop, _, linked_maintain in self._linked_invalidations:
+                if linked_maintain is not None:
+                    linked = linked_maintain(summary, engine_generation)
+                    result["linked_kept"] += linked["kept"]
+                    result["linked_patched"] += linked["patched"]
+                    result["linked_dropped"] += linked["dropped"]
+                else:
+                    result["linked_dropped"] += drop()
+            return result
+
+    def _topk_patch(
+        self, change
+    ) -> Callable[[Any, Any], tuple[str, Any, Any]]:
+        summary = change.summary
+        kernel = getattr(getattr(self._engine, "scorer", None), "kernel", None)
+
+        def patch(value: Any, meta: Any) -> tuple[str, Any, Any]:
+            if not isinstance(meta, _SkybandMeta):
+                # Plain entries (deadline path, pre-maintenance caches):
+                # keep-if-provably-unaffected, drop otherwise — exactly
+                # the scoped-invalidation decision.
+                if meta is not None and not summary.affects_topk(meta):
+                    return ("kept", value, meta)
+                return ("dropped", None, None)
+            stamp = meta.generation
+            if stamp is None:
+                return ("dropped", None, None)
+            if stamp >= summary.generation:
+                # Already reflects this batch (another maintenance pass
+                # or a post-batch recompute got here first).
+                return ("kept", value, meta)
+            if stamp != summary.generation - 1:
+                # Missed an intermediate batch; the buffer cannot be
+                # carried forward by this delta alone.
+                return ("dropped", None, None)
+            if summary.added_rows or not summary.added_oids:
+                if kernel is None and summary.added_rows:
+                    return ("dropped", None, None)
+                return self._merge_skyband(value, meta, summary, change, kernel)
+            # Additions without kernel rows (no interned kernel): fall
+            # back to the bound test; a keep proves the whole buffer
+            # (meta describes it) unchanged, so restamping is sound.
+            if summary.affects_topk(meta):
+                return ("dropped", None, None)
+            return (
+                "kept",
+                value,
+                dc_replace(meta, generation=summary.generation),
+            )
+
+        return patch
+
+    def _merge_skyband(
+        self, value: Any, meta: _SkybandMeta, summary, change, kernel
+    ) -> tuple[str, Any, Any]:
+        query = meta.query
+        k = query.k
+        removed = summary.removed_oids
+        buffer = list(meta.entries)
+        if removed:
+            buffer = [e for e in buffer if e.obj.oid not in removed]
+        complete = meta.complete
+        if summary.added_rows:
+            # Re-encode the query mask against the *current* vocabulary:
+            # bit positions are append-only, so the mask is correct for
+            # this batch's rows no matter how many batches interned
+            # keywords since the buffer was cached.
+            qmask, _ = kernel.vocabulary.encode_query(query.doc)
+            scored = score_delta_rows(
+                summary.added_rows,
+                query.loc.x,
+                query.loc.y,
+                qmask,
+                len(query.doc),
+                query.ws,
+                query.wt,
+                normaliser=summary.normaliser,
+                model_code=summary.model_code,
+            )
+            keyed = [((-e.score, e.obj.oid), e) for e in buffer]
+            for (oid, score, sdist, tsim), obj in zip(scored, change.appended):
+                key = (-score, oid)
+                if not complete and (not keyed or key >= keyed[-1][0]):
+                    # Below the buffer tail with unknown runners-up
+                    # beneath it: provably outside the served top-k,
+                    # and not admissible to the skyband either.
+                    continue
+                entry = RankedObject(
+                    obj=obj, score=score, sdist=sdist, tsim=tsim, rank=0
+                )
+                insort(keyed, (key, entry))
+            buffer = [entry for _, entry in keyed]
+        cap = k + meta.delta
+        if len(buffer) > cap:
+            del buffer[cap:]
+            complete = False
+        if not complete and len(buffer) < k:
+            # Skyband underflow: deletes consumed the buffer past the
+            # served k and the runners-up below it are unknown — only a
+            # rescan (the next fetch) can rebuild the answer.
+            return ("rescan", None, None)
+        renumbered = tuple(
+            entry._replace(rank=position)
+            for position, entry in enumerate(buffer, start=1)
+        )
+        served = renumbered[:k]
+        new_meta = dc_replace(
+            meta,
+            kth_score=renumbered[-1].score if renumbered else float("-inf"),
+            result_oids=frozenset(entry.obj.oid for entry in renumbered),
+            full=len(renumbered) >= cap,
+            entries=renumbered,
+            complete=complete,
+            generation=summary.generation,
+        )
+        old_entries = getattr(value, "entries", None)
+        if old_entries is not None and tuple(old_entries) == served:
+            return ("kept", value, new_meta)
+        return ("patched", QueryResult(query, served), new_meta)
 
     def stats(self) -> CacheStats:
         return self._cache.stats()
@@ -898,7 +1357,11 @@ class WhyNotExecutor:
             if max_workers > 1
             else None
         )
-        topk.link_invalidation(self._cache.invalidate)
+        topk.link_invalidation(
+            self._cache.invalidate,
+            scoped=self._scoped_invalidate,
+            maintain=self.maintain,
+        )
 
     @property
     def engine(self) -> SupportsWhyNot:
@@ -961,19 +1424,52 @@ class WhyNotExecutor:
         topk_source: str | None = None
 
         if deadline is None:
+            holder: list[Any] = []
 
             def compute() -> object:
                 nonlocal topk_source
+                del holder[:]
                 initial_result: QueryResult | None = None
+                initial_generation: int | None = None
                 if question.model in _MODELS_USING_INITIAL:
                     initial = self._topk.execute(question.query)
                     initial_result = initial.result
+                    initial_generation = self._topk_result_generation(
+                        question.query, initial.result
+                    )
                     topk_source = initial.source
-                return self._engine.answer_whynot(
-                    question, initial_result=initial_result
-                )
+                read_view = getattr(self._engine, "read_view", None)
+                if read_view is None:
+                    return self._engine.answer_whynot(
+                        question, initial_result=initial_result
+                    )
+                with read_view():
+                    generation = getattr(self._engine, "generation", None)
+                    if (
+                        initial_result is not None
+                        and initial_generation != generation
+                    ):
+                        # The cached initial cannot be proven to match
+                        # this read view (it predates a mutation, or
+                        # carries no stamp): recompute it inside the
+                        # same snapshot so explanation and initial
+                        # describe one dataset.
+                        query_fn = getattr(self._engine, "query", None)
+                        if query_fn is not None:
+                            initial_result = query_fn(question.query)
+                            topk_source = "engine"
+                    answer = self._engine.answer_whynot(
+                        question, initial_result=initial_result
+                    )
+                    holder.append(
+                        self._whynot_meta(question, initial_result, generation)
+                    )
+                return answer
 
-            answer, source = self._cache.fetch(fingerprint, compute)
+            def meta_of(answer: object) -> Any:
+                return holder[0] if holder else None
+
+            answer, source = self._cache.fetch(fingerprint, compute, meta_of)
             return WhyNotExecution(
                 question=question,
                 answer=answer,
@@ -1082,6 +1578,283 @@ class WhyNotExecutor:
     # ------------------------------------------------------------------
     # Cache management and introspection
     # ------------------------------------------------------------------
+    def _topk_result_generation(
+        self, query: SpatialKeywordQuery, result: QueryResult
+    ) -> int | None:
+        """The engine generation ``result`` was computed under, if known.
+
+        Probes the top-k cache's entry for the query (no counters, no
+        LRU move) and trusts its stamp only when the cached value *is*
+        the result object in hand — a refresh racing in between must
+        not lend its stamp to an older result.
+        """
+        probe = self._topk._cache.peek_entry(query_fingerprint(query))
+        if probe is None or probe[0] is not result:
+            return None
+        return getattr(probe[1], "generation", None)
+
+    def _whynot_meta(
+        self,
+        question: WhyNotQuestion,
+        initial_result: QueryResult | None,
+        generation: int | None,
+    ) -> "_WhyNotMeta | None":
+        """Build the maintenance descriptor (call under the read view).
+
+        None when the engine does not expose the why-not internals
+        (stub engines) or the model needs an initial result that could
+        not be described — such entries keep drop-on-write semantics.
+        """
+        whynot_engine = getattr(self._engine, "whynot", None)
+        scorer = getattr(self._engine, "scorer", None)
+        if whynot_engine is None or scorer is None:
+            return None
+        try:
+            missing = tuple(whynot_engine.resolve_missing(question.missing))
+        except Exception:
+            return None
+        if not missing:
+            return None
+        initial_meta: _QueryMeta | None = None
+        if question.model in _MODELS_USING_INITIAL:
+            if initial_result is None:
+                return None
+            initial_meta = _QueryMeta.of(initial_result)
+            if initial_meta is None:
+                return None
+        universe = frozenset(question.query.doc).union(
+            *(obj.doc for obj in missing)
+        )
+        min_prox = min(
+            1.0 - scorer.breakdown(obj, question.query).sdist
+            for obj in missing
+        )
+        return _WhyNotMeta(
+            missing_oids=frozenset(obj.oid for obj in missing),
+            loc=question.query.loc,
+            keyword_universe=universe,
+            min_missing_prox=min_prox,
+            initial=initial_meta,
+            question=question,
+            generation=generation,
+        )
+
+    def _scoped_invalidate(self, summary) -> tuple[int, int]:
+        """Scoped drop for the shared-domain cascade: (dropped, kept).
+
+        Applies :meth:`BatchSummary.affects_whynot`'s dominance test to
+        every cached answer; entries without a descriptor drop
+        unconditionally.  Runs under the top-k executor's domain lock
+        (the caller holds it).
+        """
+        return self._cache.invalidate_where(summary.affects_whynot)
+
+    def maintain(
+        self, summary, engine_generation: int | None = None
+    ) -> dict[str, int]:
+        """Repair cached why-not answers through a mutation batch.
+
+        Registered as the top-k executor's linked ``maintain`` callback
+        and called under its domain lock and (when the engine has one)
+        its read view, with ``engine_generation`` the generation read
+        inside that view.  An entry survives when the dominance test
+        proves the batch irrelevant (kept + restamped) or, for the
+        ``explain`` model, when rank arithmetic over the batch's delta
+        rows reproduces exactly what a cold re-explanation would
+        compute (patched).  Everything else drops.
+        """
+        snapshot_generation, entries = self._cache.entries_snapshot()
+        patches: dict[str, tuple[Any, str, Any, Any]] = {}
+        for key, value, meta in entries:
+            patches[key] = (value,) + self._maintenance_action(
+                value, meta, summary, engine_generation
+            )
+
+        def is_current(meta: Any) -> bool:
+            stamp = getattr(meta, "generation", None)
+            return stamp is not None and stamp >= summary.generation
+
+        return self._cache.apply_maintenance(
+            snapshot_generation, patches, current=is_current
+        )
+
+    def _maintenance_action(
+        self, value: Any, meta: Any, summary, engine_generation: int | None
+    ) -> tuple[str, Any, Any]:
+        if not isinstance(meta, _WhyNotMeta):
+            return ("dropped", None, None)
+        stamp = meta.generation
+        if stamp is not None and stamp >= summary.generation:
+            return ("kept", value, meta)
+        if stamp is None or stamp != summary.generation - 1:
+            return ("dropped", None, None)
+        if not summary.affects_whynot(meta):
+            # Dominance proof: the batch cannot change ranks, counts,
+            # reasons or weight intervals for this answer.  The missing
+            # objects themselves are untouched, so min_missing_prox and
+            # the keyword universe are unchanged too — restamp.
+            return (
+                "kept",
+                value,
+                dc_replace(meta, generation=summary.generation),
+            )
+        repaired = self._repair_explain(value, meta, summary, engine_generation)
+        if repaired is not None:
+            new_value, new_meta = repaired
+            return ("patched", new_value, new_meta)
+        return ("dropped", None, None)
+
+    def _repair_explain(
+        self, value: Any, meta: _WhyNotMeta, summary, engine_generation: int | None
+    ):
+        """Rank-arithmetic repair of an ``explain`` answer, or None.
+
+        Preconditions (any failure → caller drops the entry):
+
+        * the engine generation equals the batch's — the weight-interval
+          recompute below reads live index state, which must describe
+          exactly the post-batch dataset;
+        * the batch touches no missing object (their breakdowns, and so
+          the reasons and ``min_missing_prox``, would change);
+        * the initial top-k is provably unaffected — then every
+          surviving member still outranks each missing object, so the
+          k-th breakdown, the reason classification and the
+          rank ≥ k+1 invariant all carry over; and
+        * the batch carries kernel rows for its delta objects.
+
+        Under those conditions the missing object's rank changes by
+        exactly (added beaters − removed beaters): tombstoned rows
+        score 0.0 and lose every tie-break in ``count_better``, so
+        integer deltas over the batch's rows reproduce the cold count.
+        The strictly-closer / strictly-more-similar counts shift the
+        same way (raw hypot distances and model TSim from the rows
+        match the explainer's scan comparisons bit-for-bit).
+        """
+        from repro.whynot.explanation import WhyNotExplanation
+
+        question = meta.question
+        if question.model != "explain" or not isinstance(
+            value, WhyNotExplanation
+        ):
+            return None
+        if engine_generation is None or engine_generation != summary.generation:
+            return None
+        touched = summary.removed_oids | summary.added_oids
+        if touched & meta.missing_oids:
+            return None
+        if meta.initial is None or summary.affects_topk(meta.initial):
+            return None
+        if summary.added_oids and not summary.added_rows:
+            return None
+        if summary.removed_oids and not summary.removed_rows:
+            return None
+        kernel = getattr(getattr(self._engine, "scorer", None), "kernel", None)
+        if kernel is None:
+            return None
+        whynot_engine = getattr(self._engine, "whynot", None)
+        adjuster = getattr(whynot_engine, "preference_adjuster", None)
+        needs_intervals = any(
+            explanation.viable_ws_intervals is not None
+            for explanation in value.explanations
+        )
+        if needs_intervals and adjuster is None:
+            return None
+        query = question.query
+        qmask, _ = kernel.vocabulary.encode_query(query.doc)
+        scored_added = (
+            score_delta_rows(
+                summary.added_rows,
+                query.loc.x,
+                query.loc.y,
+                qmask,
+                len(query.doc),
+                query.ws,
+                query.wt,
+                normaliser=summary.normaliser,
+                model_code=summary.model_code,
+            )
+            if summary.added_rows
+            else []
+        )
+        scored_removed = (
+            score_delta_rows(
+                summary.removed_rows,
+                query.loc.x,
+                query.loc.y,
+                qmask,
+                len(query.doc),
+                query.ws,
+                query.wt,
+                normaliser=summary.normaliser,
+                model_code=summary.model_code,
+            )
+            if summary.removed_rows
+            else []
+        )
+        hypot = math.hypot
+        qx, qy = query.loc.x, query.loc.y
+        new_explanations = []
+        for explanation in value.explanations:
+            # The kernel's total order is ascending (-score, oid); a
+            # delta row "beats" the missing object exactly when its key
+            # sorts before the target's — same tie rule as count_better.
+            target_key = (-explanation.breakdown.score, explanation.obj.oid)
+            target_tsim = explanation.breakdown.tsim
+            raw_distance = explanation.obj.loc.distance_to(query.loc)
+            added_beaters = sum(
+                1
+                for oid, score, _, _ in scored_added
+                if (-score, oid) < target_key
+            )
+            removed_beaters = sum(
+                1
+                for oid, score, _, _ in scored_removed
+                if (-score, oid) < target_key
+            )
+            added_closer = sum(
+                1
+                for x, y, _, _, _ in summary.added_rows
+                if hypot(x - qx, y - qy) < raw_distance
+            )
+            removed_closer = sum(
+                1
+                for x, y, _, _, _ in summary.removed_rows
+                if hypot(x - qx, y - qy) < raw_distance
+            )
+            added_similar = sum(
+                1 for _, _, _, tsim in scored_added if tsim > target_tsim
+            )
+            removed_similar = sum(
+                1 for _, _, _, tsim in scored_removed if tsim > target_tsim
+            )
+            intervals = explanation.viable_ws_intervals
+            if intervals is not None:
+                intervals = tuple(
+                    adjuster.viable_weight_intervals(query, explanation.obj)
+                )
+            new_explanations.append(
+                dc_replace(
+                    explanation,
+                    rank=explanation.rank + added_beaters - removed_beaters,
+                    closer_objects=explanation.closer_objects
+                    + added_closer
+                    - removed_closer,
+                    more_similar_objects=explanation.more_similar_objects
+                    + added_similar
+                    - removed_similar,
+                    viable_ws_intervals=intervals,
+                )
+            )
+        new_value = dc_replace(
+            value,
+            explanations=tuple(new_explanations),
+            worst_rank=max(
+                explanation.rank for explanation in new_explanations
+            ),
+        )
+        new_meta = dc_replace(meta, generation=summary.generation)
+        return new_value, new_meta
+
     def invalidate(self) -> int:
         """Invalidate the shared domain; returns why-not entries dropped.
 

@@ -436,10 +436,12 @@ class ShardWorkerPool:
                 removed_oids, appended = router.last_shard_deltas.get(
                     shard.shard_id, ((), ())
                 )
-                encode = shard.kernel.vocabulary.encode
-                rows = tuple(
-                    (obj.loc.x, obj.loc.y, encode(obj.doc), len(obj.doc), obj.oid)
-                    for obj in appended
+                # The one definition of the column-delta wire format —
+                # shared with the mutation summariser, so the rows a
+                # proc worker applies are byte-identical to the rows
+                # executor maintenance scores.
+                rows = ScoringKernel.encode_rows(
+                    appended, shard.kernel.vocabulary
                 )
                 new_generation = handle.generation + 1
                 message = ("delta", new_generation, removed_oids, rows)

@@ -172,6 +172,7 @@ class YaskHTTPServer(ThreadingHTTPServer):
         session_capacity: int = 256,
         cache_capacity: int = 1024,
         whynot_cache_capacity: int = 256,
+        cache_skyband: int = 8,
         batch_workers: int = 8,
         follower: FollowerEngine | None = None,
         snapshot_every: int | None = None,
@@ -255,6 +256,7 @@ class YaskHTTPServer(ThreadingHTTPServer):
             served_engine,
             cache_capacity=cache_capacity,
             max_workers=batch_workers,
+            skyband_delta=cache_skyband,
         )
         # Shares the top-k executor's invalidation domain and reuses its
         # cached results as why-not starting points.
@@ -744,11 +746,22 @@ class _YaskRequestHandler(BaseHTTPRequestHandler):
             # Nothing moved: the token's original commit already did
             # the invalidation and (maybe) the snapshot.
             return report.to_dict()
-        invalidation = self.server.executor.invalidate_scoped(
-            report.change.summary
-        )
+        maintenance = self.server.executor.maintain(report.change)
         snapshot = self.server.maybe_snapshot()
-        response = {**report.to_dict(), "cache_invalidation": invalidation}
+        response = {
+            **report.to_dict(),
+            # Kept for response compatibility with the drop-on-write
+            # tier: "dropped" counts evictions (including skyband
+            # rescans), "kept" everything maintenance preserved.
+            "cache_invalidation": {
+                "dropped": maintenance["dropped"] + maintenance["rescans"],
+                "kept": maintenance["kept"] + maintenance["patched"],
+                "linked_dropped": maintenance["linked_dropped"],
+                "linked_kept": maintenance["linked_kept"]
+                + maintenance["linked_patched"],
+            },
+            "cache_maintenance": maintenance,
+        }
         if snapshot is not None:
             response["snapshot"] = snapshot
         return response
@@ -1056,6 +1069,7 @@ def serve_forever(
     snapshot_every: int | None = None,
     snapshot_interval_secs: float | None = None,
     max_inflight: int | None = None,
+    cache_skyband: int = 8,
 ) -> None:
     """Blocking entry point used by ``yask serve`` and ``yask follow``."""
     server = YaskHTTPServer(
@@ -1066,6 +1080,7 @@ def serve_forever(
         snapshot_every=snapshot_every,
         snapshot_interval_secs=snapshot_interval_secs,
         max_inflight=max_inflight,
+        cache_skyband=cache_skyband,
     )
     role = "follower" if follower is not None else "server"
     print(f"YASK {role} listening on {server.endpoint}")

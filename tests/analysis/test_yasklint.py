@@ -128,6 +128,27 @@ def test_yask106_commented_and_handled_exempt() -> None:
     assert not any(v.line >= 27 for v in violations)
 
 
+def test_yask107_cache_poke_lines() -> None:
+    assert findings("repro/service/bad_cache_poke.py", "YASK107") == [
+        (5, "YASK107"),
+        (6, "YASK107"),
+        (7, "YASK107"),
+        (8, "YASK107"),
+        (9, "YASK107"),
+        (10, "YASK107"),
+    ]
+
+
+def test_yask107_executor_protocol_and_reads_exempt() -> None:
+    violations = [
+        v
+        for v in lint_fixture("repro/service/bad_cache_poke.py")
+        if v.rule_id == "YASK107"
+    ]
+    # maintain/invalidate_scoped/execute calls and cache reads are clean.
+    assert not any(v.line >= 13 for v in violations)
+
+
 def test_justified_suppression_silences_finding() -> None:
     violations = lint_fixture("repro/whynot/bad_float_eq.py")
     assert not any(v.line == 23 for v in violations)
@@ -155,6 +176,7 @@ def test_rule_catalogue_registered() -> None:
         "YASK104",
         "YASK105",
         "YASK106",
+        "YASK107",
     ]
 
 

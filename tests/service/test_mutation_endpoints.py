@@ -175,8 +175,8 @@ class TestMutationBatchRoute:
         assert entry["object"]["oid"] == 30 and entry["tsim"] == 1.0
 
 
-class TestScopedInvalidation:
-    def test_distant_cached_query_survives_local_insert(self, served):
+class TestAnswerMaintenance:
+    def test_cached_queries_stay_warm_through_local_insert(self, served):
         server, client = served
         # Warm two cached results: one near the batch, one far away with
         # disjoint keywords.
@@ -186,19 +186,24 @@ class TestScopedInvalidation:
         report = client.insert_objects(
             [{"oid": 40, "x": 0.92, "y": 0.88, "keywords": ["spanish"]}]
         )
-        tally = report["cache_invalidation"]
-        assert tally["dropped"] >= 1 and tally["kept"] >= 1
+        maintenance = report["cache_maintenance"]
+        assert maintenance["patched"] >= 1
+        assert maintenance["patched"] + maintenance["kept"] == 2
+        # The legacy invalidation summary counts maintained entries kept.
+        assert report["cache_invalidation"]["kept"] == 2
+        assert report["cache_invalidation"]["dropped"] == 0
         # The distant, keyword-disjoint query is still served warm...
         assert client.query(0.05, 0.05, ["chinese"], 2)["cached"]
-        # ...while the nearby one was recomputed and now sees object 40.
+        # ...and so is the nearby one — its cached entry was *patched*
+        # in place and already sees object 40, no recompute charged.
         refreshed = client.query(0.9, 0.9, ["spanish"], 2)
-        assert not refreshed["cached"]
+        assert refreshed["cached"]
         assert 40 in [
             e["object"]["oid"] for e in refreshed["result"]["entries"]
         ]
         stats = client.stats()
-        assert stats["scoped_invalidations"] == 1
-        assert stats["scoped_kept"] >= 1
+        assert stats["maintenance_passes"] == 1
+        assert stats["maintained_patched"] >= 1
 
     def test_mutations_stats_section(self, served):
         _, client = served

@@ -160,16 +160,22 @@ def test_mutation_query_hammer():
         while not stop.is_set():
             try:
                 topk_stats, whynot_stats = consistent_stats(topk, whynot)
-                # Every domain invalidation (full or scoped) drops the
-                # linked why-not cache exactly once; a mixed-generation
-                # snapshot would break this identity.
+                # Every domain invalidation hits the linked why-not
+                # cache exactly once — full invalidations cascade a full
+                # drop, scoped invalidations a scoped one — so the
+                # invalidation totals move in lockstep; a
+                # mixed-generation snapshot would break this identity.
                 expected = (
                     topk_stats.invalidations + topk_stats.scoped_invalidations
                 )
-                if whynot_stats.invalidations != expected:
+                observed = (
+                    whynot_stats.invalidations
+                    + whynot_stats.scoped_invalidations
+                )
+                if observed != expected:
                     fail(
                         "mixed-generation stats snapshot: whynot "
-                        f"{whynot_stats.invalidations} != {expected}"
+                        f"{observed} != {expected}"
                     )
             except Exception as exc:  # noqa: BLE001
                 fail(f"stats reader raised: {exc!r}")

@@ -36,7 +36,12 @@ class TestScopedInvalidation:
             ]
         )
         tally = executor.invalidate_scoped(report.change.summary)
-        assert tally == {"dropped": 1, "kept": 1, "linked_dropped": 0}
+        assert tally == {
+            "dropped": 1,
+            "kept": 1,
+            "linked_dropped": 0,
+            "linked_kept": 0,
+        }
         assert executor.execute(near_sw).source == "cache"
         refreshed = executor.execute(near_ne)
         assert refreshed.source == "engine"
@@ -63,7 +68,16 @@ class TestScopedInvalidation:
         executor.close()
         engine.close()
 
-    def test_linked_whynot_cache_drops_wholesale(self):
+    def test_linked_whynot_cache_scoped_keep_for_disjoint_batch(self):
+        """A batch provably unable to affect a why-not answer keeps it.
+
+        The inserted object sits in the far corner with a keyword
+        outside the question's keyword universe: the dominance test in
+        ``BatchSummary.affects_whynot`` proves it cannot cross any
+        missing object at any weight, so the linked scoped invalidation
+        keeps the entry (``scoped_kept > 0``) instead of dropping the
+        why-not cache wholesale.
+        """
         engine, executor = self.make()
         whynot = WhyNotExecutor(engine, executor, cache_capacity=8)
         question = WhyNotQuestion(
@@ -80,6 +94,29 @@ class TestScopedInvalidation:
                 )
             ]
         )
+        tally = executor.invalidate_scoped(report.change.summary)
+        assert tally["linked_kept"] == 1 and tally["linked_dropped"] == 0
+        stats = whynot.stats()
+        assert stats.size == 1 and stats.scoped_kept > 0
+        # The kept answer is still exactly what a cold computation gives.
+        kept = whynot.execute(question)
+        assert kept.source == "cache"
+        assert kept.answer == engine.answer_whynot(question)
+        whynot.close()
+        executor.close()
+        engine.close()
+
+    def test_linked_whynot_cache_drops_when_batch_touches_missing(self):
+        """Deleting a missing object invalidates its cached answer."""
+        engine, executor = self.make()
+        whynot = WhyNotExecutor(engine, executor, cache_capacity=8)
+        question = WhyNotQuestion(
+            query=query_at(0.1, 0.1, "chinese", k=2),
+            missing=(4,),
+            model="preference",
+        )
+        whynot.execute(question)
+        report = engine.apply_mutations([Mutation.delete(4)])
         tally = executor.invalidate_scoped(report.change.summary)
         assert tally["linked_dropped"] == 1
         assert whynot.stats().size == 0

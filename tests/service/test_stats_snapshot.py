@@ -98,14 +98,20 @@ class TestConsistentStats:
         topk, whynot = make_executors()
         mid_cascade = threading.Event()
         release = threading.Event()
-        original_drop = topk._linked_invalidations[0]
+        original_drop, original_scoped, original_maintain = (
+            topk._linked_invalidations[0]
+        )
 
         def parked_drop() -> int:
             mid_cascade.set()
             release.wait(timeout=5.0)
             return original_drop()
 
-        topk._linked_invalidations[0] = parked_drop
+        topk._linked_invalidations[0] = (
+            parked_drop,
+            original_scoped,
+            original_maintain,
+        )
         invalidator = threading.Thread(target=topk.invalidate)
         invalidator.start()
         assert mid_cascade.wait(timeout=5.0)

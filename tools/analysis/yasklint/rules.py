@@ -408,3 +408,90 @@ def check_swallowed_exceptions(file: File) -> Iterator[Violation]:
             "it, degrade honestly, or add a comment saying why dropping "
             "it is safe",
         )
+
+
+# ---------------------------------------------------------------------------
+# YASK107 — result-cache entries are written only by the executor tier
+
+_CACHE_MUTATORS = {
+    "put",
+    "pop",
+    "popitem",
+    "clear",
+    "move_to_end",
+    "setdefault",
+    "update",
+    "invalidate",
+    "invalidate_where",
+    "apply_maintenance",
+}
+
+
+def _is_cache_receiver(node: ast.expr) -> bool:
+    names = _receiver_names(node)
+    return bool(names) and "cache" in names[-1].lower()
+
+
+@register(
+    "YASK107",
+    "no direct result-cache entry mutation outside service/executor.py; "
+    "cached answers change only through the executor's "
+    "execute/maintain/invalidate protocol",
+    Scope(include=("*repro/*",), approved=("*repro/service/executor.py",)),
+)
+def check_cache_entry_mutation(file: File) -> Iterator[Violation]:
+    """Answer maintenance depends on a single writer for cache entries.
+
+    ``_ResultCache`` entries carry skyband metadata stamped with the
+    engine generation; the two-phase snapshot/apply protocol in
+    ``service/executor.py`` is the only code allowed to create, patch
+    or drop them.  A ``cache.put(...)`` / ``cache.pop(...)`` /
+    subscript write anywhere else can install an entry whose stamp lies
+    about the generation it reflects — the next maintenance pass would
+    then "patch" it into a wrong answer served as a warm hit.  Route
+    writes through ``QueryExecutor`` / ``WhyNotExecutor`` methods.
+    """
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _CACHE_MUTATORS and _is_cache_receiver(
+                node.func.value
+            ):
+                yield _violation(
+                    file,
+                    node,
+                    "YASK107",
+                    f"direct .{node.func.attr}() on a result cache outside "
+                    "the executor tier; route the write through "
+                    "QueryExecutor/WhyNotExecutor",
+                )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript) and _is_cache_receiver(
+                    target.value
+                ):
+                    yield _violation(
+                        file,
+                        node,
+                        "YASK107",
+                        "subscript write into a result cache outside the "
+                        "executor tier; route the write through "
+                        "QueryExecutor/WhyNotExecutor",
+                    )
+                    break
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and _is_cache_receiver(
+                    target.value
+                ):
+                    yield _violation(
+                        file,
+                        node,
+                        "YASK107",
+                        "del on a result-cache entry outside the executor "
+                        "tier; route the write through "
+                        "QueryExecutor/WhyNotExecutor",
+                    )
+                    break
